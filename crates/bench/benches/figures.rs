@@ -1,0 +1,54 @@
+//! One Criterion benchmark per paper figure: `fig4` measures the
+//! closed-form PCR generation; `fig6a`..`fig6f` each measure one
+//! representative simulated point of that panel (tiny preset, ADDC and
+//! Coolest paired as in the paper).
+//!
+//! These benches exist to (1) regenerate each figure's computation in a
+//! measured loop and (2) catch performance regressions in the simulator;
+//! the full sweeps live in the `fig6` binary.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use crn_core::{CollectionAlgorithm, Scenario};
+use crn_interference::PcrConstants;
+use crn_workloads::{presets, Fig6Panel, PresetKind};
+use std::hint::black_box;
+
+fn bench_fig4(c: &mut Criterion) {
+    c.bench_function("fig4", |b| {
+        b.iter(|| {
+            let rows = crn_workloads::fig4::fig4_rows(black_box(PcrConstants::Paper));
+            black_box(rows)
+        });
+    });
+}
+
+fn bench_fig6_panel(c: &mut Criterion, panel: Fig6Panel) {
+    // One representative point: the middle of the panel's axis, 1 rep,
+    // both algorithms (paired, as the figures plot them).
+    let spec = presets::fig6_spec(PresetKind::Tiny, panel);
+    let mid = spec.axis.values[spec.axis.values.len() / 2];
+    let params = spec.axis.apply(&spec.base, mid);
+    let scenario = Scenario::generate(&params).expect("connected scenario");
+    c.bench_function(panel.figure_id(), |b| {
+        b.iter(|| {
+            let addc = scenario.run(CollectionAlgorithm::Addc).expect("addc run");
+            let cool = scenario.run(CollectionAlgorithm::Coolest).expect("coolest run");
+            black_box((addc.report.delay_slots, cool.report.delay_slots))
+        });
+    });
+}
+
+fn bench_figures(c: &mut Criterion) {
+    bench_fig4(c);
+    for panel in Fig6Panel::ALL {
+        bench_fig6_panel(c, panel);
+    }
+}
+
+criterion_group! {
+    name = figures;
+    config = Criterion::default().sample_size(10).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(4));
+    targets = bench_figures
+}
+criterion_main!(figures);

@@ -1,0 +1,87 @@
+//! Micro-benchmarks of the hot substrates: spatial queries, CDS tree
+//! construction, cumulative-SIR evaluation, and a small end-to-end
+//! simulator run. These guard the building blocks the figure sweeps lean
+//! on.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use crn_core::{CollectionAlgorithm, Scenario, ScenarioParams};
+use crn_geometry::{Deployment, GridIndex, Region};
+use crn_interference::{concurrent, pcr, PcrConstants, PhyParams};
+use crn_topology::{CollectionTree, UnitDiskGraph};
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_grid_queries(c: &mut Criterion) {
+    let region = Region::square(250.0);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let d = Deployment::uniform(region, 2000, &mut rng);
+    let index = GridIndex::build(d.points(), region, 25.0);
+    c.bench_function("grid_query_2000_nodes", |b| {
+        b.iter(|| {
+            let mut count = 0usize;
+            for i in 0..100 {
+                count += index.count_within(d.position(i * 17 % d.len()), 24.3);
+            }
+            black_box(count)
+        });
+    });
+}
+
+fn bench_cds_tree(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+    let region = Region::square(140.0);
+    let d = loop {
+        let d = Deployment::uniform(region, 601, &mut rng);
+        if UnitDiskGraph::build(&d, 10.0).is_connected() {
+            break d;
+        }
+    };
+    let graph = UnitDiskGraph::build(&d, 10.0);
+    c.bench_function("cds_tree_600_nodes", |b| {
+        b.iter(|| {
+            let tree = CollectionTree::cds(black_box(&graph), 0).expect("connected");
+            black_box(tree.height())
+        });
+    });
+}
+
+fn bench_sir_worst_case(c: &mut Criterion) {
+    let phy = PhyParams::paper_simulation_defaults();
+    let range = pcr::carrier_sensing_range(&phy, PcrConstants::Corrected);
+    let links = concurrent::worst_case_su_r_set(&phy, range, range * 6.0);
+    c.bench_function("sir_worst_case_r_set", |b| {
+        b.iter(|| black_box(concurrent::min_margin(&phy, black_box(&links))));
+    });
+}
+
+fn bench_sim_run(c: &mut Criterion) {
+    let params = ScenarioParams::builder()
+        .num_sus(100)
+        .num_pus(10)
+        .area_side(57.0)
+        .max_connectivity_attempts(2000)
+        .seed(3)
+        .build();
+    let scenario = Scenario::generate(&params).expect("connected");
+    c.bench_function("sim_run_100_sus", |b| {
+        b.iter(|| {
+            let o = scenario.run(CollectionAlgorithm::Addc).expect("run");
+            black_box(o.report.delay_slots)
+        });
+    });
+}
+
+fn benches(c: &mut Criterion) {
+    bench_grid_queries(c);
+    bench_cds_tree(c);
+    bench_sir_worst_case(c);
+    bench_sim_run(c);
+}
+
+criterion_group! {
+    name = micro;
+    config = Criterion::default().sample_size(10).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(4));
+    targets = benches
+}
+criterion_main!(micro);

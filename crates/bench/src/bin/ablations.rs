@@ -1,0 +1,179 @@
+//! Ablation studies for the design choices DESIGN.md calls out:
+//!
+//! - `pcr` — the paper's printed `c₂` constant vs the corrected one
+//!   (delay vs SIR-violation tradeoff),
+//! - `fairness` — Algorithm 1's line-12 wait on vs off (Jain fairness),
+//! - `routing` — CDS tree vs BFS tree vs Coolest routing under one MAC,
+//! - `pu-model` — Bernoulli vs bursty Gilbert PUs at equal duty cycle.
+//!
+//! Usage: `cargo run -p crn-bench --release --bin ablations -- [all|pcr|
+//! fairness|routing|pu-model] [--preset tiny|scaled] [--reps 5]`
+
+use crn_bench::take_flag;
+use crn_core::{CollectionAlgorithm, Scenario, ScenarioParams};
+use crn_interference::PcrConstants;
+use crn_spectrum::PuActivity;
+use crn_workloads::{presets, PresetKind};
+
+struct Cfg {
+    base: ScenarioParams,
+    reps: u32,
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let preset: PresetKind = take_flag(&mut args, "--preset")
+        .map_or(PresetKind::Tiny, |s| s.parse().expect("valid preset"));
+    let reps: u32 = take_flag(&mut args, "--reps").map_or(5, |s| s.parse().expect("number"));
+    let cfg = Cfg {
+        base: presets::base_params(preset),
+        reps,
+    };
+
+    let which = if args.is_empty() { "all".to_owned() } else { args.join(",") };
+    println!("# Ablations [{preset} preset, {reps} reps]\n");
+    if which.contains("all") || which.contains("pcr") {
+        ablation_pcr(&cfg);
+    }
+    if which.contains("all") || which.contains("fairness") {
+        ablation_fairness(&cfg);
+    }
+    if which.contains("all") || which.contains("routing") {
+        ablation_routing(&cfg);
+    }
+    if which.contains("all") || which.contains("pu-model") {
+        ablation_pu_model(&cfg);
+    }
+}
+
+fn run_addc(params: &ScenarioParams) -> crn_core::CollectionOutcome {
+    let scenario = Scenario::generate(params).expect("connected scenario");
+    scenario.run(CollectionAlgorithm::Addc).expect("run")
+}
+
+fn seeded(base: &ScenarioParams, rep: u32) -> ScenarioParams {
+    let mut p = base.clone();
+    p.seed = u64::from(rep) * 6271 + 5;
+    p
+}
+
+/// Paper vs corrected c₂: the corrected (larger) PCR removes SIR
+/// violations but shrinks p_o, trading reliability against delay.
+fn ablation_pcr(cfg: &Cfg) {
+    println!("## PCR constants: paper vs corrected\n");
+    println!("| constants | mean delay (slots) | SIR failures/run | success rate |");
+    println!("|---|---|---|---|");
+    for constants in [PcrConstants::Paper, PcrConstants::Corrected] {
+        let (mut delay, mut sir, mut rate) = (0.0, 0.0, 0.0);
+        for rep in 0..cfg.reps {
+            let mut p = seeded(&cfg.base, rep);
+            p.pcr_constants = constants;
+            let o = run_addc(&p);
+            delay += o.report.delay_slots;
+            sir += o.report.sir_failures as f64;
+            rate += o.report.success_rate();
+        }
+        let n = f64::from(cfg.reps);
+        println!(
+            "| {constants:?} | {:.0} | {:.1} | {:.3} |",
+            delay / n,
+            sir / n,
+            rate / n
+        );
+    }
+    println!();
+}
+
+/// Fairness wait on/off: line 12 of Algorithm 1 exists to stop one SU from
+/// hogging the spectrum; Jain's index over flow completion times shows it.
+fn ablation_fairness(cfg: &Cfg) {
+    println!("## Fairness wait (Algorithm 1 line 12)\n");
+    println!("| fairness wait | mean delay (slots) | mean Jain index |");
+    println!("|---|---|---|");
+    for fairness in [true, false] {
+        let (mut delay, mut jain, mut jain_n) = (0.0, 0.0, 0u32);
+        for rep in 0..cfg.reps {
+            let mut p = seeded(&cfg.base, rep);
+            p.mac.fairness_wait = fairness;
+            let o = run_addc(&p);
+            delay += o.report.delay_slots;
+            if let Some(j) = o.report.jain_fairness() {
+                jain += j;
+                jain_n += 1;
+            }
+        }
+        println!(
+            "| {fairness} | {:.0} | {:.4} |",
+            delay / f64::from(cfg.reps),
+            jain / f64::from(jain_n.max(1))
+        );
+    }
+    println!();
+}
+
+/// Routing structure: the CDS tree against plain BFS (both under ADDC's
+/// PCR MAC), and the two Coolest variants (under the baseline's
+/// conventional-CSMA MAC).
+fn ablation_routing(cfg: &Cfg) {
+    println!("## Routing structure\n");
+    println!("(ADDC and BFS-tree run ADDC's PCR MAC; the Coolest variants run the baseline's conventional-CSMA MAC.)\n");
+    println!("| routing | mean delay (slots) | tree height | max degree |");
+    println!("|---|---|---|---|");
+    for algo in [
+        CollectionAlgorithm::Addc,
+        CollectionAlgorithm::BfsTree,
+        CollectionAlgorithm::Coolest,
+        CollectionAlgorithm::CoolestOracle,
+    ] {
+        let (mut delay, mut height, mut degree) = (0.0, 0.0, 0.0);
+        for rep in 0..cfg.reps {
+            let p = seeded(&cfg.base, rep);
+            let scenario = Scenario::generate(&p).expect("connected scenario");
+            let o = scenario.run(algo).expect("run");
+            delay += o.report.delay_slots;
+            height += f64::from(o.tree_height);
+            degree += o.tree_max_degree as f64;
+        }
+        let n = f64::from(cfg.reps);
+        println!(
+            "| {algo} | {:.0} | {:.1} | {:.1} |",
+            delay / n,
+            height / n,
+            degree / n
+        );
+    }
+    println!();
+}
+
+/// PU burstiness at fixed duty cycle: bursty (Gilbert) PUs concentrate
+/// busy slots, changing how long SUs wait for opportunities.
+fn ablation_pu_model(cfg: &Cfg) {
+    println!("## PU activity model (equal duty cycle)\n");
+    println!("| model | mean delay (slots) | PU aborts/run |");
+    println!("|---|---|---|");
+    let duty = cfg.base.activity.duty_cycle();
+    let models = [
+        ("Bernoulli (paper)", PuActivity::bernoulli(duty).expect("duty is valid")),
+        (
+            "Gilbert burst=5",
+            PuActivity::gilbert_with_duty_cycle(duty, 5.0).expect("valid"),
+        ),
+        (
+            "Gilbert burst=20",
+            PuActivity::gilbert_with_duty_cycle(duty, 20.0).expect("valid"),
+        ),
+    ];
+    for (name, activity) in models {
+        let (mut delay, mut aborts) = (0.0, 0.0);
+        for rep in 0..cfg.reps {
+            let mut p = seeded(&cfg.base, rep);
+            p.activity = activity;
+            let o = run_addc(&p);
+            delay += o.report.delay_slots;
+            aborts += o.report.pu_aborts as f64;
+        }
+        let n = f64::from(cfg.reps);
+        println!("| {name} | {:.0} | {:.1} |", delay / n, aborts / n);
+    }
+    println!();
+}

@@ -1,0 +1,20 @@
+//! Regenerates Fig. 4: the PCR value under different parameter settings,
+//! for `α ∈ {3.0, 4.0}`, under both the paper's printed constants and the
+//! corrected constants.
+//!
+//! Usage: `cargo run -p crn-bench --release --bin fig4`
+
+use crn_interference::PcrConstants;
+use crn_workloads::fig4::fig4_rows;
+use crn_workloads::table::markdown_fig4;
+
+fn main() {
+    for constants in [PcrConstants::Paper, PcrConstants::Corrected] {
+        println!("## Fig. 4 — PCR value ({constants:?} constants)\n");
+        println!("{}", markdown_fig4(&fig4_rows(constants)));
+    }
+    println!(
+        "Shape checks: PCR(α=3) > PCR(α=4) on every row; PCR non-decreasing \
+         in P_p, P_s, η_p, η_s (asserted by crn-workloads unit tests)."
+    );
+}

@@ -1,0 +1,96 @@
+//! Shared helpers for the figure-regeneration binaries and Criterion
+//! benches of the ADDC reproduction.
+//!
+//! The binaries regenerate the paper's evaluation artifacts:
+//!
+//! | target | regenerates |
+//! |--------|-------------|
+//! | `fig4` | Fig. 4 (PCR closed forms, both constant variants) |
+//! | `fig6` | Fig. 6 panels (a)–(f), ADDC vs Coolest |
+//! | `validate-bounds` | Theorem 1 / Theorem 2 numeric validation |
+//! | `ablations` | PCR-constants, fairness, routing, PU-model ablations |
+//!
+//! Run e.g. `cargo run -p crn-bench --release --bin fig6 -- all --preset
+//! scaled`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::io::Write as _;
+use std::time::Instant;
+
+/// Extracts `--flag value` from an argument list, returning the remaining
+/// positional arguments and the flag's value (if present).
+///
+/// # Panics
+///
+/// Panics if the flag is present without a following value.
+#[must_use]
+pub fn take_flag(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    if let Some(i) = args.iter().position(|a| a == flag) {
+        assert!(i + 1 < args.len(), "flag {flag} requires a value");
+        let value = args.remove(i + 1);
+        args.remove(i);
+        Some(value)
+    } else {
+        None
+    }
+}
+
+/// A stderr progress printer for long sweeps: `label: done/total (rate)`.
+#[derive(Debug)]
+pub struct Progress {
+    label: String,
+    started: Instant,
+}
+
+impl Progress {
+    /// Starts a progress tracker.
+    #[must_use]
+    pub fn new(label: impl Into<String>) -> Self {
+        Self {
+            label: label.into(),
+            started: Instant::now(),
+        }
+    }
+
+    /// Reports `done` of `total` complete.
+    pub fn report(&self, done: usize, total: usize) {
+        let elapsed = self.started.elapsed().as_secs_f64();
+        let rate = if elapsed > 0.0 { done as f64 / elapsed } else { 0.0 };
+        eprint!(
+            "\r{}: {done}/{total} ({rate:.2} runs/s, {elapsed:.0}s elapsed)   ",
+            self.label
+        );
+        let _ = std::io::stderr().flush();
+        if done == total {
+            eprintln!();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_flag_extracts_and_removes() {
+        let mut args = vec!["a".into(), "--preset".into(), "tiny".into(), "b".into()];
+        assert_eq!(take_flag(&mut args, "--preset"), Some("tiny".into()));
+        assert_eq!(args, vec!["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn take_flag_absent_is_none() {
+        let mut args = vec!["a".into()];
+        assert_eq!(take_flag(&mut args, "--preset"), None);
+        assert_eq!(args.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a value")]
+    fn take_flag_without_value_panics() {
+        let mut args = vec!["--preset".into()];
+        let _ = take_flag(&mut args, "--preset");
+    }
+}

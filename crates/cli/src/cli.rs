@@ -1,0 +1,355 @@
+//! Argument parsing and command execution, kept pure (string in → string
+//! out) so every path is unit-testable without spawning processes.
+
+use crn_core::{CollectionAlgorithm, Scenario, ScenarioParams};
+use crn_interference::{pcr, PcrConstants, PhyParams};
+use crn_theory::DelayBounds;
+use crn_workloads::table::markdown_figure;
+use crn_workloads::{aggregate, presets, run_sweep, Fig6Panel, PresetKind};
+use std::fmt::Write as _;
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+usage:
+  crn run    [--sus N] [--pus N] [--side S] [--pt P] [--seed K] [--algo ALGO]
+  crn sweep  <a|b|c|d|e|f|all> [--preset paper|scaled|tiny] [--reps R] [--threads T]
+  crn pcr    [--alpha A] [--eta-db E] [--pp P] [--ps P] [--big-r R] [--r r]
+  crn bounds [--sus N] [--pus N] [--side S] [--pt P]
+algorithms: addc (default), coolest, coolest-oracle, bfs";
+
+/// Parses and executes one invocation, returning its stdout.
+///
+/// # Errors
+///
+/// Returns a human-readable message for unknown commands, flags, or
+/// malformed values.
+pub fn dispatch(args: &[String]) -> Result<String, String> {
+    let mut args = args.to_vec();
+    let Some(command) = args.first().cloned() else {
+        return Err("no command given".into());
+    };
+    args.remove(0);
+    match command.as_str() {
+        "run" => cmd_run(args),
+        "sweep" => cmd_sweep(args),
+        "pcr" => cmd_pcr(args),
+        "bounds" => cmd_bounds(args),
+        "help" | "--help" | "-h" => Ok(format!("{USAGE}\n")),
+        other => Err(format!("unknown command '{other}'")),
+    }
+}
+
+fn take<T: std::str::FromStr>(
+    args: &mut Vec<String>,
+    flag: &str,
+    default: T,
+) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    if let Some(i) = args.iter().position(|a| a == flag) {
+        if i + 1 >= args.len() {
+            return Err(format!("flag {flag} requires a value"));
+        }
+        let raw = args.remove(i + 1);
+        args.remove(i);
+        raw.parse()
+            .map_err(|e| format!("bad value '{raw}' for {flag}: {e}"))
+    } else {
+        Ok(default)
+    }
+}
+
+fn ensure_consumed(args: &[String]) -> Result<(), String> {
+    if args.is_empty() {
+        Ok(())
+    } else {
+        Err(format!("unrecognized arguments: {args:?}"))
+    }
+}
+
+fn parse_algo(s: &str) -> Result<CollectionAlgorithm, String> {
+    match s {
+        "addc" => Ok(CollectionAlgorithm::Addc),
+        "coolest" => Ok(CollectionAlgorithm::Coolest),
+        "coolest-oracle" => Ok(CollectionAlgorithm::CoolestOracle),
+        "bfs" => Ok(CollectionAlgorithm::BfsTree),
+        other => Err(format!("unknown algorithm '{other}'")),
+    }
+}
+
+fn scenario_params(args: &mut Vec<String>) -> Result<ScenarioParams, String> {
+    let sus: usize = take(args, "--sus", 150)?;
+    let pus: usize = take(args, "--pus", 16)?;
+    let side: f64 = take(args, "--side", 70.0)?;
+    let p_t: f64 = take(args, "--pt", 0.3)?;
+    let seed: u64 = take(args, "--seed", 0)?;
+    if !(0.0..=1.0).contains(&p_t) {
+        return Err(format!("--pt must be a probability, got {p_t}"));
+    }
+    Ok(ScenarioParams::builder()
+        .num_sus(sus)
+        .num_pus(pus)
+        .area_side(side)
+        .p_t(p_t)
+        .seed(seed)
+        .max_connectivity_attempts(3000)
+        .build())
+}
+
+fn cmd_run(mut args: Vec<String>) -> Result<String, String> {
+    let algo = parse_algo(&take(&mut args, "--algo", "addc".to_owned())?)?;
+    let show_map = if let Some(i) = args.iter().position(|a| a == "--map") {
+        args.remove(i);
+        true
+    } else {
+        false
+    };
+    let params = scenario_params(&mut args)?;
+    ensure_consumed(&args)?;
+    let scenario = Scenario::generate(&params).map_err(|e| e.to_string())?;
+    let outcome = scenario.run(algo).map_err(|e| e.to_string())?;
+    let r = &outcome.report;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{algo} on n={} N={} A={}² p_t={} (seed {}, PCR {:.1})",
+        params.num_sus,
+        params.num_pus,
+        params.area_side,
+        params.activity.duty_cycle(),
+        params.seed,
+        scenario.pcr()
+    );
+    let _ = writeln!(
+        out,
+        "  delivered {}/{} in {:.0} slots ({:.3} s); finished: {}",
+        r.packets_delivered, r.packets_expected, r.delay_slots, r.delay, r.finished
+    );
+    let _ = writeln!(
+        out,
+        "  attempts {} | successes {} | PU handoffs {} | SIR losses {} | capture {}",
+        r.attempts, r.successes, r.pu_aborts, r.sir_failures, r.capture_losses
+    );
+    let _ = writeln!(
+        out,
+        "  capacity {:.4}·W | Jain {:.3} | peak queue {} | tree height {} | Δ {}",
+        r.capacity_fraction(),
+        r.jain_fairness().unwrap_or(1.0),
+        r.peak_queue,
+        outcome.tree_height,
+        outcome.tree_max_degree
+    );
+    if show_map {
+        let tree = scenario.tree(algo).map_err(|e| e.to_string())?;
+        let _ = writeln!(out);
+        out.push_str(&crn_topology::render_ascii(scenario.graph(), Some(&tree), 72));
+    }
+    Ok(out)
+}
+
+fn cmd_sweep(mut args: Vec<String>) -> Result<String, String> {
+    let preset: PresetKind = take(&mut args, "--preset", "tiny".to_owned())?.parse()?;
+    let reps: u32 = take(&mut args, "--reps", 0)?;
+    let threads: usize = take(&mut args, "--threads", 1)?;
+    let panels: Vec<Fig6Panel> = if args.iter().any(|a| a == "all") {
+        args.clear();
+        Fig6Panel::ALL.to_vec()
+    } else {
+        let parsed: Result<Vec<_>, _> = args.iter().map(|a| a.parse()).collect();
+        let panels = parsed?;
+        args.clear();
+        panels
+    };
+    if panels.is_empty() {
+        return Err("sweep requires panel letters a..f or 'all'".into());
+    }
+    let mut out = String::new();
+    for panel in panels {
+        let mut spec = presets::fig6_spec(preset, panel);
+        if reps > 0 {
+            spec.reps = reps;
+        }
+        let records = run_sweep(&spec, threads.max(1), |_, _| {});
+        let _ = writeln!(out, "## {panel} [{preset}, {} reps]\n", spec.reps);
+        let _ = writeln!(out, "{}", markdown_figure(&aggregate(&records)));
+    }
+    Ok(out)
+}
+
+fn cmd_pcr(mut args: Vec<String>) -> Result<String, String> {
+    let alpha: f64 = take(&mut args, "--alpha", 4.0)?;
+    let eta_db: f64 = take(&mut args, "--eta-db", 10.0)?;
+    let pp: f64 = take(&mut args, "--pp", 10.0)?;
+    let ps: f64 = take(&mut args, "--ps", 10.0)?;
+    let big_r: f64 = take(&mut args, "--big-r", 12.0)?;
+    let r: f64 = take(&mut args, "--r", 10.0)?;
+    ensure_consumed(&args)?;
+    let phy = PhyParams::builder()
+        .alpha(alpha)
+        .pu_sir_threshold_db(eta_db)
+        .su_sir_threshold_db(eta_db)
+        .pu_power(pp)
+        .su_power(ps)
+        .pu_radius(big_r)
+        .su_radius(r)
+        .build()
+        .map_err(|e| e.to_string())?;
+    let mut out = String::new();
+    for constants in [PcrConstants::Paper, PcrConstants::Corrected] {
+        let _ = writeln!(
+            out,
+            "{constants:?}: kappa = {:.3}, PCR = {:.2}",
+            pcr::kappa(&phy, constants),
+            pcr::carrier_sensing_range(&phy, constants)
+        );
+    }
+    Ok(out)
+}
+
+fn cmd_bounds(mut args: Vec<String>) -> Result<String, String> {
+    let params = scenario_params(&mut args)?;
+    ensure_consumed(&args)?;
+    let scenario = Scenario::generate(&params).map_err(|e| e.to_string())?;
+    let tree = scenario
+        .tree(CollectionAlgorithm::Addc)
+        .map_err(|e| e.to_string())?;
+    let c0 = params.area_side * params.area_side / params.num_sus as f64;
+    let b = DelayBounds::compute(
+        &params.phy,
+        params.pcr_constants,
+        params.pu_density(),
+        params.activity.duty_cycle(),
+        params.num_sus,
+        c0,
+        tree.max_degree(),
+        tree.root_degree(),
+    );
+    let mut out = String::new();
+    let _ = writeln!(out, "kappa = {:.3}, p_o = {:.5}", b.kappa, b.p_o);
+    let _ = writeln!(
+        out,
+        "Lemma 5 (CDS nodes in PCR) <= {:.1}; Lemma 6 (SUs in PCR) <= {:.1}; Δ w.h.p. <= {:.1}",
+        b.lemma5_cds_nodes, b.lemma6_sus, b.delta_whp_bound
+    );
+    let _ = writeln!(
+        out,
+        "Theorem 1 service <= {:.0} slots; Lemma 8 backbone <= {:.0} slots",
+        b.theorem1_service_slots, b.lemma8_service_slots
+    );
+    let _ = writeln!(
+        out,
+        "Theorem 2 delay <= {:.0} slots; capacity >= {:.6}·W",
+        b.theorem2_delay_slots, b.capacity_fraction_lower
+    );
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(args: &[&str]) -> Result<String, String> {
+        dispatch(&args.iter().map(|s| (*s).to_owned()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn no_command_is_an_error() {
+        assert!(run(&[]).is_err());
+    }
+
+    #[test]
+    fn unknown_command_is_an_error() {
+        let e = run(&["frobnicate"]).unwrap_err();
+        assert!(e.contains("frobnicate"));
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let out = run(&["help"]).unwrap();
+        assert!(out.contains("crn run"));
+    }
+
+    #[test]
+    fn pcr_defaults_match_library() {
+        let out = run(&["pcr"]).unwrap();
+        let phy = PhyParams::builder().build().unwrap();
+        let expect = pcr::carrier_sensing_range(&phy, PcrConstants::Paper);
+        assert!(out.contains(&format!("{expect:.2}")), "{out}");
+        assert!(out.contains("Corrected"));
+    }
+
+    #[test]
+    fn pcr_rejects_bad_alpha() {
+        let e = run(&["pcr", "--alpha", "1.5"]).unwrap_err();
+        assert!(e.contains("path-loss"), "{e}");
+    }
+
+    #[test]
+    fn run_executes_a_small_scenario() {
+        let out = run(&[
+            "run", "--sus", "40", "--pus", "4", "--side", "36", "--seed", "3",
+        ])
+        .unwrap();
+        assert!(out.contains("delivered 40/40"), "{out}");
+        assert!(out.contains("finished: true"), "{out}");
+    }
+
+    #[test]
+    fn run_with_each_algorithm() {
+        for algo in ["addc", "coolest", "coolest-oracle", "bfs"] {
+            let out = run(&[
+                "run", "--algo", algo, "--sus", "30", "--pus", "3", "--side", "31",
+            ])
+            .unwrap();
+            assert!(out.contains("delivered 30/30"), "{algo}: {out}");
+        }
+    }
+
+    #[test]
+    fn run_rejects_unknown_flag() {
+        let e = run(&["run", "--bogus", "1"]).unwrap_err();
+        assert!(e.contains("unrecognized"), "{e}");
+    }
+
+    #[test]
+    fn run_rejects_bad_probability() {
+        let e = run(&["run", "--pt", "1.5"]).unwrap_err();
+        assert!(e.contains("probability"), "{e}");
+    }
+
+    #[test]
+    fn bounds_reports_theorems() {
+        let out = run(&["bounds", "--sus", "40", "--pus", "4", "--side", "36"]).unwrap();
+        assert!(out.contains("Theorem 2"), "{out}");
+        assert!(out.contains("kappa"), "{out}");
+    }
+
+    #[test]
+    fn sweep_requires_panels() {
+        assert!(run(&["sweep"]).is_err());
+    }
+
+    #[test]
+    fn sweep_runs_one_tiny_panel() {
+        let out = run(&["sweep", "c", "--reps", "1"]).unwrap();
+        assert!(out.contains("fig6c"), "{out}");
+        assert!(out.contains("ADDC delay"), "{out}");
+    }
+
+    #[test]
+    fn run_with_map_renders_roles() {
+        let out = run(&[
+            "run", "--map", "--sus", "40", "--pus", "4", "--side", "36",
+        ])
+        .unwrap();
+        assert!(out.contains("legend"), "{out}");
+        assert!(out.contains('B'), "{out}");
+    }
+
+    #[test]
+    fn algo_parse_errors_are_reported() {
+        let e = run(&["run", "--algo", "magic"]).unwrap_err();
+        assert!(e.contains("magic"));
+    }
+}

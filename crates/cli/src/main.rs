@@ -1,0 +1,24 @@
+//! `crn` — command-line interface to the ADDC (ICDCS 2012) reproduction.
+//!
+//! ```text
+//! crn run   [--sus N] [--pus N] [--side S] [--pt P] [--seed K] [--algo addc|coolest|coolest-oracle|bfs]
+//! crn sweep <a..f|all> [--preset paper|scaled|tiny] [--reps R] [--threads T]
+//! crn pcr   [--alpha A] [--eta-db E] [--pp P] [--ps P] [--big-r R] [--r r]
+//! crn bounds [--sus N] [--pus N] [--side S] [--pt P]
+//! ```
+
+#![forbid(unsafe_code)]
+
+mod cli;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match cli::dispatch(&args) {
+        Ok(output) => print!("{output}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{}", cli::USAGE);
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,455 @@
+use crate::{coolest_tree, ScenarioParams};
+use crn_geometry::{Deployment, GridIndex, Point, Region};
+use crn_interference::pcr;
+use crn_sim::{SimReport, SimWorld, Simulator, WorldError};
+use crn_topology::{CollectionTree, TreeError, TreeKind, UnitDiskGraph};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Which data collection algorithm to run over a [`Scenario`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CollectionAlgorithm {
+    /// The paper's Asynchronous Distributed Data Collection (Algorithm 1)
+    /// over the CDS-based tree.
+    Addc,
+    /// The Coolest-path baseline: distributed greedy spectrum-temperature
+    /// routing (see [`crate::CoolestStrategy::GreedyLocal`]) with a
+    /// conventional CSMA SU-sensing range.
+    Coolest,
+    /// Ablation: Coolest with genie-aided global routes
+    /// ([`crate::CoolestStrategy::OracleDijkstra`]), same baseline MAC.
+    CoolestOracle,
+    /// Ablation: plain BFS shortest-path tree under ADDC's MAC.
+    BfsTree,
+}
+
+impl fmt::Display for CollectionAlgorithm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CollectionAlgorithm::Addc => "ADDC",
+            CollectionAlgorithm::Coolest => "Coolest",
+            CollectionAlgorithm::CoolestOracle => "Coolest-oracle",
+            CollectionAlgorithm::BfsTree => "BFS-tree",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Errors from scenario generation or execution.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ScenarioError {
+    /// No connected deployment was found within the attempt budget —
+    /// the node density is too low for the transmission radius.
+    Disconnected {
+        /// Attempts made.
+        attempts: usize,
+    },
+    /// Routing-tree construction failed.
+    Tree(TreeError),
+    /// Simulator world assembly failed.
+    World(WorldError),
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScenarioError::Disconnected { attempts } => write!(
+                f,
+                "no connected deployment in {attempts} attempts; increase density or radius"
+            ),
+            ScenarioError::Tree(e) => write!(f, "tree construction failed: {e}"),
+            ScenarioError::World(e) => write!(f, "world assembly failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ScenarioError::Disconnected { .. } => None,
+            ScenarioError::Tree(e) => Some(e),
+            ScenarioError::World(e) => Some(e),
+        }
+    }
+}
+
+impl From<TreeError> for ScenarioError {
+    fn from(e: TreeError) -> Self {
+        ScenarioError::Tree(e)
+    }
+}
+
+impl From<WorldError> for ScenarioError {
+    fn from(e: WorldError) -> Self {
+        ScenarioError::World(e)
+    }
+}
+
+/// Result of running one data collection task.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CollectionOutcome {
+    /// Algorithm that produced the routing structure.
+    pub algorithm: CollectionAlgorithm,
+    /// Kind of tree used.
+    pub tree_kind: TreeKind,
+    /// Height of the routing tree (hops).
+    pub tree_height: u32,
+    /// Maximum tree degree `Δ`.
+    pub tree_max_degree: usize,
+    /// Full simulator report (delays, counters, per-flow times).
+    pub report: SimReport,
+}
+
+/// A generated CRN instance: a connected secondary network, a primary
+/// network, and the derived PCR — everything needed to run any of the
+/// collection algorithms on identical ground.
+///
+/// See the crate-level example for typical use.
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    params: ScenarioParams,
+    region: Region,
+    su_deployment: Deployment,
+    pu_deployment: Deployment,
+    graph: UnitDiskGraph,
+    pu_index: GridIndex,
+    pcr: f64,
+}
+
+impl Scenario {
+    /// Samples deployments until the secondary network is connected (the
+    /// paper's standing assumption), then derives the PCR.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError::Disconnected`] if no connected deployment
+    /// appears within `params.max_connectivity_attempts`.
+    pub fn generate(params: &ScenarioParams) -> Result<Self, ScenarioError> {
+        let region = Region::square(params.area_side);
+        let mut rng = StdRng::seed_from_u64(params.seed);
+        let attempts = params.max_connectivity_attempts.max(1);
+        for _ in 0..attempts {
+            let su_deployment =
+                Deployment::uniform(region, params.num_sus + 1, &mut rng);
+            let graph = UnitDiskGraph::build(&su_deployment, params.phy.su_radius());
+            if !graph.is_connected() {
+                continue;
+            }
+            let pu_deployment = Deployment::uniform(region, params.num_pus, &mut rng);
+            let pu_index =
+                GridIndex::build(pu_deployment.points(), region, params.phy.su_radius());
+            let pcr = pcr::carrier_sensing_range(&params.phy, params.pcr_constants);
+            return Ok(Self {
+                params: params.clone(),
+                region,
+                su_deployment,
+                pu_deployment,
+                graph,
+                pu_index,
+                pcr,
+            });
+        }
+        Err(ScenarioError::Disconnected { attempts })
+    }
+
+    /// The generating parameters.
+    #[must_use]
+    pub fn params(&self) -> &ScenarioParams {
+        &self.params
+    }
+
+    /// Deployment region.
+    #[must_use]
+    pub fn region(&self) -> Region {
+        self.region
+    }
+
+    /// The secondary-network graph `G_s` (node 0 is the base station).
+    #[must_use]
+    pub fn graph(&self) -> &UnitDiskGraph {
+        &self.graph
+    }
+
+    /// SU positions (node 0 is the base station).
+    #[must_use]
+    pub fn su_positions(&self) -> &[Point] {
+        self.su_deployment.points()
+    }
+
+    /// PU positions.
+    #[must_use]
+    pub fn pu_positions(&self) -> &[Point] {
+        self.pu_deployment.points()
+    }
+
+    /// The derived Proper Carrier-sensing Range `κ·r`.
+    #[must_use]
+    pub fn pcr(&self) -> f64 {
+        self.pcr
+    }
+
+    /// Builds the routing tree for `algorithm`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError::Tree`] if construction fails (cannot
+    /// happen for a connected graph).
+    pub fn tree(&self, algorithm: CollectionAlgorithm) -> Result<CollectionTree, ScenarioError> {
+        let tree = match algorithm {
+            CollectionAlgorithm::Addc => CollectionTree::cds(&self.graph, 0)?,
+            CollectionAlgorithm::BfsTree => CollectionTree::bfs(&self.graph, 0)?,
+            // The distributed baseline estimates spectrum temperature from
+            // its own carrier-sensing observations (range factor·r); only
+            // the genie-aided oracle variant sees PCR-wide heat.
+            CollectionAlgorithm::Coolest => coolest_tree(
+                &self.graph,
+                &self.pu_index,
+                self.params.baseline_su_sense_factor * self.params.phy.su_radius(),
+                self.params.activity.duty_cycle(),
+            )?,
+            CollectionAlgorithm::CoolestOracle => crate::coolest_tree_with(
+                &self.graph,
+                &self.pu_index,
+                self.pcr,
+                self.params.activity.duty_cycle(),
+                crate::CoolestStrategy::OracleDijkstra,
+            )?,
+        };
+        Ok(tree)
+    }
+
+    /// Runs a full data collection task under `algorithm` with the
+    /// scenario's derived simulation seed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates tree or world assembly failures.
+    pub fn run(&self, algorithm: CollectionAlgorithm) -> Result<CollectionOutcome, ScenarioError> {
+        // Distinct from the deployment stream but common to algorithms, so
+        // comparisons see the same primary-network behaviour profile.
+        self.run_with_seed(algorithm, self.params.seed.wrapping_add(0x9E37_79B9_7F4A_7C15))
+    }
+
+    /// Runs **continuous data collection**: `snapshots` rounds of one
+    /// packet per SU, generated every `interval_slots` slots. The
+    /// steady-state [`SimReport::capacity_fraction`] of such a run
+    /// exercises the paper's data collection *capacity* (Theorem 2's
+    /// Ω-bound), not just the single-snapshot delay.
+    ///
+    /// # Errors
+    ///
+    /// Propagates tree or world assembly failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval_slots` is not positive or `snapshots` is zero.
+    pub fn run_continuous(
+        &self,
+        algorithm: CollectionAlgorithm,
+        interval_slots: f64,
+        snapshots: u32,
+    ) -> Result<CollectionOutcome, ScenarioError> {
+        let traffic = crn_sim::Traffic::Periodic {
+            interval: interval_slots * self.params.mac.slot,
+            snapshots,
+        };
+        self.run_inner(
+            algorithm,
+            self.params.seed.wrapping_add(0x9E37_79B9_7F4A_7C15),
+            traffic,
+        )
+    }
+
+    /// Like [`Scenario::run`] but with an explicit simulator seed (used by
+    /// repetition sweeps).
+    ///
+    /// # Errors
+    ///
+    /// Propagates tree or world assembly failures.
+    pub fn run_with_seed(
+        &self,
+        algorithm: CollectionAlgorithm,
+        sim_seed: u64,
+    ) -> Result<CollectionOutcome, ScenarioError> {
+        self.run_inner(algorithm, sim_seed, crn_sim::Traffic::Snapshot)
+    }
+
+    fn run_inner(
+        &self,
+        algorithm: CollectionAlgorithm,
+        sim_seed: u64,
+        traffic: crn_sim::Traffic,
+    ) -> Result<CollectionOutcome, ScenarioError> {
+        let tree = self.tree(algorithm)?;
+        let parents: Vec<Option<u32>> =
+            (0..self.graph.len() as u32).map(|u| tree.parent(u)).collect();
+        // PU protection (sensing the primary network over the PCR) is
+        // mandatory for every algorithm; the SU-coordination range is the
+        // PCR only for algorithms that have it — the Coolest baseline uses
+        // a conventional CSMA range (see ScenarioParams docs).
+        let su_sense = match algorithm {
+            CollectionAlgorithm::Addc | CollectionAlgorithm::BfsTree => self.pcr,
+            CollectionAlgorithm::Coolest | CollectionAlgorithm::CoolestOracle => {
+                (self.params.baseline_su_sense_factor * self.params.phy.su_radius())
+                    .max(self.params.phy.su_radius())
+            }
+        };
+        let world = SimWorld::build_with_ranges(
+            self.region,
+            self.su_deployment.points().to_vec(),
+            self.pu_deployment.points().to_vec(),
+            parents,
+            self.params.phy,
+            self.pcr,
+            su_sense,
+        )?;
+        let report: SimReport =
+            Simulator::with_traffic(world, self.params.mac, self.params.activity, sim_seed, traffic)
+                .run();
+        Ok(CollectionOutcome {
+            algorithm,
+            tree_kind: tree.kind(),
+            tree_height: tree.height(),
+            tree_max_degree: tree.max_degree(),
+            report,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_params(seed: u64) -> ScenarioParams {
+        ScenarioParams::builder()
+            .num_sus(60)
+            .num_pus(12)
+            .area_side(45.0)
+            .seed(seed)
+            .build()
+    }
+
+    #[test]
+    fn generate_produces_connected_graph() {
+        let s = Scenario::generate(&small_params(1)).unwrap();
+        assert!(s.graph().is_connected());
+        assert_eq!(s.graph().len(), 61);
+        assert_eq!(s.pu_positions().len(), 12);
+        assert!(s.pcr() > s.params().phy.su_radius());
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Scenario::generate(&small_params(5)).unwrap();
+        let b = Scenario::generate(&small_params(5)).unwrap();
+        assert_eq!(a.su_positions(), b.su_positions());
+        assert_eq!(a.pu_positions(), b.pu_positions());
+    }
+
+    #[test]
+    fn impossible_connectivity_errors() {
+        let p = ScenarioParams::builder()
+            .num_sus(5)
+            .num_pus(0)
+            .area_side(500.0)
+            .max_connectivity_attempts(3)
+            .build();
+        assert_eq!(
+            Scenario::generate(&p).unwrap_err(),
+            ScenarioError::Disconnected { attempts: 3 }
+        );
+    }
+
+    #[test]
+    fn addc_collects_everything() {
+        let s = Scenario::generate(&small_params(2)).unwrap();
+        let o = s.run(CollectionAlgorithm::Addc).unwrap();
+        assert!(o.report.finished);
+        assert_eq!(o.report.packets_delivered, 60);
+        assert_eq!(o.tree_kind, TreeKind::Cds);
+        assert!(o.tree_height >= 1);
+    }
+
+    #[test]
+    fn coolest_collects_everything() {
+        let s = Scenario::generate(&small_params(2)).unwrap();
+        let o = s.run(CollectionAlgorithm::Coolest).unwrap();
+        assert!(o.report.finished);
+        assert_eq!(o.report.packets_delivered, 60);
+        assert_eq!(o.tree_kind, TreeKind::Custom);
+    }
+
+    #[test]
+    fn bfs_tree_collects_everything() {
+        let s = Scenario::generate(&small_params(2)).unwrap();
+        let o = s.run(CollectionAlgorithm::BfsTree).unwrap();
+        assert!(o.report.finished);
+        assert_eq!(o.report.packets_delivered, 60);
+        assert_eq!(o.tree_kind, TreeKind::Bfs);
+    }
+
+    #[test]
+    fn runs_share_the_deployment_across_algorithms() {
+        let s = Scenario::generate(&small_params(3)).unwrap();
+        let addc = s.tree(CollectionAlgorithm::Addc).unwrap();
+        let cool = s.tree(CollectionAlgorithm::Coolest).unwrap();
+        assert_eq!(addc.len(), cool.len());
+    }
+
+    #[test]
+    fn explicit_sim_seed_changes_outcome() {
+        let s = Scenario::generate(&small_params(4)).unwrap();
+        let a = s.run_with_seed(CollectionAlgorithm::Addc, 1).unwrap();
+        let b = s.run_with_seed(CollectionAlgorithm::Addc, 2).unwrap();
+        assert_ne!(a.report.delay, b.report.delay);
+    }
+
+    #[test]
+    fn continuous_collection_delivers_every_snapshot() {
+        let s = Scenario::generate(&small_params(6)).unwrap();
+        let o = s
+            .run_continuous(CollectionAlgorithm::Addc, 2000.0, 3)
+            .unwrap();
+        assert!(o.report.finished);
+        assert_eq!(o.report.packets_expected, 180);
+        assert_eq!(o.report.packets_delivered, 180);
+        // Steady-state capacity counts all snapshots.
+        assert!(o.report.capacity_fraction() > 0.0);
+    }
+
+    #[test]
+    fn tighter_intervals_raise_peak_queues() {
+        let s = Scenario::generate(&small_params(7)).unwrap();
+        let slow = s
+            .run_continuous(CollectionAlgorithm::Addc, 5000.0, 3)
+            .unwrap();
+        let fast = s
+            .run_continuous(CollectionAlgorithm::Addc, 50.0, 3)
+            .unwrap();
+        assert!(
+            fast.report.peak_queue >= slow.report.peak_queue,
+            "fast {} < slow {}",
+            fast.report.peak_queue,
+            slow.report.peak_queue
+        );
+    }
+
+    #[test]
+    fn algorithm_display_names() {
+        assert_eq!(CollectionAlgorithm::Addc.to_string(), "ADDC");
+        assert_eq!(CollectionAlgorithm::Coolest.to_string(), "Coolest");
+        assert_eq!(CollectionAlgorithm::BfsTree.to_string(), "BFS-tree");
+    }
+
+    #[test]
+    fn error_display_and_source() {
+        use std::error::Error;
+        let e = ScenarioError::Disconnected { attempts: 2 };
+        assert!(e.to_string().contains("2 attempts"));
+        assert!(e.source().is_none());
+        let e: ScenarioError = TreeError::EmptyGraph.into();
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,43 @@
+//! 2-D geometry substrate for the ADDC (ICDCS 2012) reproduction.
+//!
+//! Cognitive-radio-network simulations live on the Euclidean plane: primary
+//! and secondary users are points, interference decays with distance, and
+//! carrier sensing is a disk query. This crate provides the small, fast
+//! geometric toolkit every other crate builds on:
+//!
+//! - [`Point`] and distance helpers,
+//! - [`Region`], the rectangular deployment area (the paper uses a square of
+//!   size `A = c0 * n`),
+//! - [`GridIndex`], a uniform-grid spatial index for fast disk queries
+//!   (used for neighbor discovery and carrier-sensing sets),
+//! - [`Deployment`], seeded i.i.d. uniform node placement,
+//! - [`packing`], the disk-packing lemmas the paper's analysis relies on
+//!   (Lemma 4's packing bound and the hexagon-layer counts behind Lemma 2).
+//!
+//! # Example
+//!
+//! ```
+//! use crn_geometry::{Deployment, GridIndex, Point, Region};
+//! use rand::SeedableRng;
+//!
+//! let region = Region::square(250.0);
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let deployment = Deployment::uniform(region, 100, &mut rng);
+//! let index = GridIndex::build(deployment.points(), region, 10.0);
+//! let near = index.within_disk(Point::new(125.0, 125.0), 10.0);
+//! assert!(near.len() <= 100);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod deploy;
+mod grid;
+pub mod packing;
+mod point;
+mod region;
+
+pub use deploy::Deployment;
+pub use grid::GridIndex;
+pub use point::Point;
+pub use region::Region;

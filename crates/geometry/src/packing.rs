@@ -1,0 +1,202 @@
+//! Disk-packing lemmas used by the paper's analysis.
+//!
+//! Two geometric facts drive every bound in the paper:
+//!
+//! 1. **Lemma 4** (from Wan et al.): a disk of radius `r_d` contains at most
+//!    `2π r_d² / √3 + π r_d + 1` points with pairwise distance ≥ 1. The paper
+//!    abbreviates this as `β_x` ([`beta`]).
+//! 2. **Hexagon packing layers** (proof of Lemma 2): the points of an
+//!    `R`-set, layered around a reference point, number at most `6l` in
+//!    layer `l`, at distance at least `(√3/2)·l·F` for `l ≥ 2` (and `F` for
+//!    `l = 1`), where `F = R − R_tx` accounts for the receiver offset.
+//!
+//! The helpers here are pure functions; property tests in this module check
+//! them against explicitly constructed packings.
+
+use std::f64::consts::PI;
+
+/// The paper's `β_x = 2πx²/√3 + πx + 1` (Lemma 4 with unit separation):
+/// an upper bound on how many points with mutual distance ≥ 1 fit in a
+/// closed disk of radius `x`.
+///
+/// # Panics
+///
+/// Panics if `x` is negative or non-finite.
+///
+/// ```
+/// # use crn_geometry::packing::beta;
+/// // A unit disk holds at most ~7 points at unit separation.
+/// assert!(beta(1.0) >= 7.0);
+/// assert!(beta(1.0) < 8.3);
+/// ```
+#[must_use]
+pub fn beta(x: f64) -> f64 {
+    assert!(x >= 0.0 && x.is_finite(), "beta requires finite x >= 0, got {x}");
+    2.0 * PI * x * x / 3.0_f64.sqrt() + PI * x + 1.0
+}
+
+/// Lemma 4 in full generality: the maximum number of points with pairwise
+/// distance ≥ `min_sep` inside a closed disk of radius `r_d`.
+///
+/// Scales to unit separation and applies [`beta`].
+///
+/// # Panics
+///
+/// Panics if `min_sep` is not strictly positive or inputs are non-finite.
+#[must_use]
+pub fn disk_packing_bound(r_d: f64, min_sep: f64) -> f64 {
+    assert!(
+        min_sep > 0.0 && min_sep.is_finite(),
+        "min_sep must be positive and finite, got {min_sep}"
+    );
+    beta(r_d / min_sep)
+}
+
+/// Maximum number of `R`-set points in hexagon-packing layer `l ≥ 1`
+/// around a reference point: `6l`.
+///
+/// # Panics
+///
+/// Panics if `l == 0` (the reference point itself is not a layer).
+#[must_use]
+pub fn hex_layer_max_nodes(l: u32) -> u32 {
+    assert!(l >= 1, "layers are numbered from 1");
+    6 * l
+}
+
+/// Minimum distance from the reference point to any point of layer `l`,
+/// given the per-layer spacing `f` (`F = R − R_tx` in the paper):
+/// `f` for `l = 1` and `(√3/2)·l·f` for `l ≥ 2`.
+///
+/// # Panics
+///
+/// Panics if `l == 0` or `f` is not strictly positive.
+#[must_use]
+pub fn hex_layer_min_distance(l: u32, f: f64) -> f64 {
+    assert!(l >= 1, "layers are numbered from 1");
+    assert!(f > 0.0 && f.is_finite(), "spacing must be positive, got {f}");
+    if l == 1 {
+        f
+    } else {
+        3.0_f64.sqrt() / 2.0 * l as f64 * f
+    }
+}
+
+/// Generates the hexagonal (triangular) lattice points with spacing `sep`
+/// inside a disk of radius `r_d` centered at the origin — the densest
+/// packing, used by tests to probe tightness of [`beta`] and by the
+/// concurrent-set verifier to build worst-case `R`-sets.
+///
+/// # Panics
+///
+/// Panics if `sep` is not strictly positive or `r_d` is negative.
+#[must_use]
+pub fn hex_lattice(r_d: f64, sep: f64) -> Vec<(f64, f64)> {
+    assert!(sep > 0.0 && sep.is_finite(), "sep must be positive, got {sep}");
+    assert!(r_d >= 0.0 && r_d.is_finite(), "r_d must be >= 0, got {r_d}");
+    let mut pts = Vec::new();
+    let row_h = sep * 3.0_f64.sqrt() / 2.0;
+    let rows = (r_d / row_h).ceil() as i64 + 1;
+    let cols = (r_d / sep).ceil() as i64 + 1;
+    for row in -rows..=rows {
+        let y = row as f64 * row_h;
+        let x_off = if row.rem_euclid(2) == 1 { sep / 2.0 } else { 0.0 };
+        for col in -cols..=cols {
+            let x = col as f64 * sep + x_off;
+            if x * x + y * y <= r_d * r_d {
+                pts.push((x, y));
+            }
+        }
+    }
+    pts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn beta_at_zero_is_one() {
+        assert_eq!(beta(0.0), 1.0);
+    }
+
+    #[test]
+    fn beta_is_monotone() {
+        assert!(beta(2.0) > beta(1.0));
+        assert!(beta(10.0) > beta(2.0));
+    }
+
+    #[test]
+    fn beta_dominates_hex_lattice_count() {
+        // The densest packing must not exceed the Lemma 4 bound.
+        for r in [0.5, 1.0, 2.0, 3.7, 5.0, 10.0] {
+            let count = hex_lattice(r, 1.0).len() as f64;
+            assert!(
+                count <= beta(r),
+                "hex lattice with {count} points beats beta({r}) = {}",
+                beta(r)
+            );
+        }
+    }
+
+    #[test]
+    fn disk_packing_bound_scales() {
+        assert!((disk_packing_bound(10.0, 2.0) - beta(5.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hex_layers_grow_linearly() {
+        assert_eq!(hex_layer_max_nodes(1), 6);
+        assert_eq!(hex_layer_max_nodes(2), 12);
+        assert_eq!(hex_layer_max_nodes(5), 30);
+    }
+
+    #[test]
+    fn hex_layer_distance_first_layer_is_f() {
+        assert_eq!(hex_layer_min_distance(1, 3.0), 3.0);
+    }
+
+    #[test]
+    fn hex_layer_distance_later_layers() {
+        let d = hex_layer_min_distance(4, 2.0);
+        assert!((d - 3.0_f64.sqrt() / 2.0 * 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hex_lattice_respects_separation() {
+        let pts = hex_lattice(5.0, 1.5);
+        for (i, a) in pts.iter().enumerate() {
+            for b in pts.iter().skip(i + 1) {
+                let d2 = (a.0 - b.0).powi(2) + (a.1 - b.1).powi(2);
+                assert!(d2 >= 1.5f64.powi(2) - 1e-9, "points too close: {a:?} {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn hex_lattice_contains_origin() {
+        assert!(hex_lattice(1.0, 1.0).contains(&(0.0, 0.0)));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_beta_dominates_lattice(r in 0.1f64..8.0, sep in 0.5f64..3.0) {
+            let count = hex_lattice(r, sep).len() as f64;
+            prop_assert!(count <= disk_packing_bound(r, sep) + 1e-9);
+        }
+
+        #[test]
+        fn prop_layer_distance_monotone_in_l(l in 2u32..50, f in 0.01f64..100.0) {
+            prop_assert!(
+                hex_layer_min_distance(l + 1, f) > hex_layer_min_distance(l, f)
+            );
+        }
+
+        #[test]
+        fn prop_beta_monotone(a in 0.0f64..100.0, b in 0.0f64..100.0) {
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(beta(lo) <= beta(hi));
+        }
+    }
+}

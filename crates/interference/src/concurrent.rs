@@ -1,0 +1,195 @@
+//! Empirical verification of the *concurrent set* property
+//! (Definitions 4.1–4.3).
+//!
+//! A set of simultaneously active links is **concurrent** when every
+//! receiver decodes its transmitter under the cumulative physical model.
+//! The PCR lemmas claim that any `R`-set (pairwise transmitter distance
+//! ≥ `R = κ·r`) is concurrent. The functions here check that claim on
+//! explicit link sets — in particular on the worst case the proofs
+//! consider: a hexagonal packing of transmitters at exactly the PCR, each
+//! receiver displaced toward the reference link.
+//!
+//! These checks are how the test-suite demonstrates that the **corrected**
+//! `c₂` constant really yields concurrent sets, while the paper's printed
+//! constant admits SIR violations at its own default parameters (see
+//! `DESIGN.md` §5).
+
+use crate::sir::{sir_at, Transmitter};
+use crate::PhyParams;
+use crn_geometry::{packing, Point};
+
+/// One directed link of a candidate concurrent set.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Link {
+    /// Transmitter position.
+    pub tx: Point,
+    /// Receiver position.
+    pub rx: Point,
+    /// Transmit power.
+    pub power: f64,
+    /// SIR threshold the receiver must meet (linear).
+    pub eta: f64,
+}
+
+/// The SIR margin of every link when all links are active simultaneously:
+/// `sir / eta` per link, in input order. A value below 1 marks a violated
+/// link.
+#[must_use]
+pub fn sir_margins(params: &PhyParams, links: &[Link]) -> Vec<f64> {
+    let txs: Vec<Transmitter> = links
+        .iter()
+        .map(|l| Transmitter::new(l.tx, l.power))
+        .collect();
+    links
+        .iter()
+        .enumerate()
+        .map(|(i, l)| sir_at(params, l.rx, &txs, i) / l.eta)
+        .collect()
+}
+
+/// Whether all links decode simultaneously (Definition 4.1).
+#[must_use]
+pub fn is_concurrent_set(params: &PhyParams, links: &[Link]) -> bool {
+    sir_margins(params, links).iter().all(|&m| m >= 1.0)
+}
+
+/// The smallest SIR margin across links (`< 1` means the set is not
+/// concurrent), or `f64::INFINITY` for an empty set.
+#[must_use]
+pub fn min_margin(params: &PhyParams, links: &[Link]) -> f64 {
+    sir_margins(params, links)
+        .into_iter()
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// Builds the worst-case secondary-network `R`-set the Lemma 3 proof
+/// reasons about: SU transmitters on a hexagonal lattice with spacing
+/// `spacing` out to `extent`, each transmitting at the full SU radius `r`
+/// with the receiver displaced **toward the central link** (maximizing the
+/// interference it collects).
+///
+/// # Panics
+///
+/// Panics if `spacing` or `extent` is not strictly positive.
+#[must_use]
+pub fn worst_case_su_r_set(params: &PhyParams, spacing: f64, extent: f64) -> Vec<Link> {
+    assert!(spacing > 0.0 && extent > 0.0, "spacing and extent must be positive");
+    let r = params.su_radius();
+    let eta = params.su_sir_threshold();
+    packing::hex_lattice(extent, spacing)
+        .into_iter()
+        .map(|(x, y)| {
+            let tx = Point::new(x, y);
+            // Receiver sits at distance r from its transmitter, pulled
+            // toward the origin (the reference link) — the worst position.
+            let d = tx.distance(Point::ORIGIN);
+            let rx = if d == 0.0 {
+                Point::new(r, 0.0)
+            } else {
+                Point::new(x - x / d * r, y - y / d * r)
+            };
+            Link {
+                tx,
+                rx,
+                power: params.su_power(),
+                eta,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{pcr, PcrConstants};
+
+    fn sim_defaults() -> PhyParams {
+        PhyParams::paper_simulation_defaults()
+    }
+
+    #[test]
+    fn empty_set_is_concurrent() {
+        let p = sim_defaults();
+        assert!(is_concurrent_set(&p, &[]));
+        assert_eq!(min_margin(&p, &[]), f64::INFINITY);
+    }
+
+    #[test]
+    fn single_link_is_concurrent() {
+        let p = sim_defaults();
+        let l = Link {
+            tx: Point::ORIGIN,
+            rx: Point::new(10.0, 0.0),
+            power: p.su_power(),
+            eta: p.su_sir_threshold(),
+        };
+        assert!(is_concurrent_set(&p, &[l]));
+    }
+
+    #[test]
+    fn corrected_pcr_yields_concurrent_worst_case() {
+        // Lemma 3 with the corrected c2: the hexagonal worst case at PCR
+        // spacing must decode everywhere.
+        let p = sim_defaults();
+        let range = pcr::carrier_sensing_range(&p, PcrConstants::Corrected);
+        let links = worst_case_su_r_set(&p, range, range * 6.0);
+        assert!(links.len() > 30, "worst case should be dense ({})", links.len());
+        let margin = min_margin(&p, &links);
+        assert!(
+            margin >= 1.0,
+            "corrected PCR violated on its own worst case: margin {margin}"
+        );
+    }
+
+    #[test]
+    fn paper_pcr_admits_violations_at_its_own_defaults() {
+        // The consequence of the zeta-bound typo: at the paper's Fig. 6
+        // defaults, an R-set spaced at the printed PCR is NOT concurrent.
+        // (The simulator tolerates this via retransmissions; the
+        // ablation_pcr bench quantifies it.)
+        let p = sim_defaults();
+        let range = pcr::carrier_sensing_range(&p, PcrConstants::Paper);
+        let links = worst_case_su_r_set(&p, range, range * 6.0);
+        let margin = min_margin(&p, &links);
+        assert!(
+            margin < 1.0,
+            "expected the paper's printed constant to violate SIR; margin {margin}"
+        );
+    }
+
+    #[test]
+    fn halving_the_spacing_breaks_concurrency() {
+        let p = sim_defaults();
+        let range = pcr::carrier_sensing_range(&p, PcrConstants::Corrected);
+        let links = worst_case_su_r_set(&p, range / 2.0, range * 3.0);
+        assert!(!is_concurrent_set(&p, &links));
+    }
+
+    #[test]
+    fn margins_are_per_link_and_positive() {
+        let p = sim_defaults();
+        let range = pcr::carrier_sensing_range(&p, PcrConstants::Corrected);
+        let links = worst_case_su_r_set(&p, range, range * 3.0);
+        let margins = sir_margins(&p, &links);
+        assert_eq!(margins.len(), links.len());
+        assert!(margins.iter().all(|m| *m > 0.0));
+    }
+
+    #[test]
+    fn wider_spacing_improves_min_margin() {
+        let p = sim_defaults();
+        let range = pcr::carrier_sensing_range(&p, PcrConstants::Corrected);
+        let tight = min_margin(&p, &worst_case_su_r_set(&p, range, range * 4.0));
+        let loose = min_margin(&p, &worst_case_su_r_set(&p, range * 1.5, range * 4.0));
+        assert!(loose > tight);
+    }
+
+    #[test]
+    fn receivers_sit_at_su_radius_from_their_transmitters() {
+        let p = sim_defaults();
+        let links = worst_case_su_r_set(&p, 30.0, 90.0);
+        for l in &links {
+            assert!((l.tx.distance(l.rx) - p.su_radius()).abs() < 1e-9);
+        }
+    }
+}

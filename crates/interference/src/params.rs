@@ -1,0 +1,357 @@
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Converts a decibel quantity to its linear ratio (`10^(db/10)`).
+///
+/// The paper quotes SIR thresholds in dB (e.g. `η_p = 10 dB` means a linear
+/// ratio of 10).
+///
+/// ```
+/// # use crn_interference::db_to_linear;
+/// assert!((db_to_linear(10.0) - 10.0).abs() < 1e-12);
+/// assert!((db_to_linear(0.0) - 1.0).abs() < 1e-12);
+/// ```
+#[must_use]
+pub fn db_to_linear(db: f64) -> f64 {
+    10.0_f64.powf(db / 10.0)
+}
+
+/// Converts a linear ratio to decibels (`10·log10`).
+///
+/// # Panics
+///
+/// Panics if `linear` is not strictly positive.
+#[must_use]
+pub fn linear_to_db(linear: f64) -> f64 {
+    assert!(linear > 0.0, "linear ratio must be positive, got {linear}");
+    10.0 * linear.log10()
+}
+
+/// Error from [`PhyParamsBuilder::build`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum ParamError {
+    /// The path-loss exponent must satisfy `α > 2` (required for the
+    /// interference series in Lemma 2 to converge).
+    AlphaOutOfRange(f64),
+    /// A physical quantity that must be strictly positive and finite was
+    /// not.
+    NotPositive {
+        /// Parameter name.
+        name: &'static str,
+        /// Offending value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for ParamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParamError::AlphaOutOfRange(a) => {
+                write!(f, "path-loss exponent must be > 2, got {a}")
+            }
+            ParamError::NotPositive { name, value } => {
+                write!(f, "{name} must be positive and finite, got {value}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParamError {}
+
+/// Physical-layer parameters of Section III: path loss, transmit powers,
+/// transmission radii, and SIR thresholds for both networks.
+///
+/// Thresholds are stored as **linear ratios**; use the `_db` builder
+/// methods to supply dB values as the paper does.
+///
+/// # Example
+///
+/// ```
+/// use crn_interference::PhyParams;
+///
+/// // Paper Fig. 6 defaults.
+/// let p = PhyParams::paper_simulation_defaults();
+/// assert_eq!(p.alpha(), 4.0);
+/// assert_eq!(p.su_radius(), 10.0);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PhyParams {
+    alpha: f64,
+    pu_power: f64,
+    su_power: f64,
+    pu_radius: f64,
+    su_radius: f64,
+    pu_sir_threshold: f64,
+    su_sir_threshold: f64,
+}
+
+impl PhyParams {
+    /// Starts a builder primed with the paper's Fig. 4 defaults
+    /// (`α = 4`, `P_p = P_s = 10`, `R = 12`, `r = 10`,
+    /// `η_p = η_s = 10 dB`).
+    #[must_use]
+    pub fn builder() -> PhyParamsBuilder {
+        PhyParamsBuilder::default()
+    }
+
+    /// The paper's Fig. 6 simulation defaults (`α = 4`, `P_p = P_s = 10`,
+    /// `R = r = 10`, `η_p = η_s = 8 dB`).
+    #[must_use]
+    pub fn paper_simulation_defaults() -> Self {
+        PhyParams::builder()
+            .pu_radius(10.0)
+            .pu_sir_threshold_db(8.0)
+            .su_sir_threshold_db(8.0)
+            .build()
+            .expect("paper defaults are valid")
+    }
+
+    /// Path-loss exponent `α > 2`.
+    #[must_use]
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// PU transmit power `P_p`.
+    #[must_use]
+    pub fn pu_power(&self) -> f64 {
+        self.pu_power
+    }
+
+    /// SU transmit power `P_s`.
+    #[must_use]
+    pub fn su_power(&self) -> f64 {
+        self.su_power
+    }
+
+    /// PU maximum transmission radius `R`.
+    #[must_use]
+    pub fn pu_radius(&self) -> f64 {
+        self.pu_radius
+    }
+
+    /// SU maximum transmission radius `r`.
+    #[must_use]
+    pub fn su_radius(&self) -> f64 {
+        self.su_radius
+    }
+
+    /// Primary-network SIR threshold `η_p` (linear).
+    #[must_use]
+    pub fn pu_sir_threshold(&self) -> f64 {
+        self.pu_sir_threshold
+    }
+
+    /// Secondary-network SIR threshold `η_s` (linear).
+    #[must_use]
+    pub fn su_sir_threshold(&self) -> f64 {
+        self.su_sir_threshold
+    }
+
+    /// `max(P_p, P_s)` — the denominator of the paper's `c_1`/`c_3`.
+    #[must_use]
+    pub fn max_power(&self) -> f64 {
+        self.pu_power.max(self.su_power)
+    }
+
+    /// Received power at distance `d` from a transmitter of power `p`
+    /// under `p · d^{-α}` path loss.
+    ///
+    /// Distances below `min_distance` (a 1e-9 guard) are clamped to avoid
+    /// singularities when a receiver sits on top of a transmitter.
+    #[must_use]
+    pub fn received_power(&self, p: f64, d: f64) -> f64 {
+        let d = d.max(1e-9);
+        p * d.powf(-self.alpha)
+    }
+}
+
+/// Builder for [`PhyParams`]; see [`PhyParams::builder`] for defaults.
+#[derive(Clone, Debug)]
+pub struct PhyParamsBuilder {
+    alpha: f64,
+    pu_power: f64,
+    su_power: f64,
+    pu_radius: f64,
+    su_radius: f64,
+    pu_sir_threshold: f64,
+    su_sir_threshold: f64,
+}
+
+impl Default for PhyParamsBuilder {
+    fn default() -> Self {
+        // Paper Fig. 4 defaults.
+        Self {
+            alpha: 4.0,
+            pu_power: 10.0,
+            su_power: 10.0,
+            pu_radius: 12.0,
+            su_radius: 10.0,
+            pu_sir_threshold: db_to_linear(10.0),
+            su_sir_threshold: db_to_linear(10.0),
+        }
+    }
+}
+
+impl PhyParamsBuilder {
+    /// Sets the path-loss exponent `α` (must be `> 2`).
+    pub fn alpha(&mut self, alpha: f64) -> &mut Self {
+        self.alpha = alpha;
+        self
+    }
+
+    /// Sets the PU transmit power `P_p`.
+    pub fn pu_power(&mut self, p: f64) -> &mut Self {
+        self.pu_power = p;
+        self
+    }
+
+    /// Sets the SU transmit power `P_s`.
+    pub fn su_power(&mut self, p: f64) -> &mut Self {
+        self.su_power = p;
+        self
+    }
+
+    /// Sets the PU transmission radius `R`.
+    pub fn pu_radius(&mut self, r: f64) -> &mut Self {
+        self.pu_radius = r;
+        self
+    }
+
+    /// Sets the SU transmission radius `r`.
+    pub fn su_radius(&mut self, r: f64) -> &mut Self {
+        self.su_radius = r;
+        self
+    }
+
+    /// Sets `η_p` as a linear ratio.
+    pub fn pu_sir_threshold(&mut self, eta: f64) -> &mut Self {
+        self.pu_sir_threshold = eta;
+        self
+    }
+
+    /// Sets `η_s` as a linear ratio.
+    pub fn su_sir_threshold(&mut self, eta: f64) -> &mut Self {
+        self.su_sir_threshold = eta;
+        self
+    }
+
+    /// Sets `η_p` in decibels (the paper's convention).
+    pub fn pu_sir_threshold_db(&mut self, db: f64) -> &mut Self {
+        self.pu_sir_threshold = db_to_linear(db);
+        self
+    }
+
+    /// Sets `η_s` in decibels (the paper's convention).
+    pub fn su_sir_threshold_db(&mut self, db: f64) -> &mut Self {
+        self.su_sir_threshold = db_to_linear(db);
+        self
+    }
+
+    /// Validates and produces the parameter set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] when `α ≤ 2` or any power/radius/threshold is
+    /// not strictly positive and finite.
+    pub fn build(&self) -> Result<PhyParams, ParamError> {
+        if !(self.alpha > 2.0 && self.alpha.is_finite()) {
+            return Err(ParamError::AlphaOutOfRange(self.alpha));
+        }
+        for (name, value) in [
+            ("pu_power", self.pu_power),
+            ("su_power", self.su_power),
+            ("pu_radius", self.pu_radius),
+            ("su_radius", self.su_radius),
+            ("pu_sir_threshold", self.pu_sir_threshold),
+            ("su_sir_threshold", self.su_sir_threshold),
+        ] {
+            if !(value > 0.0 && value.is_finite()) {
+                return Err(ParamError::NotPositive { name, value });
+            }
+        }
+        Ok(PhyParams {
+            alpha: self.alpha,
+            pu_power: self.pu_power,
+            su_power: self.su_power,
+            pu_radius: self.pu_radius,
+            su_radius: self.su_radius,
+            pu_sir_threshold: self.pu_sir_threshold,
+            su_sir_threshold: self.su_sir_threshold,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn db_roundtrip() {
+        for db in [-10.0, 0.0, 3.0, 8.0, 10.0, 20.0] {
+            assert!((linear_to_db(db_to_linear(db)) - db).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn defaults_match_fig4() {
+        let p = PhyParams::builder().build().unwrap();
+        assert_eq!(p.alpha(), 4.0);
+        assert_eq!(p.pu_power(), 10.0);
+        assert_eq!(p.su_power(), 10.0);
+        assert_eq!(p.pu_radius(), 12.0);
+        assert_eq!(p.su_radius(), 10.0);
+        assert!((p.pu_sir_threshold() - 10.0).abs() < 1e-9);
+        assert!((p.su_sir_threshold() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn simulation_defaults_match_fig6() {
+        let p = PhyParams::paper_simulation_defaults();
+        assert_eq!(p.pu_radius(), 10.0);
+        assert!((p.pu_sir_threshold() - db_to_linear(8.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn alpha_at_most_two_rejected() {
+        let err = PhyParams::builder().alpha(2.0).build().unwrap_err();
+        assert_eq!(err, ParamError::AlphaOutOfRange(2.0));
+        assert!(PhyParams::builder().alpha(2.01).build().is_ok());
+    }
+
+    #[test]
+    fn non_positive_values_rejected() {
+        let err = PhyParams::builder().su_power(0.0).build().unwrap_err();
+        assert!(matches!(err, ParamError::NotPositive { name: "su_power", .. }));
+        let err = PhyParams::builder().pu_radius(f64::NAN).build().unwrap_err();
+        assert!(matches!(err, ParamError::NotPositive { name: "pu_radius", .. }));
+    }
+
+    #[test]
+    fn received_power_decays_with_distance() {
+        let p = PhyParams::builder().build().unwrap();
+        assert!(p.received_power(10.0, 1.0) > p.received_power(10.0, 2.0));
+        // alpha = 4: doubling distance divides power by 16.
+        let ratio = p.received_power(10.0, 1.0) / p.received_power(10.0, 2.0);
+        assert!((ratio - 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn received_power_clamps_zero_distance() {
+        let p = PhyParams::builder().build().unwrap();
+        assert!(p.received_power(10.0, 0.0).is_finite());
+    }
+
+    #[test]
+    fn max_power_picks_larger() {
+        let p = PhyParams::builder().pu_power(5.0).su_power(15.0).build().unwrap();
+        assert_eq!(p.max_power(), 15.0);
+    }
+
+    #[test]
+    fn error_messages_render() {
+        assert!(!ParamError::AlphaOutOfRange(1.0).to_string().is_empty());
+        let e = ParamError::NotPositive { name: "x", value: -1.0 };
+        assert!(e.to_string().contains('x'));
+    }
+}

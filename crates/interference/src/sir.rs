@@ -1,0 +1,309 @@
+//! Cumulative SIR evaluation and RS-mode capture.
+//!
+//! The paper's physical interference model (Section III): receiver `v`
+//! decodes transmitter `u` iff
+//!
+//! ```text
+//!            P_u · D(u, v)^{-α}
+//! SIR = ─────────────────────────────── ≥ η
+//!        Σ_{w ≠ u}  P_w · D(w, v)^{-α}
+//! ```
+//!
+//! where the sum runs over **all** other concurrent transmitters, primary
+//! and secondary alike. The RS (Re-Start) mode footnote is realized by
+//! [`capture`]: a receiver locks onto the strongest incoming signal and
+//! decodes it iff its SIR clears the threshold.
+
+use crate::PhyParams;
+use crn_geometry::Point;
+
+/// A concurrent transmitter: position and transmit power.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Transmitter {
+    /// Transmitter position.
+    pub position: Point,
+    /// Transmit power (`P_p` for PUs, `P_s` for SUs).
+    pub power: f64,
+}
+
+impl Transmitter {
+    /// Convenience constructor.
+    #[must_use]
+    pub fn new(position: Point, power: f64) -> Self {
+        Self { position, power }
+    }
+}
+
+/// Total interference power at `receiver` from every transmitter except
+/// the one at index `signal_index` (pass `usize::MAX` to sum all).
+#[must_use]
+pub fn interference_at(
+    params: &PhyParams,
+    receiver: Point,
+    transmitters: &[Transmitter],
+    signal_index: usize,
+) -> f64 {
+    transmitters
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| *i != signal_index)
+        .map(|(_, t)| params.received_power(t.power, t.position.distance(receiver)))
+        .sum()
+}
+
+/// SIR at `receiver` for the signal from `transmitters[signal_index]`,
+/// with every other entry acting as interference.
+///
+/// Returns `f64::INFINITY` when there is no interference (the paper's
+/// model is interference-limited; noise is not modeled).
+///
+/// # Panics
+///
+/// Panics if `signal_index` is out of range.
+#[must_use]
+pub fn sir_at(
+    params: &PhyParams,
+    receiver: Point,
+    transmitters: &[Transmitter],
+    signal_index: usize,
+) -> f64 {
+    let s = transmitters[signal_index];
+    let signal = params.received_power(s.power, s.position.distance(receiver));
+    let interference = interference_at(params, receiver, transmitters, signal_index);
+    if interference == 0.0 {
+        f64::INFINITY
+    } else {
+        signal / interference
+    }
+}
+
+/// Whether the transmission `transmitters[signal_index] → receiver`
+/// succeeds against threshold `eta` under the cumulative physical model.
+///
+/// # Panics
+///
+/// Panics if `signal_index` is out of range.
+#[must_use]
+pub fn transmission_ok(
+    params: &PhyParams,
+    receiver: Point,
+    transmitters: &[Transmitter],
+    signal_index: usize,
+    eta: f64,
+) -> bool {
+    sir_at(params, receiver, transmitters, signal_index) >= eta
+}
+
+/// RS-mode capture: among `candidates` (indices into `transmitters` of
+/// signals *addressed to* this receiver), returns the index the receiver
+/// locks onto — the strongest received signal — **iff** that signal's SIR
+/// against all remaining transmitters meets `eta`. Returns `None` when no
+/// candidate is decodable.
+///
+/// This mirrors the paper's footnote 1: "a receiver will switch to receive
+/// the stronger signal as long as the SIR threshold for the stronger
+/// signal can be satisfied".
+#[must_use]
+pub fn capture(
+    params: &PhyParams,
+    receiver: Point,
+    transmitters: &[Transmitter],
+    candidates: &[usize],
+    eta: f64,
+) -> Option<usize> {
+    let strongest = candidates.iter().copied().max_by(|&a, &b| {
+        let pa = params.received_power(
+            transmitters[a].power,
+            transmitters[a].position.distance(receiver),
+        );
+        let pb = params.received_power(
+            transmitters[b].power,
+            transmitters[b].position.distance(receiver),
+        );
+        pa.total_cmp(&pb)
+    })?;
+    transmission_ok(params, receiver, transmitters, strongest, eta).then_some(strongest)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> PhyParams {
+        PhyParams::builder().build().unwrap()
+    }
+
+    #[test]
+    fn lone_transmitter_has_infinite_sir() {
+        let p = params();
+        let txs = [Transmitter::new(Point::new(0.0, 0.0), 10.0)];
+        assert_eq!(sir_at(&p, Point::new(5.0, 0.0), &txs, 0), f64::INFINITY);
+        assert!(transmission_ok(&p, Point::new(5.0, 0.0), &txs, 0, 10.0));
+    }
+
+    #[test]
+    fn equidistant_equal_power_gives_unit_sir() {
+        let p = params();
+        let txs = [
+            Transmitter::new(Point::new(-5.0, 0.0), 10.0),
+            Transmitter::new(Point::new(5.0, 0.0), 10.0),
+        ];
+        let sir = sir_at(&p, Point::ORIGIN, &txs, 0);
+        assert!((sir - 1.0).abs() < 1e-12);
+        assert!(!transmission_ok(&p, Point::ORIGIN, &txs, 0, 1.0001));
+        assert!(transmission_ok(&p, Point::ORIGIN, &txs, 0, 1.0));
+    }
+
+    #[test]
+    fn sir_improves_as_interferer_recedes() {
+        let p = params();
+        let rx = Point::ORIGIN;
+        let mut last = 0.0;
+        for d in [10.0, 20.0, 40.0, 80.0] {
+            let txs = [
+                Transmitter::new(Point::new(-2.0, 0.0), 10.0),
+                Transmitter::new(Point::new(d, 0.0), 10.0),
+            ];
+            let sir = sir_at(&p, rx, &txs, 0);
+            assert!(sir > last, "SIR must grow as interferer recedes");
+            last = sir;
+        }
+    }
+
+    #[test]
+    fn cumulative_interference_sums_all_others() {
+        let p = params();
+        let rx = Point::ORIGIN;
+        let txs = [
+            Transmitter::new(Point::new(-2.0, 0.0), 10.0),
+            Transmitter::new(Point::new(10.0, 0.0), 10.0),
+            Transmitter::new(Point::new(0.0, 10.0), 5.0),
+        ];
+        let i = interference_at(&p, rx, &txs, 0);
+        let expected =
+            p.received_power(10.0, 10.0) + p.received_power(5.0, 10.0);
+        assert!((i - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn alpha_four_doubles_distance_sixteenths_power() {
+        let p = params();
+        let near = [
+            Transmitter::new(Point::new(-1.0, 0.0), 10.0),
+            Transmitter::new(Point::new(4.0, 0.0), 10.0),
+        ];
+        let far = [
+            Transmitter::new(Point::new(-1.0, 0.0), 10.0),
+            Transmitter::new(Point::new(8.0, 0.0), 10.0),
+        ];
+        let ratio = sir_at(&p, Point::ORIGIN, &far, 0) / sir_at(&p, Point::ORIGIN, &near, 0);
+        assert!((ratio - 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn capture_picks_strongest_candidate() {
+        let p = params();
+        let rx = Point::ORIGIN;
+        let txs = [
+            Transmitter::new(Point::new(2.0, 0.0), 10.0),  // strong (close)
+            Transmitter::new(Point::new(8.0, 0.0), 10.0),  // weak
+        ];
+        // Both address the receiver; the close one captures.
+        let got = capture(&p, rx, &txs, &[0, 1], p.su_sir_threshold());
+        assert_eq!(got, Some(0));
+    }
+
+    #[test]
+    fn capture_fails_when_sir_below_threshold() {
+        let p = params();
+        let rx = Point::ORIGIN;
+        // Two near-equal signals jam each other.
+        let txs = [
+            Transmitter::new(Point::new(3.0, 0.0), 10.0),
+            Transmitter::new(Point::new(0.0, 3.1), 10.0),
+        ];
+        assert_eq!(capture(&p, rx, &txs, &[0, 1], 10.0), None);
+    }
+
+    #[test]
+    fn capture_with_no_candidates_is_none() {
+        let p = params();
+        let txs = [Transmitter::new(Point::new(1.0, 0.0), 10.0)];
+        assert_eq!(capture(&p, Point::ORIGIN, &txs, &[], 1.0), None);
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn params() -> PhyParams {
+            PhyParams::builder().build().unwrap()
+        }
+
+        fn arb_txs() -> impl Strategy<Value = Vec<Transmitter>> {
+            proptest::collection::vec(
+                (-50.0f64..50.0, -50.0f64..50.0, 0.5f64..20.0)
+                    .prop_map(|(x, y, p)| Transmitter::new(Point::new(x, y), p)),
+                2..10,
+            )
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            #[test]
+            fn prop_sir_is_positive_and_finite_or_infinite(txs in arb_txs(), rx_x in -60.0f64..60.0, rx_y in -60.0f64..60.0) {
+                let rx = Point::new(rx_x, rx_y);
+                let sir = sir_at(&params(), rx, &txs, 0);
+                prop_assert!(sir > 0.0);
+            }
+
+            #[test]
+            fn prop_removing_an_interferer_never_lowers_sir(txs in arb_txs(), rx_x in -60.0f64..60.0, rx_y in -60.0f64..60.0) {
+                let rx = Point::new(rx_x, rx_y);
+                let full = sir_at(&params(), rx, &txs, 0);
+                let mut fewer = txs.clone();
+                fewer.pop();
+                if !fewer.is_empty() {
+                    let reduced = sir_at(&params(), rx, &fewer, 0);
+                    prop_assert!(reduced >= full - 1e-12);
+                }
+            }
+
+            #[test]
+            fn prop_scaling_all_powers_preserves_sir(txs in arb_txs(), scale in 0.1f64..10.0) {
+                let rx = Point::new(0.0, 0.0);
+                let before = sir_at(&params(), rx, &txs, 0);
+                let scaled: Vec<Transmitter> = txs
+                    .iter()
+                    .map(|t| Transmitter::new(t.position, t.power * scale))
+                    .collect();
+                let after = sir_at(&params(), rx, &scaled, 0);
+                if before.is_finite() {
+                    prop_assert!((after / before - 1.0).abs() < 1e-9);
+                }
+            }
+
+            #[test]
+            fn prop_capture_returns_a_candidate(txs in arb_txs()) {
+                let rx = Point::new(0.0, 0.0);
+                let candidates: Vec<usize> = (0..txs.len().min(3)).collect();
+                if let Some(w) = capture(&params(), rx, &txs, &candidates, 1.0) {
+                    prop_assert!(candidates.contains(&w));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn capture_ignores_non_candidate_interferers_as_signals() {
+        let p = params();
+        let rx = Point::ORIGIN;
+        let txs = [
+            Transmitter::new(Point::new(100.0, 0.0), 10.0), // candidate, weak
+            Transmitter::new(Point::new(1.0, 0.0), 10.0),   // interferer, strong
+        ];
+        // Only index 0 is addressed to us; the strong interferer kills it.
+        assert_eq!(capture(&p, rx, &txs, &[0], 10.0), None);
+    }
+}

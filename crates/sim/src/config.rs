@@ -1,0 +1,198 @@
+use serde::{Deserialize, Serialize};
+
+/// MAC-layer and run-control knobs of the simulated Algorithm 1.
+///
+/// Defaults mirror the paper's Section V settings: 1 ms slots, a 0.5 ms
+/// contention window, SIR-checked reception with RS capture, and a
+/// 1 000 000-slot safety cap.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MacConfig {
+    /// Slot duration `τ` in seconds (the PU activity granularity).
+    pub slot: f64,
+    /// Contention window `τ_c` in seconds (must be `< slot`).
+    pub contention_window: f64,
+    /// Packet airtime in seconds. The paper states "the propagation time
+    /// of a data packet ... is less than 1 ms" (one slot); the default is
+    /// half a slot, so packets that start early enough in a PU-free slot
+    /// complete without crossing a boundary — matching the `τ/p_o`
+    /// waiting-time analysis of Lemma 7. Setting it equal to `slot` makes
+    /// every transmission span a boundary and face preemption.
+    pub airtime: f64,
+    /// Hard wall on simulated time, in seconds. A run that exceeds it
+    /// reports `finished = false`.
+    pub max_sim_time: f64,
+    /// Whether receivers enforce the cumulative SIR threshold. Disabling
+    /// turns the run into a pure protocol/collision simulation (used by
+    /// ablations).
+    pub check_sir: bool,
+    /// Whether the fairness wait of Algorithm 1 line 12 (`τ_c − t_i`) is
+    /// applied after each transmission (the `ablation_fairness` bench
+    /// turns it off).
+    pub fairness_wait: bool,
+    /// Binary exponential backoff on **collision** failures (SIR
+    /// violations and capture losses): each consecutive collision doubles
+    /// the node's contention window up to 2⁶·τ_c; success resets it.
+    /// PU handoffs do not trigger it (they signal spectrum loss, not
+    /// congestion). This is the paper's footnote-2 collision resolution;
+    /// without it, under-sensed CSMA (the Coolest baseline) can livelock.
+    pub collision_backoff: bool,
+}
+
+/// Largest collision-backoff exponent (window cap `2⁶·τ_c`).
+pub(crate) const MAX_BACKOFF_EXP: u32 = 6;
+
+/// When secondary users produce data.
+///
+/// The paper's headline task is a single **snapshot**: every SU produces
+/// one packet at `t = 0`. [`Traffic::Periodic`] extends this to the
+/// *continuous data collection* setting of the authors' companion work
+/// (repeated snapshots at a fixed interval), which is how the achievable
+/// data collection **capacity** is exercised in steady state.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Default)]
+pub enum Traffic {
+    /// One packet per SU at `t = 0` (the paper's data collection task).
+    #[default]
+    Snapshot,
+    /// `snapshots` rounds, one packet per SU at `t = k · interval`.
+    Periodic {
+        /// Seconds between snapshot generations.
+        interval: f64,
+        /// Number of snapshots (≥ 1).
+        snapshots: u32,
+    },
+}
+
+
+impl Traffic {
+    /// Number of snapshot rounds.
+    #[must_use]
+    pub fn snapshots(&self) -> u32 {
+        match *self {
+            Traffic::Snapshot => 1,
+            Traffic::Periodic { snapshots, .. } => snapshots,
+        }
+    }
+
+    /// Validates the traffic model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a periodic interval is not strictly positive or the
+    /// snapshot count is zero.
+    pub fn validate(&self) {
+        if let Traffic::Periodic { interval, snapshots } = *self {
+            assert!(
+                interval > 0.0 && interval.is_finite(),
+                "periodic interval must be positive, got {interval}"
+            );
+            assert!(snapshots >= 1, "at least one snapshot required");
+        }
+    }
+}
+
+impl Default for MacConfig {
+    fn default() -> Self {
+        Self {
+            slot: 1e-3,
+            contention_window: 0.5e-3,
+            airtime: 0.5e-3,
+            max_sim_time: 1e-3 * 1_000_000.0,
+            check_sir: true,
+            fairness_wait: true,
+            collision_backoff: true,
+        }
+    }
+}
+
+impl MacConfig {
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot or contention window is not strictly positive,
+    /// if `contention_window ≥ slot`, or if `max_sim_time` is not
+    /// positive.
+    pub fn validate(&self) {
+        assert!(
+            self.slot > 0.0 && self.slot.is_finite(),
+            "slot must be positive, got {}",
+            self.slot
+        );
+        assert!(
+            self.contention_window > 0.0 && self.contention_window < self.slot,
+            "contention window must lie in (0, slot), got {} (slot {})",
+            self.contention_window,
+            self.slot
+        );
+        assert!(
+            self.airtime > 0.0 && self.airtime <= self.slot,
+            "airtime must lie in (0, slot], got {} (slot {})",
+            self.airtime,
+            self.slot
+        );
+        assert!(
+            self.max_sim_time > 0.0,
+            "max_sim_time must be positive, got {}",
+            self.max_sim_time
+        );
+    }
+
+    /// Convenience: the safety cap expressed in slots.
+    #[must_use]
+    pub fn max_slots(&self) -> f64 {
+        self.max_sim_time / self.slot
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = MacConfig::default();
+        assert_eq!(c.slot, 1e-3);
+        assert_eq!(c.contention_window, 0.5e-3);
+        assert_eq!(c.airtime, 0.5e-3);
+        assert!(c.check_sir);
+        assert!(c.fairness_wait);
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "airtime")]
+    fn airtime_above_slot_rejected() {
+        let c = MacConfig {
+            airtime: 2e-3,
+            ..MacConfig::default()
+        };
+        c.validate();
+    }
+
+    #[test]
+    fn max_slots_is_time_over_slot() {
+        let c = MacConfig::default();
+        assert!((c.max_slots() - 1_000_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "contention window")]
+    fn contention_window_must_fit_in_slot() {
+        let c = MacConfig {
+            contention_window: 2e-3,
+            ..MacConfig::default()
+        };
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "slot must be positive")]
+    fn zero_slot_rejected() {
+        let c = MacConfig {
+            slot: 0.0,
+            ..MacConfig::default()
+        };
+        c.validate();
+    }
+}

@@ -1,0 +1,66 @@
+//! Asynchronous discrete-event simulator for the ADDC (ICDCS 2012)
+//! reproduction.
+//!
+//! This crate is the **evaluation platform** the paper's authors never
+//! published: an event-driven simulator of a secondary network of
+//! carrier-sensing SUs coexisting with a slotted primary network, under
+//! the cumulative physical (SIR) interference model of Section III.
+//!
+//! ## Model highlights (see `DESIGN.md` §4)
+//!
+//! - **Asynchrony**: SUs keep their own continuous-time backoff clocks;
+//!   only the PU activity process is slotted (`τ = 1 ms`). There is no
+//!   global SU synchronization anywhere.
+//! - **Algorithm 1 MAC**: each SU draws a backoff `t_i ∈ (0, τ_c]`, counts
+//!   down only while the channel within its PCR is free (freezing
+//!   otherwise), transmits one packet to its tree parent on expiry, then
+//!   waits the *fairness* remainder `τ_c − t_i`.
+//! - **Spectrum handoff**: if a PU inside the transmitter's PCR activates
+//!   mid-transmission, the SU aborts immediately and retries later.
+//! - **Reception**: receivers track cumulative SIR from *all* concurrent
+//!   transmitters (PU + SU) incrementally; RS-mode capture locks a
+//!   receiver onto the strongest addressed signal.
+//! - **Determinism**: all randomness flows from one seeded RNG; ties in
+//!   event time break by sequence number, so a `(scenario, seed)` pair
+//!   reproduces exactly.
+//!
+//! # Example
+//!
+//! ```
+//! use crn_geometry::{Deployment, Point, Region};
+//! use crn_interference::PhyParams;
+//! use crn_sim::{MacConfig, SimWorld, Simulator};
+//! use crn_spectrum::PuActivity;
+//!
+//! // A two-SU chain with no PUs: both packets reach the base station.
+//! let region = Region::square(30.0);
+//! let sus = vec![Point::new(5.0, 5.0), Point::new(12.0, 5.0), Point::new(19.0, 5.0)];
+//! let parents = vec![None, Some(0), Some(1)];
+//! let phy = PhyParams::paper_simulation_defaults();
+//! let world = SimWorld::build(
+//!     region,
+//!     sus,
+//!     vec![],
+//!     parents,
+//!     phy,
+//!     25.0,
+//! ).unwrap();
+//! let activity = PuActivity::bernoulli(0.0).unwrap();
+//! let report = Simulator::new(world, MacConfig::default(), activity, 7).run();
+//! assert!(report.finished);
+//! assert_eq!(report.packets_delivered, 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod engine;
+mod event;
+mod report;
+mod world;
+
+pub use config::{MacConfig, Traffic};
+pub use engine::Simulator;
+pub use report::SimReport;
+pub use world::{SimWorld, WorldError};

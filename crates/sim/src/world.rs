@@ -1,0 +1,526 @@
+use crn_geometry::{GridIndex, Point, Region};
+use crn_interference::PhyParams;
+use std::fmt;
+
+/// Errors from [`SimWorld::build`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum WorldError {
+    /// No secondary users were supplied (the base station is mandatory).
+    NoSecondaryUsers,
+    /// `parents.len()` must equal the number of SUs.
+    ParentLengthMismatch {
+        /// Supplied parents length.
+        parents: usize,
+        /// Number of SUs.
+        sus: usize,
+    },
+    /// Node 0 (the base station) must have no parent; everyone else must
+    /// have one.
+    BadRootStructure {
+        /// Offending node.
+        node: u32,
+    },
+    /// A parent pointer referenced a node out of range or the node itself.
+    BadParent {
+        /// Child node.
+        child: u32,
+    },
+    /// A child sits farther from its parent than the SU transmission
+    /// radius `r`, so the link cannot exist.
+    LinkTooLong {
+        /// Child node.
+        child: u32,
+        /// Its parent.
+        parent: u32,
+        /// Actual distance.
+        distance: f64,
+    },
+    /// A carrier-sensing range must be at least the SU transmission
+    /// radius (a sensing range below `r` cannot even protect a node's own
+    /// receiver).
+    SenseRangeTooSmall {
+        /// Which range (`"pu"` or `"su"`).
+        which: &'static str,
+        /// Supplied range.
+        range: f64,
+        /// SU radius `r`.
+        r: f64,
+    },
+}
+
+impl fmt::Display for WorldError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorldError::NoSecondaryUsers => write!(f, "no secondary users supplied"),
+            WorldError::ParentLengthMismatch { parents, sus } => {
+                write!(f, "parents length {parents} does not match SU count {sus}")
+            }
+            WorldError::BadRootStructure { node } => {
+                write!(f, "node {node} breaks the root structure (only node 0 is parentless)")
+            }
+            WorldError::BadParent { child } => {
+                write!(f, "node {child} has an invalid parent pointer")
+            }
+            WorldError::LinkTooLong {
+                child,
+                parent,
+                distance,
+            } => write!(
+                f,
+                "link {child} -> {parent} spans {distance:.3}, beyond the SU radius"
+            ),
+            WorldError::SenseRangeTooSmall { which, range, r } => {
+                write!(
+                    f,
+                    "{which} sensing range {range} is below the SU transmission radius {r}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for WorldError {}
+
+/// The immutable world a [`crate::Simulator`] runs in: node positions,
+/// the routing tree, physical parameters, and the precomputed geometry
+/// tables that make the event loop fast:
+///
+/// - carrier-sensing neighbor lists (who hears whom within the sensing
+///   ranges),
+/// - path-gain tables from every PU/SU to every *receiver* (tree-internal
+///   node), so cumulative-SIR updates are table lookups instead of `powf`
+///   calls.
+///
+/// The two sensing ranges are independent: `pu_sense_range` governs when
+/// PU activity blocks/aborts an SU (ADDC and any legitimate CRN protocol
+/// use the PCR here — PU protection is non-negotiable), while
+/// `su_sense_range` governs SU↔SU carrier sensing (ADDC uses the PCR;
+/// the Coolest baseline uses a conventional CSMA range of `2r` and pays
+/// for it in SIR collisions — exactly the coordination gap Lemma 3's PCR
+/// closes).
+///
+/// Node 0 is the base station: it has no parent and never transmits.
+#[derive(Clone, Debug)]
+pub struct SimWorld {
+    su_positions: Vec<Point>,
+    pu_positions: Vec<Point>,
+    parents: Vec<Option<u32>>,
+    phy: PhyParams,
+    pu_sense_range: f64,
+    su_sense_range: f64,
+    /// For each SU, the other SUs within its SU sensing range (sorted).
+    su_hears_su: Vec<Vec<u32>>,
+    /// For each PU, the SUs whose PU sensing range contains it (sorted).
+    pu_fanout: Vec<Vec<u32>>,
+    /// Dense receiver slots: `receiver_slot[su]` is `Some(slot)` iff `su`
+    /// is some node's parent.
+    receiver_slot: Vec<Option<u32>>,
+    /// Inverse of `receiver_slot`.
+    receivers: Vec<u32>,
+    /// `pu_gain[pu * receivers.len() + slot]` = path gain `d^{-α}` from PU
+    /// to receiver.
+    pu_gain: Vec<f64>,
+    /// `su_gain[su * receivers.len() + slot]` = path gain from SU to
+    /// receiver.
+    su_gain: Vec<f64>,
+}
+
+impl SimWorld {
+    /// Assembles and validates a world with one sensing range for both
+    /// PU and SU carrier sensing — ADDC's configuration, where both equal
+    /// the PCR `κ·r`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SimWorld::build_with_ranges`].
+    pub fn build(
+        region: Region,
+        su_positions: Vec<Point>,
+        pu_positions: Vec<Point>,
+        parents: Vec<Option<u32>>,
+        phy: PhyParams,
+        pcr: f64,
+    ) -> Result<Self, WorldError> {
+        Self::build_with_ranges(region, su_positions, pu_positions, parents, phy, pcr, pcr)
+    }
+
+    /// Assembles and validates a world with independent PU and SU
+    /// carrier-sensing ranges (see the type-level docs).
+    ///
+    /// `parents` is the routing tree: `parents[0]` must be `None` (base
+    /// station), every other entry `Some(p)` with the link no longer than
+    /// the SU radius.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WorldError`] describing the first violated structural
+    /// requirement.
+    #[allow(clippy::too_many_arguments)]
+    pub fn build_with_ranges(
+        region: Region,
+        su_positions: Vec<Point>,
+        pu_positions: Vec<Point>,
+        parents: Vec<Option<u32>>,
+        phy: PhyParams,
+        pu_sense_range: f64,
+        su_sense_range: f64,
+    ) -> Result<Self, WorldError> {
+        let n = su_positions.len();
+        if n == 0 {
+            return Err(WorldError::NoSecondaryUsers);
+        }
+        if parents.len() != n {
+            return Err(WorldError::ParentLengthMismatch {
+                parents: parents.len(),
+                sus: n,
+            });
+        }
+        if pu_sense_range < phy.su_radius() {
+            return Err(WorldError::SenseRangeTooSmall {
+                which: "pu",
+                range: pu_sense_range,
+                r: phy.su_radius(),
+            });
+        }
+        if su_sense_range < phy.su_radius() {
+            return Err(WorldError::SenseRangeTooSmall {
+                which: "su",
+                range: su_sense_range,
+                r: phy.su_radius(),
+            });
+        }
+        for (i, &p) in parents.iter().enumerate() {
+            match p {
+                None => {
+                    if i != 0 {
+                        return Err(WorldError::BadRootStructure { node: i as u32 });
+                    }
+                }
+                Some(p) => {
+                    if i == 0 {
+                        return Err(WorldError::BadRootStructure { node: 0 });
+                    }
+                    if p as usize >= n || p as usize == i {
+                        return Err(WorldError::BadParent { child: i as u32 });
+                    }
+                    let d = su_positions[i].distance(su_positions[p as usize]);
+                    if d > phy.su_radius() + 1e-9 {
+                        return Err(WorldError::LinkTooLong {
+                            child: i as u32,
+                            parent: p,
+                            distance: d,
+                        });
+                    }
+                }
+            }
+        }
+
+        // Carrier-sensing neighbor lists.
+        let cell = su_sense_range.max(pu_sense_range).max(1e-9);
+        let su_index = GridIndex::build(&su_positions, region, cell);
+        let mut su_hears_su = vec![Vec::new(); n];
+        for (i, &p) in su_positions.iter().enumerate() {
+            su_index.for_each_within(p, su_sense_range, |j| {
+                if j as usize != i {
+                    su_hears_su[i].push(j);
+                }
+            });
+            su_hears_su[i].sort_unstable();
+        }
+        let mut pu_fanout = vec![Vec::new(); pu_positions.len()];
+        for (k, &pu) in pu_positions.iter().enumerate() {
+            su_index.for_each_within(pu, pu_sense_range, |j| pu_fanout[k].push(j));
+            pu_fanout[k].sort_unstable();
+        }
+
+        // Receiver slots: every node that appears as a parent.
+        let mut receiver_slot: Vec<Option<u32>> = vec![None; n];
+        let mut receivers = Vec::new();
+        for &p in parents.iter().flatten() {
+            if receiver_slot[p as usize].is_none() {
+                receiver_slot[p as usize] = Some(receivers.len() as u32);
+                receivers.push(p);
+            }
+        }
+
+        // Path-gain tables.
+        let alpha = phy.alpha();
+        let gain = |a: Point, b: Point| a.distance(b).max(1e-9).powf(-alpha);
+        let m = receivers.len();
+        let mut pu_gain = vec![0.0; pu_positions.len() * m];
+        for (k, &pu) in pu_positions.iter().enumerate() {
+            for (s, &r) in receivers.iter().enumerate() {
+                pu_gain[k * m + s] = gain(pu, su_positions[r as usize]);
+            }
+        }
+        let mut su_gain = vec![0.0; n * m];
+        for (i, &su) in su_positions.iter().enumerate() {
+            for (s, &r) in receivers.iter().enumerate() {
+                su_gain[i * m + s] = gain(su, su_positions[r as usize]);
+            }
+        }
+
+        Ok(Self {
+            su_positions,
+            pu_positions,
+            parents,
+            phy,
+            pu_sense_range,
+            su_sense_range,
+            su_hears_su,
+            pu_fanout,
+            receiver_slot,
+            receivers,
+            pu_gain,
+            su_gain,
+        })
+    }
+
+    /// Number of SUs including the base station.
+    #[must_use]
+    pub fn num_sus(&self) -> usize {
+        self.su_positions.len()
+    }
+
+    /// Number of PUs.
+    #[must_use]
+    pub fn num_pus(&self) -> usize {
+        self.pu_positions.len()
+    }
+
+    /// Physical parameters.
+    #[must_use]
+    pub fn phy(&self) -> &PhyParams {
+        &self.phy
+    }
+
+    /// Range within which PU activity blocks or aborts an SU.
+    #[must_use]
+    pub fn pu_sense_range(&self) -> f64 {
+        self.pu_sense_range
+    }
+
+    /// Range of SU↔SU carrier sensing.
+    #[must_use]
+    pub fn su_sense_range(&self) -> f64 {
+        self.su_sense_range
+    }
+
+    /// Parent of `su` in the routing tree.
+    #[must_use]
+    pub(crate) fn parent(&self, su: u32) -> Option<u32> {
+        self.parents[su as usize]
+    }
+
+    /// Routing-tree parent pointers.
+    #[must_use]
+    pub fn parents(&self) -> &[Option<u32>] {
+        &self.parents
+    }
+
+    /// SU positions.
+    #[must_use]
+    pub fn su_positions(&self) -> &[Point] {
+        &self.su_positions
+    }
+
+    /// PU positions.
+    #[must_use]
+    pub fn pu_positions(&self) -> &[Point] {
+        &self.pu_positions
+    }
+
+    pub(crate) fn su_hears_su(&self, su: u32) -> &[u32] {
+        &self.su_hears_su[su as usize]
+    }
+
+    pub(crate) fn pu_fanout(&self, pu: usize) -> &[u32] {
+        &self.pu_fanout[pu]
+    }
+
+    pub(crate) fn receiver_slot(&self, su: u32) -> Option<u32> {
+        self.receiver_slot[su as usize]
+    }
+
+    pub(crate) fn num_receiver_slots(&self) -> usize {
+        self.receivers.len()
+    }
+
+    pub(crate) fn pu_gain(&self, pu: usize, slot: u32) -> f64 {
+        self.pu_gain[pu * self.receivers.len() + slot as usize]
+    }
+
+    pub(crate) fn su_gain(&self, su: u32, slot: u32) -> f64 {
+        self.su_gain[su as usize * self.receivers.len() + slot as usize]
+    }
+
+    /// Signal power of `su` at its own parent.
+    pub(crate) fn link_signal(&self, su: u32) -> f64 {
+        let parent = self.parents[su as usize].expect("non-root");
+        let slot = self.receiver_slot[parent as usize].expect("parents are receivers");
+        self.phy.su_power() * self.su_gain(su, slot)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn phy() -> PhyParams {
+        PhyParams::paper_simulation_defaults()
+    }
+
+    fn chain_world() -> SimWorld {
+        // bs(0) <- 1 <- 2, spaced 7 apart, PCR 25, one PU at (50, 5).
+        SimWorld::build(
+            Region::square(60.0),
+            vec![
+                Point::new(5.0, 5.0),
+                Point::new(12.0, 5.0),
+                Point::new(19.0, 5.0),
+            ],
+            vec![Point::new(50.0, 5.0)],
+            vec![None, Some(0), Some(1)],
+            phy(),
+            25.0,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn builds_chain() {
+        let w = chain_world();
+        assert_eq!(w.num_sus(), 3);
+        assert_eq!(w.num_pus(), 1);
+        assert_eq!(w.parent(2), Some(1));
+        assert_eq!(w.num_receiver_slots(), 2); // nodes 0 and 1 receive
+    }
+
+    #[test]
+    fn hears_lists_are_symmetric() {
+        let w = chain_world();
+        for i in 0..w.num_sus() as u32 {
+            for &j in w.su_hears_su(i) {
+                assert!(w.su_hears_su(j).contains(&i));
+                assert_ne!(i, j);
+            }
+        }
+    }
+
+    #[test]
+    fn pu_fanout_contains_sus_within_pcr() {
+        let w = chain_world();
+        // PU at x=50; SU 2 at x=19 -> distance 31 > 25 (outside);
+        // nothing is within 25 of the PU.
+        assert!(w.pu_fanout(0).is_empty());
+    }
+
+    #[test]
+    fn gains_match_distances() {
+        let w = chain_world();
+        let slot0 = w.receiver_slot(0).unwrap();
+        // SU 1 is 7 away from node 0; alpha = 4.
+        let expected = 7.0f64.powf(-4.0);
+        assert!((w.su_gain(1, slot0) - expected).abs() < 1e-12);
+        // Signal power of SU 1 at its parent.
+        assert!((w.link_signal(1) - 10.0 * expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_empty() {
+        let e = SimWorld::build(
+            Region::square(1.0),
+            vec![],
+            vec![],
+            vec![],
+            phy(),
+            25.0,
+        )
+        .unwrap_err();
+        assert_eq!(e, WorldError::NoSecondaryUsers);
+    }
+
+    #[test]
+    fn rejects_parent_length_mismatch() {
+        let e = SimWorld::build(
+            Region::square(10.0),
+            vec![Point::new(1.0, 1.0)],
+            vec![],
+            vec![None, Some(0)],
+            phy(),
+            25.0,
+        )
+        .unwrap_err();
+        assert!(matches!(e, WorldError::ParentLengthMismatch { .. }));
+    }
+
+    #[test]
+    fn rejects_rooted_non_zero() {
+        let e = SimWorld::build(
+            Region::square(20.0),
+            vec![Point::new(1.0, 1.0), Point::new(2.0, 1.0)],
+            vec![],
+            vec![Some(1), None],
+            phy(),
+            25.0,
+        )
+        .unwrap_err();
+        assert!(matches!(e, WorldError::BadRootStructure { .. }));
+    }
+
+    #[test]
+    fn rejects_overlong_link() {
+        let e = SimWorld::build(
+            Region::square(40.0),
+            vec![Point::new(1.0, 1.0), Point::new(30.0, 1.0)],
+            vec![],
+            vec![None, Some(0)],
+            phy(),
+            35.0,
+        )
+        .unwrap_err();
+        assert!(matches!(e, WorldError::LinkTooLong { child: 1, .. }));
+    }
+
+    #[test]
+    fn rejects_self_parent() {
+        let e = SimWorld::build(
+            Region::square(20.0),
+            vec![Point::new(1.0, 1.0), Point::new(2.0, 1.0)],
+            vec![],
+            vec![None, Some(1)],
+            phy(),
+            25.0,
+        )
+        .unwrap_err();
+        assert!(matches!(e, WorldError::BadParent { child: 1 }));
+    }
+
+    #[test]
+    fn rejects_tiny_pcr() {
+        let e = SimWorld::build(
+            Region::square(20.0),
+            vec![Point::new(1.0, 1.0), Point::new(2.0, 1.0)],
+            vec![],
+            vec![None, Some(0)],
+            phy(),
+            5.0,
+        )
+        .unwrap_err();
+        assert!(matches!(e, WorldError::SenseRangeTooSmall { .. }));
+    }
+
+    #[test]
+    fn error_display_renders() {
+        for e in [
+            WorldError::NoSecondaryUsers,
+            WorldError::ParentLengthMismatch { parents: 1, sus: 2 },
+            WorldError::BadRootStructure { node: 3 },
+            WorldError::BadParent { child: 4 },
+            WorldError::LinkTooLong { child: 1, parent: 0, distance: 30.0 },
+            WorldError::SenseRangeTooSmall { which: "su", range: 5.0, r: 10.0 },
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! Primary-user activity and spectrum-opportunity substrate for the ADDC
+//! (ICDCS 2012) reproduction.
+//!
+//! The paper models PU behaviour with a *generalized probabilistic model*:
+//! time is slotted (`τ = 1 ms`) and each PU independently transmits in a
+//! slot with probability `p_t` (Section III). An SU has a **spectrum
+//! opportunity** in a slot iff no PU within its carrier-sensing range is
+//! active; Lemma 7 gives the closed form
+//! `p_o = (1 − p_t)^{π(κr)²·N/A}` for the expected opportunity
+//! probability.
+//!
+//! This crate provides:
+//!
+//! - [`PuActivity`] — the paper's Bernoulli slot model plus a
+//!   [`GilbertParams`] bursty two-state extension (same duty cycle,
+//!   correlated slots) used by the `ablation_pu_model` bench,
+//! - [`opportunity`] — Lemma 7's analytic `p_o`, per-SU exact variants,
+//!   and expected waiting times,
+//! - [`temperature`] — per-SU *spectrum temperature* (expected local PU
+//!   busy fraction), the routing weight of the Coolest baseline.
+//!
+//! # Example
+//!
+//! ```
+//! use crn_spectrum::{opportunity, PuActivity};
+//!
+//! // Paper Fig. 6 defaults: p_t = 0.3, N = 400 PUs in a 250x250 area,
+//! // PCR about 24.3.
+//! let p_o = opportunity::expected_probability(0.3, 400.0 / 62_500.0, 24.3);
+//! assert!(p_o > 0.0 && p_o < 1.0);
+//! let wait_slots = opportunity::expected_wait_slots(p_o);
+//! assert!(wait_slots > 1.0);
+//!
+//! let model = PuActivity::bernoulli(0.3).unwrap();
+//! assert!((model.duty_cycle() - 0.3).abs() < 1e-12);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod activity;
+pub mod opportunity;
+pub mod temperature;
+
+pub use activity::{ActivityError, GilbertParams, PuActivity};

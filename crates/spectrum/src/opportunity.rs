@@ -1,0 +1,171 @@
+//! Spectrum-opportunity probabilities and waiting times (Lemma 7).
+//!
+//! An SU has a spectrum opportunity in a slot iff **no PU inside its
+//! carrier-sensing range transmits** in that slot. With i.i.d. Bernoulli
+//! PUs of per-slot probability `p_t`, an SU overseeing `k` PUs sees an
+//! opportunity with probability `(1 − p_t)^k`; Lemma 7 replaces `k` with
+//! its expectation `π(κr)²·N/A` for an average-case closed form.
+
+use crn_geometry::{GridIndex, Point};
+
+/// Lemma 7's expected spectrum-opportunity probability
+/// `p_o = (1 − p_t)^{π·pcr²·pu_density}`.
+///
+/// # Panics
+///
+/// Panics unless `0 ≤ p_t ≤ 1`, `pu_density ≥ 0`, and `pcr ≥ 0`.
+///
+/// ```
+/// # use crn_spectrum::opportunity::expected_probability;
+/// let p_o = expected_probability(0.3, 400.0 / 62_500.0, 24.3);
+/// assert!(p_o > 0.001 && p_o < 0.1);
+/// ```
+#[must_use]
+pub fn expected_probability(p_t: f64, pu_density: f64, pcr: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&p_t), "p_t must be in [0,1], got {p_t}");
+    assert!(pu_density >= 0.0, "density must be >= 0, got {pu_density}");
+    assert!(pcr >= 0.0, "pcr must be >= 0, got {pcr}");
+    let expected_pus = std::f64::consts::PI * pcr * pcr * pu_density;
+    (1.0 - p_t).powf(expected_pus)
+}
+
+/// Exact opportunity probability for an SU at `position`: `(1 − p_t)^k`
+/// with `k` the actual number of PUs within `pcr`.
+///
+/// # Panics
+///
+/// Panics unless `0 ≤ p_t ≤ 1`.
+#[must_use]
+pub fn exact_probability(p_t: f64, position: Point, pus: &GridIndex, pcr: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&p_t), "p_t must be in [0,1], got {p_t}");
+    let k = pus.count_within(position, pcr) as f64;
+    (1.0 - p_t).powi(k as i32)
+}
+
+/// Per-SU exact opportunity probabilities for a whole secondary network.
+#[must_use]
+pub fn exact_probabilities(
+    p_t: f64,
+    su_positions: &[Point],
+    pus: &GridIndex,
+    pcr: f64,
+) -> Vec<f64> {
+    su_positions
+        .iter()
+        .map(|&p| exact_probability(p_t, p, pus, pcr))
+        .collect()
+}
+
+/// Expected number of slots an SU waits for a spectrum opportunity:
+/// `1 / p_o` (Lemma 7 quotes `τ / p_o` in time units).
+///
+/// Returns `f64::INFINITY` when `p_o = 0`.
+///
+/// # Panics
+///
+/// Panics unless `0 ≤ p_o ≤ 1`.
+#[must_use]
+pub fn expected_wait_slots(p_o: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&p_o), "p_o must be in [0,1], got {p_o}");
+    if p_o == 0.0 {
+        f64::INFINITY
+    } else {
+        1.0 / p_o
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crn_geometry::{Deployment, Region};
+    use rand::SeedableRng;
+
+    #[test]
+    fn no_pus_means_certain_opportunity() {
+        assert_eq!(expected_probability(0.5, 0.0, 100.0), 1.0);
+    }
+
+    #[test]
+    fn silent_pus_mean_certain_opportunity() {
+        assert_eq!(expected_probability(0.0, 1.0, 100.0), 1.0);
+    }
+
+    #[test]
+    fn saturated_pus_mean_no_opportunity() {
+        assert_eq!(expected_probability(1.0, 0.01, 10.0), 0.0);
+    }
+
+    #[test]
+    fn probability_decreases_in_every_argument() {
+        let base = expected_probability(0.3, 0.0064, 24.0);
+        assert!(expected_probability(0.4, 0.0064, 24.0) < base);
+        assert!(expected_probability(0.3, 0.01, 24.0) < base);
+        assert!(expected_probability(0.3, 0.0064, 30.0) < base);
+    }
+
+    #[test]
+    fn paper_default_magnitude() {
+        // Fig. 6 defaults with the paper-constants PCR (~24.3): the
+        // expected wait is tens of slots, which is what makes the
+        // simulation tractable.
+        let p_o = expected_probability(0.3, 400.0 / 62_500.0, 24.3);
+        let wait = expected_wait_slots(p_o);
+        assert!(
+            (10.0..2000.0).contains(&wait),
+            "unexpected wait magnitude: {wait} slots"
+        );
+    }
+
+    #[test]
+    fn exact_matches_expected_on_average() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+        let region = Region::square(250.0);
+        let pus = Deployment::uniform(region, 400, &mut rng);
+        let sus = Deployment::uniform(region, 500, &mut rng);
+        let idx = GridIndex::build(pus.points(), region, 25.0);
+        let exact = exact_probabilities(0.3, sus.points(), &idx, 24.3);
+        let mean = exact.iter().sum::<f64>() / exact.len() as f64;
+        let analytic = expected_probability(0.3, 400.0 / 62_500.0, 24.3);
+        // Jensen's inequality: E[(1-p)^k] >= (1-p)^{E[k]}, and border
+        // effects (fewer PUs near edges) push the mean up further, so the
+        // empirical mean sits above the analytic value but within an order
+        // of magnitude.
+        assert!(
+            mean >= analytic * 0.9,
+            "Jensen violated: mean {mean} vs analytic {analytic}"
+        );
+        assert!(
+            mean <= analytic * 8.0,
+            "mean too far above analytic: {mean} vs {analytic}"
+        );
+    }
+
+    #[test]
+    fn exact_probability_counts_only_in_range_pus() {
+        let region = Region::square(100.0);
+        let pus = Deployment::from_points(
+            region,
+            vec![Point::new(10.0, 10.0), Point::new(90.0, 90.0)],
+        );
+        let idx = GridIndex::build(pus.points(), region, 20.0);
+        // One PU within 20 of (10,10).
+        let p = exact_probability(0.5, Point::new(10.0, 10.0), &idx, 20.0);
+        assert!((p - 0.5).abs() < 1e-12);
+        // No PU within 5 of (50,50).
+        let p = exact_probability(0.5, Point::new(50.0, 50.0), &idx, 5.0);
+        assert_eq!(p, 1.0);
+    }
+
+    #[test]
+    fn wait_slots_inverse() {
+        assert_eq!(expected_wait_slots(0.5), 2.0);
+        assert_eq!(expected_wait_slots(1.0), 1.0);
+        assert_eq!(expected_wait_slots(0.0), f64::INFINITY);
+    }
+
+    #[test]
+    #[should_panic(expected = "p_t")]
+    fn bad_p_t_rejected() {
+        let _ = expected_probability(1.5, 0.1, 1.0);
+    }
+}

@@ -1,0 +1,128 @@
+//! Spectrum temperature — the routing weight of the Coolest-path baseline.
+//!
+//! Huang et al. (ICDCS 2011) route around spectrum "heat": regions where
+//! PUs occupy the channel more often. Following the paper's adaptation, we
+//! define an SU's spectrum temperature as its expected local PU busy
+//! fraction: `1 − (1 − duty)^k`, where `k` counts PUs within the SU's
+//! carrier-sensing range and `duty` is the PU duty cycle (which equals
+//! `p_t` for the paper's Bernoulli model). Temperature 0 means an always
+//! free channel; temperature close to 1 means the SU almost never sees an
+//! opportunity.
+
+use crn_geometry::{GridIndex, Point};
+
+/// Spectrum temperature of one SU position: `1 − (1 − duty)^k` with `k`
+/// the number of PUs within `radius`.
+///
+/// # Panics
+///
+/// Panics unless `0 ≤ duty ≤ 1` and `radius ≥ 0`.
+///
+/// ```
+/// use crn_geometry::{Deployment, GridIndex, Point, Region};
+/// use crn_spectrum::temperature::spectrum_temperature;
+///
+/// let region = Region::square(100.0);
+/// let pus = Deployment::from_points(region, vec![Point::new(50.0, 50.0)]);
+/// let idx = GridIndex::build(pus.points(), region, 10.0);
+/// let hot = spectrum_temperature(0.3, Point::new(50.0, 50.0), &idx, 10.0);
+/// let cold = spectrum_temperature(0.3, Point::new(0.0, 0.0), &idx, 10.0);
+/// assert!((hot - 0.3).abs() < 1e-12);
+/// assert_eq!(cold, 0.0);
+/// ```
+#[must_use]
+pub fn spectrum_temperature(duty: f64, position: Point, pus: &GridIndex, radius: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&duty), "duty must be in [0,1], got {duty}");
+    assert!(radius >= 0.0, "radius must be >= 0, got {radius}");
+    let k = pus.count_within(position, radius) as i32;
+    1.0 - (1.0 - duty).powi(k)
+}
+
+/// Spectrum temperatures for a whole secondary network.
+#[must_use]
+pub fn spectrum_temperatures(
+    duty: f64,
+    su_positions: &[Point],
+    pus: &GridIndex,
+    radius: f64,
+) -> Vec<f64> {
+    su_positions
+        .iter()
+        .map(|&p| spectrum_temperature(duty, p, pus, radius))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crn_geometry::{Deployment, Region};
+    use rand::SeedableRng;
+
+    #[test]
+    fn temperature_complements_opportunity() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let region = Region::square(200.0);
+        let pus = Deployment::uniform(region, 300, &mut rng);
+        let sus = Deployment::uniform(region, 100, &mut rng);
+        let idx = GridIndex::build(pus.points(), region, 25.0);
+        let temps = spectrum_temperatures(0.3, sus.points(), &idx, 25.0);
+        let opps =
+            crate::opportunity::exact_probabilities(0.3, sus.points(), &idx, 25.0);
+        for (t, o) in temps.iter().zip(&opps) {
+            assert!((t + o - 1.0).abs() < 1e-9, "t={t} o={o}");
+        }
+    }
+
+    #[test]
+    fn more_pus_means_hotter() {
+        let region = Region::square(100.0);
+        let pus = Deployment::from_points(
+            region,
+            vec![
+                Point::new(10.0, 10.0),
+                Point::new(12.0, 10.0),
+                Point::new(14.0, 10.0),
+            ],
+        );
+        let idx = GridIndex::build(pus.points(), region, 10.0);
+        let hot = spectrum_temperature(0.3, Point::new(12.0, 10.0), &idx, 10.0);
+        let mild = spectrum_temperature(0.3, Point::new(22.0, 10.0), &idx, 10.0);
+        assert!(hot > mild, "hot={hot} mild={mild}");
+        assert!((hot - (1.0 - 0.7f64.powi(3))).abs() < 1e-12);
+    }
+
+    #[test]
+    fn duty_zero_is_everywhere_cold() {
+        let region = Region::square(50.0);
+        let pus = Deployment::from_points(region, vec![Point::new(25.0, 25.0)]);
+        let idx = GridIndex::build(pus.points(), region, 10.0);
+        assert_eq!(
+            spectrum_temperature(0.0, Point::new(25.0, 25.0), &idx, 10.0),
+            0.0
+        );
+    }
+
+    #[test]
+    fn duty_one_is_hot_wherever_a_pu_is_in_range() {
+        let region = Region::square(50.0);
+        let pus = Deployment::from_points(region, vec![Point::new(25.0, 25.0)]);
+        let idx = GridIndex::build(pus.points(), region, 10.0);
+        assert_eq!(
+            spectrum_temperature(1.0, Point::new(25.0, 25.0), &idx, 10.0),
+            1.0
+        );
+        assert_eq!(spectrum_temperature(1.0, Point::new(0.0, 0.0), &idx, 10.0), 0.0);
+    }
+
+    #[test]
+    fn temperatures_bounded() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        let region = Region::square(150.0);
+        let pus = Deployment::uniform(region, 500, &mut rng);
+        let sus = Deployment::uniform(region, 200, &mut rng);
+        let idx = GridIndex::build(pus.points(), region, 20.0);
+        for t in spectrum_temperatures(0.4, sus.points(), &idx, 20.0) {
+            assert!((0.0..=1.0).contains(&t));
+        }
+    }
+}

@@ -1,0 +1,327 @@
+use crate::UnitDiskGraph;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Lexicographic node-weighted path cost used by the Coolest-path baseline
+/// (Huang et al., ICDCS 2011): minimize **accumulated** weight first, then
+/// the **highest** single weight on the path, then hop count.
+///
+/// Weights must be finite and non-negative.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PathCost {
+    /// Sum of node weights along the path (root excluded, endpoint
+    /// included) — "accumulated spectrum temperature".
+    pub sum: f64,
+    /// Maximum node weight along the path — "highest spectrum temperature".
+    pub max: f64,
+    /// Number of hops.
+    pub hops: u32,
+}
+
+impl PathCost {
+    /// Cost of the empty path at the root.
+    pub const ZERO: PathCost = PathCost {
+        sum: 0.0,
+        max: 0.0,
+        hops: 0,
+    };
+
+    /// The cost after extending this path by a node of weight `w`.
+    #[must_use]
+    pub fn extend(self, w: f64) -> PathCost {
+        PathCost {
+            sum: self.sum + w,
+            max: self.max.max(w),
+            hops: self.hops + 1,
+        }
+    }
+}
+
+impl Eq for PathCost {}
+
+impl PartialOrd for PathCost {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for PathCost {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.compare(other, PathOrder::AccumulatedFirst)
+    }
+}
+
+impl PathCost {
+    /// Compares two costs under the chosen lexicographic order.
+    #[must_use]
+    pub fn compare(&self, other: &Self, order: PathOrder) -> Ordering {
+        match order {
+            PathOrder::AccumulatedFirst => self
+                .sum
+                .total_cmp(&other.sum)
+                .then_with(|| self.max.total_cmp(&other.max))
+                .then_with(|| self.hops.cmp(&other.hops)),
+            PathOrder::PeakFirst => self
+                .max
+                .total_cmp(&other.max)
+                .then_with(|| self.sum.total_cmp(&other.sum))
+                .then_with(|| self.hops.cmp(&other.hops)),
+        }
+    }
+}
+
+/// Which lexicographic order ranks paths.
+///
+/// Coolest Path's metrics admit two natural readings, and the ADDC paper's
+/// baseline says "the path with the **most balanced** and/or the lowest
+/// spectrum utilization by PUs is preferred":
+///
+/// - [`PathOrder::AccumulatedFirst`] minimizes total temperature first —
+///   close to shortest-path routing when temperatures are uniform,
+/// - [`PathOrder::PeakFirst`] minimizes the hottest node first ("most
+///   balanced") — it detours arbitrarily far to shave the peak, which is
+///   what concentrates many SUs onto the same cool corridor and produces
+///   the data-accumulation effect the paper attributes to Coolest.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PathOrder {
+    /// `(sum, max, hops)`.
+    AccumulatedFirst,
+    /// `(max, sum, hops)`.
+    PeakFirst,
+}
+
+/// Computes a node-weighted shortest-path tree of `graph` rooted at `root`
+/// under the [`PathCost`] order, returning per-node parents (toward the
+/// root) and costs.
+///
+/// Unreachable nodes get parent `None` and cost `None`; ties beyond the
+/// full lexicographic cost are broken by smaller parent id, so the result
+/// is deterministic.
+///
+/// # Panics
+///
+/// Panics if `root` is out of range, `weights.len() != graph.len()`, or any
+/// weight is negative or non-finite.
+///
+/// # Example
+///
+/// ```
+/// use crn_geometry::{Deployment, Point, Region};
+/// use crn_topology::{dijkstra_tree, UnitDiskGraph};
+///
+/// // Line 0-1-2; node 1 is "hot" but it is the only route.
+/// let pts = vec![Point::new(0.0, 0.0), Point::new(1.0, 0.0), Point::new(2.0, 0.0)];
+/// let g = UnitDiskGraph::build(&Deployment::from_points(Region::new(3.0, 1.0), pts), 1.1);
+/// let (parents, costs) = dijkstra_tree(&g, 0, &[0.0, 0.9, 0.1]);
+/// assert_eq!(parents, vec![None, Some(0), Some(1)]);
+/// assert!((costs[2].unwrap().sum - 1.0).abs() < 1e-12);
+/// ```
+#[must_use]
+pub fn dijkstra_tree(
+    graph: &UnitDiskGraph,
+    root: u32,
+    weights: &[f64],
+) -> (Vec<Option<u32>>, Vec<Option<PathCost>>) {
+    dijkstra_tree_by(graph, root, weights, PathOrder::AccumulatedFirst)
+}
+
+/// [`dijkstra_tree`] with an explicit [`PathOrder`] (the Coolest baseline
+/// uses [`PathOrder::PeakFirst`]).
+///
+/// # Panics
+///
+/// Same conditions as [`dijkstra_tree`].
+#[must_use]
+pub fn dijkstra_tree_by(
+    graph: &UnitDiskGraph,
+    root: u32,
+    weights: &[f64],
+    order: PathOrder,
+) -> (Vec<Option<u32>>, Vec<Option<PathCost>>) {
+    assert_eq!(
+        weights.len(),
+        graph.len(),
+        "one weight per node required ({} != {})",
+        weights.len(),
+        graph.len()
+    );
+    assert!(
+        weights.iter().all(|w| w.is_finite() && *w >= 0.0),
+        "weights must be finite and non-negative"
+    );
+    let n = graph.len();
+    let mut parent: Vec<Option<u32>> = vec![None; n];
+    let mut best: Vec<Option<PathCost>> = vec![None; n];
+    if n == 0 {
+        return (parent, best);
+    }
+    assert!((root as usize) < n, "root {root} out of range for {n} nodes");
+
+    // Max-heap on Reverse((cost, node, via)); each entry carries the
+    // active order so the heap's Ord can apply it.
+    #[derive(PartialEq, Eq)]
+    struct Entry(PathCost, u32, Option<u32>, PathOrder);
+    impl Ord for Entry {
+        fn cmp(&self, other: &Self) -> Ordering {
+            // Reverse for a min-heap; prefer smaller parent id on cost ties.
+            other
+                .0
+                .compare(&self.0, self.3)
+                .then_with(|| other.2.cmp(&self.2))
+                .then_with(|| other.1.cmp(&self.1))
+        }
+    }
+    impl PartialOrd for Entry {
+        fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+
+    let mut heap = BinaryHeap::new();
+    heap.push(Entry(PathCost::ZERO, root, None, order));
+    while let Some(Entry(cost, u, via, _)) = heap.pop() {
+        if best[u as usize].is_some() {
+            continue;
+        }
+        best[u as usize] = Some(cost);
+        parent[u as usize] = via;
+        for &v in graph.neighbors(u) {
+            if best[v as usize].is_none() {
+                heap.push(Entry(cost.extend(weights[v as usize]), v, Some(u), order));
+            }
+        }
+    }
+    (parent, best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crn_geometry::{Deployment, Point, Region};
+    use rand::SeedableRng;
+
+    fn grid_graph(k: usize) -> UnitDiskGraph {
+        let mut pts = Vec::new();
+        for y in 0..k {
+            for x in 0..k {
+                pts.push(Point::new(x as f64, y as f64));
+            }
+        }
+        UnitDiskGraph::build(
+            &Deployment::from_points(Region::square(k as f64), pts),
+            1.1,
+        )
+    }
+
+    #[test]
+    fn zero_weights_reduce_to_bfs_hops() {
+        let g = grid_graph(5);
+        let (_, costs) = dijkstra_tree(&g, 0, &vec![0.0; g.len()]);
+        let levels = g.bfs_levels(0);
+        for u in 0..g.len() {
+            assert_eq!(costs[u].unwrap().hops, levels[u].unwrap());
+        }
+    }
+
+    #[test]
+    fn avoids_hot_node_when_detour_exists() {
+        // Square 0-1 / 2-3 cycle: 0-1, 0-2, 1-3, 2-3. Node 1 hot.
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(0.0, 1.0),
+            Point::new(1.0, 1.0),
+        ];
+        let g = UnitDiskGraph::build(
+            &Deployment::from_points(Region::square(2.0), pts),
+            1.1,
+        );
+        let (parents, costs) = dijkstra_tree(&g, 0, &[0.0, 10.0, 0.1, 0.1]);
+        assert_eq!(parents[3], Some(2), "route around the hot node");
+        assert!((costs[3].unwrap().sum - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tie_break_prefers_cooler_peak_then_fewer_hops() {
+        // Two routes from 0 to 4 with equal weight sums:
+        //   A: 0 - 1 - 4          (2 hops, peak 0.4, sum 0.5)
+        //   B: 0 - 2 - 3 - 4      (3 hops, peak 0.2, sum 0.5)
+        // Equal sums, so the lower peak temperature must win despite more
+        // hops.
+        let pts = vec![
+            Point::new(0.0, 1.0),   // 0 root
+            Point::new(0.9, 1.0),   // 1 direct relay (hot, 0.4)
+            Point::new(0.45, 1.7),  // 2 relay a (0.2)
+            Point::new(1.15, 1.75), // 3 relay b (0.2)
+            Point::new(1.8, 1.0),   // 4 target (0.1)
+        ];
+        let g = UnitDiskGraph::build(
+            &Deployment::from_points(Region::square(3.0), pts),
+            1.0,
+        );
+        assert!(g.has_edge(0, 1) && g.has_edge(1, 4));
+        assert!(g.has_edge(0, 2) && g.has_edge(2, 3) && g.has_edge(3, 4));
+        assert!(!g.has_edge(2, 4) && !g.has_edge(0, 3) && !g.has_edge(0, 4));
+        let w = [0.0, 0.4, 0.2, 0.2, 0.1];
+        let (parents, costs) = dijkstra_tree(&g, 0, &w);
+        // Both routes reach 4 with sum 0.5; the 3-hop route has max 0.2 < 0.4.
+        assert!((costs[4].unwrap().sum - 0.5).abs() < 1e-12);
+        assert_eq!(parents[4], Some(3), "lower peak temperature wins the tie");
+        assert_eq!(costs[4].unwrap().hops, 3);
+    }
+
+    #[test]
+    fn unreachable_nodes_have_no_cost() {
+        let pts = vec![Point::new(0.0, 0.0), Point::new(50.0, 0.0)];
+        let g = UnitDiskGraph::build(
+            &Deployment::from_points(Region::new(60.0, 1.0), pts),
+            1.0,
+        );
+        let (parents, costs) = dijkstra_tree(&g, 0, &[0.0, 0.0]);
+        assert_eq!(parents[1], None);
+        assert!(costs[1].is_none());
+    }
+
+    #[test]
+    fn parents_form_tree_on_random_graph() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(31);
+        let d = Deployment::uniform(Region::square(50.0), 200, &mut rng);
+        let g = UnitDiskGraph::build(&d, 9.0);
+        if !g.is_connected() {
+            return;
+        }
+        let w: Vec<f64> = (0..g.len()).map(|i| (i % 7) as f64 / 7.0).collect();
+        let (parents, costs) = dijkstra_tree(&g, 0, &w);
+        let tree = crate::CollectionTree::from_parents(&g, 0, parents).unwrap();
+        // Costs are monotone along parent edges.
+        for u in 1..g.len() as u32 {
+            let p = tree.parent(u).unwrap();
+            assert!(costs[p as usize].unwrap() <= costs[u as usize].unwrap());
+        }
+    }
+
+    #[test]
+    fn path_cost_ordering_is_lexicographic() {
+        let a = PathCost { sum: 1.0, max: 0.9, hops: 5 };
+        let b = PathCost { sum: 1.0, max: 0.8, hops: 9 };
+        let c = PathCost { sum: 0.9, max: 1.0, hops: 1 };
+        assert!(c < b && b < a);
+        assert_eq!(PathCost::ZERO.extend(0.5).extend(0.2).sum, 0.7);
+        assert_eq!(PathCost::ZERO.extend(0.5).extend(0.2).max, 0.5);
+        assert_eq!(PathCost::ZERO.extend(0.5).extend(0.2).hops, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_weights_rejected() {
+        let g = grid_graph(2);
+        let _ = dijkstra_tree(&g, 0, &[0.0, -1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one weight per node")]
+    fn weight_length_mismatch_rejected() {
+        let g = grid_graph(2);
+        let _ = dijkstra_tree(&g, 0, &[0.0]);
+    }
+}

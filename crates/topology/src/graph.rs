@@ -1,0 +1,302 @@
+use crn_geometry::{Deployment, GridIndex, Point};
+
+/// The secondary-network graph `G_s`: nodes are SU positions, and an edge
+/// joins every pair within the SU transmission radius `r` (unit-disk model,
+/// Section III of the paper).
+///
+/// Node `0` is conventionally the base station `s_b`.
+///
+/// # Example
+///
+/// ```
+/// use crn_geometry::{Deployment, Point, Region};
+/// use crn_topology::UnitDiskGraph;
+///
+/// let region = Region::square(10.0);
+/// let pts = vec![Point::new(0.0, 0.0), Point::new(3.0, 0.0), Point::new(9.0, 9.0)];
+/// let graph = UnitDiskGraph::build(&Deployment::from_points(region, pts), 5.0);
+/// assert!(graph.has_edge(0, 1));
+/// assert!(!graph.has_edge(0, 2));
+/// assert!(!graph.is_connected());
+/// ```
+#[derive(Clone, Debug)]
+pub struct UnitDiskGraph {
+    positions: Vec<Point>,
+    radius: f64,
+    adj: Vec<Vec<u32>>,
+    edge_count: usize,
+}
+
+impl UnitDiskGraph {
+    /// Builds the unit-disk graph over `deployment` with transmission
+    /// radius `radius`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `radius` is not strictly positive and finite.
+    #[must_use]
+    pub fn build(deployment: &Deployment, radius: f64) -> Self {
+        assert!(
+            radius > 0.0 && radius.is_finite(),
+            "transmission radius must be positive and finite, got {radius}"
+        );
+        let positions = deployment.points().to_vec();
+        let index = GridIndex::build(&positions, deployment.region(), radius.max(1e-9));
+        let mut adj = vec![Vec::new(); positions.len()];
+        let mut edge_count = 0;
+        for (i, &p) in positions.iter().enumerate() {
+            index.for_each_within(p, radius, |j| {
+                if (j as usize) > i {
+                    adj[i].push(j);
+                    adj[j as usize].push(i as u32);
+                    edge_count += 1;
+                }
+            });
+        }
+        for list in &mut adj {
+            list.sort_unstable();
+        }
+        Self {
+            positions,
+            radius,
+            adj,
+            edge_count,
+        }
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Whether the graph has no nodes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// Number of undirected edges.
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Transmission radius used to build the graph.
+    #[must_use]
+    pub fn radius(&self) -> f64 {
+        self.radius
+    }
+
+    /// Node positions in id order.
+    #[must_use]
+    pub fn positions(&self) -> &[Point] {
+        &self.positions
+    }
+
+    /// Position of node `u`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    #[must_use]
+    pub fn position(&self, u: u32) -> Point {
+        self.positions[u as usize]
+    }
+
+    /// Neighbors of `u` in ascending id order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    #[must_use]
+    pub fn neighbors(&self, u: u32) -> &[u32] {
+        &self.adj[u as usize]
+    }
+
+    /// Degree of `u`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    #[must_use]
+    pub fn degree(&self, u: u32) -> usize {
+        self.adj[u as usize].len()
+    }
+
+    /// Maximum degree over all nodes (`Δ` in the paper's Lemma 6), or 0 for
+    /// an empty graph.
+    #[must_use]
+    pub fn max_degree(&self) -> usize {
+        self.adj.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Whether nodes `u` and `v` are adjacent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    #[must_use]
+    pub fn has_edge(&self, u: u32, v: u32) -> bool {
+        self.adj[u as usize].binary_search(&v).is_ok()
+    }
+
+    /// BFS levels (hop distance) from `root`; unreachable nodes get `None`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `root` is out of range.
+    #[must_use]
+    pub fn bfs_levels(&self, root: u32) -> Vec<Option<u32>> {
+        let mut level = vec![None; self.len()];
+        if self.is_empty() {
+            return level;
+        }
+        level[root as usize] = Some(0);
+        let mut queue = std::collections::VecDeque::from([root]);
+        while let Some(u) = queue.pop_front() {
+            let next = level[u as usize].expect("queued nodes have levels") + 1;
+            for &v in self.neighbors(u) {
+                if level[v as usize].is_none() {
+                    level[v as usize] = Some(next);
+                    queue.push_back(v);
+                }
+            }
+        }
+        level
+    }
+
+    /// Whether every node is reachable from node 0 (true for the empty
+    /// graph). The paper assumes `G_s` is connected; scenario generation
+    /// resamples deployments until this holds.
+    #[must_use]
+    pub fn is_connected(&self) -> bool {
+        if self.is_empty() {
+            return true;
+        }
+        self.bfs_levels(0).iter().all(Option::is_some)
+    }
+
+    /// Eccentricity of `root` in hops (longest shortest path), or `None`
+    /// if the graph is disconnected from `root`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `root` is out of range.
+    #[must_use]
+    pub fn eccentricity(&self, root: u32) -> Option<u32> {
+        self.bfs_levels(root)
+            .into_iter()
+            .try_fold(0, |acc, l| l.map(|l| acc.max(l)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crn_geometry::Region;
+    use rand::SeedableRng;
+
+    fn line_graph(spacing: f64, count: usize, radius: f64) -> UnitDiskGraph {
+        let pts: Vec<Point> = (0..count)
+            .map(|i| Point::new(i as f64 * spacing, 0.0))
+            .collect();
+        let side = (count as f64 * spacing).max(1.0);
+        UnitDiskGraph::build(&Deployment::from_points(Region::new(side, 1.0), pts), radius)
+    }
+
+    #[test]
+    fn line_graph_edges() {
+        let g = line_graph(1.0, 5, 1.5);
+        assert_eq!(g.len(), 5);
+        assert_eq!(g.edge_count(), 4);
+        assert!(g.has_edge(0, 1));
+        assert!(!g.has_edge(0, 2));
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(2), 2);
+    }
+
+    #[test]
+    fn radius_two_line_connects_skips() {
+        let g = line_graph(1.0, 5, 2.0);
+        assert!(g.has_edge(0, 2));
+        assert_eq!(g.edge_count(), 4 + 3);
+    }
+
+    #[test]
+    fn bfs_levels_on_line() {
+        let g = line_graph(1.0, 6, 1.1);
+        let levels = g.bfs_levels(0);
+        for (i, l) in levels.iter().enumerate() {
+            assert_eq!(*l, Some(i as u32));
+        }
+        assert_eq!(g.eccentricity(0), Some(5));
+    }
+
+    #[test]
+    fn disconnected_graph_detected() {
+        let g = line_graph(10.0, 3, 1.0);
+        assert!(!g.is_connected());
+        assert_eq!(g.eccentricity(0), None);
+        assert_eq!(g.bfs_levels(0)[2], None);
+    }
+
+    #[test]
+    fn empty_graph_is_connected() {
+        let d = Deployment::from_points(Region::square(1.0), vec![]);
+        let g = UnitDiskGraph::build(&d, 1.0);
+        assert!(g.is_connected());
+        assert_eq!(g.max_degree(), 0);
+    }
+
+    #[test]
+    fn single_node_graph() {
+        let d = Deployment::from_points(Region::square(1.0), vec![Point::new(0.5, 0.5)]);
+        let g = UnitDiskGraph::build(&d, 1.0);
+        assert!(g.is_connected());
+        assert_eq!(g.eccentricity(0), Some(0));
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn adjacency_is_symmetric_and_sorted() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let d = Deployment::uniform(Region::square(50.0), 300, &mut rng);
+        let g = UnitDiskGraph::build(&d, 7.0);
+        for u in 0..g.len() as u32 {
+            let nbrs = g.neighbors(u);
+            assert!(nbrs.windows(2).all(|w| w[0] < w[1]), "unsorted/dup at {u}");
+            for &v in nbrs {
+                assert!(g.has_edge(v, u), "asymmetric edge {u}-{v}");
+                assert_ne!(v, u, "self loop at {u}");
+                assert!(g.position(u).within(g.position(v), 7.0));
+            }
+        }
+    }
+
+    #[test]
+    fn edges_match_brute_force() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+        let d = Deployment::uniform(Region::square(30.0), 100, &mut rng);
+        let g = UnitDiskGraph::build(&d, 6.0);
+        let mut brute = 0;
+        for i in 0..d.len() {
+            for j in (i + 1)..d.len() {
+                let within = d.position(i).within(d.position(j), 6.0);
+                assert_eq!(g.has_edge(i as u32, j as u32), within);
+                brute += within as usize;
+            }
+        }
+        assert_eq!(g.edge_count(), brute);
+    }
+
+    #[test]
+    fn max_degree_paper_scale_is_logarithmic() {
+        // Sanity for Lemma 6's premise: at the paper's density the degree
+        // stays modest (around pi*r^2 * n/A ~ 10).
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let d = Deployment::uniform(Region::square(250.0), 2000, &mut rng);
+        let g = UnitDiskGraph::build(&d, 10.0);
+        assert!(g.max_degree() < 40, "max degree {}", g.max_degree());
+    }
+}

@@ -1,0 +1,58 @@
+//! Network topology substrate for the ADDC (ICDCS 2012) reproduction.
+//!
+//! The secondary network is modeled as a unit-disk graph `G_s` over the SU
+//! deployment (Section III of the paper). ADDC routes over a **CDS-based
+//! data collection tree** (Section IV-A) built with the method of Wan et al.
+//! (MOBIHOC 2009):
+//!
+//! 1. BFS from the base station assigns levels; nodes are ranked by
+//!    `(level, id)`.
+//! 2. A greedy maximal independent set in rank order yields the
+//!    **dominators** (the base station is a dominator).
+//! 3. **Connectors** attach every non-root dominator to a strictly
+//!    lower-ranked dominator two hops away.
+//! 4. Remaining nodes are **dominatees**, each adopting an adjacent
+//!    dominator as parent.
+//!
+//! This crate provides:
+//!
+//! - [`UnitDiskGraph`] — adjacency built via a spatial grid,
+//! - [`UnitDiskGraph::bfs_levels`] and connectivity checks,
+//! - [`mis`] — the BFS-ranked maximal independent set,
+//! - [`CollectionTree`] — the CDS tree plus [`Role`]s, with structural
+//!   validation and the degree statistics (`Δ`, `Δ_b`) used by the paper's
+//!   delay bounds,
+//! - [`dijkstra_tree`] — node-weighted shortest-path trees with
+//!   lexicographic tie-breaking, used by the Coolest-path baseline and the
+//!   BFS-tree ablation.
+//!
+//! # Example
+//!
+//! ```
+//! use crn_geometry::{Deployment, Region};
+//! use crn_topology::{CollectionTree, UnitDiskGraph};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+//! let deployment = Deployment::uniform(Region::square(60.0), 150, &mut rng);
+//! let graph = UnitDiskGraph::build(&deployment, 12.0);
+//! if graph.is_connected() {
+//!     let tree = CollectionTree::cds(&graph, 0).expect("connected graph");
+//!     assert!(tree.validate(&graph).is_ok());
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dijkstra;
+mod graph;
+mod mis;
+mod render;
+mod tree;
+
+pub use dijkstra::{dijkstra_tree, dijkstra_tree_by, PathCost, PathOrder};
+pub use graph::UnitDiskGraph;
+pub use mis::{mis, rank_order};
+pub use render::render_ascii;
+pub use tree::{CollectionTree, Role, TreeError, TreeKind};

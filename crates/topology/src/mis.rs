@@ -1,0 +1,180 @@
+use crate::UnitDiskGraph;
+
+/// Returns the node ids ordered by BFS rank `(level, id)` from `root` —
+/// the processing order of the Wan et al. CDS construction.
+///
+/// Nodes unreachable from `root` are excluded.
+///
+/// # Panics
+///
+/// Panics if `root` is out of range for a non-empty graph.
+#[must_use]
+pub fn rank_order(graph: &UnitDiskGraph, root: u32) -> Vec<u32> {
+    if graph.is_empty() {
+        return Vec::new();
+    }
+    let levels = graph.bfs_levels(root);
+    let mut order: Vec<u32> = (0..graph.len() as u32)
+        .filter(|&u| levels[u as usize].is_some())
+        .collect();
+    order.sort_unstable_by_key(|&u| (levels[u as usize].expect("filtered"), u));
+    order
+}
+
+/// Computes the BFS-ranked greedy **maximal independent set** of `graph`
+/// (the *dominators* of the paper's collection tree). The root is always a
+/// member; membership is reported as a boolean per node.
+///
+/// Processing nodes in `(BFS level, id)` order guarantees the key property
+/// the CDS construction relies on: every non-root dominator has another
+/// dominator of strictly smaller rank within two hops.
+///
+/// Nodes unreachable from `root` are never selected.
+///
+/// # Panics
+///
+/// Panics if `root` is out of range for a non-empty graph.
+///
+/// # Example
+///
+/// ```
+/// use crn_geometry::{Deployment, Point, Region};
+/// use crn_topology::{mis, UnitDiskGraph};
+///
+/// // Path 0 - 1 - 2: greedy MIS from 0 picks {0, 2}.
+/// let pts = vec![Point::new(0.0, 0.0), Point::new(1.0, 0.0), Point::new(2.0, 0.0)];
+/// let g = UnitDiskGraph::build(&Deployment::from_points(Region::new(3.0, 1.0), pts), 1.1);
+/// assert_eq!(mis(&g, 0), vec![true, false, true]);
+/// ```
+#[must_use]
+pub fn mis(graph: &UnitDiskGraph, root: u32) -> Vec<bool> {
+    let mut selected = vec![false; graph.len()];
+    let mut blocked = vec![false; graph.len()];
+    for u in rank_order(graph, root) {
+        if !blocked[u as usize] {
+            selected[u as usize] = true;
+            for &v in graph.neighbors(u) {
+                blocked[v as usize] = true;
+            }
+        }
+    }
+    selected
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crn_geometry::{Deployment, Point, Region};
+    use rand::SeedableRng;
+
+    fn random_graph(seed: u64, n: usize, side: f64, r: f64) -> UnitDiskGraph {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let d = Deployment::uniform(Region::square(side), n, &mut rng);
+        UnitDiskGraph::build(&d, r)
+    }
+
+    #[test]
+    fn root_is_always_selected() {
+        for seed in 0..5 {
+            let g = random_graph(seed, 100, 40.0, 8.0);
+            assert!(mis(&g, 0)[0]);
+        }
+    }
+
+    #[test]
+    fn mis_is_independent() {
+        let g = random_graph(7, 200, 60.0, 9.0);
+        let m = mis(&g, 0);
+        for u in 0..g.len() as u32 {
+            if m[u as usize] {
+                for &v in g.neighbors(u) {
+                    assert!(!m[v as usize], "adjacent dominators {u} and {v}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mis_is_maximal_dominating() {
+        let g = random_graph(13, 200, 60.0, 9.0);
+        let m = mis(&g, 0);
+        let levels = g.bfs_levels(0);
+        for u in 0..g.len() as u32 {
+            if levels[u as usize].is_none() {
+                continue; // unreachable nodes are out of scope
+            }
+            let dominated =
+                m[u as usize] || g.neighbors(u).iter().any(|&v| m[v as usize]);
+            assert!(dominated, "node {u} is neither dominator nor dominated");
+        }
+    }
+
+    #[test]
+    fn non_root_dominators_have_lower_ranked_dominator_within_two_hops() {
+        // The structural lemma the connector step depends on.
+        let g = random_graph(29, 300, 70.0, 9.0);
+        let m = mis(&g, 0);
+        let levels = g.bfs_levels(0);
+        let rank = |u: u32| (levels[u as usize].unwrap(), u);
+        for u in 1..g.len() as u32 {
+            if !m[u as usize] || levels[u as usize].is_none() {
+                continue;
+            }
+            let found = g.neighbors(u).iter().any(|&w| {
+                g.neighbors(w)
+                    .iter()
+                    .any(|&v| m[v as usize] && rank(v) < rank(u))
+            });
+            assert!(found, "dominator {u} has no lower-ranked dominator in 2 hops");
+        }
+    }
+
+    #[test]
+    fn rank_order_is_sorted_by_level_then_id() {
+        let g = random_graph(3, 150, 50.0, 8.0);
+        let levels = g.bfs_levels(0);
+        let order = rank_order(&g, 0);
+        let keys: Vec<_> = order
+            .iter()
+            .map(|&u| (levels[u as usize].unwrap(), u))
+            .collect();
+        assert!(keys.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn unreachable_nodes_excluded() {
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(30.0, 0.0),
+        ];
+        let g = UnitDiskGraph::build(
+            &Deployment::from_points(Region::new(40.0, 1.0), pts),
+            1.5,
+        );
+        let m = mis(&g, 0);
+        assert_eq!(m, vec![true, false, false]);
+        assert_eq!(rank_order(&g, 0), vec![0, 1]);
+    }
+
+    #[test]
+    fn level_one_nodes_are_never_dominators() {
+        // Every level-1 node is adjacent to the root, which is selected first.
+        let g = random_graph(77, 250, 60.0, 10.0);
+        let m = mis(&g, 0);
+        let levels = g.bfs_levels(0);
+        for u in 0..g.len() as u32 {
+            if levels[u as usize] == Some(1) {
+                assert!(!m[u as usize], "level-1 node {u} marked dominator");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_graph_mis() {
+        let d = Deployment::from_points(Region::square(1.0), vec![]);
+        let g = UnitDiskGraph::build(&d, 1.0);
+        assert!(mis(&g, 0).is_empty());
+        assert!(rank_order(&g, 0).is_empty());
+    }
+}

@@ -1,0 +1,160 @@
+//! ASCII rendering of deployments and collection trees — a zero-dependency
+//! way to *see* a scenario in a terminal or a bug report.
+//!
+//! Nodes are projected onto a character grid. With a tree supplied, roles
+//! are distinguished: `B` base station, `D` dominator, `C` connector,
+//! `.` dominatee (or `*` for plain nodes when the tree carries no roles).
+
+use crate::{CollectionTree, Role, UnitDiskGraph};
+
+/// Renders `graph` (and optionally the roles of `tree`) onto a `cols`
+/// wide character grid whose aspect ratio follows the bounding box of the
+/// node positions. Returns a newline-separated string plus a legend.
+///
+/// When several nodes land on the same cell the most "important" one wins
+/// (base station > dominator > connector > dominatee).
+///
+/// # Panics
+///
+/// Panics if `cols < 2`, the graph is empty, or `tree` (when given) has a
+/// different node count.
+#[must_use]
+pub fn render_ascii(graph: &UnitDiskGraph, tree: Option<&CollectionTree>, cols: usize) -> String {
+    assert!(cols >= 2, "need at least 2 columns");
+    assert!(!graph.is_empty(), "cannot render an empty graph");
+    if let Some(t) = tree {
+        assert_eq!(t.len(), graph.len(), "tree/graph node count mismatch");
+    }
+
+    let xs = graph.positions().iter().map(|p| p.x);
+    let ys = graph.positions().iter().map(|p| p.y);
+    let (min_x, max_x) = (
+        xs.clone().fold(f64::INFINITY, f64::min),
+        xs.fold(f64::NEG_INFINITY, f64::max),
+    );
+    let (min_y, max_y) = (
+        ys.clone().fold(f64::INFINITY, f64::min),
+        ys.fold(f64::NEG_INFINITY, f64::max),
+    );
+    let width = (max_x - min_x).max(1e-9);
+    let height = (max_y - min_y).max(1e-9);
+    // Terminal cells are ~2x taller than wide; halve the row count.
+    let rows = ((cols as f64 * height / width) / 2.0).ceil().max(1.0) as usize;
+
+    let rank = |u: u32| -> (u8, char) {
+        if u == 0 {
+            return (3, 'B');
+        }
+        match tree.and_then(|t| t.role(u)) {
+            Some(Role::Dominator) => (2, 'D'),
+            Some(Role::Connector) => (1, 'C'),
+            Some(Role::Dominatee) => (0, '.'),
+            None => (0, '*'),
+        }
+    };
+
+    let mut grid = vec![vec![(0u8, ' '); cols]; rows];
+    for u in 0..graph.len() as u32 {
+        let p = graph.position(u);
+        let col = (((p.x - min_x) / width) * (cols - 1) as f64).round() as usize;
+        let row = (((p.y - min_y) / height) * (rows - 1) as f64).round() as usize;
+        // Grid rows print top-down; flip y so north stays up.
+        let row = rows - 1 - row;
+        let (r, ch) = rank(u);
+        let cell = &mut grid[row][col];
+        if cell.1 == ' ' || r > cell.0 {
+            *cell = (r, ch);
+        }
+    }
+
+    let mut out = String::with_capacity(rows * (cols + 1) + 64);
+    for row in grid {
+        for (_, ch) in row {
+            out.push(ch);
+        }
+        out.push('\n');
+    }
+    out.push_str(if tree.is_some_and(|t| t.roles().is_some()) {
+        "legend: B base station, D dominator, C connector, . dominatee\n"
+    } else {
+        "legend: B base station, * node\n"
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crn_geometry::{Deployment, Point, Region};
+    use rand::SeedableRng;
+
+    fn connected_graph() -> UnitDiskGraph {
+        let mut seed = 0;
+        loop {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let d = Deployment::uniform(Region::square(50.0), 120, &mut rng);
+            let g = UnitDiskGraph::build(&d, 9.0);
+            if g.is_connected() {
+                return g;
+            }
+            seed += 1;
+        }
+    }
+
+    #[test]
+    fn renders_all_roles() {
+        let g = connected_graph();
+        let t = CollectionTree::cds(&g, 0).unwrap();
+        let art = render_ascii(&g, Some(&t), 60);
+        assert!(art.contains('B'));
+        assert!(art.contains('D'));
+        assert!(art.contains('.'));
+        assert!(art.contains("legend"));
+        assert!(art.contains("dominator"));
+    }
+
+    #[test]
+    fn respects_column_budget() {
+        let g = connected_graph();
+        let art = render_ascii(&g, None, 40);
+        for line in art.lines().filter(|l| !l.starts_with("legend")) {
+            assert!(line.chars().count() <= 40, "line too wide: {line:?}");
+        }
+    }
+
+    #[test]
+    fn plain_graph_uses_stars() {
+        let g = connected_graph();
+        let art = render_ascii(&g, None, 40);
+        assert!(art.contains('*'));
+        assert!(!art.contains('D'));
+    }
+
+    #[test]
+    fn single_node_renders() {
+        let d = Deployment::from_points(Region::square(1.0), vec![Point::new(0.5, 0.5)]);
+        let g = UnitDiskGraph::build(&d, 1.0);
+        let art = render_ascii(&g, None, 10);
+        assert!(art.contains('B'));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_graph_rejected() {
+        let d = Deployment::from_points(Region::square(1.0), vec![]);
+        let g = UnitDiskGraph::build(&d, 1.0);
+        let _ = render_ascii(&g, None, 10);
+    }
+
+    #[test]
+    fn base_station_beats_collisions() {
+        // Two nodes on the same cell: the bs glyph must win.
+        let d = Deployment::from_points(
+            Region::square(10.0),
+            vec![Point::new(5.0, 5.0), Point::new(5.01, 5.0)],
+        );
+        let g = UnitDiskGraph::build(&d, 2.0);
+        let art = render_ascii(&g, None, 8);
+        assert!(art.contains('B'));
+    }
+}

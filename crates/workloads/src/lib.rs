@@ -1,0 +1,45 @@
+//! Workload generation and experiment harness for the ADDC (ICDCS 2012)
+//! reproduction.
+//!
+//! The paper's evaluation is a family of parameter sweeps (Fig. 6 panels
+//! (a)–(f)) plus a closed-form figure (Fig. 4). This crate turns each into
+//! a reproducible, seedable workload:
+//!
+//! - [`presets`] — the paper's exact parameters (`Paper`), a
+//!   density-preserving laptop-scale variant (`Scaled`), and a CI-speed
+//!   variant (`Tiny`),
+//! - [`SweepSpec`]/[`Axis`] — one figure panel as a set of jobs,
+//! - [`run_sweep`] — executes jobs (optionally across threads) into
+//!   [`RunRecord`]s,
+//! - [`aggregate`] — per-point mean/std across repetitions,
+//! - [`table`] — markdown / CSV rendering for `EXPERIMENTS.md`,
+//! - [`fig4`] — the closed-form PCR figure.
+//!
+//! # Example
+//!
+//! ```
+//! use crn_workloads::{aggregate, presets, run_sweep, Fig6Panel, PresetKind};
+//!
+//! let mut spec = presets::fig6_spec(PresetKind::Tiny, Fig6Panel::C);
+//! spec.reps = 1; // keep the doctest fast
+//! spec.axis.values.truncate(2);
+//! let records = run_sweep(&spec, 1, |_done, _total| {});
+//! assert!(!records.is_empty());
+//! let points = aggregate(&records);
+//! assert_eq!(points.len(), 2 * spec.algorithms.len());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fig4;
+pub mod presets;
+mod record;
+mod runner;
+mod sweep;
+pub mod table;
+
+pub use presets::{Fig6Panel, PresetKind};
+pub use record::{aggregate, AggregatePoint, RunRecord};
+pub use runner::run_sweep;
+pub use sweep::{Axis, AxisKind, Job, SweepSpec};

@@ -1,0 +1,133 @@
+use crate::{Job, RunRecord, SweepSpec};
+use crn_core::Scenario;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Executes every job of `spec` and returns one [`RunRecord`] per job,
+/// in job order.
+///
+/// `threads` sets the worker count (1 = run inline; the sweep is
+/// embarrassingly parallel, so more workers scale on multicore hosts).
+/// `progress(done, total)` is invoked after every completed job — pass a
+/// closure that prints, or `|_, _| {}`.
+///
+/// Scenario generation failures (e.g. a disconnected deployment beyond the
+/// retry budget) panic: a sweep whose points silently vanish would
+/// misreport the figure. Presets keep densities well inside the connected
+/// regime.
+///
+/// # Panics
+///
+/// Panics if `threads == 0` or if any job fails to generate or run.
+#[must_use]
+pub fn run_sweep<F>(spec: &SweepSpec, threads: usize, progress: F) -> Vec<RunRecord>
+where
+    F: Fn(usize, usize) + Sync,
+{
+    assert!(threads > 0, "at least one worker thread required");
+    let jobs = spec.jobs();
+    let total = jobs.len();
+    let done = AtomicUsize::new(0);
+    let mut results: Vec<Option<RunRecord>> = Vec::new();
+    results.resize_with(total, || None);
+    let results = Mutex::new(&mut results);
+    let next = AtomicUsize::new(0);
+
+    let worker = |jobs: &[Job]| loop {
+        let i = next.fetch_add(1, Ordering::Relaxed);
+        if i >= jobs.len() {
+            break;
+        }
+        let job = &jobs[i];
+        let record = run_job(job);
+        results.lock()[i] = Some(record);
+        progress(done.fetch_add(1, Ordering::Relaxed) + 1, total);
+    };
+
+    if threads == 1 {
+        worker(&jobs);
+    } else {
+        crossbeam::thread::scope(|s| {
+            for _ in 0..threads {
+                s.spawn(|_| worker(&jobs));
+            }
+        })
+        .expect("worker thread panicked");
+    }
+
+    results
+        .into_inner()
+        .iter_mut()
+        .map(|r| r.take().expect("every job produces a record"))
+        .collect()
+}
+
+fn run_job(job: &Job) -> RunRecord {
+    let scenario = Scenario::generate(&job.params).unwrap_or_else(|e| {
+        panic!(
+            "scenario generation failed for {} {}={} rep {}: {e}",
+            job.figure, job.x_name, job.x, job.rep
+        )
+    });
+    let outcome = scenario.run(job.algorithm).unwrap_or_else(|e| {
+        panic!(
+            "run failed for {} {}={} rep {} ({}): {e}",
+            job.figure, job.x_name, job.x, job.rep, job.algorithm
+        )
+    });
+    RunRecord::from_outcome(&job.figure, job.x_name, job.x, job.rep, &outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Axis, AxisKind};
+    use crn_core::CollectionAlgorithm::{Addc, Coolest};
+    use crn_core::ScenarioParams;
+    use std::sync::atomic::AtomicUsize;
+
+    fn tiny_spec() -> SweepSpec {
+        SweepSpec {
+            figure: "t".into(),
+            base: ScenarioParams::builder()
+                .num_sus(40)
+                .num_pus(6)
+                .area_side(40.0)
+                .max_connectivity_attempts(500)
+                .build(),
+            axis: Axis::new(AxisKind::Pt, vec![0.1, 0.2]),
+            algorithms: vec![Addc, Coolest],
+            reps: 2,
+        }
+    }
+
+    #[test]
+    fn sequential_run_produces_all_records() {
+        let spec = tiny_spec();
+        let calls = AtomicUsize::new(0);
+        let records = run_sweep(&spec, 1, |_d, t| {
+            assert_eq!(t, 8);
+            calls.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(records.len(), 8);
+        assert_eq!(calls.load(Ordering::Relaxed), 8);
+        assert!(records.iter().all(|r| r.finished));
+    }
+
+    #[test]
+    fn threaded_matches_sequential() {
+        let spec = tiny_spec();
+        let seq = run_sweep(&spec, 1, |_, _| {});
+        let par = run_sweep(&spec, 3, |_, _| {});
+        assert_eq!(seq, par, "parallel execution must not change results");
+    }
+
+    #[test]
+    fn records_carry_job_identity() {
+        let spec = tiny_spec();
+        let records = run_sweep(&spec, 1, |_, _| {});
+        assert!(records.iter().any(|r| r.x == 0.1 && r.algorithm == Addc));
+        assert!(records.iter().any(|r| r.x == 0.2 && r.algorithm == Coolest));
+        assert!(records.iter().all(|r| r.figure == "t" && r.x_name == "p_t"));
+    }
+}

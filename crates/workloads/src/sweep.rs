@@ -1,0 +1,298 @@
+use crn_core::{CollectionAlgorithm, ScenarioParams};
+use crn_interference::PhyParams;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Which scenario parameter a sweep varies — one per Fig. 6 panel.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AxisKind {
+    /// Panel (a): number of PUs `N`.
+    NumPus,
+    /// Panel (b): number of SUs `n`.
+    NumSus,
+    /// Panel (c): PU activity probability `p_t`.
+    Pt,
+    /// Panel (d): path-loss exponent `α`.
+    Alpha,
+    /// Panel (e): PU transmit power `P_p`.
+    PuPower,
+    /// Panel (f): SU transmit power `P_s`.
+    SuPower,
+}
+
+impl AxisKind {
+    /// Short label used in tables (`N`, `n`, `p_t`, ...).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            AxisKind::NumPus => "N",
+            AxisKind::NumSus => "n",
+            AxisKind::Pt => "p_t",
+            AxisKind::Alpha => "alpha",
+            AxisKind::PuPower => "P_p",
+            AxisKind::SuPower => "P_s",
+        }
+    }
+}
+
+impl fmt::Display for AxisKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A swept parameter and its values (counts are carried as `f64` and
+/// rounded on application).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Axis {
+    /// Which parameter varies.
+    pub kind: AxisKind,
+    /// The sweep values, in presentation order.
+    pub values: Vec<f64>,
+}
+
+impl Axis {
+    /// Creates an axis.
+    #[must_use]
+    pub fn new(kind: AxisKind, values: Vec<f64>) -> Self {
+        Self { kind, values }
+    }
+
+    /// Returns `base` with this axis set to `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is invalid for the axis (negative counts,
+    /// `p_t ∉ [0,1]`, `α ≤ 2`, non-positive powers).
+    #[must_use]
+    pub fn apply(&self, base: &ScenarioParams, value: f64) -> ScenarioParams {
+        let mut params = base.clone();
+        match self.kind {
+            AxisKind::NumPus => {
+                assert!(value >= 0.0, "N must be non-negative, got {value}");
+                params.num_pus = value.round() as usize;
+            }
+            AxisKind::NumSus => {
+                assert!(value >= 1.0, "n must be at least 1, got {value}");
+                params.num_sus = value.round() as usize;
+            }
+            AxisKind::Pt => {
+                params.activity = crn_spectrum::PuActivity::bernoulli(value)
+                    .unwrap_or_else(|e| panic!("bad p_t on axis: {e}"));
+            }
+            AxisKind::Alpha => {
+                params.phy = rebuild_phy(&base.phy, |b| {
+                    b.alpha(value);
+                });
+            }
+            AxisKind::PuPower => {
+                params.phy = rebuild_phy(&base.phy, |b| {
+                    b.pu_power(value);
+                });
+            }
+            AxisKind::SuPower => {
+                params.phy = rebuild_phy(&base.phy, |b| {
+                    b.su_power(value);
+                });
+            }
+        }
+        params
+    }
+}
+
+/// Rebuilds a [`PhyParams`] with one field changed.
+fn rebuild_phy(
+    base: &PhyParams,
+    tweak: impl FnOnce(&mut crn_interference::PhyParamsBuilder),
+) -> PhyParams {
+    let mut b = PhyParams::builder();
+    b.alpha(base.alpha())
+        .pu_power(base.pu_power())
+        .su_power(base.su_power())
+        .pu_radius(base.pu_radius())
+        .su_radius(base.su_radius())
+        .pu_sir_threshold(base.pu_sir_threshold())
+        .su_sir_threshold(base.su_sir_threshold());
+    tweak(&mut b);
+    b.build().unwrap_or_else(|e| panic!("invalid swept phy: {e}"))
+}
+
+/// One figure panel as an executable sweep: a base parameter set, an axis,
+/// the algorithms to compare, and a repetition count (the paper uses 10).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SweepSpec {
+    /// Figure identifier (e.g. `"fig6a"`), carried into records.
+    pub figure: String,
+    /// Base scenario parameters the axis perturbs.
+    pub base: ScenarioParams,
+    /// The swept parameter.
+    pub axis: Axis,
+    /// Algorithms run on each generated scenario.
+    pub algorithms: Vec<CollectionAlgorithm>,
+    /// Repetitions per point; each uses deployment seed `base.seed + rep`.
+    pub reps: u32,
+}
+
+/// One concrete unit of work: a fully resolved parameter set, one
+/// algorithm, one repetition.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Job {
+    /// Figure identifier.
+    pub figure: String,
+    /// Axis label (`N`, `p_t`, ...).
+    pub x_name: &'static str,
+    /// Axis value.
+    pub x: f64,
+    /// Fully resolved parameters (seed already includes the repetition).
+    pub params: ScenarioParams,
+    /// Algorithm to run.
+    pub algorithm: CollectionAlgorithm,
+    /// Repetition index.
+    pub rep: u32,
+}
+
+impl SweepSpec {
+    /// Expands the spec into concrete jobs: `values × reps × algorithms`,
+    /// with the two algorithms of a `(value, rep)` pair sharing a
+    /// deployment seed so comparisons are paired (as in the paper).
+    #[must_use]
+    pub fn jobs(&self) -> Vec<Job> {
+        let mut out = Vec::new();
+        for &x in &self.axis.values {
+            for rep in 0..self.reps {
+                let mut params = self.axis.apply(&self.base, x);
+                params.seed = self
+                    .base
+                    .seed
+                    .wrapping_add(u64::from(rep))
+                    .wrapping_add((x.to_bits() >> 17) ^ x.to_bits());
+                for &algorithm in &self.algorithms {
+                    out.push(Job {
+                        figure: self.figure.clone(),
+                        x_name: self.axis.kind.label(),
+                        x,
+                        params: params.clone(),
+                        algorithm,
+                        rep,
+                    });
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crn_core::CollectionAlgorithm::{Addc, Coolest};
+
+    fn base() -> ScenarioParams {
+        ScenarioParams::builder()
+            .num_sus(50)
+            .num_pus(10)
+            .area_side(45.0)
+            .build()
+    }
+
+    fn spec(kind: AxisKind, values: Vec<f64>) -> SweepSpec {
+        SweepSpec {
+            figure: "test".into(),
+            base: base(),
+            axis: Axis::new(kind, values),
+            algorithms: vec![Addc, Coolest],
+            reps: 3,
+        }
+    }
+
+    #[test]
+    fn jobs_cross_product() {
+        let s = spec(AxisKind::NumPus, vec![5.0, 10.0]);
+        let jobs = s.jobs();
+        assert_eq!(jobs.len(), 2 * 3 * 2);
+    }
+
+    #[test]
+    fn paired_algorithms_share_seed() {
+        let s = spec(AxisKind::Pt, vec![0.2]);
+        let jobs = s.jobs();
+        let addc: Vec<_> = jobs.iter().filter(|j| j.algorithm == Addc).collect();
+        let cool: Vec<_> = jobs.iter().filter(|j| j.algorithm == Coolest).collect();
+        for (a, c) in addc.iter().zip(&cool) {
+            assert_eq!(a.rep, c.rep);
+            assert_eq!(a.params.seed, c.params.seed);
+        }
+    }
+
+    #[test]
+    fn different_reps_have_different_seeds() {
+        let s = spec(AxisKind::Pt, vec![0.2]);
+        let jobs = s.jobs();
+        let seeds: std::collections::HashSet<u64> = jobs
+            .iter()
+            .filter(|j| j.algorithm == Addc)
+            .map(|j| j.params.seed)
+            .collect();
+        assert_eq!(seeds.len(), 3);
+    }
+
+    #[test]
+    fn different_x_values_have_different_seeds() {
+        let s = spec(AxisKind::Pt, vec![0.2, 0.3]);
+        let seeds: std::collections::HashSet<u64> = s
+            .jobs()
+            .iter()
+            .filter(|j| j.rep == 0 && j.algorithm == Addc)
+            .map(|j| j.params.seed)
+            .collect();
+        assert_eq!(seeds.len(), 2);
+    }
+
+    #[test]
+    fn num_pus_axis_applies() {
+        let s = spec(AxisKind::NumPus, vec![25.0]);
+        assert_eq!(s.jobs()[0].params.num_pus, 25);
+    }
+
+    #[test]
+    fn num_sus_axis_applies() {
+        let s = spec(AxisKind::NumSus, vec![80.0]);
+        assert_eq!(s.jobs()[0].params.num_sus, 80);
+    }
+
+    #[test]
+    fn p_t_axis_applies() {
+        let s = spec(AxisKind::Pt, vec![0.4]);
+        assert_eq!(s.jobs()[0].params.activity.duty_cycle(), 0.4);
+    }
+
+    #[test]
+    fn alpha_axis_applies_preserving_other_fields() {
+        let s = spec(AxisKind::Alpha, vec![3.5]);
+        let p = &s.jobs()[0].params.phy;
+        assert_eq!(p.alpha(), 3.5);
+        assert_eq!(p.pu_power(), base().phy.pu_power());
+        assert_eq!(p.su_radius(), base().phy.su_radius());
+    }
+
+    #[test]
+    fn power_axes_apply() {
+        let s = spec(AxisKind::PuPower, vec![20.0]);
+        assert_eq!(s.jobs()[0].params.phy.pu_power(), 20.0);
+        let s = spec(AxisKind::SuPower, vec![15.0]);
+        assert_eq!(s.jobs()[0].params.phy.su_power(), 15.0);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(AxisKind::NumPus.label(), "N");
+        assert_eq!(AxisKind::Alpha.to_string(), "alpha");
+    }
+
+    #[test]
+    #[should_panic(expected = "bad p_t")]
+    fn invalid_p_t_panics() {
+        let s = spec(AxisKind::Pt, vec![1.5]);
+        let _ = s.jobs();
+    }
+}

@@ -1,0 +1,225 @@
+//! Table rendering: markdown for `EXPERIMENTS.md`, CSV for downstream
+//! plotting.
+
+use crate::fig4::Fig4Row;
+use crate::{AggregatePoint, RunRecord};
+use std::fmt::Write as _;
+
+/// Renders aggregated sweep points as a markdown table with one row per
+/// axis value and one delay column per algorithm, plus the ADDC/baseline
+/// ratio — the quantity the paper reports as "X% less delay".
+#[must_use]
+pub fn markdown_figure(points: &[AggregatePoint]) -> String {
+    let mut out = String::new();
+    if points.is_empty() {
+        return out;
+    }
+    let mut algos: Vec<String> = points.iter().map(|p| p.algorithm.to_string()).collect();
+    algos.sort();
+    algos.dedup();
+    let x_name = &points[0].x_name;
+
+    let _ = write!(out, "| {x_name} |");
+    for a in &algos {
+        let _ = write!(out, " {a} delay (slots) |");
+    }
+    if algos.len() == 2 {
+        let _ = write!(out, " {}/{} |", algos[1], algos[0]);
+    }
+    let _ = writeln!(out);
+    let _ = write!(out, "|---|");
+    for _ in &algos {
+        let _ = write!(out, "---|");
+    }
+    if algos.len() == 2 {
+        let _ = write!(out, "---|");
+    }
+    let _ = writeln!(out);
+
+    let mut xs: Vec<u64> = points.iter().map(|p| p.x.to_bits()).collect();
+    xs.sort_unstable_by(|a, b| f64::from_bits(*a).total_cmp(&f64::from_bits(*b)));
+    xs.dedup();
+    for bits in xs {
+        let x = f64::from_bits(bits);
+        let _ = write!(out, "| {} |", trim_float(x));
+        let mut per_algo = Vec::new();
+        for a in &algos {
+            let p = points
+                .iter()
+                .find(|p| p.x.to_bits() == bits && &p.algorithm.to_string() == a);
+            match p {
+                Some(p) => {
+                    let _ = write!(
+                        out,
+                        " {:.0} ± {:.0} |",
+                        p.mean_delay_slots, p.std_delay_slots
+                    );
+                    per_algo.push(Some(p.mean_delay_slots));
+                }
+                None => {
+                    let _ = write!(out, " – |");
+                    per_algo.push(None);
+                }
+            }
+        }
+        if let [Some(first), Some(second)] = per_algo[..] {
+            let _ = write!(out, " {:.2}x |", second / first);
+        } else if algos.len() == 2 {
+            let _ = write!(out, " – |");
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Renders raw records as CSV (header + one line per record).
+#[must_use]
+pub fn csv_records(records: &[RunRecord]) -> String {
+    let mut out = String::from(
+        "figure,x_name,x,algorithm,rep,finished,delay_slots,capacity_fraction,jain,\
+         attempts,successes,pu_aborts,sir_failures,capture_losses,peak_queue,tree_height,tree_max_degree\n",
+    );
+    for r in records {
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            r.figure,
+            r.x_name,
+            r.x,
+            r.algorithm,
+            r.rep,
+            r.finished,
+            r.delay_slots,
+            r.capacity_fraction,
+            r.jain.map_or(String::new(), |j| j.to_string()),
+            r.attempts,
+            r.successes,
+            r.pu_aborts,
+            r.sir_failures,
+            r.capture_losses,
+            r.peak_queue,
+            r.tree_height,
+            r.tree_max_degree,
+        );
+    }
+    out
+}
+
+/// Renders the Fig. 4 rows as a markdown table grouped by panel.
+#[must_use]
+pub fn markdown_fig4(rows: &[Fig4Row]) -> String {
+    let mut out = String::from("| panel | x | PCR (α=3.0) | PCR (α=4.0) |\n|---|---|---|---|\n");
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "| {} | {} | {:.2} | {:.2} |",
+            r.panel.label(),
+            trim_float(r.x),
+            r.pcr_alpha3,
+            r.pcr_alpha4
+        );
+    }
+    out
+}
+
+fn trim_float(x: f64) -> String {
+    if (x - x.round()).abs() < 1e-9 {
+        format!("{}", x.round() as i64)
+    } else {
+        format!("{x}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fig4::fig4_rows;
+    use crn_core::CollectionAlgorithm::{Addc, Coolest};
+    use crn_interference::PcrConstants;
+
+    fn point(x: f64, algorithm: crn_core::CollectionAlgorithm, mean: f64) -> AggregatePoint {
+        AggregatePoint {
+            figure: "fig6a".into(),
+            x_name: "N".into(),
+            x,
+            algorithm,
+            reps: 10,
+            finished_reps: 10,
+            mean_delay_slots: mean,
+            std_delay_slots: 1.0,
+            mean_capacity: 0.5,
+            mean_jain: Some(0.9),
+            mean_success_rate: 0.8,
+        }
+    }
+
+    #[test]
+    fn figure_table_has_ratio_column() {
+        let t = markdown_figure(&[point(100.0, Addc, 50.0), point(100.0, Coolest, 150.0)]);
+        assert!(t.contains("| 100 |"), "{t}");
+        assert!(t.contains("3.00x"), "{t}");
+        assert!(t.contains("ADDC"), "{t}");
+        assert!(t.contains("Coolest"), "{t}");
+    }
+
+    #[test]
+    fn figure_table_rows_sorted_by_x() {
+        let t = markdown_figure(&[
+            point(300.0, Addc, 1.0),
+            point(100.0, Addc, 1.0),
+            point(200.0, Addc, 1.0),
+        ]);
+        let i100 = t.find("| 100 |").unwrap();
+        let i200 = t.find("| 200 |").unwrap();
+        let i300 = t.find("| 300 |").unwrap();
+        assert!(i100 < i200 && i200 < i300);
+    }
+
+    #[test]
+    fn empty_points_empty_table() {
+        assert!(markdown_figure(&[]).is_empty());
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let r = RunRecord {
+            figure: "fig6a".into(),
+            x_name: "N".into(),
+            x: 100.0,
+            algorithm: Addc,
+            rep: 0,
+            finished: true,
+            delay_slots: 42.0,
+            capacity_fraction: 0.4,
+            jain: None,
+            attempts: 10,
+            successes: 9,
+            pu_aborts: 1,
+            sir_failures: 0,
+            capture_losses: 0,
+            peak_queue: 1,
+            tree_height: 5,
+            tree_max_degree: 7,
+        };
+        let csv = csv_records(&[r]);
+        let mut lines = csv.lines();
+        assert!(lines.next().unwrap().starts_with("figure,"));
+        let row = lines.next().unwrap();
+        assert!(row.starts_with("fig6a,N,100,ADDC,0,true,42,"));
+        assert_eq!(csv.lines().count(), 2);
+    }
+
+    #[test]
+    fn fig4_table_renders_every_row() {
+        let rows = fig4_rows(PcrConstants::Paper);
+        let t = markdown_fig4(&rows);
+        assert_eq!(t.lines().count(), rows.len() + 2);
+        assert!(t.contains("eta_p(dB)"));
+    }
+
+    #[test]
+    fn trim_float_output() {
+        assert_eq!(trim_float(3.0), "3");
+        assert_eq!(trim_float(0.3), "0.3");
+    }
+}

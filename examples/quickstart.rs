@@ -1,0 +1,53 @@
+//! Quickstart: generate a small cognitive radio network, run ADDC, and
+//! inspect the outcome.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use crn::core::{CollectionAlgorithm, Scenario, ScenarioParams};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A laptop-friendly network: 150 secondary users and 16 primary users
+    // in a 70x70 area, at the paper's densities.
+    let params = ScenarioParams::builder()
+        .num_sus(150)
+        .num_pus(16)
+        .area_side(70.0)
+        .p_t(0.3)
+        .seed(42)
+        .max_connectivity_attempts(2000)
+        .build();
+
+    let scenario = Scenario::generate(&params)?;
+    println!(
+        "generated: {} SUs + base station, {} PUs, PCR = {:.1} (r = {})",
+        params.num_sus,
+        params.num_pus,
+        scenario.pcr(),
+        params.phy.su_radius(),
+    );
+
+    let outcome = scenario.run(CollectionAlgorithm::Addc)?;
+    let r = &outcome.report;
+    println!(
+        "ADDC collected {}/{} packets in {:.0} slots ({:.3} s simulated)",
+        r.packets_delivered, r.packets_expected, r.delay_slots, r.delay
+    );
+    println!(
+        "tree: height {} hops, max degree {}; attempts {}, successes {}, \
+         PU handoffs {}, SIR losses {}",
+        outcome.tree_height,
+        outcome.tree_max_degree,
+        r.attempts,
+        r.successes,
+        r.pu_aborts,
+        r.sir_failures
+    );
+    println!(
+        "capacity = {:.4} of the channel bandwidth W; Jain fairness = {:.3}",
+        r.capacity_fraction(),
+        r.jain_fairness().unwrap_or(1.0)
+    );
+    Ok(())
+}

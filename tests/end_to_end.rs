@@ -1,0 +1,143 @@
+//! Cross-crate integration: scenario generation → routing → simulation,
+//! checking the pieces agree with one another.
+
+use crn::core::{CollectionAlgorithm, Scenario, ScenarioParams};
+use crn::interference::{pcr, PcrConstants};
+use crn::topology::Role;
+
+fn params(seed: u64) -> ScenarioParams {
+    ScenarioParams::builder()
+        .num_sus(120)
+        .num_pus(12)
+        .area_side(65.0)
+        .seed(seed)
+        .max_connectivity_attempts(2000)
+        .build()
+}
+
+#[test]
+fn scenario_pcr_matches_interference_crate() {
+    let p = params(1);
+    let scenario = Scenario::generate(&p).unwrap();
+    let direct = pcr::carrier_sensing_range(&p.phy, PcrConstants::Paper);
+    assert!((scenario.pcr() - direct).abs() < 1e-12);
+}
+
+#[test]
+fn all_algorithms_complete_and_agree_on_totals() {
+    let scenario = Scenario::generate(&params(2)).unwrap();
+    for algo in [
+        CollectionAlgorithm::Addc,
+        CollectionAlgorithm::Coolest,
+        CollectionAlgorithm::CoolestOracle,
+        CollectionAlgorithm::BfsTree,
+    ] {
+        let o = scenario.run(algo).unwrap();
+        assert!(o.report.finished, "{algo} unfinished");
+        assert_eq!(o.report.packets_delivered, 120, "{algo}");
+        assert_eq!(o.report.packets_expected, 120, "{algo}");
+        // Every origin delivered exactly once, none for the base station.
+        assert!(o.report.delivery_times[0].is_none());
+        assert_eq!(
+            o.report.delivery_times.iter().flatten().count(),
+            120,
+            "{algo}"
+        );
+        // Attempt classification is a partition.
+        assert_eq!(
+            o.report.attempts,
+            o.report.successes
+                + o.report.pu_aborts
+                + o.report.sir_failures
+                + o.report.capture_losses,
+            "{algo}"
+        );
+        // Successes count one per tree hop of every packet.
+        let tree = scenario.tree(algo).unwrap();
+        let total_hops: u64 = (0..tree.len() as u32).map(|u| u64::from(tree.depth(u))).sum();
+        assert_eq!(o.report.successes, total_hops, "{algo}");
+    }
+}
+
+#[test]
+fn addc_tree_is_a_valid_cds_over_the_scenario_graph() {
+    let scenario = Scenario::generate(&params(3)).unwrap();
+    let tree = scenario.tree(CollectionAlgorithm::Addc).unwrap();
+    tree.validate(scenario.graph()).unwrap();
+    assert_eq!(tree.role(0), Some(Role::Dominator));
+    // Lemma 1 bound holds on the generated instance.
+    assert!(tree.max_connectors_per_dominator(scenario.graph()).unwrap() <= 12);
+}
+
+#[test]
+fn whole_pipeline_is_deterministic() {
+    let a = Scenario::generate(&params(4))
+        .unwrap()
+        .run(CollectionAlgorithm::Addc)
+        .unwrap();
+    let b = Scenario::generate(&params(4))
+        .unwrap()
+        .run(CollectionAlgorithm::Addc)
+        .unwrap();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn delivery_times_are_bounded_by_total_delay() {
+    let scenario = Scenario::generate(&params(5)).unwrap();
+    let o = scenario.run(CollectionAlgorithm::Addc).unwrap();
+    let max = o
+        .report
+        .delivery_times
+        .iter()
+        .flatten()
+        .fold(0.0f64, |a, &b| a.max(b));
+    assert!((max - o.report.delay).abs() < 1e-12, "last delivery defines the delay");
+}
+
+#[test]
+fn capacity_respects_the_channel_bound() {
+    let scenario = Scenario::generate(&params(6)).unwrap();
+    for algo in [CollectionAlgorithm::Addc, CollectionAlgorithm::Coolest] {
+        let o = scenario.run(algo).unwrap();
+        let p = scenario.params();
+        // One packet per airtime at the base station, expressed in
+        // slot-sized units of W.
+        let cap_limit = p.mac.slot / p.mac.airtime;
+        assert!(o.report.capacity_fraction() <= cap_limit + 1e-9, "{algo}");
+    }
+}
+
+#[test]
+fn saturated_primary_network_starves_collection() {
+    let mut p = params(7);
+    p.activity = crn::spectrum::PuActivity::bernoulli(1.0).unwrap();
+    p.mac.max_sim_time = 0.25;
+    let scenario = Scenario::generate(&p).unwrap();
+    let o = scenario.run(CollectionAlgorithm::Addc).unwrap();
+    assert!(!o.report.finished);
+    // With 12 PUs over 65x65 and PCR ~24, every SU oversees an active PU.
+    assert_eq!(o.report.packets_delivered, 0);
+}
+
+#[test]
+fn corrected_constants_widen_the_pcr_and_slow_collection_under_load() {
+    let mut a = params(8);
+    a.pcr_constants = PcrConstants::Paper;
+    let mut b = params(8);
+    b.pcr_constants = PcrConstants::Corrected;
+    let sa = Scenario::generate(&a).unwrap();
+    let sb = Scenario::generate(&b).unwrap();
+    assert!(sb.pcr() > sa.pcr());
+    let ra = sa.run(CollectionAlgorithm::Addc).unwrap();
+    let rb = sb.run(CollectionAlgorithm::Addc).unwrap();
+    // A wider PCR sees more PUs, so opportunities are rarer.
+    assert!(
+        rb.report.delay_slots > ra.report.delay_slots,
+        "corrected {} vs paper {}",
+        rb.report.delay_slots,
+        ra.report.delay_slots
+    );
+    // ...but SIR losses shrink (that is what the corrected bound buys).
+    assert!(rb.report.sir_failures <= ra.report.sir_failures);
+}

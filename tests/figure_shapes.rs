@@ -1,0 +1,136 @@
+//! Cheap, deterministic checks that the reproduced figures have the
+//! paper's qualitative shape. (The full sweeps live in the `fig6` binary;
+//! here each trend is probed with two well-separated points and a few
+//! repetitions, so the assertions are robust to seed noise yet the test
+//! stays CI-fast.)
+
+use crn::core::{CollectionAlgorithm, Scenario, ScenarioParams};
+use crn::interference::PcrConstants;
+use crn::workloads::fig4::fig4_rows;
+
+fn mean_delay(build: impl Fn(&mut crn::core::ScenarioParamsBuilder)) -> f64 {
+    let mut total = 0.0;
+    let reps: u64 = 3;
+    for seed in 0..reps {
+        let mut b = ScenarioParams::builder();
+        b.num_sus(120)
+            .num_pus(12)
+            .area_side(65.0)
+            .seed(100 + seed)
+            .max_connectivity_attempts(2000);
+        build(&mut b);
+        let scenario = Scenario::generate(&b.build()).unwrap();
+        total += scenario
+            .run(CollectionAlgorithm::Addc)
+            .unwrap()
+            .report
+            .delay_slots;
+    }
+    total / reps as f64
+}
+
+#[test]
+fn fig4_shape_alpha3_above_alpha4_everywhere() {
+    for row in fig4_rows(PcrConstants::Paper) {
+        assert!(row.pcr_alpha3 > row.pcr_alpha4, "{row:?}");
+    }
+}
+
+#[test]
+fn fig6a_shape_delay_increases_with_pu_count() {
+    let few = mean_delay(|b| {
+        b.num_pus(6);
+    });
+    let many = mean_delay(|b| {
+        b.num_pus(24);
+    });
+    assert!(many > few, "delay vs N not increasing: {few} -> {many}");
+}
+
+#[test]
+fn fig6b_shape_delay_increases_with_su_count() {
+    let few = mean_delay(|b| {
+        b.num_sus(80);
+    });
+    let many = mean_delay(|b| {
+        b.num_sus(180);
+    });
+    assert!(many > few, "delay vs n not increasing: {few} -> {many}");
+}
+
+#[test]
+fn fig6c_shape_delay_increases_with_pu_activity() {
+    let quiet = mean_delay(|b| {
+        b.p_t(0.1);
+    });
+    let busy = mean_delay(|b| {
+        b.p_t(0.45);
+    });
+    assert!(
+        busy > 2.0 * quiet,
+        "delay vs p_t should grow sharply: {quiet} -> {busy}"
+    );
+}
+
+#[test]
+fn fig6d_shape_delay_decreases_with_alpha() {
+    let phy = |alpha: f64| {
+        crn::interference::PhyParams::builder()
+            .alpha(alpha)
+            .pu_radius(10.0)
+            .pu_sir_threshold_db(8.0)
+            .su_sir_threshold_db(8.0)
+            .build()
+            .unwrap()
+    };
+    let low_alpha = mean_delay(|b| {
+        b.phy(phy(3.5));
+    });
+    let high_alpha = mean_delay(|b| {
+        b.phy(phy(4.0));
+    });
+    assert!(
+        low_alpha > high_alpha,
+        "delay should fall as alpha rises: {low_alpha} vs {high_alpha}"
+    );
+}
+
+#[test]
+fn fig6e_shape_delay_increases_with_pu_power() {
+    let phy = |pp: f64| {
+        crn::interference::PhyParams::builder()
+            .pu_power(pp)
+            .pu_radius(10.0)
+            .pu_sir_threshold_db(8.0)
+            .su_sir_threshold_db(8.0)
+            .build()
+            .unwrap()
+    };
+    let low = mean_delay(|b| {
+        b.phy(phy(10.0));
+    });
+    let high = mean_delay(|b| {
+        b.phy(phy(30.0));
+    });
+    assert!(high > low, "delay vs P_p not increasing: {low} -> {high}");
+}
+
+#[test]
+fn fig6f_shape_delay_increases_with_su_power() {
+    let phy = |ps: f64| {
+        crn::interference::PhyParams::builder()
+            .su_power(ps)
+            .pu_radius(10.0)
+            .pu_sir_threshold_db(8.0)
+            .su_sir_threshold_db(8.0)
+            .build()
+            .unwrap()
+    };
+    let low = mean_delay(|b| {
+        b.phy(phy(10.0));
+    });
+    let high = mean_delay(|b| {
+        b.phy(phy(30.0));
+    });
+    assert!(high > low, "delay vs P_s not increasing: {low} -> {high}");
+}

@@ -1,0 +1,74 @@
+//! Property-based integration tests: random scenario parameters within
+//! the connected regime must always produce complete, conserved, and
+//! deterministic collections.
+
+use crn::core::{CollectionAlgorithm, Scenario, ScenarioParams};
+use proptest::prelude::*;
+
+fn arb_params() -> impl Strategy<Value = ScenarioParams> {
+    // Densities chosen so connectivity is plentiful and runs are fast.
+    (30usize..=80, 0usize..=8, 0.0f64..=0.35, 0u64..1000).prop_map(
+        |(num_sus, num_pus, p_t, seed)| {
+            let side = (num_sus as f64 / 0.035).sqrt();
+            ScenarioParams::builder()
+                .num_sus(num_sus)
+                .num_pus(num_pus)
+                .area_side(side)
+                .p_t(p_t)
+                .seed(seed)
+                .max_connectivity_attempts(3000)
+                .build()
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn addc_always_collects_every_packet(params in arb_params()) {
+        let scenario = Scenario::generate(&params).unwrap();
+        let o = scenario.run(CollectionAlgorithm::Addc).unwrap();
+        prop_assert!(o.report.finished);
+        prop_assert_eq!(o.report.packets_delivered, params.num_sus);
+        // Delivery times are sorted-compatible with the final delay.
+        for t in o.report.delivery_times.iter().flatten() {
+            prop_assert!(*t <= o.report.delay + 1e-12);
+        }
+    }
+
+    #[test]
+    fn collection_is_deterministic(params in arb_params()) {
+        let a = Scenario::generate(&params).unwrap().run(CollectionAlgorithm::Addc).unwrap();
+        let b = Scenario::generate(&params).unwrap().run(CollectionAlgorithm::Addc).unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn attempt_accounting_is_a_partition(params in arb_params()) {
+        let scenario = Scenario::generate(&params).unwrap();
+        for algo in [CollectionAlgorithm::Addc, CollectionAlgorithm::Coolest] {
+            let r = scenario.run(algo).unwrap().report;
+            prop_assert_eq!(
+                r.attempts,
+                r.successes + r.pu_aborts + r.sir_failures + r.capture_losses
+            );
+            prop_assert!(r.successes >= r.packets_delivered as u64);
+        }
+    }
+
+    #[test]
+    fn trees_validate_for_every_algorithm(params in arb_params()) {
+        let scenario = Scenario::generate(&params).unwrap();
+        for algo in [
+            CollectionAlgorithm::Addc,
+            CollectionAlgorithm::Coolest,
+            CollectionAlgorithm::CoolestOracle,
+            CollectionAlgorithm::BfsTree,
+        ] {
+            let tree = scenario.tree(algo).unwrap();
+            prop_assert!(tree.validate(scenario.graph()).is_ok());
+            prop_assert_eq!(tree.len(), params.num_sus + 1);
+        }
+    }
+}

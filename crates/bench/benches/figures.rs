@@ -8,11 +8,11 @@
 //! the full sweeps live in the `fig6` binary.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
 use crn_core::{CollectionAlgorithm, Scenario};
 use crn_interference::PcrConstants;
 use crn_workloads::{presets, Fig6Panel, PresetKind};
 use std::hint::black_box;
+use std::time::Duration;
 
 fn bench_fig4(c: &mut Criterion) {
     c.bench_function("fig4", |b| {
@@ -33,7 +33,9 @@ fn bench_fig6_panel(c: &mut Criterion, panel: Fig6Panel) {
     c.bench_function(panel.figure_id(), |b| {
         b.iter(|| {
             let addc = scenario.run(CollectionAlgorithm::Addc).expect("addc run");
-            let cool = scenario.run(CollectionAlgorithm::Coolest).expect("coolest run");
+            let cool = scenario
+                .run(CollectionAlgorithm::Coolest)
+                .expect("coolest run");
             black_box((addc.report.delay_slots, cool.report.delay_slots))
         });
     });

@@ -4,13 +4,13 @@
 //! on.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
 use crn_core::{CollectionAlgorithm, Scenario, ScenarioParams};
 use crn_geometry::{Deployment, GridIndex, Region};
 use crn_interference::{concurrent, pcr, PcrConstants, PhyParams};
 use crn_topology::{CollectionTree, UnitDiskGraph};
 use rand::SeedableRng;
 use std::hint::black_box;
+use std::time::Duration;
 
 fn bench_grid_queries(c: &mut Criterion) {
     let region = Region::square(250.0);

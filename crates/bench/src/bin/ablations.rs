@@ -30,7 +30,11 @@ fn main() {
         reps,
     };
 
-    let which = if args.is_empty() { "all".to_owned() } else { args.join(",") };
+    let which = if args.is_empty() {
+        "all".to_owned()
+    } else {
+        args.join(",")
+    };
     println!("# Ablations [{preset} preset, {reps} reps]\n");
     if which.contains("all") || which.contains("pcr") {
         ablation_pcr(&cfg);
@@ -153,7 +157,10 @@ fn ablation_pu_model(cfg: &Cfg) {
     println!("|---|---|---|");
     let duty = cfg.base.activity.duty_cycle();
     let models = [
-        ("Bernoulli (paper)", PuActivity::bernoulli(duty).expect("duty is valid")),
+        (
+            "Bernoulli (paper)",
+            PuActivity::bernoulli(duty).expect("duty is valid"),
+        ),
         (
             "Gilbert burst=5",
             PuActivity::gilbert_with_duty_cycle(duty, 5.0).expect("valid"),

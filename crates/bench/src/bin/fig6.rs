@@ -11,7 +11,7 @@
 
 use crn_bench::{take_flag, Progress};
 use crn_workloads::table::{csv_records, markdown_figure};
-use crn_workloads::{aggregate, presets, run_sweep, Fig6Panel, PresetKind};
+use crn_workloads::{aggregate, presets, run_sweep, Fig6Panel, PresetKind, SweepOptions};
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
@@ -19,8 +19,9 @@ fn main() {
         .map_or(PresetKind::Scaled, |s| s.parse().expect("valid preset"));
     let reps: Option<u32> =
         take_flag(&mut args, "--reps").map(|s| s.parse().expect("reps must be a number"));
+    // 0 = let the runner pick from available parallelism.
     let threads: usize = take_flag(&mut args, "--threads")
-        .map_or_else(default_threads, |s| s.parse().expect("threads must be a number"));
+        .map_or(0, |s| s.parse().expect("threads must be a number"));
     let csv_path = take_flag(&mut args, "--csv");
 
     let panels: Vec<Fig6Panel> = if args.is_empty() || args.iter().any(|a| a == "all") {
@@ -38,9 +39,20 @@ fn main() {
             spec.reps = reps;
         }
         let progress = Progress::new(format!("{panel} ({preset})"));
-        let records = run_sweep(&spec, threads, |done, total| progress.report(done, total));
+        let options = SweepOptions::with_threads(threads)
+            .on_progress(move |done, total| progress.report(done, total));
+        let records = match run_sweep(&spec, options) {
+            Ok(records) => records,
+            Err(e) => {
+                eprintln!("\n{e}");
+                std::process::exit(1);
+            }
+        };
         let points = aggregate(&records);
-        println!("\n## Fig. 6 panel {panel} — delay vs {} [{preset} preset, {} reps]\n", spec.axis.kind, spec.reps);
+        println!(
+            "\n## Fig. 6 panel {panel} — delay vs {} [{preset} preset, {} reps]\n",
+            spec.axis.kind, spec.reps
+        );
         println!("{}", markdown_figure(&points));
         summarize_ratio(&points);
         all_records.extend(records);
@@ -50,10 +62,6 @@ fn main() {
         std::fs::write(&path, csv_records(&all_records)).expect("write csv");
         eprintln!("raw records written to {path}");
     }
-}
-
-fn default_threads() -> usize {
-    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
 }
 
 /// Prints the paper-style "ADDC takes X% less time" summary for a panel.

@@ -57,7 +57,11 @@ impl Progress {
     /// Reports `done` of `total` complete.
     pub fn report(&self, done: usize, total: usize) {
         let elapsed = self.started.elapsed().as_secs_f64();
-        let rate = if elapsed > 0.0 { done as f64 / elapsed } else { 0.0 };
+        let rate = if elapsed > 0.0 {
+            done as f64 / elapsed
+        } else {
+            0.0
+        };
         eprint!(
             "\r{}: {done}/{total} ({rate:.2} runs/s, {elapsed:.0}s elapsed)   ",
             self.label

@@ -4,14 +4,16 @@
 use crn_core::{CollectionAlgorithm, Scenario, ScenarioParams};
 use crn_interference::{pcr, PcrConstants, PhyParams};
 use crn_theory::DelayBounds;
+use crn_workloads::export::{trace_to_string, TraceFormat};
 use crn_workloads::table::markdown_figure;
-use crn_workloads::{aggregate, presets, run_sweep, Fig6Panel, PresetKind};
+use crn_workloads::{aggregate, presets, run_sweep, Fig6Panel, PresetKind, SweepOptions};
 use std::fmt::Write as _;
 
 /// Top-level usage text.
 pub const USAGE: &str = "\
 usage:
   crn run    [--sus N] [--pus N] [--side S] [--pt P] [--seed K] [--algo ALGO]
+  crn trace  [run flags] [--format jsonl|csv] [--out FILE]
   crn sweep  <a|b|c|d|e|f|all> [--preset paper|scaled|tiny] [--reps R] [--threads T]
   crn pcr    [--alpha A] [--eta-db E] [--pp P] [--ps P] [--big-r R] [--r r]
   crn bounds [--sus N] [--pus N] [--side S] [--pt P]
@@ -31,6 +33,7 @@ pub fn dispatch(args: &[String]) -> Result<String, String> {
     args.remove(0);
     match command.as_str() {
         "run" => cmd_run(args),
+        "trace" => cmd_trace(args),
         "sweep" => cmd_sweep(args),
         "pcr" => cmd_pcr(args),
         "bounds" => cmd_bounds(args),
@@ -39,11 +42,7 @@ pub fn dispatch(args: &[String]) -> Result<String, String> {
     }
 }
 
-fn take<T: std::str::FromStr>(
-    args: &mut Vec<String>,
-    flag: &str,
-    default: T,
-) -> Result<T, String>
+fn take<T: std::str::FromStr>(args: &mut Vec<String>, flag: &str, default: T) -> Result<T, String>
 where
     T::Err: std::fmt::Display,
 {
@@ -143,9 +142,40 @@ fn cmd_run(mut args: Vec<String>) -> Result<String, String> {
     if show_map {
         let tree = scenario.tree(algo).map_err(|e| e.to_string())?;
         let _ = writeln!(out);
-        out.push_str(&crn_topology::render_ascii(scenario.graph(), Some(&tree), 72));
+        out.push_str(&crn_topology::render_ascii(
+            scenario.graph(),
+            Some(&tree),
+            72,
+        ));
     }
     Ok(out)
+}
+
+/// `crn trace`: run one scenario with a [`crn_sim::TraceLog`] attached and
+/// emit the event stream (JSONL by default). The trace uses the same
+/// derived seed as `crn run`, so its `delivery` events line up exactly
+/// with the run's reported delivery times.
+fn cmd_trace(mut args: Vec<String>) -> Result<String, String> {
+    let algo = parse_algo(&take(&mut args, "--algo", "addc".to_owned())?)?;
+    let format: TraceFormat = take(&mut args, "--format", "jsonl".to_owned())?.parse()?;
+    let out_path: String = take(&mut args, "--out", String::new())?;
+    let params = scenario_params(&mut args)?;
+    ensure_consumed(&args)?;
+    let scenario = Scenario::generate(&params).map_err(|e| e.to_string())?;
+    let (outcome, log) = scenario.run_traced(algo).map_err(|e| e.to_string())?;
+    let rendered = trace_to_string(&log, format);
+    if out_path.is_empty() {
+        return Ok(rendered);
+    }
+    std::fs::write(&out_path, &rendered).map_err(|e| format!("cannot write {out_path}: {e}"))?;
+    Ok(format!(
+        "wrote {} events ({} dropped) to {out_path}; delivered {}/{} in {:.0} slots\n",
+        log.len(),
+        log.dropped(),
+        outcome.report.packets_delivered,
+        outcome.report.packets_expected,
+        outcome.report.delay_slots,
+    ))
 }
 
 fn cmd_sweep(mut args: Vec<String>) -> Result<String, String> {
@@ -170,7 +200,8 @@ fn cmd_sweep(mut args: Vec<String>) -> Result<String, String> {
         if reps > 0 {
             spec.reps = reps;
         }
-        let records = run_sweep(&spec, threads.max(1), |_, _| {});
+        let records =
+            run_sweep(&spec, SweepOptions::with_threads(threads)).map_err(|e| e.to_string())?;
         let _ = writeln!(out, "## {panel} [{preset}, {} reps]\n", spec.reps);
         let _ = writeln!(out, "{}", markdown_figure(&aggregate(&records)));
     }
@@ -307,6 +338,38 @@ mod tests {
     }
 
     #[test]
+    fn trace_emits_one_delivery_event_per_packet() {
+        let common = ["--sus", "30", "--pus", "3", "--side", "31", "--seed", "3"];
+        let mut trace_args = vec!["trace"];
+        trace_args.extend_from_slice(&common);
+        let trace = run(&trace_args).unwrap();
+        let deliveries = trace
+            .lines()
+            .filter(|l| l.contains("\"event\":\"delivery\""))
+            .count();
+        assert_eq!(deliveries, 30, "{trace}");
+        // And the stream is deterministic: rerunning gives identical bytes.
+        assert_eq!(trace, run(&trace_args).unwrap());
+    }
+
+    #[test]
+    fn trace_csv_has_header_and_rows() {
+        let out = run(&[
+            "trace", "--format", "csv", "--sus", "20", "--pus", "2", "--side", "26",
+        ])
+        .unwrap();
+        let mut lines = out.lines();
+        assert_eq!(lines.next(), Some("time,event,su,peer,outcome,v0,v1"));
+        assert!(lines.next().is_some(), "no data rows: {out}");
+    }
+
+    #[test]
+    fn trace_rejects_unknown_format() {
+        let e = run(&["trace", "--format", "xml"]).unwrap_err();
+        assert!(e.contains("xml"), "{e}");
+    }
+
+    #[test]
     fn run_rejects_unknown_flag() {
         let e = run(&["run", "--bogus", "1"]).unwrap_err();
         assert!(e.contains("unrecognized"), "{e}");
@@ -339,10 +402,7 @@ mod tests {
 
     #[test]
     fn run_with_map_renders_roles() {
-        let out = run(&[
-            "run", "--map", "--sus", "40", "--pus", "4", "--side", "36",
-        ])
-        .unwrap();
+        let out = run(&["run", "--map", "--sus", "40", "--pus", "4", "--side", "36"]).unwrap();
         assert!(out.contains("legend"), "{out}");
         assert!(out.contains('B'), "{out}");
     }

@@ -53,7 +53,13 @@ pub fn coolest_tree(
     sensing_radius: f64,
     duty: f64,
 ) -> Result<CollectionTree, TreeError> {
-    coolest_tree_with(graph, pus, sensing_radius, duty, CoolestStrategy::GreedyLocal)
+    coolest_tree_with(
+        graph,
+        pus,
+        sensing_radius,
+        duty,
+        CoolestStrategy::GreedyLocal,
+    )
 }
 
 /// [`coolest_tree`] with an explicit [`CoolestStrategy`].
@@ -132,7 +138,7 @@ mod tests {
         // detour row is quiet. Coolest should route via the quiet row.
         let region = Region::square(40.0);
         let mut sus = vec![Point::new(2.0, 10.0)]; // bs
-        // hot row (y = 10): nodes 1..4
+                                                   // hot row (y = 10): nodes 1..4
         for i in 1..=4 {
             sus.push(Point::new(2.0 + 6.0 * i as f64, 10.0));
         }
@@ -147,7 +153,11 @@ mod tests {
         // PUs sit on the hot row.
         let pus = pu_index(
             region,
-            vec![Point::new(14.0, 10.0), Point::new(20.0, 10.0), Point::new(26.0, 10.0)],
+            vec![
+                Point::new(14.0, 10.0),
+                Point::new(20.0, 10.0),
+                Point::new(26.0, 10.0),
+            ],
         );
         let tree = coolest_tree(&graph, &pus, 8.0, 0.5).unwrap();
         // Node 9's path to the root should use the cool row (ids 5..=8)
@@ -155,7 +165,10 @@ mod tests {
         let path: Vec<u32> = tree.path_to_root(9).collect();
         let uses_hot = path.iter().any(|&u| (1..=4).contains(&u));
         let uses_cool = path.iter().any(|&u| (5..=8).contains(&u));
-        assert!(uses_cool && !uses_hot, "path {path:?} should avoid the hot row");
+        assert!(
+            uses_cool && !uses_hot,
+            "path {path:?} should avoid the hot row"
+        );
     }
 
     #[test]

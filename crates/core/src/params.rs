@@ -172,8 +172,8 @@ impl ScenarioParamsBuilder {
     pub fn build(&self) -> ScenarioParams {
         let mut params = self.params.clone();
         if let Some(p_t) = self.p_t {
-            params.activity = PuActivity::bernoulli(p_t)
-                .unwrap_or_else(|e| panic!("invalid p_t: {e}"));
+            params.activity =
+                PuActivity::bernoulli(p_t).unwrap_or_else(|e| panic!("invalid p_t: {e}"));
         }
         params.mac.validate();
         params

@@ -1,7 +1,7 @@
 use crate::{coolest_tree, ScenarioParams};
 use crn_geometry::{Deployment, GridIndex, Point, Region};
 use crn_interference::pcr;
-use crn_sim::{SimReport, SimWorld, Simulator, WorldError};
+use crn_sim::{Probe, SimReport, SimWorld, Simulator, TraceLog, WorldError};
 use crn_topology::{CollectionTree, TreeError, TreeKind, UnitDiskGraph};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -131,15 +131,13 @@ impl Scenario {
         let mut rng = StdRng::seed_from_u64(params.seed);
         let attempts = params.max_connectivity_attempts.max(1);
         for _ in 0..attempts {
-            let su_deployment =
-                Deployment::uniform(region, params.num_sus + 1, &mut rng);
+            let su_deployment = Deployment::uniform(region, params.num_sus + 1, &mut rng);
             let graph = UnitDiskGraph::build(&su_deployment, params.phy.su_radius());
             if !graph.is_connected() {
                 continue;
             }
             let pu_deployment = Deployment::uniform(region, params.num_pus, &mut rng);
-            let pu_index =
-                GridIndex::build(pu_deployment.points(), region, params.phy.su_radius());
+            let pu_index = GridIndex::build(pu_deployment.points(), region, params.phy.su_radius());
             let pcr = pcr::carrier_sensing_range(&params.phy, params.pcr_constants);
             return Ok(Self {
                 params: params.clone(),
@@ -229,7 +227,10 @@ impl Scenario {
     pub fn run(&self, algorithm: CollectionAlgorithm) -> Result<CollectionOutcome, ScenarioError> {
         // Distinct from the deployment stream but common to algorithms, so
         // comparisons see the same primary-network behaviour profile.
-        self.run_with_seed(algorithm, self.params.seed.wrapping_add(0x9E37_79B9_7F4A_7C15))
+        self.run_with_seed(
+            algorithm,
+            self.params.seed.wrapping_add(0x9E37_79B9_7F4A_7C15),
+        )
     }
 
     /// Runs **continuous data collection**: `snapshots` rounds of one
@@ -276,15 +277,50 @@ impl Scenario {
         self.run_inner(algorithm, sim_seed, crn_sim::Traffic::Snapshot)
     }
 
+    /// Like [`Scenario::run`], additionally capturing the run's full
+    /// [`TraceLog`] (the simulator's event-level trace). The run uses the
+    /// same derived seed as [`Scenario::run`], so the returned outcome —
+    /// and the delivery events inside the trace — match a plain `run`
+    /// exactly.
+    ///
+    /// # Errors
+    ///
+    /// Propagates tree or world assembly failures.
+    pub fn run_traced(
+        &self,
+        algorithm: CollectionAlgorithm,
+    ) -> Result<(CollectionOutcome, TraceLog), ScenarioError> {
+        self.run_probed(
+            algorithm,
+            self.params.seed.wrapping_add(0x9E37_79B9_7F4A_7C15),
+            crn_sim::Traffic::Snapshot,
+            TraceLog::unbounded(),
+        )
+    }
+
     fn run_inner(
         &self,
         algorithm: CollectionAlgorithm,
         sim_seed: u64,
         traffic: crn_sim::Traffic,
     ) -> Result<CollectionOutcome, ScenarioError> {
+        let (outcome, _noop) = self.run_probed(algorithm, sim_seed, traffic, crn_sim::NoopProbe)?;
+        Ok(outcome)
+    }
+
+    /// Shared run path: builds the world for `algorithm`, attaches
+    /// `probe`, runs, and returns the probe alongside the outcome.
+    fn run_probed<P: Probe>(
+        &self,
+        algorithm: CollectionAlgorithm,
+        sim_seed: u64,
+        traffic: crn_sim::Traffic,
+        probe: P,
+    ) -> Result<(CollectionOutcome, P), ScenarioError> {
         let tree = self.tree(algorithm)?;
-        let parents: Vec<Option<u32>> =
-            (0..self.graph.len() as u32).map(|u| tree.parent(u)).collect();
+        let parents: Vec<Option<u32>> = (0..self.graph.len() as u32)
+            .map(|u| tree.parent(u))
+            .collect();
         // PU protection (sensing the primary network over the PCR) is
         // mandatory for every algorithm; the SU-coordination range is the
         // PCR only for algorithms that have it — the Coolest baseline uses
@@ -296,25 +332,32 @@ impl Scenario {
                     .max(self.params.phy.su_radius())
             }
         };
-        let world = SimWorld::build_with_ranges(
-            self.region,
-            self.su_deployment.points().to_vec(),
-            self.pu_deployment.points().to_vec(),
-            parents,
-            self.params.phy,
-            self.pcr,
-            su_sense,
-        )?;
-        let report: SimReport =
-            Simulator::with_traffic(world, self.params.mac, self.params.activity, sim_seed, traffic)
-                .run();
-        Ok(CollectionOutcome {
-            algorithm,
-            tree_kind: tree.kind(),
-            tree_height: tree.height(),
-            tree_max_degree: tree.max_degree(),
-            report,
-        })
+        let world = SimWorld::builder(self.region)
+            .su_positions(self.su_deployment.points().to_vec())
+            .pu_positions(self.pu_deployment.points().to_vec())
+            .parents(parents)
+            .phy(self.params.phy)
+            .pu_sense_range(self.pcr)
+            .su_sense_range(su_sense)
+            .build()?;
+        let (report, probe): (SimReport, P) = Simulator::builder(world)
+            .mac(self.params.mac)
+            .activity(self.params.activity)
+            .seed(sim_seed)
+            .traffic(traffic)
+            .probe(probe)
+            .build()
+            .run_with_probe();
+        Ok((
+            CollectionOutcome {
+                algorithm,
+                tree_kind: tree.kind(),
+                tree_height: tree.height(),
+                tree_max_degree: tree.max_degree(),
+                report,
+            },
+            probe,
+        ))
     }
 }
 
@@ -434,6 +477,25 @@ mod tests {
             fast.report.peak_queue,
             slow.report.peak_queue
         );
+    }
+
+    #[test]
+    fn traced_run_matches_plain_run() {
+        let s = Scenario::generate(&small_params(8)).unwrap();
+        let plain = s.run(CollectionAlgorithm::Addc).unwrap();
+        let (traced, log) = s.run_traced(CollectionAlgorithm::Addc).unwrap();
+        assert_eq!(plain, traced, "tracing must not perturb the run");
+        // Every delivery in the report appears as a Delivery event at the
+        // recorded first-delivery time.
+        let mut first = vec![None; plain.report.delivery_times.len()];
+        for e in log.events() {
+            if let crn_sim::TraceEventKind::Delivery { origin, .. } = e.kind {
+                if first[origin as usize].is_none() {
+                    first[origin as usize] = Some(e.time);
+                }
+            }
+        }
+        assert_eq!(first, plain.report.delivery_times);
     }
 
     #[test]

@@ -49,7 +49,10 @@ impl Deployment {
     pub fn from_points(region: Region, points: Vec<Point>) -> Self {
         for (i, &p) in points.iter().enumerate() {
             assert!(p.is_finite(), "point {i} is not finite: {p}");
-            assert!(region.contains(p), "point {i} = {p} outside region {region}");
+            assert!(
+                region.contains(p),
+                "point {i} = {p} outside region {region}"
+            );
         }
         Self { region, points }
     }
@@ -144,7 +147,10 @@ mod tests {
             counts[quad(p)] += 1;
         }
         // With 2000 uniform points every quadrant gets a healthy share.
-        assert!(counts.iter().all(|&c| c > 300), "skewed quadrants: {counts:?}");
+        assert!(
+            counts.iter().all(|&c| c > 300),
+            "skewed quadrants: {counts:?}"
+        );
     }
 
     #[test]

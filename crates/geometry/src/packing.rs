@@ -31,7 +31,10 @@ use std::f64::consts::PI;
 /// ```
 #[must_use]
 pub fn beta(x: f64) -> f64 {
-    assert!(x >= 0.0 && x.is_finite(), "beta requires finite x >= 0, got {x}");
+    assert!(
+        x >= 0.0 && x.is_finite(),
+        "beta requires finite x >= 0, got {x}"
+    );
     2.0 * PI * x * x / 3.0_f64.sqrt() + PI * x + 1.0
 }
 
@@ -74,7 +77,10 @@ pub fn hex_layer_max_nodes(l: u32) -> u32 {
 #[must_use]
 pub fn hex_layer_min_distance(l: u32, f: f64) -> f64 {
     assert!(l >= 1, "layers are numbered from 1");
-    assert!(f > 0.0 && f.is_finite(), "spacing must be positive, got {f}");
+    assert!(
+        f > 0.0 && f.is_finite(),
+        "spacing must be positive, got {f}"
+    );
     if l == 1 {
         f
     } else {
@@ -92,7 +98,10 @@ pub fn hex_layer_min_distance(l: u32, f: f64) -> f64 {
 /// Panics if `sep` is not strictly positive or `r_d` is negative.
 #[must_use]
 pub fn hex_lattice(r_d: f64, sep: f64) -> Vec<(f64, f64)> {
-    assert!(sep > 0.0 && sep.is_finite(), "sep must be positive, got {sep}");
+    assert!(
+        sep > 0.0 && sep.is_finite(),
+        "sep must be positive, got {sep}"
+    );
     assert!(r_d >= 0.0 && r_d.is_finite(), "r_d must be >= 0, got {r_d}");
     let mut pts = Vec::new();
     let row_h = sep * 3.0_f64.sqrt() / 2.0;
@@ -100,7 +109,11 @@ pub fn hex_lattice(r_d: f64, sep: f64) -> Vec<(f64, f64)> {
     let cols = (r_d / sep).ceil() as i64 + 1;
     for row in -rows..=rows {
         let y = row as f64 * row_h;
-        let x_off = if row.rem_euclid(2) == 1 { sep / 2.0 } else { 0.0 };
+        let x_off = if row.rem_euclid(2) == 1 {
+            sep / 2.0
+        } else {
+            0.0
+        };
         for col in -cols..=cols {
             let x = col as f64 * sep + x_off;
             if x * x + y * y <= r_d * r_d {

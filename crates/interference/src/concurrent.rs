@@ -73,7 +73,10 @@ pub fn min_margin(params: &PhyParams, links: &[Link]) -> f64 {
 /// Panics if `spacing` or `extent` is not strictly positive.
 #[must_use]
 pub fn worst_case_su_r_set(params: &PhyParams, spacing: f64, extent: f64) -> Vec<Link> {
-    assert!(spacing > 0.0 && extent > 0.0, "spacing and extent must be positive");
+    assert!(
+        spacing > 0.0 && extent > 0.0,
+        "spacing and extent must be positive"
+    );
     let r = params.su_radius();
     let eta = params.su_sir_threshold();
     packing::hex_lattice(extent, spacing)
@@ -133,7 +136,11 @@ mod tests {
         let p = sim_defaults();
         let range = pcr::carrier_sensing_range(&p, PcrConstants::Corrected);
         let links = worst_case_su_r_set(&p, range, range * 6.0);
-        assert!(links.len() > 30, "worst case should be dense ({})", links.len());
+        assert!(
+            links.len() > 30,
+            "worst case should be dense ({})",
+            links.len()
+        );
         let margin = min_margin(&p, &links);
         assert!(
             margin >= 1.0,

@@ -322,9 +322,24 @@ mod tests {
     #[test]
     fn non_positive_values_rejected() {
         let err = PhyParams::builder().su_power(0.0).build().unwrap_err();
-        assert!(matches!(err, ParamError::NotPositive { name: "su_power", .. }));
-        let err = PhyParams::builder().pu_radius(f64::NAN).build().unwrap_err();
-        assert!(matches!(err, ParamError::NotPositive { name: "pu_radius", .. }));
+        assert!(matches!(
+            err,
+            ParamError::NotPositive {
+                name: "su_power",
+                ..
+            }
+        ));
+        let err = PhyParams::builder()
+            .pu_radius(f64::NAN)
+            .build()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ParamError::NotPositive {
+                name: "pu_radius",
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -344,14 +359,21 @@ mod tests {
 
     #[test]
     fn max_power_picks_larger() {
-        let p = PhyParams::builder().pu_power(5.0).su_power(15.0).build().unwrap();
+        let p = PhyParams::builder()
+            .pu_power(5.0)
+            .su_power(15.0)
+            .build()
+            .unwrap();
         assert_eq!(p.max_power(), 15.0);
     }
 
     #[test]
     fn error_messages_render() {
         assert!(!ParamError::AlphaOutOfRange(1.0).to_string().is_empty());
-        let e = ParamError::NotPositive { name: "x", value: -1.0 };
+        let e = ParamError::NotPositive {
+            name: "x",
+            value: -1.0,
+        };
         assert!(e.to_string().contains('x'));
     }
 }

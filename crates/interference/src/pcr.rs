@@ -76,8 +76,7 @@ pub fn c2(alpha: f64, constants: PcrConstants) -> f64 {
 #[must_use]
 pub fn kappa_primary(params: &PhyParams, constants: PcrConstants) -> f64 {
     let c2 = c2(params.alpha(), constants);
-    let base = 1.0
-        + (c2 * params.pu_sir_threshold() / c1(params)).powf(1.0 / params.alpha());
+    let base = 1.0 + (c2 * params.pu_sir_threshold() / c1(params)).powf(1.0 / params.alpha());
     base * params.pu_radius() / params.su_radius()
 }
 
@@ -121,7 +120,11 @@ mod tests {
 
     #[test]
     fn c1_c3_bounded_by_one() {
-        let p = PhyParams::builder().pu_power(5.0).su_power(20.0).build().unwrap();
+        let p = PhyParams::builder()
+            .pu_power(5.0)
+            .su_power(20.0)
+            .build()
+            .unwrap();
         assert!((c1(&p) - 0.25).abs() < 1e-12);
         assert!((c3(&p) - 1.0).abs() < 1e-12);
     }
@@ -171,8 +174,7 @@ mod tests {
             let p3 = PhyParams::builder().alpha(3.0).build().unwrap();
             let p4 = PhyParams::builder().alpha(4.0).build().unwrap();
             assert!(
-                carrier_sensing_range(&p3, constants)
-                    > carrier_sensing_range(&p4, constants),
+                carrier_sensing_range(&p3, constants) > carrier_sensing_range(&p4, constants),
                 "PCR(alpha=3) must exceed PCR(alpha=4) under {constants:?}"
             );
         }
@@ -187,8 +189,14 @@ mod tests {
         let variants = [
             PhyParams::builder().pu_power(20.0).build().unwrap(),
             PhyParams::builder().su_power(20.0).build().unwrap(),
-            PhyParams::builder().pu_sir_threshold_db(13.0).build().unwrap(),
-            PhyParams::builder().su_sir_threshold_db(13.0).build().unwrap(),
+            PhyParams::builder()
+                .pu_sir_threshold_db(13.0)
+                .build()
+                .unwrap(),
+            PhyParams::builder()
+                .su_sir_threshold_db(13.0)
+                .build()
+                .unwrap(),
         ];
         for p in variants {
             assert!(
@@ -204,8 +212,7 @@ mod tests {
         for constants in [PcrConstants::Paper, PcrConstants::Corrected] {
             let k = kappa(&p, constants);
             assert!(
-                (k - kappa_primary(&p, constants).max(kappa_secondary(&p, constants)))
-                    .abs()
+                (k - kappa_primary(&p, constants).max(kappa_secondary(&p, constants))).abs()
                     < 1e-12
             );
         }
@@ -238,8 +245,16 @@ mod tests {
 
     #[test]
     fn carrier_sensing_range_scales_with_r() {
-        let a = PhyParams::builder().su_radius(10.0).pu_radius(10.0).build().unwrap();
-        let b = PhyParams::builder().su_radius(20.0).pu_radius(20.0).build().unwrap();
+        let a = PhyParams::builder()
+            .su_radius(10.0)
+            .pu_radius(10.0)
+            .build()
+            .unwrap();
+        let b = PhyParams::builder()
+            .su_radius(20.0)
+            .pu_radius(20.0)
+            .build()
+            .unwrap();
         let ra = carrier_sensing_range(&a, PcrConstants::Corrected);
         let rb = carrier_sensing_range(&b, PcrConstants::Corrected);
         assert!((rb / ra - 2.0).abs() < 1e-9);

@@ -180,8 +180,7 @@ mod tests {
             Transmitter::new(Point::new(0.0, 10.0), 5.0),
         ];
         let i = interference_at(&p, rx, &txs, 0);
-        let expected =
-            p.received_power(10.0, 10.0) + p.received_power(5.0, 10.0);
+        let expected = p.received_power(10.0, 10.0) + p.received_power(5.0, 10.0);
         assert!((i - expected).abs() < 1e-12);
     }
 
@@ -205,8 +204,8 @@ mod tests {
         let p = params();
         let rx = Point::ORIGIN;
         let txs = [
-            Transmitter::new(Point::new(2.0, 0.0), 10.0),  // strong (close)
-            Transmitter::new(Point::new(8.0, 0.0), 10.0),  // weak
+            Transmitter::new(Point::new(2.0, 0.0), 10.0), // strong (close)
+            Transmitter::new(Point::new(8.0, 0.0), 10.0), // weak
         ];
         // Both address the receiver; the close one captures.
         let got = capture(&p, rx, &txs, &[0, 1], p.su_sir_threshold());

@@ -48,8 +48,7 @@ pub(crate) const MAX_BACKOFF_EXP: u32 = 6;
 /// *continuous data collection* setting of the authors' companion work
 /// (repeated snapshots at a fixed interval), which is how the achievable
 /// data collection **capacity** is exercised in steady state.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize, Default)]
 pub enum Traffic {
     /// One packet per SU at `t = 0` (the paper's data collection task).
     #[default]
@@ -62,7 +61,6 @@ pub enum Traffic {
         snapshots: u32,
     },
 }
-
 
 impl Traffic {
     /// Number of snapshot rounds.
@@ -81,7 +79,11 @@ impl Traffic {
     /// Panics if a periodic interval is not strictly positive or the
     /// snapshot count is zero.
     pub fn validate(&self) {
-        if let Traffic::Periodic { interval, snapshots } = *self {
+        if let Traffic::Periodic {
+            interval,
+            snapshots,
+        } = *self
+        {
             assert!(
                 interval > 0.0 && interval.is_finite(),
                 "periodic interval must be positive, got {interval}"

@@ -1,4 +1,5 @@
 use crate::event::{EventKind, EventQueue};
+use crate::probe::{NoopProbe, Probe, TraceEvent, TraceEventKind, TxOutcome};
 use crate::report::NodeStats;
 use crate::{MacConfig, SimReport, SimWorld, Traffic};
 use crn_spectrum::PuActivity;
@@ -64,15 +65,23 @@ struct ActiveTx {
 /// The asynchronous discrete-event simulator of Algorithm 1's MAC over a
 /// [`SimWorld`].
 ///
-/// Construct with [`Simulator::new`] and consume with [`Simulator::run`].
-/// Runs are deterministic in `(world, config, activity, seed)`.
+/// Construct with [`Simulator::builder`] and consume with
+/// [`Simulator::run`] (or [`Simulator::run_with_probe`] to recover an
+/// attached [`Probe`]). Runs are deterministic in
+/// `(world, config, activity, seed)`; the probe observes the run but
+/// never influences it.
+///
+/// The probe type parameter defaults to [`NoopProbe`], whose empty
+/// `on_event` monomorphizes every emission site away — an uninstrumented
+/// simulator costs exactly what it did before probes existed.
 #[derive(Debug)]
-pub struct Simulator {
+pub struct Simulator<P: Probe = NoopProbe> {
     world: SimWorld,
     mac: MacConfig,
     activity: PuActivity,
     traffic: Traffic,
     rng: StdRng,
+    probe: P,
 
     queue: EventQueue,
     now: f64,
@@ -110,7 +119,119 @@ pub struct Simulator {
     events_processed: u64,
 }
 
+/// Fluent constructor for [`Simulator`], started by
+/// [`Simulator::builder`].
+///
+/// Unset fields default to [`MacConfig::default`], a silent primary
+/// network (`p_t = 0`), seed `0`, the paper's single-snapshot task, and
+/// the cost-free [`NoopProbe`]. Attaching a probe with
+/// [`SimulatorBuilder::probe`] changes the simulator's type parameter, so
+/// instrumentation is selected at compile time.
+///
+/// ```
+/// use crn_geometry::{Point, Region};
+/// use crn_sim::{Simulator, SimWorld, TraceLog};
+///
+/// let world = SimWorld::builder(Region::square(60.0))
+///     .su_positions(vec![Point::new(5.0, 5.0), Point::new(12.0, 5.0)])
+///     .parents(vec![None, Some(0)])
+///     .sense_range(25.0)
+///     .build()
+///     .expect("valid world");
+/// let (report, trace) = Simulator::builder(world)
+///     .seed(7)
+///     .probe(TraceLog::unbounded())
+///     .build()
+///     .run_with_probe();
+/// assert!(report.finished);
+/// assert!(!trace.is_empty());
+/// ```
+#[derive(Debug)]
+pub struct SimulatorBuilder<P: Probe = NoopProbe> {
+    world: SimWorld,
+    mac: MacConfig,
+    activity: PuActivity,
+    seed: u64,
+    traffic: Traffic,
+    probe: P,
+}
+
+impl<P: Probe> SimulatorBuilder<P> {
+    /// MAC configuration (defaults to [`MacConfig::default`]).
+    #[must_use]
+    pub fn mac(mut self, mac: MacConfig) -> Self {
+        self.mac = mac;
+        self
+    }
+
+    /// PU activity model (defaults to a silent primary network).
+    #[must_use]
+    pub fn activity(mut self, activity: PuActivity) -> Self {
+        self.activity = activity;
+        self
+    }
+
+    /// RNG seed (defaults to 0).
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Traffic model (defaults to [`Traffic::Snapshot`], the paper's
+    /// single collection task).
+    #[must_use]
+    pub fn traffic(mut self, traffic: Traffic) -> Self {
+        self.traffic = traffic;
+        self
+    }
+
+    /// Attaches `probe`, replacing any previously attached one (the
+    /// builder's probe type parameter changes with it).
+    #[must_use]
+    pub fn probe<Q: Probe>(self, probe: Q) -> SimulatorBuilder<Q> {
+        SimulatorBuilder {
+            world: self.world,
+            mac: self.mac,
+            activity: self.activity,
+            seed: self.seed,
+            traffic: self.traffic,
+            probe,
+        }
+    }
+
+    /// Constructs the simulator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the MAC configuration or traffic model fail validation.
+    #[must_use]
+    pub fn build(self) -> Simulator<P> {
+        Simulator::construct(
+            self.world,
+            self.mac,
+            self.activity,
+            self.seed,
+            self.traffic,
+            self.probe,
+        )
+    }
+}
+
 impl Simulator {
+    /// Starts a [`SimulatorBuilder`] over `world`.
+    #[must_use]
+    pub fn builder(world: SimWorld) -> SimulatorBuilder {
+        SimulatorBuilder {
+            world,
+            mac: MacConfig::default(),
+            activity: PuActivity::bernoulli(0.0).expect("p_t = 0 is valid"),
+            seed: 0,
+            traffic: Traffic::Snapshot,
+            probe: NoopProbe,
+        }
+    }
+
     /// Creates a simulator over `world` with the given MAC configuration,
     /// PU activity model, and RNG seed, running the paper's single
     /// snapshot task.
@@ -118,17 +239,22 @@ impl Simulator {
     /// # Panics
     ///
     /// Panics if `mac` fails [`MacConfig::validate`].
+    #[deprecated(since = "0.2.0", note = "use Simulator::builder(world) instead")]
     #[must_use]
     pub fn new(world: SimWorld, mac: MacConfig, activity: PuActivity, seed: u64) -> Self {
-        Self::with_traffic(world, mac, activity, seed, Traffic::Snapshot)
+        Self::construct(world, mac, activity, seed, Traffic::Snapshot, NoopProbe)
     }
 
-    /// Like [`Simulator::new`], with an explicit [`Traffic`] model
+    /// Like `Simulator::new`, with an explicit [`Traffic`] model
     /// (periodic traffic exercises continuous data collection capacity).
     ///
     /// # Panics
     ///
     /// Panics if `mac` or `traffic` fail validation.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use Simulator::builder(world).traffic(..) instead"
+    )]
     #[must_use]
     pub fn with_traffic(
         world: SimWorld,
@@ -136,6 +262,19 @@ impl Simulator {
         activity: PuActivity,
         seed: u64,
         traffic: Traffic,
+    ) -> Self {
+        Self::construct(world, mac, activity, seed, traffic, NoopProbe)
+    }
+}
+
+impl<P: Probe> Simulator<P> {
+    fn construct(
+        world: SimWorld,
+        mac: MacConfig,
+        activity: PuActivity,
+        seed: u64,
+        traffic: Traffic,
+        probe: P,
     ) -> Self {
         mac.validate();
         traffic.validate();
@@ -186,13 +325,31 @@ impl Simulator {
             node_stats: vec![NodeStats::default(); n],
             events_processed: 0,
             world,
+            probe,
         }
+    }
+
+    /// Emits a trace event at the current simulation time. With the
+    /// default [`NoopProbe`] this inlines to nothing.
+    #[inline]
+    fn emit(&mut self, kind: TraceEventKind) {
+        self.probe.on_event(&TraceEvent {
+            time: self.now,
+            kind,
+        });
     }
 
     /// Runs the data collection task to completion (every snapshot packet
     /// at the base station) or to the configured time cap, and reports.
     #[must_use]
-    pub fn run(mut self) -> SimReport {
+    pub fn run(self) -> SimReport {
+        self.run_with_probe().0
+    }
+
+    /// Like [`Simulator::run`], additionally returning the attached
+    /// [`Probe`] so its accumulated observations can be read back.
+    #[must_use]
+    pub fn run_with_probe(mut self) -> (SimReport, P) {
         self.initialize();
         while self.finished_at.is_none() {
             let Some((time, kind)) = self.queue.pop() else {
@@ -212,25 +369,36 @@ impl Simulator {
                 EventKind::SnapshotTick { index } => self.on_snapshot_tick(index),
             }
         }
-        self.report()
+        let end = self.finished_at.unwrap_or(self.mac.max_sim_time);
+        self.probe.on_finish(end);
+        let report = self.report();
+        (report, self.probe)
     }
 
     fn initialize(&mut self) {
         // Stationary PU states for slot 0.
-        let initial = self.activity.initial_states(self.world.num_pus(), &mut self.rng);
+        let initial = self
+            .activity
+            .initial_states(self.world.num_pus(), &mut self.rng);
         for (k, on) in initial.into_iter().enumerate() {
             if on {
                 self.set_pu_on(k);
             }
         }
         if self.world.num_pus() > 0 {
-            self.queue.push(self.mac.slot, EventKind::PuSlot { index: 1 });
+            self.queue
+                .push(self.mac.slot, EventKind::PuSlot { index: 1 });
         }
         // Snapshot 0: every SU except the base station produces a packet.
         self.generate_snapshot();
-        if let Traffic::Periodic { interval, snapshots } = self.traffic {
+        if let Traffic::Periodic {
+            interval,
+            snapshots,
+        } = self.traffic
+        {
             if snapshots > 1 {
-                self.queue.push(interval, EventKind::SnapshotTick { index: 1 });
+                self.queue
+                    .push(interval, EventKind::SnapshotTick { index: 1 });
             }
         }
         if self.packets_expected == 0 {
@@ -250,6 +418,10 @@ impl Simulator {
             self.peak_queue = self.peak_queue.max(qlen);
             let ns = &mut self.node_stats[su as usize];
             ns.peak_queue = ns.peak_queue.max(qlen as u32);
+            self.emit(TraceEventKind::QueueDepth {
+                su,
+                depth: qlen as u32,
+            });
             if self.su[su as usize].phase == Phase::Idle {
                 self.start_round(su);
             }
@@ -258,7 +430,11 @@ impl Simulator {
 
     fn on_snapshot_tick(&mut self, index: u32) {
         self.generate_snapshot();
-        if let Traffic::Periodic { interval, snapshots } = self.traffic {
+        if let Traffic::Periodic {
+            interval,
+            snapshots,
+        } = self.traffic
+        {
             if index + 1 < snapshots {
                 self.queue.push(
                     f64::from(index + 1) * interval,
@@ -283,6 +459,7 @@ impl Simulator {
                 let remaining = (expiry - self.now).max(0.0);
                 self.su[su as usize].gen += 1;
                 self.su[su as usize].phase = Phase::Frozen { remaining };
+                self.emit(TraceEventKind::BackoffFreeze { su, remaining });
             }
         } else if let Phase::Frozen { remaining } = self.su[su as usize].phase {
             // Channel cleared: resume the countdown.
@@ -291,7 +468,9 @@ impl Simulator {
             let expiry = self.now + remaining;
             s.phase = Phase::CountingDown { expiry };
             let gen = s.gen;
-            self.queue.push(expiry, EventKind::BackoffExpire { su, gen });
+            self.queue
+                .push(expiry, EventKind::BackoffExpire { su, gen });
+            self.emit(TraceEventKind::BackoffResume { su, remaining });
         }
     }
 
@@ -335,7 +514,9 @@ impl Simulator {
     fn start_round(&mut self, su: u32) {
         debug_assert!(!self.su[su as usize].queue.is_empty());
         let exp = if self.mac.collision_backoff {
-            self.su[su as usize].cw_exp.min(crate::config::MAX_BACKOFF_EXP)
+            self.su[su as usize]
+                .cw_exp
+                .min(crate::config::MAX_BACKOFF_EXP)
         } else {
             0
         };
@@ -346,14 +527,17 @@ impl Simulator {
         s.t_i = t_i;
         s.cw = cw;
         s.gen += 1;
+        self.emit(TraceEventKind::BackoffStart { su, t_i, cw });
         if self.channel_free(su) {
             let expiry = self.now + t_i;
             let s = &mut self.su[su as usize];
             s.phase = Phase::CountingDown { expiry };
             let gen = s.gen;
-            self.queue.push(expiry, EventKind::BackoffExpire { su, gen });
+            self.queue
+                .push(expiry, EventKind::BackoffExpire { su, gen });
         } else {
             self.su[su as usize].phase = Phase::Frozen { remaining: t_i };
+            self.emit(TraceEventKind::BackoffFreeze { su, remaining: t_i });
         }
     }
 
@@ -361,7 +545,10 @@ impl Simulator {
         if self.su[su as usize].gen != gen {
             return; // stale (frozen/cancelled since scheduling)
         }
-        debug_assert!(matches!(self.su[su as usize].phase, Phase::CountingDown { .. }));
+        debug_assert!(matches!(
+            self.su[su as usize].phase,
+            Phase::CountingDown { .. }
+        ));
         debug_assert!(self.channel_free(su), "expiry while channel busy at {su}");
         self.begin_tx(su);
     }
@@ -428,6 +615,7 @@ impl Simulator {
         self.active.push(tx);
         self.attempts += 1;
         self.node_stats[su as usize].attempts += 1;
+        self.emit(TraceEventKind::TxStart { su, rx });
 
         // Neighbors now sense a busy channel.
         let hears: &[u32] = self.world.su_hears_su(su);
@@ -471,8 +659,7 @@ impl Simulator {
         // Stop interfering with the remaining receptions.
         let p_s = self.world.phy().su_power();
         for a in &mut self.active {
-            a.interference =
-                (a.interference - p_s * self.world.su_gain(su, a.rx_slot)).max(0.0);
+            a.interference = (a.interference - p_s * self.world.su_gain(su, a.rx_slot)).max(0.0);
         }
 
         // Release the receiver lock if we still hold it.
@@ -489,18 +676,29 @@ impl Simulator {
         }
 
         let success = !aborted && held_lock && !tx.failed_sir && !tx.failed_capture;
-        if aborted {
+        let outcome = if aborted {
             self.pu_aborts += 1;
             self.node_stats[su as usize].pu_aborts += 1;
+            TxOutcome::PuAbort
         } else if tx.failed_capture {
             self.capture_losses += 1;
+            TxOutcome::CaptureLoss
         } else if tx.failed_sir {
             self.sir_failures += 1;
             self.node_stats[su as usize].sir_failures += 1;
-        }
-        if success {
+            TxOutcome::SirLoss
+        } else {
+            // Losing the receiver lock without a capture failure is
+            // impossible: the stealing transmitter marks us failed.
+            debug_assert!(success, "lock lost without a recorded capture loss");
             self.node_stats[su as usize].successes += 1;
-        }
+            TxOutcome::Success
+        };
+        self.emit(TraceEventKind::TxEnd {
+            su,
+            rx: tx.rx,
+            outcome,
+        });
         // Collision resolution: collisions widen the window, success
         // resets it, spectrum handoffs leave it unchanged.
         if success {
@@ -521,8 +719,14 @@ impl Simulator {
             self.service_max = self.service_max.max(service);
             self.service_count += 1;
             self.su[su as usize].head_since = self.now;
+            let depth = self.su[su as usize].queue.len() as u32;
+            self.emit(TraceEventKind::QueueDepth { su, depth });
             if tx.rx == 0 {
                 self.delivered += 1;
+                self.emit(TraceEventKind::Delivery {
+                    origin: packet.origin,
+                    via: su,
+                });
                 // Record the first delivery per origin (snapshot 0 for
                 // periodic traffic), which fairness metrics read.
                 if self.delivery_times[packet.origin as usize].is_none() {
@@ -538,6 +742,10 @@ impl Simulator {
                 self.peak_queue = self.peak_queue.max(qlen);
                 let ns = &mut self.node_stats[tx.rx as usize];
                 ns.peak_queue = ns.peak_queue.max(qlen as u32);
+                self.emit(TraceEventKind::QueueDepth {
+                    su: tx.rx,
+                    depth: qlen as u32,
+                });
                 if was_empty {
                     self.su[tx.rx as usize].head_since = self.now;
                 }
@@ -549,16 +757,17 @@ impl Simulator {
 
         // Fairness wait, then the next round (Algorithm 1 line 12); the
         // wait completes the round's contention window.
-        let s = &mut self.su[su as usize];
         if self.mac.fairness_wait {
+            let s = &mut self.su[su as usize];
             s.phase = Phase::Waiting;
             s.gen += 1;
             let gen = s.gen;
             let wait = (s.cw - s.t_i).max(0.0);
             self.queue
                 .push(self.now + wait, EventKind::WaitEnd { su, gen });
-        } else if s.queue.is_empty() {
-            s.phase = Phase::Idle;
+            self.emit(TraceEventKind::FairnessWait { su, wait });
+        } else if self.su[su as usize].queue.is_empty() {
+            self.su[su as usize].phase = Phase::Idle;
         } else {
             self.start_round(su);
         }
@@ -662,7 +871,7 @@ impl Simulator {
 
     // ------------------------------------------------------------------
 
-    fn report(self) -> SimReport {
+    fn report(&mut self) -> SimReport {
         let finished = self.finished_at.is_some();
         let delay = self.finished_at.unwrap_or(self.mac.max_sim_time);
         SimReport {
@@ -671,14 +880,14 @@ impl Simulator {
             delay_slots: delay / self.mac.slot,
             packets_expected: self.packets_expected,
             packets_delivered: self.delivered,
-            delivery_times: self.delivery_times,
+            delivery_times: std::mem::take(&mut self.delivery_times),
             attempts: self.attempts,
             successes: self.successes,
             pu_aborts: self.pu_aborts,
             sir_failures: self.sir_failures,
             capture_losses: self.capture_losses,
             peak_queue: self.peak_queue,
-            node_stats: self.node_stats,
+            node_stats: std::mem::take(&mut self.node_stats),
             mean_service_time: if self.service_count == 0 {
                 0.0
             } else {
@@ -709,13 +918,24 @@ mod tests {
             .map(|i| if i == 0 { None } else { Some(i as u32 - 1) })
             .collect();
         let side = (10.0 + 7.0 * len as f64).max(60.0);
-        SimWorld::build(Region::square(side), sus, pus, parents, phy(), 25.0).unwrap()
+        SimWorld::builder(Region::square(side))
+            .su_positions(sus)
+            .pu_positions(pus)
+            .parents(parents)
+            .phy(phy())
+            .sense_range(25.0)
+            .build()
+            .unwrap()
     }
 
     fn run_chain(len: usize, pus: Vec<Point>, p_t: f64, seed: u64) -> SimReport {
         let world = chain_world(len, pus);
         let activity = PuActivity::bernoulli(p_t).unwrap();
-        Simulator::new(world, MacConfig::default(), activity, seed).run()
+        Simulator::builder(world)
+            .activity(activity)
+            .seed(seed)
+            .build()
+            .run()
     }
 
     #[test]
@@ -764,7 +984,12 @@ mod tests {
             max_sim_time: 0.2, // keep the run short
             ..MacConfig::default()
         };
-        let r = Simulator::new(world, mac, activity, 7).run();
+        let r = Simulator::builder(world)
+            .mac(mac)
+            .activity(activity)
+            .seed(7)
+            .build()
+            .run();
         assert!(!r.finished);
         assert_eq!(r.packets_delivered, 0);
         assert_eq!(r.attempts, 0, "no SU should ever find an opportunity");
@@ -790,7 +1015,15 @@ mod tests {
             ..MacConfig::default()
         };
         let total_aborts: u64 = (0..8)
-            .map(|seed| Simulator::new(world.clone(), mac, activity, seed).run().pu_aborts)
+            .map(|seed| {
+                Simulator::builder(world.clone())
+                    .mac(mac)
+                    .activity(activity)
+                    .seed(seed)
+                    .build()
+                    .run()
+                    .pu_aborts
+            })
             .sum();
         assert!(
             total_aborts > 0,
@@ -852,13 +1085,25 @@ mod tests {
             ..MacConfig::default()
         };
         let activity = PuActivity::bernoulli(0.3).unwrap();
-        let full: u64 = (0..5)
-            .map(|s| Simulator::new(world_full.clone(), mac_full, activity, s).run().pu_aborts)
-            .sum();
-        let half: u64 = (0..5)
-            .map(|s| Simulator::new(world_half.clone(), mac_half, activity, s).run().pu_aborts)
-            .sum();
-        assert!(full > half, "full-slot airtime aborts {full} <= half-slot {half}");
+        let aborts = |world: &SimWorld, mac: MacConfig| -> u64 {
+            (0..5)
+                .map(|s| {
+                    Simulator::builder(world.clone())
+                        .mac(mac)
+                        .activity(activity)
+                        .seed(s)
+                        .build()
+                        .run()
+                        .pu_aborts
+                })
+                .sum()
+        };
+        let full = aborts(&world_full, mac_full);
+        let half = aborts(&world_half, mac_half);
+        assert!(
+            full > half,
+            "full-slot airtime aborts {full} <= half-slot {half}"
+        );
     }
 
     #[test]
@@ -871,17 +1116,17 @@ mod tests {
             let a = i as f64 * std::f64::consts::TAU / k as f64;
             sus.push(Point::new(25.0 + 8.0 * a.cos(), 25.0 + 8.0 * a.sin()));
         }
-        let parents: Vec<Option<u32>> =
-            std::iter::once(None).chain((0..k).map(|_| Some(0))).collect();
-        let world =
-            SimWorld::build(Region::square(50.0), sus, vec![], parents, phy(), 25.0).unwrap();
-        let r = Simulator::new(
-            world,
-            MacConfig::default(),
-            PuActivity::bernoulli(0.0).unwrap(),
-            3,
-        )
-        .run();
+        let parents: Vec<Option<u32>> = std::iter::once(None)
+            .chain((0..k).map(|_| Some(0)))
+            .collect();
+        let world = SimWorld::builder(Region::square(50.0))
+            .su_positions(sus)
+            .parents(parents)
+            .phy(phy())
+            .sense_range(25.0)
+            .build()
+            .unwrap();
+        let r = Simulator::builder(world).seed(3).build().run();
         assert!(r.finished);
         assert_eq!(r.packets_delivered, k);
         let jain = r.jain_fairness().unwrap();
@@ -902,7 +1147,7 @@ mod tests {
             check_sir: false,
             ..MacConfig::default()
         };
-        let r = Simulator::new(world, mac, PuActivity::bernoulli(0.0).unwrap(), 1).run();
+        let r = Simulator::builder(world).mac(mac).seed(1).build().run();
         assert!(r.finished);
         assert_eq!(r.sir_failures, 0);
     }
@@ -914,29 +1159,25 @@ mod tests {
             fairness_wait: false,
             ..MacConfig::default()
         };
-        let r = Simulator::new(world, mac, PuActivity::bernoulli(0.0).unwrap(), 1).run();
+        let r = Simulator::builder(world).mac(mac).seed(1).build().run();
         assert!(r.finished);
         assert_eq!(r.packets_delivered, 3);
     }
 
     #[test]
     fn only_base_station_world_finishes_instantly() {
-        let world = SimWorld::build(
-            Region::square(10.0),
-            vec![Point::new(5.0, 5.0)],
-            vec![],
-            vec![None],
-            phy(),
-            25.0,
-        )
-        .unwrap();
-        let r = Simulator::new(
-            world,
-            MacConfig::default(),
-            PuActivity::bernoulli(0.5).unwrap(),
-            1,
-        )
-        .run();
+        let world = SimWorld::builder(Region::square(10.0))
+            .su_positions(vec![Point::new(5.0, 5.0)])
+            .parents(vec![None])
+            .phy(phy())
+            .sense_range(25.0)
+            .build()
+            .unwrap();
+        let r = Simulator::builder(world)
+            .activity(PuActivity::bernoulli(0.5).unwrap())
+            .seed(1)
+            .build()
+            .run();
         assert!(r.finished);
         assert_eq!(r.packets_expected, 0);
         assert_eq!(r.delay, 0.0);
@@ -949,14 +1190,11 @@ mod tests {
             interval: 0.05,
             snapshots: 3,
         };
-        let r = Simulator::with_traffic(
-            world,
-            MacConfig::default(),
-            PuActivity::bernoulli(0.0).unwrap(),
-            5,
-            traffic,
-        )
-        .run();
+        let r = Simulator::builder(world)
+            .seed(5)
+            .traffic(traffic)
+            .build()
+            .run();
         assert!(r.finished);
         assert_eq!(r.packets_expected, 9);
         assert_eq!(r.packets_delivered, 9);
@@ -979,15 +1217,18 @@ mod tests {
             max_sim_time: 10.0,
             ..MacConfig::default()
         };
-        let r = Simulator::with_traffic(
-            world,
-            mac,
-            PuActivity::bernoulli(0.4).unwrap(),
-            9,
-            traffic,
-        )
-        .run();
-        assert!(r.peak_queue >= 2, "expected accumulation, got {}", r.peak_queue);
+        let r = Simulator::builder(world)
+            .mac(mac)
+            .activity(PuActivity::bernoulli(0.4).unwrap())
+            .seed(9)
+            .traffic(traffic)
+            .build()
+            .run();
+        assert!(
+            r.peak_queue >= 2,
+            "expected accumulation, got {}",
+            r.peak_queue
+        );
     }
 
     #[test]
@@ -1002,16 +1243,13 @@ mod tests {
     #[should_panic(expected = "interval")]
     fn bad_periodic_interval_rejected() {
         let world = chain_world(2, vec![]);
-        let _ = Simulator::with_traffic(
-            world,
-            MacConfig::default(),
-            PuActivity::bernoulli(0.0).unwrap(),
-            1,
-            Traffic::Periodic {
+        let _ = Simulator::builder(world)
+            .seed(1)
+            .traffic(Traffic::Periodic {
                 interval: 0.0,
                 snapshots: 2,
-            },
-        );
+            })
+            .build();
     }
 
     #[test]
@@ -1037,29 +1275,24 @@ mod tests {
             Point::new(21.0, 30.0),
             Point::new(39.0, 30.0),
         ];
-        SimWorld::build_with_ranges(
-            Region::square(60.0),
-            sus,
-            vec![],
-            vec![None, Some(0), Some(0)],
-            phy(),
-            25.0,
-            10.0,
-        )
-        .unwrap()
+        SimWorld::builder(Region::square(60.0))
+            .su_positions(sus)
+            .parents(vec![None, Some(0), Some(0)])
+            .phy(phy())
+            .pu_sense_range(25.0)
+            .su_sense_range(10.0)
+            .build()
+            .unwrap()
     }
 
     #[test]
     fn hidden_terminals_collide_and_eventually_resolve() {
         let mut total_losses = 0;
         for seed in 0..10 {
-            let r = Simulator::new(
-                hidden_terminal_world(),
-                MacConfig::default(),
-                PuActivity::bernoulli(0.0).unwrap(),
-                seed,
-            )
-            .run();
+            let r = Simulator::builder(hidden_terminal_world())
+                .seed(seed)
+                .build()
+                .run();
             assert!(r.finished, "BEB must resolve the collision (seed {seed})");
             assert_eq!(r.packets_delivered, 2);
             total_losses += r.sir_failures + r.capture_losses;
@@ -1079,26 +1312,18 @@ mod tests {
             Point::new(20.5, 30.0), // far child: distance 9.5
             Point::new(33.0, 30.0), // near child: distance 3
         ];
-        let world = SimWorld::build_with_ranges(
-            Region::square(60.0),
-            sus,
-            vec![],
-            vec![None, Some(0), Some(0)],
-            phy(),
-            25.0,
-            10.0,
-        )
-        .unwrap();
+        let world = SimWorld::builder(Region::square(60.0))
+            .su_positions(sus)
+            .parents(vec![None, Some(0), Some(0)])
+            .phy(phy())
+            .pu_sense_range(25.0)
+            .su_sense_range(10.0)
+            .build()
+            .unwrap();
         let mut near_first = 0;
         let mut far_first = 0;
         for seed in 0..20 {
-            let r = Simulator::new(
-                world.clone(),
-                MacConfig::default(),
-                PuActivity::bernoulli(0.0).unwrap(),
-                seed,
-            )
-            .run();
+            let r = Simulator::builder(world.clone()).seed(seed).build().run();
             assert!(r.finished);
             let t1 = r.delivery_times[1].unwrap();
             let t2 = r.delivery_times[2].unwrap();
@@ -1127,13 +1352,11 @@ mod tests {
         let world = chain_world(3, vec![]);
         let mac = MacConfig::default();
         for seed in 0..10 {
-            let r = Simulator::new(
-                world.clone(),
-                mac,
-                PuActivity::bernoulli(0.0).unwrap(),
-                seed,
-            )
-            .run();
+            let r = Simulator::builder(world.clone())
+                .mac(mac)
+                .seed(seed)
+                .build()
+                .run();
             assert!(r.finished);
             // worst case: cw + air + wait + cw + air + wait + cw + air
             let bound = 3.0 * mac.contention_window * 2.0 + 3.0 * mac.airtime;
@@ -1160,22 +1383,14 @@ mod tests {
             Point::new(68.0, 50.0),
         ];
         let parents = vec![None, Some(0), Some(1), Some(0), Some(3)];
-        let world = SimWorld::build(
-            Region::square(100.0),
-            sus,
-            vec![],
-            parents,
-            phy(),
-            25.0,
-        )
-        .unwrap();
-        let r = Simulator::new(
-            world,
-            MacConfig::default(),
-            PuActivity::bernoulli(0.0).unwrap(),
-            3,
-        )
-        .run();
+        let world = SimWorld::builder(Region::square(100.0))
+            .su_positions(sus)
+            .parents(parents)
+            .phy(phy())
+            .sense_range(25.0)
+            .build()
+            .unwrap();
+        let r = Simulator::builder(world).seed(3).build().run();
         assert!(r.finished);
         assert_eq!(r.packets_delivered, 4);
     }
@@ -1190,9 +1405,194 @@ mod tests {
             max_sim_time: 2.0 * MacConfig::default().max_sim_time,
             ..MacConfig::default()
         };
-        let a = Simulator::new(world.clone(), mac_short, PuActivity::bernoulli(0.2).unwrap(), 8).run();
-        let b = Simulator::new(world, mac_long, PuActivity::bernoulli(0.2).unwrap(), 8).run();
-        assert_eq!(a.delay, b.delay, "extending the cap must not change a finished run");
+        let a = Simulator::builder(world.clone())
+            .mac(mac_short)
+            .activity(PuActivity::bernoulli(0.2).unwrap())
+            .seed(8)
+            .build()
+            .run();
+        let b = Simulator::builder(world)
+            .mac(mac_long)
+            .activity(PuActivity::bernoulli(0.2).unwrap())
+            .seed(8)
+            .build()
+            .run();
+        assert_eq!(
+            a.delay, b.delay,
+            "extending the cap must not change a finished run"
+        );
         assert_eq!(a.attempts, b.attempts);
+    }
+
+    // ------------------------------------------------------------------
+    // Observability layer.
+
+    use crate::probe::{TimeSeries, TraceLog};
+
+    fn traced_chain(len: usize, pus: Vec<Point>, p_t: f64, seed: u64) -> (SimReport, TraceLog) {
+        let world = chain_world(len, pus);
+        Simulator::builder(world)
+            .activity(PuActivity::bernoulli(p_t).unwrap())
+            .seed(seed)
+            .probe(TraceLog::unbounded())
+            .build()
+            .run_with_probe()
+    }
+
+    #[test]
+    fn attaching_a_probe_does_not_change_the_run() {
+        let plain = run_chain(6, vec![Point::new(25.0, 8.0)], 0.3, 17);
+        let (traced, log) = traced_chain(6, vec![Point::new(25.0, 8.0)], 0.3, 17);
+        assert_eq!(plain, traced, "a probe must observe, never perturb");
+        assert!(!log.is_empty());
+    }
+
+    #[test]
+    fn trace_streams_are_byte_identical_across_reruns() {
+        let (_, a) = traced_chain(6, vec![Point::new(25.0, 8.0)], 0.3, 42);
+        let (_, b) = traced_chain(6, vec![Point::new(25.0, 8.0)], 0.3, 42);
+        assert_eq!(a.to_jsonl(), b.to_jsonl());
+        assert_eq!(a.to_csv(), b.to_csv());
+    }
+
+    #[test]
+    fn trace_events_are_time_ordered() {
+        let (_, log) = traced_chain(6, vec![Point::new(25.0, 8.0)], 0.4, 5);
+        let times: Vec<f64> = log.events().map(|e| e.time).collect();
+        assert!(times.windows(2).all(|w| w[0] <= w[1]), "trace out of order");
+    }
+
+    #[test]
+    fn node_stats_equal_the_fold_of_the_trace() {
+        // The aggregate report must be derivable from the event stream:
+        // attempts = TxStart count, outcome counters = TxEnd partition,
+        // peak queue = max QueueDepth. Run a lossy scenario so every
+        // outcome class can appear.
+        let (report, log) = traced_chain(8, vec![Point::new(25.0, 8.0)], 0.4, 13);
+        let n = report.node_stats.len();
+        let mut folded = vec![NodeStats::default(); n];
+        for e in log.events() {
+            match e.kind {
+                TraceEventKind::TxStart { su, .. } => folded[su as usize].attempts += 1,
+                TraceEventKind::TxEnd { su, outcome, .. } => match outcome {
+                    TxOutcome::Success => folded[su as usize].successes += 1,
+                    TxOutcome::PuAbort => folded[su as usize].pu_aborts += 1,
+                    TxOutcome::SirLoss => folded[su as usize].sir_failures += 1,
+                    TxOutcome::CaptureLoss => {}
+                },
+                TraceEventKind::QueueDepth { su, depth } => {
+                    let f = &mut folded[su as usize];
+                    f.peak_queue = f.peak_queue.max(depth);
+                }
+                _ => {}
+            }
+        }
+        for (su, (folded, reported)) in folded.iter().zip(&report.node_stats).enumerate() {
+            assert_eq!(folded.attempts, reported.attempts, "su {su} attempts");
+            assert_eq!(folded.successes, reported.successes, "su {su} successes");
+            assert_eq!(folded.pu_aborts, reported.pu_aborts, "su {su} pu_aborts");
+            assert_eq!(
+                folded.sir_failures, reported.sir_failures,
+                "su {su} sir_failures"
+            );
+            assert_eq!(folded.peak_queue, reported.peak_queue, "su {su} peak_queue");
+        }
+        let tx_ends = log
+            .events()
+            .filter(|e| matches!(e.kind, TraceEventKind::TxEnd { .. }))
+            .count() as u64;
+        assert_eq!(tx_ends, report.attempts, "every attempt ends exactly once");
+    }
+
+    #[test]
+    fn delivery_events_match_delivery_times() {
+        let (report, log) = traced_chain(6, vec![Point::new(20.0, 8.0)], 0.3, 9);
+        assert!(report.finished);
+        let mut first_delivery = vec![None; report.delivery_times.len()];
+        for e in log.events() {
+            if let TraceEventKind::Delivery { origin, .. } = e.kind {
+                if first_delivery[origin as usize].is_none() {
+                    first_delivery[origin as usize] = Some(e.time);
+                }
+            }
+        }
+        assert_eq!(first_delivery, report.delivery_times);
+    }
+
+    #[test]
+    fn backoff_events_pair_freeze_with_resume_or_tx() {
+        let (_, log) = traced_chain(5, vec![Point::new(19.0, 5.0)], 0.5, 21);
+        let freezes = log
+            .events()
+            .filter(|e| matches!(e.kind, TraceEventKind::BackoffFreeze { .. }))
+            .count();
+        let resumes = log
+            .events()
+            .filter(|e| matches!(e.kind, TraceEventKind::BackoffResume { .. }))
+            .count();
+        // Every resume must have a matching earlier freeze; a freeze can
+        // stay unresumed at the end of the run.
+        assert!(resumes <= freezes, "resumes {resumes} > freezes {freezes}");
+        assert!(
+            freezes > 0,
+            "a p_t = 0.5 PU on the chain must freeze someone"
+        );
+    }
+
+    #[test]
+    fn time_series_probe_reflects_the_run() {
+        let world = chain_world(6, vec![]);
+        let mac = MacConfig::default();
+        let (report, ts) = Simulator::builder(world)
+            .mac(mac)
+            .seed(3)
+            .probe(TimeSeries::per_slot(&mac))
+            .build()
+            .run_with_probe();
+        assert!(report.finished);
+        let points = ts.points();
+        assert!(!points.is_empty());
+        // The run transmitted, so some bucket saw the channel busy...
+        assert!(points.iter().any(|p| p.utilization > 0.0));
+        // ...and utilization is a fraction.
+        assert!(points.iter().all(|p| (0.0..=1.0).contains(&p.utilization)));
+        // Queues drained by the end of a finished run.
+        assert_eq!(points.last().unwrap().total_queue, 0);
+        // Buckets are consecutive from 0.
+        for (i, p) in points.iter().enumerate() {
+            assert_eq!(p.bucket, i as u64);
+        }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_constructors_match_the_builder() {
+        let world = chain_world(5, vec![Point::new(20.0, 10.0)]);
+        let activity = PuActivity::bernoulli(0.3).unwrap();
+        let old = Simulator::new(world.clone(), MacConfig::default(), activity, 11).run();
+        let new = Simulator::builder(world.clone())
+            .activity(activity)
+            .seed(11)
+            .build()
+            .run();
+        assert_eq!(old, new, "Simulator::new shim must match the builder");
+
+        let traffic = Traffic::Periodic {
+            interval: 0.05,
+            snapshots: 2,
+        };
+        let old =
+            Simulator::with_traffic(world.clone(), MacConfig::default(), activity, 11, traffic)
+                .run();
+        let new = Simulator::builder(world)
+            .activity(activity)
+            .seed(11)
+            .traffic(traffic)
+            .build()
+            .run();
+        assert_eq!(
+            old, new,
+            "Simulator::with_traffic shim must match the builder"
+        );
     }
 }

@@ -23,32 +23,58 @@
 //! - **Determinism**: all randomness flows from one seeded RNG; ties in
 //!   event time break by sequence number, so a `(scenario, seed)` pair
 //!   reproduces exactly.
+//! - **Observability**: the engine emits typed [`TraceEvent`]s to a
+//!   pluggable [`Probe`] (ring-buffer [`TraceLog`], bucketed
+//!   [`TimeSeries`], or your own). The default [`NoopProbe`] makes the
+//!   instrumentation free when unused.
 //!
 //! # Example
 //!
+//! Worlds and simulators are assembled through builders; both validate
+//! their inputs ([`SimWorldBuilder::build`] returns a [`WorldError`]).
+//!
 //! ```
-//! use crn_geometry::{Deployment, Point, Region};
-//! use crn_interference::PhyParams;
-//! use crn_sim::{MacConfig, SimWorld, Simulator};
-//! use crn_spectrum::PuActivity;
+//! use crn_geometry::{Point, Region};
+//! use crn_sim::{Simulator, SimWorld};
 //!
 //! // A two-SU chain with no PUs: both packets reach the base station.
-//! let region = Region::square(30.0);
-//! let sus = vec![Point::new(5.0, 5.0), Point::new(12.0, 5.0), Point::new(19.0, 5.0)];
-//! let parents = vec![None, Some(0), Some(1)];
-//! let phy = PhyParams::paper_simulation_defaults();
-//! let world = SimWorld::build(
-//!     region,
-//!     sus,
-//!     vec![],
-//!     parents,
-//!     phy,
-//!     25.0,
-//! ).unwrap();
-//! let activity = PuActivity::bernoulli(0.0).unwrap();
-//! let report = Simulator::new(world, MacConfig::default(), activity, 7).run();
+//! let world = SimWorld::builder(Region::square(30.0))
+//!     .su_positions(vec![
+//!         Point::new(5.0, 5.0),
+//!         Point::new(12.0, 5.0),
+//!         Point::new(19.0, 5.0),
+//!     ])
+//!     .parents(vec![None, Some(0), Some(1)])
+//!     .sense_range(25.0)
+//!     .build()
+//!     .unwrap();
+//! let report = Simulator::builder(world).seed(7).build().run();
 //! assert!(report.finished);
 //! assert_eq!(report.packets_delivered, 2);
+//! ```
+//!
+//! To watch a run instead of just summarizing it, attach a probe:
+//!
+//! ```
+//! use crn_geometry::{Point, Region};
+//! use crn_sim::{Simulator, SimWorld, TraceEventKind, TraceLog};
+//!
+//! let world = SimWorld::builder(Region::square(30.0))
+//!     .su_positions(vec![Point::new(5.0, 5.0), Point::new(12.0, 5.0)])
+//!     .parents(vec![None, Some(0)])
+//!     .sense_range(25.0)
+//!     .build()
+//!     .unwrap();
+//! let (report, trace) = Simulator::builder(world)
+//!     .seed(7)
+//!     .probe(TraceLog::unbounded())
+//!     .build()
+//!     .run_with_probe();
+//! let deliveries = trace
+//!     .events()
+//!     .filter(|e| matches!(e.kind, TraceEventKind::Delivery { .. }))
+//!     .count();
+//! assert_eq!(deliveries, report.packets_delivered);
 //! ```
 
 #![forbid(unsafe_code)]
@@ -57,10 +83,14 @@
 mod config;
 mod engine;
 mod event;
+mod probe;
 mod report;
 mod world;
 
 pub use config::{MacConfig, Traffic};
-pub use engine::Simulator;
+pub use engine::{Simulator, SimulatorBuilder};
+pub use probe::{
+    NoopProbe, Probe, TimeSeries, TimeSeriesPoint, TraceEvent, TraceEventKind, TraceLog, TxOutcome,
+};
 pub use report::SimReport;
-pub use world::{SimWorld, WorldError};
+pub use world::{SimWorld, SimWorldBuilder, WorldError};

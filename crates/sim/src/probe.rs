@@ -1,0 +1,745 @@
+//! Observability layer: typed trace events emitted from the simulator's
+//! hot path, consumed by pluggable [`Probe`]s.
+//!
+//! The paper's evaluation (Fig. 4, Fig. 6(a)–(f)) is explained by
+//! *dynamics* an aggregate [`crate::SimReport`] averages away — backoff
+//! freezing under carrier sensing, spectrum-handoff bursts, and queue
+//! buildup on CDS relays. A probe sees each of those as it happens:
+//!
+//! - [`NoopProbe`] (the default) — compiles to nothing; the uninstrumented
+//!   simulator pays zero cost because `Simulator<NoopProbe>` is
+//!   monomorphized with empty `on_event` bodies.
+//! - [`TraceLog`] — a bounded ring buffer of raw [`TraceEvent`]s, with
+//!   JSONL/CSV serialization for offline analysis.
+//! - [`TimeSeries`] — per-bucket channel utilization, in-flight
+//!   transmission counts, and aggregate queue depth.
+//!
+//! Attach a probe with [`crate::SimulatorBuilder::probe`] and recover it
+//! (with the report) from [`crate::Simulator::run_with_probe`].
+
+use std::collections::VecDeque;
+
+/// Why a transmission ended (the attempt-classification partition: every
+/// attempt gets exactly one of these).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum TxOutcome {
+    /// Decoded by the intended receiver.
+    Success,
+    /// Aborted mid-air by a PU activation inside the transmitter's PCR
+    /// (spectrum handoff).
+    PuAbort,
+    /// Cumulative SIR at the receiver dropped below the decode threshold.
+    SirLoss,
+    /// The receiver was captured by a stronger concurrent transmission
+    /// (RS mode).
+    CaptureLoss,
+}
+
+impl TxOutcome {
+    /// Stable lowercase label used by the serializers.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            TxOutcome::Success => "success",
+            TxOutcome::PuAbort => "pu_abort",
+            TxOutcome::SirLoss => "sir_loss",
+            TxOutcome::CaptureLoss => "capture_loss",
+        }
+    }
+}
+
+/// What happened (see [`TraceEvent`] for when).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum TraceEventKind {
+    /// An SU drew backoff `t_i` from contention window `cw` and entered a
+    /// contention round.
+    BackoffStart {
+        /// Contending SU.
+        su: u32,
+        /// Drawn backoff in seconds, `t_i ∈ (0, cw]`.
+        t_i: f64,
+        /// This round's contention window in seconds.
+        cw: f64,
+    },
+    /// The channel inside the SU's PCR went busy; its countdown froze
+    /// with `remaining` seconds left.
+    BackoffFreeze {
+        /// Frozen SU.
+        su: u32,
+        /// Seconds of countdown preserved.
+        remaining: f64,
+    },
+    /// The channel cleared; the countdown resumed where it froze.
+    BackoffResume {
+        /// Resuming SU.
+        su: u32,
+        /// Seconds of countdown still to run.
+        remaining: f64,
+    },
+    /// An SU started transmitting its head-of-queue packet to `rx`.
+    TxStart {
+        /// Transmitter.
+        su: u32,
+        /// Intended receiver (tree parent).
+        rx: u32,
+    },
+    /// A transmission ended with `outcome`.
+    TxEnd {
+        /// Transmitter.
+        su: u32,
+        /// Intended receiver.
+        rx: u32,
+        /// How it ended.
+        outcome: TxOutcome,
+    },
+    /// After transmitting, the SU waits the fairness remainder
+    /// `cw − t_i` before its next round (Algorithm 1, line 12).
+    FairnessWait {
+        /// Waiting SU.
+        su: u32,
+        /// Wait length in seconds.
+        wait: f64,
+    },
+    /// A snapshot packet reached the base station.
+    Delivery {
+        /// SU whose snapshot this packet carries.
+        origin: u32,
+        /// Last-hop transmitter that handed it to the base station.
+        via: u32,
+    },
+    /// An SU's queue length changed (packet generated, relayed in, or
+    /// served out).
+    QueueDepth {
+        /// The SU whose queue changed.
+        su: u32,
+        /// New queue length.
+        depth: u32,
+    },
+}
+
+impl TraceEventKind {
+    /// Stable lowercase label used by the serializers.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            TraceEventKind::BackoffStart { .. } => "backoff_start",
+            TraceEventKind::BackoffFreeze { .. } => "backoff_freeze",
+            TraceEventKind::BackoffResume { .. } => "backoff_resume",
+            TraceEventKind::TxStart { .. } => "tx_start",
+            TraceEventKind::TxEnd { .. } => "tx_end",
+            TraceEventKind::FairnessWait { .. } => "fairness_wait",
+            TraceEventKind::Delivery { .. } => "delivery",
+            TraceEventKind::QueueDepth { .. } => "queue_depth",
+        }
+    }
+}
+
+/// One timestamped engine event.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TraceEvent {
+    /// Simulation time in seconds.
+    pub time: f64,
+    /// What happened.
+    pub kind: TraceEventKind,
+}
+
+impl TraceEvent {
+    /// One-object-per-line JSON, e.g.
+    /// `{"t":0.00125,"event":"tx_end","su":3,"rx":2,"outcome":"success"}`.
+    ///
+    /// Hand-rolled (every field is a number or a fixed label, so no
+    /// escaping is ever needed) and deterministic: floats use Rust's
+    /// shortest round-trip formatting.
+    #[must_use]
+    pub fn to_jsonl(&self) -> String {
+        let mut s = format!("{{\"t\":{},\"event\":\"{}\"", self.time, self.kind.label());
+        match self.kind {
+            TraceEventKind::BackoffStart { su, t_i, cw } => {
+                s.push_str(&format!(",\"su\":{su},\"t_i\":{t_i},\"cw\":{cw}"));
+            }
+            TraceEventKind::BackoffFreeze { su, remaining }
+            | TraceEventKind::BackoffResume { su, remaining } => {
+                s.push_str(&format!(",\"su\":{su},\"remaining\":{remaining}"));
+            }
+            TraceEventKind::TxStart { su, rx } => {
+                s.push_str(&format!(",\"su\":{su},\"rx\":{rx}"));
+            }
+            TraceEventKind::TxEnd { su, rx, outcome } => {
+                s.push_str(&format!(
+                    ",\"su\":{su},\"rx\":{rx},\"outcome\":\"{}\"",
+                    outcome.label()
+                ));
+            }
+            TraceEventKind::FairnessWait { su, wait } => {
+                s.push_str(&format!(",\"su\":{su},\"wait\":{wait}"));
+            }
+            TraceEventKind::Delivery { origin, via } => {
+                s.push_str(&format!(",\"origin\":{origin},\"via\":{via}"));
+            }
+            TraceEventKind::QueueDepth { su, depth } => {
+                s.push_str(&format!(",\"su\":{su},\"depth\":{depth}"));
+            }
+        }
+        s.push('}');
+        s
+    }
+
+    /// Header for [`TraceEvent::to_csv_row`].
+    #[must_use]
+    pub fn csv_header() -> &'static str {
+        "time,event,su,peer,outcome,v0,v1"
+    }
+
+    /// Flat CSV row: `su` is the acting node, `peer` its counterpart
+    /// (receiver / last hop), `v0`/`v1` the kind's scalar payload.
+    #[must_use]
+    pub fn to_csv_row(&self) -> String {
+        let (su, peer, outcome, v0, v1) = match self.kind {
+            TraceEventKind::BackoffStart { su, t_i, cw } => (su, None, None, Some(t_i), Some(cw)),
+            TraceEventKind::BackoffFreeze { su, remaining }
+            | TraceEventKind::BackoffResume { su, remaining } => {
+                (su, None, None, Some(remaining), None)
+            }
+            TraceEventKind::TxStart { su, rx } => (su, Some(rx), None, None, None),
+            TraceEventKind::TxEnd { su, rx, outcome } => (su, Some(rx), Some(outcome), None, None),
+            TraceEventKind::FairnessWait { su, wait } => (su, None, None, Some(wait), None),
+            TraceEventKind::Delivery { origin, via } => (origin, Some(via), None, None, None),
+            TraceEventKind::QueueDepth { su, depth } => {
+                (su, None, None, Some(f64::from(depth)), None)
+            }
+        };
+        let fmt_opt_u32 = |v: Option<u32>| v.map_or(String::new(), |v| v.to_string());
+        let fmt_opt_f64 = |v: Option<f64>| v.map_or(String::new(), |v| v.to_string());
+        format!(
+            "{},{},{},{},{},{},{}",
+            self.time,
+            self.kind.label(),
+            su,
+            fmt_opt_u32(peer),
+            outcome.map_or("", TxOutcome::label),
+            fmt_opt_f64(v0),
+            fmt_opt_f64(v1),
+        )
+    }
+}
+
+/// Receives every [`TraceEvent`] the engine emits.
+///
+/// The simulator is generic over its probe (`Simulator<P: Probe>`), so an
+/// attached probe is a static call — no dynamic dispatch on the hot path —
+/// and the default [`NoopProbe`] erases the instrumentation entirely.
+pub trait Probe {
+    /// Called at every instrumented engine transition, in event order.
+    fn on_event(&mut self, event: &TraceEvent);
+
+    /// Called once when the run ends (task finished, event queue drained,
+    /// or time cap hit), with the run's final time.
+    fn on_finish(&mut self, end_time: f64) {
+        let _ = end_time;
+    }
+}
+
+impl<P: Probe + ?Sized> Probe for &mut P {
+    fn on_event(&mut self, event: &TraceEvent) {
+        (**self).on_event(event);
+    }
+    fn on_finish(&mut self, end_time: f64) {
+        (**self).on_finish(end_time);
+    }
+}
+
+/// The default probe: does nothing, costs nothing.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NoopProbe;
+
+impl Probe for NoopProbe {
+    #[inline(always)]
+    fn on_event(&mut self, _event: &TraceEvent) {}
+}
+
+/// Bounded ring buffer of raw trace events.
+///
+/// When full, the **oldest** events are dropped (and counted), so a
+/// bounded log of a long run keeps its tail — usually the interesting
+/// part, since it explains what the network was still waiting on.
+#[derive(Clone, Debug, Default)]
+pub struct TraceLog {
+    events: VecDeque<TraceEvent>,
+    capacity: Option<usize>,
+    dropped: u64,
+}
+
+impl TraceLog {
+    /// A log keeping at most `capacity` events (oldest dropped first).
+    #[must_use]
+    pub fn bounded(capacity: usize) -> Self {
+        Self {
+            events: VecDeque::with_capacity(capacity.min(1 << 20)),
+            capacity: Some(capacity),
+            dropped: 0,
+        }
+    }
+
+    /// A log keeping every event. Memory grows with the run; prefer
+    /// [`TraceLog::bounded`] for long or periodic-traffic runs.
+    #[must_use]
+    pub fn unbounded() -> Self {
+        Self::default()
+    }
+
+    /// Events currently retained, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter()
+    }
+
+    /// Number of retained events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing is retained.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// How many events were evicted to respect the capacity bound.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Consumes the log into a contiguous, oldest-first vector.
+    #[must_use]
+    pub fn into_events(self) -> Vec<TraceEvent> {
+        self.events.into()
+    }
+
+    /// Serializes the retained events as JSONL, one event per line.
+    #[must_use]
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for e in &self.events {
+            out.push_str(&e.to_jsonl());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Serializes the retained events as CSV with a header row.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(TraceEvent::csv_header());
+        out.push('\n');
+        for e in &self.events {
+            out.push_str(&e.to_csv_row());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl Probe for TraceLog {
+    fn on_event(&mut self, event: &TraceEvent) {
+        if let Some(cap) = self.capacity {
+            if cap == 0 {
+                self.dropped += 1;
+                return;
+            }
+            if self.events.len() == cap {
+                self.events.pop_front();
+                self.dropped += 1;
+            }
+        }
+        self.events.push_back(*event);
+    }
+}
+
+/// One time bucket of [`TimeSeries`] output.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TimeSeriesPoint {
+    /// Bucket index (bucket `b` covers `[b·width, (b+1)·width)`).
+    pub bucket: u64,
+    /// Bucket start time in seconds.
+    pub start: f64,
+    /// Fraction of the bucket during which at least one SU transmission
+    /// was on the air.
+    pub utilization: f64,
+    /// Maximum number of simultaneous SU transmissions observed.
+    pub max_in_flight: u32,
+    /// Sum of all SU queue lengths at the end of the bucket.
+    pub total_queue: u32,
+}
+
+/// Derives per-bucket utilization / concurrency / queue-depth series from
+/// the trace stream.
+///
+/// Buckets are fixed-width in simulation time (conventionally one PU slot,
+/// via [`TimeSeries::per_slot`]). Only buckets that the run actually
+/// reached are reported; trailing state is flushed by
+/// [`Probe::on_finish`].
+#[derive(Clone, Debug)]
+pub struct TimeSeries {
+    width: f64,
+    points: Vec<TimeSeriesPoint>,
+    // Rolling state.
+    cursor: f64,
+    bucket: u64,
+    busy_in_bucket: f64,
+    in_flight: u32,
+    max_in_flight: u32,
+    queue_depth: Vec<u32>,
+    finished: bool,
+}
+
+impl TimeSeries {
+    /// A sampler with buckets `width` seconds wide.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `width` is positive and finite.
+    #[must_use]
+    pub fn new(width: f64) -> Self {
+        assert!(
+            width > 0.0 && width.is_finite(),
+            "bucket width must be positive"
+        );
+        Self {
+            width,
+            points: Vec::new(),
+            cursor: 0.0,
+            bucket: 0,
+            busy_in_bucket: 0.0,
+            in_flight: 0,
+            max_in_flight: 0,
+            queue_depth: Vec::new(),
+            finished: false,
+        }
+    }
+
+    /// A sampler bucketing by the MAC's PU slot length.
+    #[must_use]
+    pub fn per_slot(mac: &crate::MacConfig) -> Self {
+        Self::new(mac.slot)
+    }
+
+    /// The completed buckets, in time order. Empty until the run ends
+    /// unless the run outlived at least one bucket.
+    #[must_use]
+    pub fn points(&self) -> &[TimeSeriesPoint] {
+        &self.points
+    }
+
+    /// Consumes the sampler into its buckets.
+    #[must_use]
+    pub fn into_points(self) -> Vec<TimeSeriesPoint> {
+        self.points
+    }
+
+    /// Advance the rolling window to `t`, closing every bucket boundary
+    /// crossed on the way and attributing on-air time to the right bucket.
+    fn advance_to(&mut self, t: f64) {
+        debug_assert!(t + 1e-12 >= self.cursor, "trace time went backwards");
+        let t = t.max(self.cursor);
+        loop {
+            let bucket_end = (self.bucket + 1) as f64 * self.width;
+            if t < bucket_end {
+                break;
+            }
+            if self.in_flight > 0 {
+                self.busy_in_bucket += bucket_end - self.cursor;
+            }
+            self.close_bucket();
+            self.cursor = bucket_end;
+            self.bucket += 1;
+        }
+        if self.in_flight > 0 {
+            self.busy_in_bucket += t - self.cursor;
+        }
+        self.cursor = t;
+    }
+
+    fn close_bucket(&mut self) {
+        self.points.push(TimeSeriesPoint {
+            bucket: self.bucket,
+            start: self.bucket as f64 * self.width,
+            utilization: (self.busy_in_bucket / self.width).clamp(0.0, 1.0),
+            max_in_flight: self.max_in_flight,
+            total_queue: self.queue_depth.iter().sum(),
+        });
+        self.busy_in_bucket = 0.0;
+        self.max_in_flight = self.in_flight;
+    }
+}
+
+impl Probe for TimeSeries {
+    fn on_event(&mut self, event: &TraceEvent) {
+        self.advance_to(event.time);
+        match event.kind {
+            TraceEventKind::TxStart { .. } => {
+                self.in_flight += 1;
+                self.max_in_flight = self.max_in_flight.max(self.in_flight);
+            }
+            TraceEventKind::TxEnd { .. } => {
+                debug_assert!(self.in_flight > 0, "TxEnd without TxStart");
+                self.in_flight = self.in_flight.saturating_sub(1);
+            }
+            TraceEventKind::QueueDepth { su, depth } => {
+                let su = su as usize;
+                if su >= self.queue_depth.len() {
+                    self.queue_depth.resize(su + 1, 0);
+                }
+                self.queue_depth[su] = depth;
+            }
+            _ => {}
+        }
+    }
+
+    fn on_finish(&mut self, end_time: f64) {
+        if self.finished {
+            return;
+        }
+        self.finished = true;
+        self.advance_to(end_time);
+        // Close the trailing partial bucket if it saw any time at all.
+        if self.cursor > self.bucket as f64 * self.width || self.points.is_empty() {
+            let width = self.width;
+            let partial = self.cursor - self.bucket as f64 * width;
+            self.points.push(TimeSeriesPoint {
+                bucket: self.bucket,
+                start: self.bucket as f64 * width,
+                utilization: if partial > 0.0 {
+                    (self.busy_in_bucket / partial).clamp(0.0, 1.0)
+                } else {
+                    0.0
+                },
+                max_in_flight: self.max_in_flight,
+                total_queue: self.queue_depth.iter().sum(),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(time: f64, kind: TraceEventKind) -> TraceEvent {
+        TraceEvent { time, kind }
+    }
+
+    #[test]
+    fn noop_probe_is_a_probe() {
+        let mut p = NoopProbe;
+        p.on_event(&ev(0.0, TraceEventKind::TxStart { su: 1, rx: 0 }));
+        p.on_finish(1.0);
+    }
+
+    #[test]
+    fn trace_log_records_in_order() {
+        let mut log = TraceLog::unbounded();
+        for i in 0..5u32 {
+            log.on_event(&ev(
+                f64::from(i),
+                TraceEventKind::QueueDepth { su: i, depth: i },
+            ));
+        }
+        assert_eq!(log.len(), 5);
+        assert_eq!(log.dropped(), 0);
+        let events = log.into_events();
+        assert_eq!(events[0].time, 0.0);
+        assert_eq!(events[4].time, 4.0);
+    }
+
+    #[test]
+    fn bounded_log_keeps_the_tail() {
+        let mut log = TraceLog::bounded(3);
+        for i in 0..10u32 {
+            log.on_event(&ev(
+                f64::from(i),
+                TraceEventKind::QueueDepth { su: i, depth: 0 },
+            ));
+        }
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.dropped(), 7);
+        let times: Vec<f64> = log.events().map(|e| e.time).collect();
+        assert_eq!(times, vec![7.0, 8.0, 9.0]);
+    }
+
+    #[test]
+    fn zero_capacity_log_drops_everything() {
+        let mut log = TraceLog::bounded(0);
+        log.on_event(&ev(0.0, TraceEventKind::TxStart { su: 1, rx: 0 }));
+        assert!(log.is_empty());
+        assert_eq!(log.dropped(), 1);
+    }
+
+    #[test]
+    fn jsonl_lines_are_valid_flat_json() {
+        let events = [
+            ev(
+                0.25e-3,
+                TraceEventKind::BackoffStart {
+                    su: 2,
+                    t_i: 1e-4,
+                    cw: 5e-4,
+                },
+            ),
+            ev(
+                0.5e-3,
+                TraceEventKind::BackoffFreeze {
+                    su: 2,
+                    remaining: 2e-5,
+                },
+            ),
+            ev(
+                0.6e-3,
+                TraceEventKind::BackoffResume {
+                    su: 2,
+                    remaining: 2e-5,
+                },
+            ),
+            ev(1e-3, TraceEventKind::TxStart { su: 2, rx: 0 }),
+            ev(
+                1.5e-3,
+                TraceEventKind::TxEnd {
+                    su: 2,
+                    rx: 0,
+                    outcome: TxOutcome::Success,
+                },
+            ),
+            ev(1.5e-3, TraceEventKind::FairnessWait { su: 2, wait: 4e-4 }),
+            ev(1.5e-3, TraceEventKind::Delivery { origin: 2, via: 2 }),
+            ev(1.5e-3, TraceEventKind::QueueDepth { su: 2, depth: 0 }),
+        ];
+        for e in &events {
+            let line = e.to_jsonl();
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+            assert!(
+                line.contains(&format!("\"event\":\"{}\"", e.kind.label())),
+                "{line}"
+            );
+            // Flat object: no nesting, balanced quotes.
+            assert_eq!(line.matches('{').count(), 1, "{line}");
+            assert_eq!(line.matches('"').count() % 2, 0, "{line}");
+        }
+    }
+
+    #[test]
+    fn csv_rows_have_constant_arity() {
+        let header_fields = TraceEvent::csv_header().split(',').count();
+        let rows = [
+            ev(
+                0.0,
+                TraceEventKind::BackoffStart {
+                    su: 1,
+                    t_i: 1e-4,
+                    cw: 5e-4,
+                },
+            ),
+            ev(
+                0.0,
+                TraceEventKind::TxEnd {
+                    su: 1,
+                    rx: 0,
+                    outcome: TxOutcome::PuAbort,
+                },
+            ),
+            ev(0.0, TraceEventKind::Delivery { origin: 3, via: 1 }),
+        ];
+        for r in &rows {
+            assert_eq!(r.to_csv_row().split(',').count(), header_fields);
+        }
+    }
+
+    #[test]
+    fn time_series_tracks_utilization_and_queues() {
+        let mut ts = TimeSeries::new(1.0);
+        // Bucket 0: on air from t=0.25 to t=0.75 (utilization 0.5).
+        ts.on_event(&ev(0.25, TraceEventKind::TxStart { su: 1, rx: 0 }));
+        ts.on_event(&ev(
+            0.75,
+            TraceEventKind::TxEnd {
+                su: 1,
+                rx: 0,
+                outcome: TxOutcome::Success,
+            },
+        ));
+        ts.on_event(&ev(0.75, TraceEventKind::QueueDepth { su: 1, depth: 2 }));
+        // Bucket 1: idle, queue drains at t=1.5.
+        ts.on_event(&ev(1.5, TraceEventKind::QueueDepth { su: 1, depth: 0 }));
+        ts.on_finish(2.0);
+        let points = ts.into_points();
+        assert_eq!(points.len(), 2);
+        assert!((points[0].utilization - 0.5).abs() < 1e-12);
+        assert_eq!(points[0].max_in_flight, 1);
+        assert_eq!(points[0].total_queue, 2);
+        assert!((points[1].utilization - 0.0).abs() < 1e-12);
+        assert_eq!(points[1].total_queue, 0);
+    }
+
+    #[test]
+    fn time_series_splits_on_air_time_across_buckets() {
+        let mut ts = TimeSeries::new(1.0);
+        // On air from 0.5 to 1.5: half of each bucket.
+        ts.on_event(&ev(0.5, TraceEventKind::TxStart { su: 1, rx: 0 }));
+        ts.on_event(&ev(
+            1.5,
+            TraceEventKind::TxEnd {
+                su: 1,
+                rx: 0,
+                outcome: TxOutcome::Success,
+            },
+        ));
+        ts.on_finish(2.0);
+        let points = ts.into_points();
+        assert_eq!(points.len(), 2);
+        assert!((points[0].utilization - 0.5).abs() < 1e-12);
+        assert!((points[1].utilization - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn time_series_concurrency_peaks() {
+        let mut ts = TimeSeries::new(1.0);
+        ts.on_event(&ev(0.1, TraceEventKind::TxStart { su: 1, rx: 0 }));
+        ts.on_event(&ev(0.2, TraceEventKind::TxStart { su: 2, rx: 0 }));
+        ts.on_event(&ev(
+            0.3,
+            TraceEventKind::TxEnd {
+                su: 1,
+                rx: 0,
+                outcome: TxOutcome::CaptureLoss,
+            },
+        ));
+        ts.on_event(&ev(
+            0.4,
+            TraceEventKind::TxEnd {
+                su: 2,
+                rx: 0,
+                outcome: TxOutcome::Success,
+            },
+        ));
+        ts.on_finish(1.0);
+        assert_eq!(ts.points()[0].max_in_flight, 2);
+    }
+
+    #[test]
+    fn short_run_yields_one_partial_bucket() {
+        let mut ts = TimeSeries::new(10.0);
+        ts.on_event(&ev(1.0, TraceEventKind::TxStart { su: 1, rx: 0 }));
+        ts.on_event(&ev(
+            2.0,
+            TraceEventKind::TxEnd {
+                su: 1,
+                rx: 0,
+                outcome: TxOutcome::Success,
+            },
+        ));
+        ts.on_finish(4.0);
+        let points = ts.into_points();
+        assert_eq!(points.len(), 1);
+        // 1 of the 4 elapsed seconds on air.
+        assert!((points[0].utilization - 0.25).abs() < 1e-12);
+    }
+}

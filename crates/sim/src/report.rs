@@ -133,7 +133,14 @@ mod tests {
             delay_slots: 10.0,
             packets_expected: 5,
             packets_delivered: 5,
-            delivery_times: vec![None, Some(0.002), Some(0.004), Some(0.006), Some(0.008), Some(0.01)],
+            delivery_times: vec![
+                None,
+                Some(0.002),
+                Some(0.004),
+                Some(0.006),
+                Some(0.008),
+                Some(0.01),
+            ],
             attempts: 8,
             successes: 6,
             pu_aborts: 1,

@@ -2,7 +2,7 @@ use crn_geometry::{GridIndex, Point, Region};
 use crn_interference::PhyParams;
 use std::fmt;
 
-/// Errors from [`SimWorld::build`].
+/// Errors from [`SimWorldBuilder::build`].
 #[derive(Clone, Debug, PartialEq)]
 pub enum WorldError {
     /// No secondary users were supplied (the base station is mandatory).
@@ -56,7 +56,10 @@ impl fmt::Display for WorldError {
                 write!(f, "parents length {parents} does not match SU count {sus}")
             }
             WorldError::BadRootStructure { node } => {
-                write!(f, "node {node} breaks the root structure (only node 0 is parentless)")
+                write!(
+                    f,
+                    "node {node} breaks the root structure (only node 0 is parentless)"
+                )
             }
             WorldError::BadParent { child } => {
                 write!(f, "node {child} has an invalid parent pointer")
@@ -125,14 +128,140 @@ pub struct SimWorld {
     su_gain: Vec<f64>,
 }
 
-impl SimWorld {
-    /// Assembles and validates a world with one sensing range for both
-    /// PU and SU carrier sensing — ADDC's configuration, where both equal
-    /// the PCR `κ·r`.
+/// Named-setter constructor for [`SimWorld`], replacing the positional
+/// `build(region, sus, pus, parents, phy, pcr)` call whose six arguments
+/// were easy to swap silently.
+///
+/// Start from [`SimWorld::builder`]; only `su_positions` and `parents`
+/// are usually mandatory (validation rejects an empty network). Unset
+/// fields default to: no PUs, [`PhyParams::paper_simulation_defaults`],
+/// and carrier-sensing ranges equal to the SU transmission radius `r` —
+/// the minimum [`SimWorld::build`] would accept.
+///
+/// ```
+/// use crn_geometry::{Point, Region};
+/// use crn_sim::SimWorld;
+///
+/// let world = SimWorld::builder(Region::square(60.0))
+///     .su_positions(vec![Point::new(5.0, 5.0), Point::new(12.0, 5.0)])
+///     .parents(vec![None, Some(0)])
+///     .sense_range(25.0)
+///     .build()
+///     .expect("valid chain");
+/// assert_eq!(world.num_sus(), 2);
+/// ```
+#[derive(Clone, Debug)]
+pub struct SimWorldBuilder {
+    region: Region,
+    su_positions: Vec<Point>,
+    pu_positions: Vec<Point>,
+    parents: Vec<Option<u32>>,
+    phy: PhyParams,
+    pu_sense_range: Option<f64>,
+    su_sense_range: Option<f64>,
+}
+
+impl SimWorldBuilder {
+    fn new(region: Region) -> Self {
+        Self {
+            region,
+            su_positions: Vec::new(),
+            pu_positions: Vec::new(),
+            parents: Vec::new(),
+            phy: PhyParams::paper_simulation_defaults(),
+            pu_sense_range: None,
+            su_sense_range: None,
+        }
+    }
+
+    /// SU positions; index 0 is the base station.
+    #[must_use]
+    pub fn su_positions(mut self, sus: Vec<Point>) -> Self {
+        self.su_positions = sus;
+        self
+    }
+
+    /// PU positions (defaults to none).
+    #[must_use]
+    pub fn pu_positions(mut self, pus: Vec<Point>) -> Self {
+        self.pu_positions = pus;
+        self
+    }
+
+    /// Routing tree: `parents[0]` must be `None` (base station), every
+    /// other entry `Some(p)` with the link no longer than the SU radius.
+    #[must_use]
+    pub fn parents(mut self, parents: Vec<Option<u32>>) -> Self {
+        self.parents = parents;
+        self
+    }
+
+    /// Physical-layer parameters (defaults to
+    /// [`PhyParams::paper_simulation_defaults`]).
+    #[must_use]
+    pub fn phy(mut self, phy: PhyParams) -> Self {
+        self.phy = phy;
+        self
+    }
+
+    /// One carrier-sensing range for both PU and SU sensing — ADDC's
+    /// configuration, where both equal the PCR `κ·r`.
+    #[must_use]
+    pub fn sense_range(mut self, range: f64) -> Self {
+        self.pu_sense_range = Some(range);
+        self.su_sense_range = Some(range);
+        self
+    }
+
+    /// Range within which PU activity blocks or aborts an SU.
+    #[must_use]
+    pub fn pu_sense_range(mut self, range: f64) -> Self {
+        self.pu_sense_range = Some(range);
+        self
+    }
+
+    /// Range of SU↔SU carrier sensing (the Coolest baseline uses a
+    /// conventional `2r` here instead of the PCR).
+    #[must_use]
+    pub fn su_sense_range(mut self, range: f64) -> Self {
+        self.su_sense_range = Some(range);
+        self
+    }
+
+    /// Validates and assembles the world.
     ///
     /// # Errors
     ///
-    /// Same as [`SimWorld::build_with_ranges`].
+    /// Returns a [`WorldError`] describing the first violated structural
+    /// requirement.
+    pub fn build(self) -> Result<SimWorld, WorldError> {
+        let r = self.phy.su_radius();
+        SimWorld::assemble(
+            self.region,
+            self.su_positions,
+            self.pu_positions,
+            self.parents,
+            self.phy,
+            self.pu_sense_range.unwrap_or(r),
+            self.su_sense_range.or(self.pu_sense_range).unwrap_or(r),
+        )
+    }
+}
+
+impl SimWorld {
+    /// Starts a [`SimWorldBuilder`] over `region`.
+    #[must_use]
+    pub fn builder(region: Region) -> SimWorldBuilder {
+        SimWorldBuilder::new(region)
+    }
+
+    /// Assembles and validates a world with one sensing range for both
+    /// PU and SU carrier sensing.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SimWorldBuilder::build`].
+    #[deprecated(since = "0.2.0", note = "use SimWorld::builder(region) instead")]
     pub fn build(
         region: Region,
         su_positions: Vec<Point>,
@@ -141,22 +270,42 @@ impl SimWorld {
         phy: PhyParams,
         pcr: f64,
     ) -> Result<Self, WorldError> {
-        Self::build_with_ranges(region, su_positions, pu_positions, parents, phy, pcr, pcr)
+        Self::assemble(region, su_positions, pu_positions, parents, phy, pcr, pcr)
     }
 
     /// Assembles and validates a world with independent PU and SU
     /// carrier-sensing ranges (see the type-level docs).
     ///
-    /// `parents` is the routing tree: `parents[0]` must be `None` (base
-    /// station), every other entry `Some(p)` with the link no longer than
-    /// the SU radius.
-    ///
     /// # Errors
     ///
-    /// Returns a [`WorldError`] describing the first violated structural
-    /// requirement.
+    /// Same as [`SimWorldBuilder::build`].
+    #[deprecated(
+        since = "0.2.0",
+        note = "use SimWorld::builder(region) with .pu_sense_range()/.su_sense_range() instead"
+    )]
     #[allow(clippy::too_many_arguments)]
     pub fn build_with_ranges(
+        region: Region,
+        su_positions: Vec<Point>,
+        pu_positions: Vec<Point>,
+        parents: Vec<Option<u32>>,
+        phy: PhyParams,
+        pu_sense_range: f64,
+        su_sense_range: f64,
+    ) -> Result<Self, WorldError> {
+        Self::assemble(
+            region,
+            su_positions,
+            pu_positions,
+            parents,
+            phy,
+            pu_sense_range,
+            su_sense_range,
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn assemble(
         region: Region,
         su_positions: Vec<Point>,
         pu_positions: Vec<Point>,
@@ -372,19 +521,18 @@ mod tests {
 
     fn chain_world() -> SimWorld {
         // bs(0) <- 1 <- 2, spaced 7 apart, PCR 25, one PU at (50, 5).
-        SimWorld::build(
-            Region::square(60.0),
-            vec![
+        SimWorld::builder(Region::square(60.0))
+            .su_positions(vec![
                 Point::new(5.0, 5.0),
                 Point::new(12.0, 5.0),
                 Point::new(19.0, 5.0),
-            ],
-            vec![Point::new(50.0, 5.0)],
-            vec![None, Some(0), Some(1)],
-            phy(),
-            25.0,
-        )
-        .unwrap()
+            ])
+            .pu_positions(vec![Point::new(50.0, 5.0)])
+            .parents(vec![None, Some(0), Some(1)])
+            .phy(phy())
+            .sense_range(25.0)
+            .build()
+            .unwrap()
     }
 
     #[test]
@@ -428,86 +576,110 @@ mod tests {
 
     #[test]
     fn rejects_empty() {
-        let e = SimWorld::build(
-            Region::square(1.0),
-            vec![],
-            vec![],
-            vec![],
-            phy(),
-            25.0,
-        )
-        .unwrap_err();
+        let e = SimWorld::builder(Region::square(1.0)).build().unwrap_err();
         assert_eq!(e, WorldError::NoSecondaryUsers);
     }
 
     #[test]
     fn rejects_parent_length_mismatch() {
-        let e = SimWorld::build(
-            Region::square(10.0),
-            vec![Point::new(1.0, 1.0)],
-            vec![],
-            vec![None, Some(0)],
-            phy(),
-            25.0,
-        )
-        .unwrap_err();
+        let e = SimWorld::builder(Region::square(10.0))
+            .su_positions(vec![Point::new(1.0, 1.0)])
+            .parents(vec![None, Some(0)])
+            .phy(phy())
+            .sense_range(25.0)
+            .build()
+            .unwrap_err();
         assert!(matches!(e, WorldError::ParentLengthMismatch { .. }));
     }
 
     #[test]
     fn rejects_rooted_non_zero() {
-        let e = SimWorld::build(
-            Region::square(20.0),
-            vec![Point::new(1.0, 1.0), Point::new(2.0, 1.0)],
-            vec![],
-            vec![Some(1), None],
-            phy(),
-            25.0,
-        )
-        .unwrap_err();
+        let e = SimWorld::builder(Region::square(20.0))
+            .su_positions(vec![Point::new(1.0, 1.0), Point::new(2.0, 1.0)])
+            .parents(vec![Some(1), None])
+            .phy(phy())
+            .sense_range(25.0)
+            .build()
+            .unwrap_err();
         assert!(matches!(e, WorldError::BadRootStructure { .. }));
     }
 
     #[test]
     fn rejects_overlong_link() {
-        let e = SimWorld::build(
-            Region::square(40.0),
-            vec![Point::new(1.0, 1.0), Point::new(30.0, 1.0)],
-            vec![],
-            vec![None, Some(0)],
-            phy(),
-            35.0,
-        )
-        .unwrap_err();
+        let e = SimWorld::builder(Region::square(40.0))
+            .su_positions(vec![Point::new(1.0, 1.0), Point::new(30.0, 1.0)])
+            .parents(vec![None, Some(0)])
+            .phy(phy())
+            .sense_range(35.0)
+            .build()
+            .unwrap_err();
         assert!(matches!(e, WorldError::LinkTooLong { child: 1, .. }));
     }
 
     #[test]
     fn rejects_self_parent() {
-        let e = SimWorld::build(
-            Region::square(20.0),
-            vec![Point::new(1.0, 1.0), Point::new(2.0, 1.0)],
-            vec![],
-            vec![None, Some(1)],
-            phy(),
-            25.0,
-        )
-        .unwrap_err();
+        let e = SimWorld::builder(Region::square(20.0))
+            .su_positions(vec![Point::new(1.0, 1.0), Point::new(2.0, 1.0)])
+            .parents(vec![None, Some(1)])
+            .phy(phy())
+            .sense_range(25.0)
+            .build()
+            .unwrap_err();
         assert!(matches!(e, WorldError::BadParent { child: 1 }));
     }
 
     #[test]
     fn rejects_tiny_pcr() {
-        let e = SimWorld::build(
-            Region::square(20.0),
-            vec![Point::new(1.0, 1.0), Point::new(2.0, 1.0)],
-            vec![],
+        let e = SimWorld::builder(Region::square(20.0))
+            .su_positions(vec![Point::new(1.0, 1.0), Point::new(2.0, 1.0)])
+            .parents(vec![None, Some(0)])
+            .phy(phy())
+            .sense_range(5.0)
+            .build()
+            .unwrap_err();
+        assert!(matches!(e, WorldError::SenseRangeTooSmall { .. }));
+    }
+
+    #[test]
+    fn builder_defaults_are_minimal_but_valid() {
+        // Default phy + default sense ranges (= su radius) accept a
+        // one-hop network whose link fits inside the radius.
+        let w = SimWorld::builder(Region::square(20.0))
+            .su_positions(vec![Point::new(1.0, 1.0), Point::new(4.0, 1.0)])
+            .parents(vec![None, Some(0)])
+            .build()
+            .expect("defaults validate");
+        assert_eq!(w.num_pus(), 0);
+        assert!((w.pu_sense_range() - w.phy().su_radius()).abs() < 1e-12);
+        assert!((w.su_sense_range() - w.phy().su_radius()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn builder_matches_deprecated_positional_constructor() {
+        #[allow(deprecated)]
+        let old = SimWorld::build(
+            Region::square(60.0),
+            vec![Point::new(5.0, 5.0), Point::new(12.0, 5.0)],
+            vec![Point::new(50.0, 5.0)],
             vec![None, Some(0)],
             phy(),
-            5.0,
+            25.0,
         )
-        .unwrap_err();
-        assert!(matches!(e, WorldError::SenseRangeTooSmall { .. }));
+        .unwrap();
+        let new = SimWorld::builder(Region::square(60.0))
+            .su_positions(vec![Point::new(5.0, 5.0), Point::new(12.0, 5.0)])
+            .pu_positions(vec![Point::new(50.0, 5.0)])
+            .parents(vec![None, Some(0)])
+            .phy(phy())
+            .sense_range(25.0)
+            .build()
+            .unwrap();
+        assert_eq!(old.num_sus(), new.num_sus());
+        assert_eq!(old.parents(), new.parents());
+        assert_eq!(old.pu_sense_range(), new.pu_sense_range());
+        for i in 0..new.num_sus() as u32 {
+            assert_eq!(old.su_hears_su(i), new.su_hears_su(i));
+        }
     }
 
     #[test]
@@ -517,8 +689,16 @@ mod tests {
             WorldError::ParentLengthMismatch { parents: 1, sus: 2 },
             WorldError::BadRootStructure { node: 3 },
             WorldError::BadParent { child: 4 },
-            WorldError::LinkTooLong { child: 1, parent: 0, distance: 30.0 },
-            WorldError::SenseRangeTooSmall { which: "su", range: 5.0, r: 10.0 },
+            WorldError::LinkTooLong {
+                child: 1,
+                parent: 0,
+                distance: 30.0,
+            },
+            WorldError::SenseRangeTooSmall {
+                which: "su",
+                range: 5.0,
+                r: 10.0,
+            },
         ] {
             assert!(!e.to_string().is_empty());
         }

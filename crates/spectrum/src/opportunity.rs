@@ -22,7 +22,10 @@ use crn_geometry::{GridIndex, Point};
 /// ```
 #[must_use]
 pub fn expected_probability(p_t: f64, pu_density: f64, pcr: f64) -> f64 {
-    assert!((0.0..=1.0).contains(&p_t), "p_t must be in [0,1], got {p_t}");
+    assert!(
+        (0.0..=1.0).contains(&p_t),
+        "p_t must be in [0,1], got {p_t}"
+    );
     assert!(pu_density >= 0.0, "density must be >= 0, got {pu_density}");
     assert!(pcr >= 0.0, "pcr must be >= 0, got {pcr}");
     let expected_pus = std::f64::consts::PI * pcr * pcr * pu_density;
@@ -37,7 +40,10 @@ pub fn expected_probability(p_t: f64, pu_density: f64, pcr: f64) -> f64 {
 /// Panics unless `0 ≤ p_t ≤ 1`.
 #[must_use]
 pub fn exact_probability(p_t: f64, position: Point, pus: &GridIndex, pcr: f64) -> f64 {
-    assert!((0.0..=1.0).contains(&p_t), "p_t must be in [0,1], got {p_t}");
+    assert!(
+        (0.0..=1.0).contains(&p_t),
+        "p_t must be in [0,1], got {p_t}"
+    );
     let k = pus.count_within(position, pcr) as f64;
     (1.0 - p_t).powi(k as i32)
 }
@@ -66,7 +72,10 @@ pub fn exact_probabilities(
 /// Panics unless `0 ≤ p_o ≤ 1`.
 #[must_use]
 pub fn expected_wait_slots(p_o: f64) -> f64 {
-    assert!((0.0..=1.0).contains(&p_o), "p_o must be in [0,1], got {p_o}");
+    assert!(
+        (0.0..=1.0).contains(&p_o),
+        "p_o must be in [0,1], got {p_o}"
+    );
     if p_o == 0.0 {
         f64::INFINITY
     } else {
@@ -143,10 +152,8 @@ mod tests {
     #[test]
     fn exact_probability_counts_only_in_range_pus() {
         let region = Region::square(100.0);
-        let pus = Deployment::from_points(
-            region,
-            vec![Point::new(10.0, 10.0), Point::new(90.0, 90.0)],
-        );
+        let pus =
+            Deployment::from_points(region, vec![Point::new(10.0, 10.0), Point::new(90.0, 90.0)]);
         let idx = GridIndex::build(pus.points(), region, 20.0);
         // One PU within 20 of (10,10).
         let p = exact_probability(0.5, Point::new(10.0, 10.0), &idx, 20.0);

@@ -32,7 +32,10 @@ use crn_geometry::{GridIndex, Point};
 /// ```
 #[must_use]
 pub fn spectrum_temperature(duty: f64, position: Point, pus: &GridIndex, radius: f64) -> f64 {
-    assert!((0.0..=1.0).contains(&duty), "duty must be in [0,1], got {duty}");
+    assert!(
+        (0.0..=1.0).contains(&duty),
+        "duty must be in [0,1], got {duty}"
+    );
     assert!(radius >= 0.0, "radius must be >= 0, got {radius}");
     let k = pus.count_within(position, radius) as i32;
     1.0 - (1.0 - duty).powi(k)
@@ -66,8 +69,7 @@ mod tests {
         let sus = Deployment::uniform(region, 100, &mut rng);
         let idx = GridIndex::build(pus.points(), region, 25.0);
         let temps = spectrum_temperatures(0.3, sus.points(), &idx, 25.0);
-        let opps =
-            crate::opportunity::exact_probabilities(0.3, sus.points(), &idx, 25.0);
+        let opps = crate::opportunity::exact_probabilities(0.3, sus.points(), &idx, 25.0);
         for (t, o) in temps.iter().zip(&opps) {
             assert!((t + o - 1.0).abs() < 1e-9, "t={t} o={o}");
         }
@@ -111,7 +113,10 @@ mod tests {
             spectrum_temperature(1.0, Point::new(25.0, 25.0), &idx, 10.0),
             1.0
         );
-        assert_eq!(spectrum_temperature(1.0, Point::new(0.0, 0.0), &idx, 10.0), 0.0);
+        assert_eq!(
+            spectrum_temperature(1.0, Point::new(0.0, 0.0), &idx, 10.0),
+            0.0
+        );
     }
 
     #[test]

@@ -132,13 +132,7 @@ pub fn lemma8_service_slots(kappa: f64, p_o: f64) -> f64 {
 ///
 /// Panics unless `0 < p_o ≤ 1`.
 #[must_use]
-pub fn theorem2_delay_slots(
-    kappa: f64,
-    delta: usize,
-    delta_b: usize,
-    n: usize,
-    p_o: f64,
-) -> f64 {
+pub fn theorem2_delay_slots(kappa: f64, delta: usize, delta_b: usize, n: usize, p_o: f64) -> f64 {
     let tail = n.saturating_sub(delta_b) as f64 * lemma8_service_slots(kappa, p_o);
     theorem1_service_slots(kappa, delta, p_o) + tail
 }
@@ -263,9 +257,7 @@ mod tests {
     fn theorem1_exceeds_lemma8_for_delta_above_one() {
         assert!(theorem1_service_slots(2.5, 5, 0.3) > lemma8_service_slots(2.5, 0.3));
         // Delta = 1 degenerates to the same factor.
-        assert!(
-            (theorem1_contention_factor(2.5, 1) - lemma8_contention_factor(2.5)).abs() < 1e-9
-        );
+        assert!((theorem1_contention_factor(2.5, 1) - lemma8_contention_factor(2.5)).abs() < 1e-9);
     }
 
     #[test]
@@ -283,7 +275,10 @@ mod tests {
         let cap = theorem2_capacity_fraction(2.5, 0.2);
         let delay = theorem2_delay_slots(2.5, 10, 4, n, 0.2);
         let implied = n as f64 / delay;
-        assert!((implied / cap - 1.0).abs() < 0.01, "implied {implied} cap {cap}");
+        assert!(
+            (implied / cap - 1.0).abs() < 0.01,
+            "implied {implied} cap {cap}"
+        );
     }
 
     #[test]

@@ -155,7 +155,10 @@ pub fn dijkstra_tree_by(
     if n == 0 {
         return (parent, best);
     }
-    assert!((root as usize) < n, "root {root} out of range for {n} nodes");
+    assert!(
+        (root as usize) < n,
+        "root {root} out of range for {n} nodes"
+    );
 
     // Max-heap on Reverse((cost, node, via)); each entry carries the
     // active order so the heap's Ord can apply it.
@@ -207,10 +210,7 @@ mod tests {
                 pts.push(Point::new(x as f64, y as f64));
             }
         }
-        UnitDiskGraph::build(
-            &Deployment::from_points(Region::square(k as f64), pts),
-            1.1,
-        )
+        UnitDiskGraph::build(&Deployment::from_points(Region::square(k as f64), pts), 1.1)
     }
 
     #[test]
@@ -232,10 +232,7 @@ mod tests {
             Point::new(0.0, 1.0),
             Point::new(1.0, 1.0),
         ];
-        let g = UnitDiskGraph::build(
-            &Deployment::from_points(Region::square(2.0), pts),
-            1.1,
-        );
+        let g = UnitDiskGraph::build(&Deployment::from_points(Region::square(2.0), pts), 1.1);
         let (parents, costs) = dijkstra_tree(&g, 0, &[0.0, 10.0, 0.1, 0.1]);
         assert_eq!(parents[3], Some(2), "route around the hot node");
         assert!((costs[3].unwrap().sum - 0.2).abs() < 1e-12);
@@ -255,10 +252,7 @@ mod tests {
             Point::new(1.15, 1.75), // 3 relay b (0.2)
             Point::new(1.8, 1.0),   // 4 target (0.1)
         ];
-        let g = UnitDiskGraph::build(
-            &Deployment::from_points(Region::square(3.0), pts),
-            1.0,
-        );
+        let g = UnitDiskGraph::build(&Deployment::from_points(Region::square(3.0), pts), 1.0);
         assert!(g.has_edge(0, 1) && g.has_edge(1, 4));
         assert!(g.has_edge(0, 2) && g.has_edge(2, 3) && g.has_edge(3, 4));
         assert!(!g.has_edge(2, 4) && !g.has_edge(0, 3) && !g.has_edge(0, 4));
@@ -273,10 +267,7 @@ mod tests {
     #[test]
     fn unreachable_nodes_have_no_cost() {
         let pts = vec![Point::new(0.0, 0.0), Point::new(50.0, 0.0)];
-        let g = UnitDiskGraph::build(
-            &Deployment::from_points(Region::new(60.0, 1.0), pts),
-            1.0,
-        );
+        let g = UnitDiskGraph::build(&Deployment::from_points(Region::new(60.0, 1.0), pts), 1.0);
         let (parents, costs) = dijkstra_tree(&g, 0, &[0.0, 0.0]);
         assert_eq!(parents[1], None);
         assert!(costs[1].is_none());
@@ -302,9 +293,21 @@ mod tests {
 
     #[test]
     fn path_cost_ordering_is_lexicographic() {
-        let a = PathCost { sum: 1.0, max: 0.9, hops: 5 };
-        let b = PathCost { sum: 1.0, max: 0.8, hops: 9 };
-        let c = PathCost { sum: 0.9, max: 1.0, hops: 1 };
+        let a = PathCost {
+            sum: 1.0,
+            max: 0.9,
+            hops: 5,
+        };
+        let b = PathCost {
+            sum: 1.0,
+            max: 0.8,
+            hops: 9,
+        };
+        let c = PathCost {
+            sum: 0.9,
+            max: 1.0,
+            hops: 1,
+        };
         assert!(c < b && b < a);
         assert_eq!(PathCost::ZERO.extend(0.5).extend(0.2).sum, 0.7);
         assert_eq!(PathCost::ZERO.extend(0.5).extend(0.2).max, 0.5);

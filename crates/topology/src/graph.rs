@@ -202,7 +202,10 @@ mod tests {
             .map(|i| Point::new(i as f64 * spacing, 0.0))
             .collect();
         let side = (count as f64 * spacing).max(1.0);
-        UnitDiskGraph::build(&Deployment::from_points(Region::new(side, 1.0), pts), radius)
+        UnitDiskGraph::build(
+            &Deployment::from_points(Region::new(side, 1.0), pts),
+            radius,
+        )
     }
 
     #[test]

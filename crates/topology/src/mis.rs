@@ -103,8 +103,7 @@ mod tests {
             if levels[u as usize].is_none() {
                 continue; // unreachable nodes are out of scope
             }
-            let dominated =
-                m[u as usize] || g.neighbors(u).iter().any(|&v| m[v as usize]);
+            let dominated = m[u as usize] || g.neighbors(u).iter().any(|&v| m[v as usize]);
             assert!(dominated, "node {u} is neither dominator nor dominated");
         }
     }
@@ -125,7 +124,10 @@ mod tests {
                     .iter()
                     .any(|&v| m[v as usize] && rank(v) < rank(u))
             });
-            assert!(found, "dominator {u} has no lower-ranked dominator in 2 hops");
+            assert!(
+                found,
+                "dominator {u} has no lower-ranked dominator in 2 hops"
+            );
         }
     }
 
@@ -148,10 +150,7 @@ mod tests {
             Point::new(1.0, 0.0),
             Point::new(30.0, 0.0),
         ];
-        let g = UnitDiskGraph::build(
-            &Deployment::from_points(Region::new(40.0, 1.0), pts),
-            1.5,
-        );
+        let g = UnitDiskGraph::build(&Deployment::from_points(Region::new(40.0, 1.0), pts), 1.5);
         let m = mis(&g, 0);
         assert_eq!(m, vec![true, false, false]);
         assert_eq!(rank_order(&g, 0), vec![0, 1]);

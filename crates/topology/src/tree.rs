@@ -290,12 +290,13 @@ impl CollectionTree {
             match parent[u as usize] {
                 None if u == root => {}
                 None => return Err(TreeError::BadRootStructure { node: u }),
-                Some(_) if u == root => {
-                    return Err(TreeError::BadRootStructure { node: u })
-                }
+                Some(_) if u == root => return Err(TreeError::BadRootStructure { node: u }),
                 Some(p) => {
                     if !graph.has_edge(u, p) {
-                        return Err(TreeError::BadParentEdge { child: u, parent: p });
+                        return Err(TreeError::BadParentEdge {
+                            child: u,
+                            parent: p,
+                        });
                     }
                     children[p as usize].push(u);
                 }
@@ -602,7 +603,10 @@ mod tests {
             let g = random_connected(seed * 7 + 1, 300, 65.0, 9.0);
             let t = CollectionTree::cds(&g, 0).unwrap();
             let max = t.max_connectors_per_dominator(&g).unwrap();
-            assert!(max <= 12, "Lemma 1 violated: {max} connectors (seed {seed})");
+            assert!(
+                max <= 12,
+                "Lemma 1 violated: {max} connectors (seed {seed})"
+            );
         }
     }
 
@@ -675,10 +679,7 @@ mod tests {
             Point::new(2.0, 0.0),
             Point::new(3.0, 0.0),
         ];
-        let g = UnitDiskGraph::build(
-            &Deployment::from_points(Region::new(4.0, 1.0), pts),
-            1.5,
-        );
+        let g = UnitDiskGraph::build(&Deployment::from_points(Region::new(4.0, 1.0), pts), 1.5);
         // 1 <-> 2 cycle, 3 hangs off 2; node 0 is root.
         let parents = vec![None, Some(2), Some(1), Some(2)];
         let err = CollectionTree::from_parents(&g, 0, parents).unwrap_err();
@@ -687,23 +688,27 @@ mod tests {
 
     #[test]
     fn from_parents_rejects_non_edge() {
-        let pts = vec![Point::new(0.0, 0.0), Point::new(1.0, 0.0), Point::new(2.0, 0.0)];
-        let g = UnitDiskGraph::build(
-            &Deployment::from_points(Region::new(3.0, 1.0), pts),
-            1.1,
-        );
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(2.0, 0.0),
+        ];
+        let g = UnitDiskGraph::build(&Deployment::from_points(Region::new(3.0, 1.0), pts), 1.1);
         let parents = vec![None, Some(0), Some(0)]; // 2-0 is not an edge
         let err = CollectionTree::from_parents(&g, 0, parents).unwrap_err();
-        assert_eq!(err, TreeError::BadParentEdge { child: 2, parent: 0 });
+        assert_eq!(
+            err,
+            TreeError::BadParentEdge {
+                child: 2,
+                parent: 0
+            }
+        );
     }
 
     #[test]
     fn disconnected_graph_is_an_error() {
         let pts = vec![Point::new(0.0, 0.0), Point::new(30.0, 0.0)];
-        let g = UnitDiskGraph::build(
-            &Deployment::from_points(Region::new(40.0, 1.0), pts),
-            1.0,
-        );
+        let g = UnitDiskGraph::build(&Deployment::from_points(Region::new(40.0, 1.0), pts), 1.0);
         assert_eq!(
             CollectionTree::cds(&g, 0).unwrap_err(),
             TreeError::Disconnected { node: 1 }
@@ -713,7 +718,10 @@ mod tests {
     #[test]
     fn empty_graph_is_an_error() {
         let g = UnitDiskGraph::build(&Deployment::from_points(Region::square(1.0), vec![]), 1.0);
-        assert_eq!(CollectionTree::cds(&g, 0).unwrap_err(), TreeError::EmptyGraph);
+        assert_eq!(
+            CollectionTree::cds(&g, 0).unwrap_err(),
+            TreeError::EmptyGraph
+        );
     }
 
     #[test]
@@ -741,10 +749,7 @@ mod tests {
     #[test]
     fn two_node_tree_is_root_plus_dominatee() {
         let pts = vec![Point::new(0.0, 0.0), Point::new(1.0, 0.0)];
-        let g = UnitDiskGraph::build(
-            &Deployment::from_points(Region::new(2.0, 1.0), pts),
-            1.5,
-        );
+        let g = UnitDiskGraph::build(&Deployment::from_points(Region::new(2.0, 1.0), pts), 1.5);
         let t = CollectionTree::cds(&g, 0).unwrap();
         assert_eq!(t.role(1), Some(Role::Dominatee));
         assert_eq!(t.parent(1), Some(0));
@@ -845,10 +850,7 @@ mod tests {
     #[test]
     fn long_line_alternates_roles() {
         let pts: Vec<Point> = (0..20).map(|i| Point::new(i as f64, 0.5)).collect();
-        let g = UnitDiskGraph::build(
-            &Deployment::from_points(Region::new(20.0, 1.0), pts),
-            1.1,
-        );
+        let g = UnitDiskGraph::build(&Deployment::from_points(Region::new(20.0, 1.0), pts), 1.1);
         let t = CollectionTree::cds(&g, 0).unwrap();
         t.validate(&g).unwrap();
         // Dominators sit every other node on a line; connectors fill gaps.

@@ -1,0 +1,194 @@
+//! JSONL / CSV serialization of sweep records and simulator traces.
+//!
+//! Everything here is hand-rolled, line-oriented, and deterministic —
+//! byte-identical output for identical inputs — so exported artifacts
+//! can be diffed across runs and machines. Floats use Rust's shortest
+//! round-trip formatting.
+
+use crate::RunRecord;
+use crn_sim::{TraceEvent, TraceLog};
+use std::fmt::Write as _;
+use std::path::Path;
+use std::str::FromStr;
+
+/// On-disk format for trace export.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceFormat {
+    /// One JSON object per line (`{"t":…,"event":"tx_end",…}`).
+    Jsonl,
+    /// Flat CSV with a header row.
+    Csv,
+}
+
+impl FromStr for TraceFormat {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "jsonl" | "json" => Ok(TraceFormat::Jsonl),
+            "csv" => Ok(TraceFormat::Csv),
+            other => Err(format!(
+                "unknown trace format {other:?} (expected jsonl or csv)"
+            )),
+        }
+    }
+}
+
+/// Serializes a trace in `format`.
+#[must_use]
+pub fn trace_to_string(log: &TraceLog, format: TraceFormat) -> String {
+    match format {
+        TraceFormat::Jsonl => log.to_jsonl(),
+        TraceFormat::Csv => log.to_csv(),
+    }
+}
+
+/// Writes a trace to `path` in `format`.
+///
+/// # Errors
+///
+/// Propagates the underlying I/O error.
+pub fn write_trace(path: &Path, log: &TraceLog, format: TraceFormat) -> std::io::Result<()> {
+    std::fs::write(path, trace_to_string(log, format))
+}
+
+/// Serializes sweep records as JSONL, one record per line, in input
+/// order. (CSV rendering of the same records lives in
+/// [`crate::table::csv_records`].)
+#[must_use]
+pub fn records_jsonl(records: &[RunRecord]) -> String {
+    let mut out = String::new();
+    for r in records {
+        out.push_str(&record_jsonl(r));
+        out.push('\n');
+    }
+    out
+}
+
+/// One record as a single JSON line.
+#[must_use]
+pub fn record_jsonl(r: &RunRecord) -> String {
+    let mut s = String::with_capacity(256);
+    s.push('{');
+    let _ = write!(
+        s,
+        "\"figure\":{},\"x_name\":{},\"x\":{},\"algorithm\":{},\"rep\":{}",
+        json_str(&r.figure),
+        json_str(&r.x_name),
+        r.x,
+        json_str(&r.algorithm.to_string()),
+        r.rep,
+    );
+    let _ = write!(
+        s,
+        ",\"finished\":{},\"delay_slots\":{},\"capacity_fraction\":{}",
+        r.finished, r.delay_slots, r.capacity_fraction,
+    );
+    match r.jain {
+        Some(j) => {
+            let _ = write!(s, ",\"jain\":{j}");
+        }
+        None => s.push_str(",\"jain\":null"),
+    }
+    let _ = write!(
+        s,
+        ",\"attempts\":{},\"successes\":{},\"pu_aborts\":{},\"sir_failures\":{},\"capture_losses\":{}",
+        r.attempts, r.successes, r.pu_aborts, r.sir_failures, r.capture_losses,
+    );
+    let _ = write!(
+        s,
+        ",\"peak_queue\":{},\"tree_height\":{},\"tree_max_degree\":{}}}",
+        r.peak_queue, r.tree_height, r.tree_max_degree,
+    );
+    s
+}
+
+/// Minimal JSON string encoding (quotes, backslashes, control chars).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Serializes any sequence of trace events as JSONL (useful for events
+/// gathered outside a [`TraceLog`]).
+#[must_use]
+pub fn events_jsonl<'a>(events: impl IntoIterator<Item = &'a TraceEvent>) -> String {
+    let mut out = String::new();
+    for e in events {
+        out.push_str(&e.to_jsonl());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crn_core::CollectionAlgorithm;
+
+    fn record() -> RunRecord {
+        RunRecord {
+            figure: "fig6a".into(),
+            x_name: "p_t".into(),
+            x: 0.3,
+            algorithm: CollectionAlgorithm::Addc,
+            rep: 2,
+            finished: true,
+            delay_slots: 123.5,
+            capacity_fraction: 0.25,
+            jain: None,
+            attempts: 10,
+            successes: 8,
+            pu_aborts: 1,
+            sir_failures: 1,
+            capture_losses: 0,
+            peak_queue: 3,
+            tree_height: 4,
+            tree_max_degree: 5,
+        }
+    }
+
+    #[test]
+    fn record_jsonl_is_flat_and_complete() {
+        let line = record_jsonl(&record());
+        assert!(line.starts_with('{') && line.ends_with('}'));
+        assert!(line.contains("\"figure\":\"fig6a\""));
+        assert!(line.contains("\"algorithm\":\"ADDC\""));
+        assert!(line.contains("\"jain\":null"));
+        assert!(line.contains("\"delay_slots\":123.5"));
+        assert_eq!(line.matches('{').count(), 1);
+    }
+
+    #[test]
+    fn records_jsonl_is_one_line_per_record() {
+        let out = records_jsonl(&[record(), record()]);
+        assert_eq!(out.lines().count(), 2);
+    }
+
+    #[test]
+    fn json_str_escapes() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn trace_format_parses() {
+        assert_eq!("jsonl".parse::<TraceFormat>().unwrap(), TraceFormat::Jsonl);
+        assert_eq!("csv".parse::<TraceFormat>().unwrap(), TraceFormat::Csv);
+        assert!("xml".parse::<TraceFormat>().is_err());
+    }
+}

@@ -135,7 +135,10 @@ mod tests {
         }
         assert_eq!(
             rows.len(),
-            Fig4Panel::ALL.iter().map(|p| p.values().len()).sum::<usize>()
+            Fig4Panel::ALL
+                .iter()
+                .map(|p| p.values().len())
+                .sum::<usize>()
         );
     }
 

@@ -9,21 +9,22 @@
 //!   density-preserving laptop-scale variant (`Scaled`), and a CI-speed
 //!   variant (`Tiny`),
 //! - [`SweepSpec`]/[`Axis`] — one figure panel as a set of jobs,
-//! - [`run_sweep`] — executes jobs (optionally across threads) into
-//!   [`RunRecord`]s,
+//! - [`run_sweep`] — executes jobs under [`SweepOptions`] (threaded,
+//!   cancellable on failure) into [`RunRecord`]s,
 //! - [`aggregate`] — per-point mean/std across repetitions,
 //! - [`table`] — markdown / CSV rendering for `EXPERIMENTS.md`,
+//! - [`export`] — JSONL / CSV serialization of records and traces,
 //! - [`fig4`] — the closed-form PCR figure.
 //!
 //! # Example
 //!
 //! ```
-//! use crn_workloads::{aggregate, presets, run_sweep, Fig6Panel, PresetKind};
+//! use crn_workloads::{aggregate, presets, run_sweep, Fig6Panel, PresetKind, SweepOptions};
 //!
 //! let mut spec = presets::fig6_spec(PresetKind::Tiny, Fig6Panel::C);
 //! spec.reps = 1; // keep the doctest fast
 //! spec.axis.values.truncate(2);
-//! let records = run_sweep(&spec, 1, |_done, _total| {});
+//! let records = run_sweep(&spec, SweepOptions::sequential()).expect("sweep runs");
 //! assert!(!records.is_empty());
 //! let points = aggregate(&records);
 //! assert_eq!(points.len(), 2 * spec.algorithms.len());
@@ -32,6 +33,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod export;
 pub mod fig4;
 pub mod presets;
 mod record;
@@ -41,5 +43,5 @@ pub mod table;
 
 pub use presets::{Fig6Panel, PresetKind};
 pub use record::{aggregate, AggregatePoint, RunRecord};
-pub use runner::run_sweep;
+pub use runner::{run_sweep, SweepError, SweepOptions};
 pub use sweep::{Axis, AxisKind, Job, SweepSpec};

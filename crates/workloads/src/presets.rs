@@ -171,13 +171,19 @@ pub fn fig6_spec(kind: PresetKind, panel: Fig6Panel) -> SweepSpec {
         // range saturates the slot cap at our densities).
         (Fig6Panel::A, _) => Axis::new(
             AxisKind::NumPus,
-            [0.5, 0.75, 1.0, 1.5, 2.0].iter().map(|f| (f * big_n).round()).collect(),
+            [0.5, 0.75, 1.0, 1.5, 2.0]
+                .iter()
+                .map(|f| (f * big_n).round())
+                .collect(),
         ),
         // Panel (b): n from 2/3 to 4/3 of default, mirroring 1000..3000
         // around 2000 while staying in the connected regime.
         (Fig6Panel::B, _) => Axis::new(
             AxisKind::NumSus,
-            [0.67, 0.83, 1.0, 1.17, 1.33].iter().map(|f| (f * n).round()).collect(),
+            [0.67, 0.83, 1.0, 1.17, 1.33]
+                .iter()
+                .map(|f| (f * n).round())
+                .collect(),
         ),
         (Fig6Panel::C, _) => Axis::new(AxisKind::Pt, vec![0.1, 0.2, 0.3, 0.4, 0.5]),
         // Panel (d): the paper sweeps alpha downward of 4; at paper PU

@@ -122,13 +122,14 @@ pub fn aggregate(records: &[RunRecord]) -> Vec<AggregatePoint> {
             let x = f64::from_bits(x_bits);
             let group: Vec<&RunRecord> = records
                 .iter()
-                .filter(|r| r.figure == figure && r.x.to_bits() == x_bits && r.algorithm == algorithm)
+                .filter(|r| {
+                    r.figure == figure && r.x.to_bits() == x_bits && r.algorithm == algorithm
+                })
                 .collect();
             let delays: Vec<f64> = group.iter().map(|r| r.delay_slots).collect();
             let mean = delays.iter().sum::<f64>() / delays.len() as f64;
             let var = if delays.len() > 1 {
-                delays.iter().map(|d| (d - mean).powi(2)).sum::<f64>()
-                    / (delays.len() - 1) as f64
+                delays.iter().map(|d| (d - mean).powi(2)).sum::<f64>() / (delays.len() - 1) as f64
             } else {
                 0.0
             };
@@ -159,8 +160,7 @@ pub fn aggregate(records: &[RunRecord]) -> Vec<AggregatePoint> {
                 } else {
                     Some(jains.iter().sum::<f64>() / jains.len() as f64)
                 },
-                mean_success_rate: success_rates.iter().sum::<f64>()
-                    / success_rates.len() as f64,
+                mean_success_rate: success_rates.iter().sum::<f64>() / success_rates.len() as f64,
             }
         })
         .collect()

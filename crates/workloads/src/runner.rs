@@ -1,81 +1,191 @@
 use crate::{Job, RunRecord, SweepSpec};
-use crn_core::Scenario;
-use parking_lot::Mutex;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use crn_core::{Scenario, ScenarioError};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
 
-/// Executes every job of `spec` and returns one [`RunRecord`] per job,
-/// in job order.
+/// Execution options for [`run_sweep`].
 ///
-/// `threads` sets the worker count (1 = run inline; the sweep is
-/// embarrassingly parallel, so more workers scale on multicore hosts).
-/// `progress(done, total)` is invoked after every completed job — pass a
-/// closure that prints, or `|_, _| {}`.
+/// `threads: 0` (the [`Default`]) means "auto": use
+/// [`std::thread::available_parallelism`], falling back to 1. `threads: 1`
+/// runs inline on the calling thread. The optional `progress` callback is
+/// invoked after every completed job with `(done, total)`.
 ///
-/// Scenario generation failures (e.g. a disconnected deployment beyond the
-/// retry budget) panic: a sweep whose points silently vanish would
-/// misreport the figure. Presets keep densities well inside the connected
-/// regime.
+/// ```
+/// use crn_workloads::SweepOptions;
 ///
-/// # Panics
+/// let quiet = SweepOptions::default();           // auto threads, no progress
+/// let seq = SweepOptions::sequential();          // one inline worker
+/// let noisy = SweepOptions::with_threads(4)
+///     .on_progress(|done, total| eprintln!("{done}/{total}"));
+/// assert_eq!(quiet.threads, 0);
+/// assert_eq!(seq.threads, 1);
+/// assert_eq!(noisy.threads, 4);
+/// ```
+#[derive(Default)]
+pub struct SweepOptions {
+    /// Worker thread count; `0` = auto from available parallelism.
+    pub threads: usize,
+    /// Called after each completed job with `(done, total)`.
+    pub progress: Option<Box<dyn Fn(usize, usize) + Send + Sync>>,
+}
+
+impl SweepOptions {
+    /// Options running on `threads` workers (0 = auto).
+    #[must_use]
+    pub fn with_threads(threads: usize) -> Self {
+        Self {
+            threads,
+            ..Self::default()
+        }
+    }
+
+    /// Options running inline on the calling thread.
+    #[must_use]
+    pub fn sequential() -> Self {
+        Self::with_threads(1)
+    }
+
+    /// Attach a progress callback invoked after every completed job.
+    #[must_use]
+    pub fn on_progress<F>(mut self, progress: F) -> Self
+    where
+        F: Fn(usize, usize) + Send + Sync + 'static,
+    {
+        self.progress = Some(Box::new(progress));
+        self
+    }
+
+    fn effective_threads(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        }
+    }
+}
+
+/// A sweep job that failed to generate or run, with enough identity to
+/// reproduce it in isolation.
+#[derive(Debug)]
+pub struct SweepError {
+    /// Figure the failing job belongs to.
+    pub figure: String,
+    /// Swept-axis name (e.g. `p_t`).
+    pub x_name: &'static str,
+    /// Swept-axis value of the failing job.
+    pub x: f64,
+    /// Repetition index of the failing job.
+    pub rep: u32,
+    /// Underlying scenario failure.
+    pub source: ScenarioError,
+}
+
+impl std::fmt::Display for SweepError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "sweep job failed for {} {}={} rep {}: {}",
+            self.figure, self.x_name, self.x, self.rep, self.source
+        )
+    }
+}
+
+impl std::error::Error for SweepError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
+    }
+}
+
+/// Executes every job of `spec` and returns one [`RunRecord`] per job, in
+/// job order.
 ///
-/// Panics if `threads == 0` or if any job fails to generate or run.
-#[must_use]
-pub fn run_sweep<F>(spec: &SweepSpec, threads: usize, progress: F) -> Vec<RunRecord>
-where
-    F: Fn(usize, usize) + Sync,
-{
-    assert!(threads > 0, "at least one worker thread required");
+/// The sweep is embarrassingly parallel; [`SweepOptions::threads`] picks
+/// the worker count (0 = auto). A scenario that fails to generate (e.g. a
+/// disconnected deployment beyond the retry budget) or to run aborts the
+/// sweep — remaining jobs are cancelled at the next job boundary — and is
+/// reported as a [`SweepError`] carrying the failing job's identity, so a
+/// sweep whose points silently vanish cannot misreport a figure.
+///
+/// # Errors
+///
+/// Returns the first [`SweepError`] (in job order) encountered.
+pub fn run_sweep(spec: &SweepSpec, options: SweepOptions) -> Result<Vec<RunRecord>, SweepError> {
     let jobs = spec.jobs();
     let total = jobs.len();
+    let threads = options.effective_threads();
+    let progress = options.progress.as_deref();
+
     let done = AtomicUsize::new(0);
-    let mut results: Vec<Option<RunRecord>> = Vec::new();
+    let next = AtomicUsize::new(0);
+    let failed = AtomicBool::new(false);
+    let mut results: Vec<Option<Result<RunRecord, SweepError>>> = Vec::new();
     results.resize_with(total, || None);
     let results = Mutex::new(&mut results);
-    let next = AtomicUsize::new(0);
 
     let worker = |jobs: &[Job]| loop {
         let i = next.fetch_add(1, Ordering::Relaxed);
-        if i >= jobs.len() {
+        if i >= jobs.len() || failed.load(Ordering::Relaxed) {
             break;
         }
-        let job = &jobs[i];
-        let record = run_job(job);
-        results.lock()[i] = Some(record);
-        progress(done.fetch_add(1, Ordering::Relaxed) + 1, total);
+        let outcome = run_job(&jobs[i]);
+        if outcome.is_err() {
+            failed.store(true, Ordering::Relaxed);
+        }
+        results.lock().expect("results lock poisoned")[i] = Some(outcome);
+        if let Some(progress) = progress {
+            progress(done.fetch_add(1, Ordering::Relaxed) + 1, total);
+        }
     };
 
     if threads == 1 {
         worker(&jobs);
     } else {
-        crossbeam::thread::scope(|s| {
+        std::thread::scope(|s| {
             for _ in 0..threads {
-                s.spawn(|_| worker(&jobs));
+                s.spawn(|| worker(&jobs));
             }
-        })
-        .expect("worker thread panicked");
+        });
     }
 
-    results
-        .into_inner()
-        .iter_mut()
-        .map(|r| r.take().expect("every job produces a record"))
-        .collect()
+    let slots = std::mem::take(*results.lock().expect("results lock poisoned"));
+    // Report the first failure in job order; cancellation may leave later
+    // slots empty, but an empty slot can only exist once some job failed.
+    let mut records = Vec::with_capacity(total);
+    let mut first_error = None;
+    for slot in slots {
+        match slot {
+            Some(Ok(record)) if first_error.is_none() => records.push(record),
+            Some(Ok(_)) => {}
+            Some(Err(e)) => return Err(e),
+            None => {
+                first_error.get_or_insert(());
+            }
+        }
+    }
+    debug_assert!(
+        first_error.is_none() || failed.load(Ordering::Relaxed),
+        "incomplete sweep without a recorded failure"
+    );
+    Ok(records)
 }
 
-fn run_job(job: &Job) -> RunRecord {
-    let scenario = Scenario::generate(&job.params).unwrap_or_else(|e| {
-        panic!(
-            "scenario generation failed for {} {}={} rep {}: {e}",
-            job.figure, job.x_name, job.x, job.rep
-        )
-    });
-    let outcome = scenario.run(job.algorithm).unwrap_or_else(|e| {
-        panic!(
-            "run failed for {} {}={} rep {} ({}): {e}",
-            job.figure, job.x_name, job.x, job.rep, job.algorithm
-        )
-    });
-    RunRecord::from_outcome(&job.figure, job.x_name, job.x, job.rep, &outcome)
+fn run_job(job: &Job) -> Result<RunRecord, SweepError> {
+    let fail = |source: ScenarioError| SweepError {
+        figure: job.figure.clone(),
+        x_name: job.x_name,
+        x: job.x,
+        rep: job.rep,
+        source,
+    };
+    let scenario = Scenario::generate(&job.params).map_err(fail)?;
+    let outcome = scenario.run(job.algorithm).map_err(fail)?;
+    Ok(RunRecord::from_outcome(
+        &job.figure,
+        job.x_name,
+        job.x,
+        job.rep,
+        &outcome,
+    ))
 }
 
 #[cfg(test)]
@@ -101,14 +211,36 @@ mod tests {
         }
     }
 
+    fn impossible_spec() -> SweepSpec {
+        // 40 SUs scattered over a huge area with a tiny retry budget can
+        // never produce a connected deployment.
+        SweepSpec {
+            figure: "fail".into(),
+            base: ScenarioParams::builder()
+                .num_sus(40)
+                .num_pus(0)
+                .area_side(100_000.0)
+                .max_connectivity_attempts(2)
+                .build(),
+            axis: Axis::new(AxisKind::Pt, vec![0.1]),
+            algorithms: vec![Addc],
+            reps: 1,
+        }
+    }
+
     #[test]
     fn sequential_run_produces_all_records() {
         let spec = tiny_spec();
-        let calls = AtomicUsize::new(0);
-        let records = run_sweep(&spec, 1, |_d, t| {
-            assert_eq!(t, 8);
-            calls.fetch_add(1, Ordering::Relaxed);
-        });
+        let calls = std::sync::Arc::new(AtomicUsize::new(0));
+        let seen = calls.clone();
+        let records = run_sweep(
+            &spec,
+            SweepOptions::sequential().on_progress(move |_d, t| {
+                assert_eq!(t, 8);
+                seen.fetch_add(1, Ordering::Relaxed);
+            }),
+        )
+        .expect("tiny sweep succeeds");
         assert_eq!(records.len(), 8);
         assert_eq!(calls.load(Ordering::Relaxed), 8);
         assert!(records.iter().all(|r| r.finished));
@@ -117,17 +249,38 @@ mod tests {
     #[test]
     fn threaded_matches_sequential() {
         let spec = tiny_spec();
-        let seq = run_sweep(&spec, 1, |_, _| {});
-        let par = run_sweep(&spec, 3, |_, _| {});
+        let seq = run_sweep(&spec, SweepOptions::sequential()).unwrap();
+        let par = run_sweep(&spec, SweepOptions::with_threads(3)).unwrap();
         assert_eq!(seq, par, "parallel execution must not change results");
+    }
+
+    #[test]
+    fn zero_threads_means_auto_not_panic() {
+        let spec = tiny_spec();
+        let auto = run_sweep(&spec, SweepOptions::default()).unwrap();
+        let seq = run_sweep(&spec, SweepOptions::sequential()).unwrap();
+        assert_eq!(auto, seq);
     }
 
     #[test]
     fn records_carry_job_identity() {
         let spec = tiny_spec();
-        let records = run_sweep(&spec, 1, |_, _| {});
+        let records = run_sweep(&spec, SweepOptions::sequential()).unwrap();
         assert!(records.iter().any(|r| r.x == 0.1 && r.algorithm == Addc));
         assert!(records.iter().any(|r| r.x == 0.2 && r.algorithm == Coolest));
         assert!(records.iter().all(|r| r.figure == "t" && r.x_name == "p_t"));
+    }
+
+    #[test]
+    fn failures_are_reported_not_panicked() {
+        let err = run_sweep(&impossible_spec(), SweepOptions::sequential())
+            .expect_err("disconnected scenario must fail");
+        assert_eq!(err.figure, "fail");
+        assert_eq!(err.rep, 0);
+        let msg = err.to_string();
+        assert!(
+            msg.contains("fail"),
+            "error message carries identity: {msg}"
+        );
     }
 }

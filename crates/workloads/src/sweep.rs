@@ -114,7 +114,8 @@ fn rebuild_phy(
         .pu_sir_threshold(base.pu_sir_threshold())
         .su_sir_threshold(base.su_sir_threshold());
     tweak(&mut b);
-    b.build().unwrap_or_else(|e| panic!("invalid swept phy: {e}"))
+    b.build()
+        .unwrap_or_else(|e| panic!("invalid swept phy: {e}"))
 }
 
 /// One figure panel as an executable sweep: a base parameter set, an axis,

@@ -32,7 +32,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         params.num_pus,
         scenario.pcr()
     );
-    println!("| routing | delay (slots) | delay (s) | Jain fairness | attempts/packet | PU handoffs |");
+    println!(
+        "| routing | delay (slots) | delay (s) | Jain fairness | attempts/packet | PU handoffs |"
+    );
     println!("|---|---|---|---|---|---|");
 
     let mut best: Option<(CollectionAlgorithm, f64)> = None;

@@ -29,11 +29,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         params.activity = PuActivity::bernoulli(p_t)?;
         let scenario = Scenario::generate(&params)?;
         let outcome = scenario.run(CollectionAlgorithm::Addc)?;
-        let p_o = opportunity::expected_probability(
-            p_t,
-            params.pu_density(),
-            scenario.pcr(),
-        );
+        let p_o = opportunity::expected_probability(p_t, params.pu_density(), scenario.pcr());
         println!(
             "| {p_t} | {:.4} | {:.1} | {:.0} |",
             p_o,
@@ -49,8 +45,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("|---|---|---|");
     for (name, activity) in [
         ("Bernoulli (i.i.d. slots)", PuActivity::bernoulli(0.3)?),
-        ("Gilbert, mean burst 5 slots", PuActivity::gilbert_with_duty_cycle(0.3, 5.0)?),
-        ("Gilbert, mean burst 20 slots", PuActivity::gilbert_with_duty_cycle(0.3, 20.0)?),
+        (
+            "Gilbert, mean burst 5 slots",
+            PuActivity::gilbert_with_duty_cycle(0.3, 5.0)?,
+        ),
+        (
+            "Gilbert, mean burst 20 slots",
+            PuActivity::gilbert_with_duty_cycle(0.3, 20.0)?,
+        ),
     ] {
         let mut params = base.clone();
         params.activity = activity;

@@ -45,7 +45,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let margin = concurrent::min_margin(&phy, &links);
         println!(
             "| {constants:?} | {c2:.3} | {kp:.2} | {ks:.2} | {k:.2} | {range:.1} | {margin:.2}{} |",
-            if margin >= 1.0 { " (concurrent ✓)" } else { " (violated ✗)" }
+            if margin >= 1.0 {
+                " (concurrent ✓)"
+            } else {
+                " (violated ✗)"
+            }
         );
     }
     println!(

@@ -34,11 +34,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         report.max_service_time / params.mac.slot,
     );
 
-    let pu_index = GridIndex::build(
-        scenario.pu_positions(),
-        scenario.region(),
-        scenario.pcr(),
-    );
+    let pu_index = GridIndex::build(scenario.pu_positions(), scenario.region(), scenario.pcr());
     let local = |su: u32| {
         let p = scenario.su_positions()[su as usize];
         let k = pu_index.count_within(p, scenario.pcr());
@@ -65,19 +61,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .filter_map(|(u, t)| t.map(|t| (u as u32, t)))
         .collect();
     flows.sort_by(|a, b| b.1.total_cmp(&a.1));
-    println!("| slowest flows | delivered (slots) | depth | worst PUs on path | worst p_o on path |");
+    println!(
+        "| slowest flows | delivered (slots) | depth | worst PUs on path | worst p_o on path |"
+    );
     println!("|---|---|---|---|---|");
     for (u, t) in flows.iter().take(5) {
         let (depth, k, p_o) = path_stats(*u);
-        println!("| SU {u} | {:.0} | {depth} | {k} | {p_o:.4} |", t / params.mac.slot);
+        println!(
+            "| SU {u} | {:.0} | {depth} | {k} | {p_o:.4} |",
+            t / params.mac.slot
+        );
     }
 
     // Fastest five, for contrast.
-    println!("\n| fastest flows | delivered (slots) | depth | worst PUs on path | worst p_o on path |");
+    println!(
+        "\n| fastest flows | delivered (slots) | depth | worst PUs on path | worst p_o on path |"
+    );
     println!("|---|---|---|---|---|");
     for (u, t) in flows.iter().rev().take(5) {
         let (depth, k, p_o) = path_stats(*u);
-        println!("| SU {u} | {:.0} | {depth} | {k} | {p_o:.4} |", t / params.mac.slot);
+        println!(
+            "| SU {u} | {:.0} | {depth} | {k} | {p_o:.4} |",
+            t / params.mac.slot
+        );
     }
 
     // The busiest relays and how often their attempts went through.
@@ -108,8 +114,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         avg(&fast, &|u| f64::from(path_stats(u).0)),
         avg(&fast, &|u| path_stats(u).1 as f64),
     );
-    println!(
-        "the heavy tail follows route depth and the PU pockets a route must cross."
-    );
+    println!("the heavy tail follows route depth and the PU pockets a route must cross.");
     Ok(())
 }

@@ -12,7 +12,7 @@
 //! | [`topology`] | `crn-topology` | unit-disk graphs, BFS, MIS, CDS collection trees |
 //! | [`interference`] | `crn-interference` | physical SIR model, PCR/κ derivation |
 //! | [`spectrum`] | `crn-spectrum` | PU activity models, spectrum opportunities & temperature |
-//! | [`sim`] | `crn-sim` | asynchronous discrete-event CSMA simulator |
+//! | [`sim`] | `crn-sim` | asynchronous discrete-event CSMA simulator + trace probes |
 //! | [`core`] | `crn-core` | ADDC (Algorithm 1) and the Coolest-path baseline |
 //! | [`theory`] | `crn-theory` | Lemmas 4–8, Theorems 1–2 analytic bounds |
 //! | [`workloads`] | `crn-workloads` | scenarios, sweeps, parallel runners, tables |
@@ -33,6 +33,11 @@
 //! let outcome = scenario.run(CollectionAlgorithm::Addc).expect("collection finishes");
 //! assert_eq!(outcome.report.packets_delivered, 60);
 //! ```
+//!
+//! To watch a run instead of just summarizing it, attach a probe:
+//! `Scenario::run_traced` pairs the outcome with a [`sim::TraceLog`] of
+//! typed events, and [`sim::Simulator::builder`] accepts any
+//! [`sim::Probe`] (e.g. [`sim::TimeSeries`]) for custom instrumentation.
 
 #![forbid(unsafe_code)]
 

@@ -54,7 +54,9 @@ fn all_algorithms_complete_and_agree_on_totals() {
         );
         // Successes count one per tree hop of every packet.
         let tree = scenario.tree(algo).unwrap();
-        let total_hops: u64 = (0..tree.len() as u32).map(|u| u64::from(tree.depth(u))).sum();
+        let total_hops: u64 = (0..tree.len() as u32)
+            .map(|u| u64::from(tree.depth(u)))
+            .sum();
         assert_eq!(o.report.successes, total_hops, "{algo}");
     }
 }
@@ -92,7 +94,10 @@ fn delivery_times_are_bounded_by_total_delay() {
         .iter()
         .flatten()
         .fold(0.0f64, |a, &b| a.max(b));
-    assert!((max - o.report.delay).abs() < 1e-12, "last delivery defines the delay");
+    assert!(
+        (max - o.report.delay).abs() < 1e-12,
+        "last delivery defines the delay"
+    );
 }
 
 #[test]

@@ -79,12 +79,17 @@ fn lemma5_and_lemma6_bound_observed_pcr_populations() {
         for v in 0..graph.len() as u32 {
             if graph.position(v).within(center, scenario.pcr()) {
                 su_count += 1.0;
-                if let Some(crn::topology::Role::Dominator | crn::topology::Role::Connector) = tree.role(v) {
+                if let Some(crn::topology::Role::Dominator | crn::topology::Role::Connector) =
+                    tree.role(v)
+                {
                     cds_count += 1.0;
                 }
             }
         }
-        assert!(cds_count <= lemma5, "node {u}: {cds_count} CDS nodes > {lemma5}");
+        assert!(
+            cds_count <= lemma5,
+            "node {u}: {cds_count} CDS nodes > {lemma5}"
+        );
         assert!(su_count <= lemma6, "node {u}: {su_count} SUs > {lemma6}");
     }
 }

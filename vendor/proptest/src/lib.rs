@@ -1,0 +1,438 @@
+//! Vendored offline stand-in for `proptest`.
+//!
+//! Implements the subset of the proptest API this workspace uses —
+//! range/tuple strategies, `prop_map`, `collection::vec`, the `proptest!`
+//! macro with `proptest_config`, and the `prop_assert*` macros — as plain
+//! deterministic random sampling. There is **no shrinking**: a failing case
+//! reports the case number and the (name-derived) seed so it can be rerun,
+//! which is enough for the property suites in this repository.
+
+#![forbid(unsafe_code)]
+
+/// Core sampling abstraction: a source of random values of one type.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A strategy produces values of type [`Strategy::Value`] from a seeded
+    /// RNG. Unlike real proptest there is no value tree / shrinking.
+    pub trait Strategy {
+        /// The type of value this strategy generates.
+        type Value;
+
+        /// Draw one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform generated values with `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy adapter produced by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn sample(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    /// Strategy that always yields a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    impl Strategy for core::ops::Range<f64> {
+        type Value = f64;
+        fn sample(&self, rng: &mut TestRng) -> f64 {
+            rng.uniform_f64(self.start, self.end)
+        }
+    }
+
+    impl Strategy for core::ops::RangeInclusive<f64> {
+        type Value = f64;
+        fn sample(&self, rng: &mut TestRng) -> f64 {
+            rng.uniform_f64_inclusive(*self.start(), *self.end())
+        }
+    }
+
+    macro_rules! impl_int_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    (self.start as i128 + rng.below(span) as i128) as $t
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as i128 - lo as i128) as u128 + 1;
+                    (lo as i128 + rng.below(span) as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.sample(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+}
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Length specification for [`vec`].
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            Self {
+                lo: r.start,
+                hi_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            Self {
+                lo: *r.start(),
+                hi_inclusive: *r.end(),
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self {
+                lo: n,
+                hi_inclusive: n,
+            }
+        }
+    }
+
+    /// Strategy for `Vec`s with element strategy `S`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generate vectors whose length is drawn from `size` and whose
+    /// elements are drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi_inclusive - self.size.lo) as u128 + 1;
+            let len = self.size.lo + rng.below(span) as usize;
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Test-execution machinery used by the `proptest!` macro expansion.
+pub mod test_runner {
+    /// Per-suite configuration. Only `cases` is honoured.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of random cases each property is checked against.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            Self { cases: 64 }
+        }
+    }
+
+    /// A property-test failure (non-panicking path, via `prop_assert*`).
+    #[derive(Debug)]
+    pub struct TestCaseError(String);
+
+    impl TestCaseError {
+        /// Construct a failure with the given message.
+        pub fn fail(msg: String) -> Self {
+            Self(msg)
+        }
+    }
+
+    impl core::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    /// Deterministic RNG for strategies: SplitMix64, seeded from the test
+    /// name so every run of a given test replays the same cases.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seed from an arbitrary byte string (FNV-1a).
+        pub fn from_name(name: &str) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            Self { state: h }
+        }
+
+        /// Next 64 random bits (SplitMix64).
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform draw in `[0, span)`.
+        pub fn below(&mut self, span: u128) -> u128 {
+            debug_assert!(span > 0);
+            ((self.next_u64() as u128).wrapping_mul(span)) >> 64
+        }
+
+        /// Uniform draw in `[lo, hi)`.
+        pub fn uniform_f64(&mut self, lo: f64, hi: f64) -> f64 {
+            assert!(lo < hi, "empty f64 range strategy");
+            let unit = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            lo + (hi - lo) * unit
+        }
+
+        /// Uniform draw in `[lo, hi]`.
+        pub fn uniform_f64_inclusive(&mut self, lo: f64, hi: f64) -> f64 {
+            assert!(lo <= hi, "empty f64 range strategy");
+            let unit = self.next_u64() as f64 / u64::MAX as f64;
+            (lo + (hi - lo) * unit).clamp(lo, hi)
+        }
+    }
+
+    /// Drives one property over `config.cases` sampled cases.
+    pub struct TestRunner {
+        cases: u32,
+        rng: TestRng,
+    }
+
+    impl TestRunner {
+        /// New runner for the named test.
+        pub fn new(config: ProptestConfig, name: &str) -> Self {
+            Self {
+                cases: config.cases,
+                rng: TestRng::from_name(name),
+            }
+        }
+
+        /// Number of cases to run.
+        pub fn cases(&self) -> u32 {
+            self.cases
+        }
+
+        /// The runner's RNG.
+        pub fn rng(&mut self) -> &mut TestRng {
+            &mut self.rng
+        }
+    }
+}
+
+/// Everything the property suites import.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Define property tests: same surface syntax as real proptest for the
+/// forms used in this workspace.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config = $cfg;
+            let mut __runner =
+                $crate::test_runner::TestRunner::new(__config, stringify!($name));
+            for __case in 0..__runner.cases() {
+                let ($($arg,)+) =
+                    ($($crate::strategy::Strategy::sample(&($strat), __runner.rng()),)+);
+                let __outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                if let ::std::result::Result::Err(e) = __outcome {
+                    panic!(
+                        "property {} failed on case {}/{}: {}",
+                        stringify!($name),
+                        __case + 1,
+                        __runner.cases(),
+                        e
+                    );
+                }
+            }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+/// Assert a condition inside `proptest!`, failing the case (not panicking
+/// directly) when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Assert two values are equal inside `proptest!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            __l,
+            __r
+        );
+    }};
+}
+
+/// Assert two values are not equal inside `proptest!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l != *__r,
+            "assertion failed: {} != {}\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            __l
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 0.25f64..0.75, n in 10u32..20, v in collection::vec(0usize..=3, 2..5)) {
+            prop_assert!((0.25..0.75).contains(&x));
+            prop_assert!((10..20).contains(&n));
+            prop_assert!((2..5).contains(&v.len()));
+            for e in v {
+                prop_assert!(e <= 3);
+            }
+        }
+
+        #[test]
+        fn prop_map_applies(y in (0u32..10).prop_map(|v| v * 2)) {
+            prop_assert_eq!(y % 2, 0);
+            prop_assert!(y < 20);
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_name() {
+        let mut a = crate::test_runner::TestRng::from_name("t");
+        let mut b = crate::test_runner::TestRng::from_name("t");
+        let mut c = crate::test_runner::TestRng::from_name("u");
+        let va: Vec<u64> = (0..4).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..4).map(|_| b.next_u64()).collect();
+        let vc: Vec<u64> = (0..4).map(|_| c.next_u64()).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+}

@@ -1,0 +1,20 @@
+//! Vendored offline stand-in for `serde`.
+//!
+//! The workspace only uses serde for `#[derive(Serialize, Deserialize)]`
+//! annotations — no serializer backend (e.g. serde_json) is in the
+//! dependency tree, so nothing ever *calls* the serialization machinery.
+//! This stand-in keeps those derives compiling in an offline build by
+//! providing empty marker traits and a derive macro that emits empty
+//! implementations. All actual serialization in this workspace (trace
+//! JSONL/CSV export) is hand-written and does not go through serde.
+
+#![forbid(unsafe_code)]
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

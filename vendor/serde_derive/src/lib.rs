@@ -1,0 +1,110 @@
+//! Derive macros for the vendored serde stand-in.
+//!
+//! These derives parse just enough of the item — the `struct`/`enum`
+//! keyword, the type name, and an optional generic parameter list — to emit
+//! an empty marker-trait implementation. No syn/quote dependency, so the
+//! whole workspace builds offline.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Walk the item's tokens and return `(name, generic_params)` where
+/// `generic_params` is the comma-joined list of generic parameter names
+/// (lifetimes and type parameters, bounds stripped).
+fn parse_item(input: TokenStream) -> Option<(String, Vec<String>)> {
+    let mut tokens = input.into_iter().peekable();
+    // Skip attributes (`#[...]`), visibility, and anything else until the
+    // `struct`/`enum` keyword.
+    loop {
+        match tokens.next()? {
+            TokenTree::Ident(id) => {
+                let s = id.to_string();
+                if s == "struct" || s == "enum" || s == "union" {
+                    break;
+                }
+            }
+            _ => continue,
+        }
+    }
+    let name = match tokens.next()? {
+        TokenTree::Ident(id) => id.to_string(),
+        _ => return None,
+    };
+    let mut generics = Vec::new();
+    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() == '<' {
+            tokens.next();
+            // Collect parameter names: the first ident (or `'lt`) of each
+            // comma-separated segment, skipping bounds after `:` and
+            // defaults after `=`. Nested angle brackets (e.g.
+            // `T: Into<String>`) are tracked by depth.
+            let mut depth = 1usize;
+            let mut expecting_param = true;
+            let mut skipping = false;
+            let mut lifetime_pending = false;
+            while depth > 0 {
+                match tokens.next()? {
+                    TokenTree::Punct(p) => match p.as_char() {
+                        '<' => depth += 1,
+                        '>' => depth -= 1,
+                        ',' if depth == 1 => {
+                            expecting_param = true;
+                            skipping = false;
+                        }
+                        ':' | '=' if depth == 1 => skipping = true,
+                        '\'' if expecting_param && !skipping => lifetime_pending = true,
+                        _ => {}
+                    },
+                    TokenTree::Ident(id) if expecting_param && !skipping => {
+                        let name = if lifetime_pending {
+                            format!("'{id}")
+                        } else {
+                            id.to_string()
+                        };
+                        generics.push(name);
+                        expecting_param = false;
+                        lifetime_pending = false;
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+    Some((name, generics))
+}
+
+fn impl_for(input: TokenStream, trait_path: &str, extra_lifetime: Option<&str>) -> TokenStream {
+    let Some((name, generics)) = parse_item(input) else {
+        return TokenStream::new();
+    };
+    let mut params: Vec<String> = Vec::new();
+    if let Some(lt) = extra_lifetime {
+        params.push(lt.to_string());
+    }
+    params.extend(generics.iter().cloned());
+    let impl_generics = if params.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", params.join(", "))
+    };
+    let ty_generics = if generics.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", generics.join(", "))
+    };
+    let code = format!(
+        "#[automatically_derived] impl{impl_generics} {trait_path} for {name}{ty_generics} {{}}"
+    );
+    code.parse().unwrap_or_default()
+}
+
+/// No-op stand-in for `#[derive(serde::Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    impl_for(input, "::serde::Serialize", None)
+}
+
+/// No-op stand-in for `#[derive(serde::Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    impl_for(input, "::serde::Deserialize<'de>", Some("'de"))
+}

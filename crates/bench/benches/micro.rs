@@ -4,12 +4,15 @@
 //! on.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use crn_bench::synthetic::grid_world;
 use crn_core::{CollectionAlgorithm, Scenario, ScenarioParams};
 use crn_geometry::{Deployment, GridIndex, Region};
 use crn_interference::{concurrent, pcr, PcrConstants, PhyParams};
+use crn_sim::{InterferenceModel, MacConfig, Simulator};
 use crn_topology::{CollectionTree, UnitDiskGraph};
 use rand::SeedableRng;
 use std::hint::black_box;
+use std::sync::Arc;
 use std::time::Duration;
 
 fn bench_grid_queries(c: &mut Criterion) {
@@ -72,11 +75,47 @@ fn bench_sim_run(c: &mut Criterion) {
     });
 }
 
+/// Macro-benchmark of the tentpole: dense vs sparse world construction and
+/// event throughput on the synthetic 2000-SU grid.
+fn bench_interference_scaling(c: &mut Criterion) {
+    let models = [
+        ("dense", InterferenceModel::Exact),
+        (
+            "sparse_eps0.1",
+            InterferenceModel::Truncated { epsilon: 0.1 },
+        ),
+    ];
+    for (label, model) in models {
+        c.bench_function(&format!("world_construction_2000_sus_{label}"), |b| {
+            b.iter(|| black_box(grid_world(2000, model)).gain_table_bytes());
+        });
+    }
+
+    let mac = MacConfig {
+        max_sim_time: 0.05,
+        ..MacConfig::default()
+    };
+    for (label, model) in models {
+        let world = Arc::new(grid_world(2000, model));
+        c.bench_function(&format!("sim_50_slots_2000_sus_{label}"), |b| {
+            b.iter(|| {
+                let report = Simulator::builder(world.clone())
+                    .mac(mac)
+                    .seed(42)
+                    .build()
+                    .run();
+                black_box(report.attempts)
+            });
+        });
+    }
+}
+
 fn benches(c: &mut Criterion) {
     bench_grid_queries(c);
     bench_cds_tree(c);
     bench_sir_worst_case(c);
     bench_sim_run(c);
+    bench_interference_scaling(c);
 }
 
 criterion_group! {

@@ -1,0 +1,169 @@
+//! Emits `results/BENCH_sim.json`: dense-vs-sparse interference-engine
+//! scaling on the deterministic synthetic grid world.
+//!
+//! For each size `n` the harness times world construction and measures
+//! event throughput of a short capped run under both interference models
+//! (`Exact` dense tables are skipped above `n = 5000`, where they would
+//! need gigabytes), and records the gain-table footprint plus a peak-RSS
+//! proxy (`VmHWM` from `/proc/self/status`).
+//!
+//! Flags: `--smoke` (tiny sizes, for CI PR runs), `--out FILE` (default
+//! `results/BENCH_sim.json`).
+//!
+//! Run with `cargo run -p crn-bench --release --bin bench_sim`.
+
+use crn_bench::synthetic::grid_world;
+use crn_bench::take_flag;
+use crn_sim::{InterferenceModel, MacConfig, Simulator, TraceLog};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Truncation budget used throughout (the equivalence-tested default).
+const EPSILON: f64 = 0.1;
+/// Dense tables above this size would need gigabytes; sparse-only beyond.
+const DENSE_CAP: usize = 5_000;
+
+struct ModelStats {
+    construct_ms: f64,
+    gain_table_bytes: usize,
+    events: u64,
+    events_per_sec: f64,
+}
+
+struct SizeStats {
+    n: usize,
+    dense: Option<ModelStats>,
+    sparse: ModelStats,
+    vm_hwm_kb: Option<u64>,
+}
+
+fn measure(n: usize, model: InterferenceModel, sim_seconds: f64) -> ModelStats {
+    let started = Instant::now();
+    let world = grid_world(n, model);
+    let construct_ms = started.elapsed().as_secs_f64() * 1e3;
+    let gain_table_bytes = world.gain_table_bytes();
+
+    let mac = MacConfig {
+        max_sim_time: sim_seconds,
+        ..MacConfig::default()
+    };
+    let started = Instant::now();
+    let (report, trace) = Simulator::builder(world)
+        .mac(mac)
+        .seed(42)
+        .probe(TraceLog::bounded(64))
+        .build()
+        .run_with_probe();
+    let wall = started.elapsed().as_secs_f64();
+    assert!(report.attempts > 0, "capped run must make progress");
+    let events = trace.len() as u64 + trace.dropped();
+    ModelStats {
+        construct_ms,
+        gain_table_bytes,
+        events,
+        events_per_sec: events as f64 / wall.max(1e-9),
+    }
+}
+
+/// Peak resident set size in kB (`VmHWM`), where procfs exists.
+fn vm_hwm_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
+fn model_json(stats: &ModelStats) -> String {
+    format!(
+        "{{\"construct_ms\": {:.3}, \"gain_table_bytes\": {}, \"events\": {}, \"events_per_sec\": {:.0}}}",
+        stats.construct_ms, stats.gain_table_bytes, stats.events, stats.events_per_sec
+    )
+}
+
+fn render_json(mode: &str, sizes: &[SizeStats]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"bench\": \"sim_interference_scaling\",");
+    let _ = writeln!(out, "  \"mode\": \"{mode}\",");
+    let _ = writeln!(out, "  \"epsilon\": {EPSILON},");
+    let _ = writeln!(out, "  \"sizes\": [");
+    for (i, s) in sizes.iter().enumerate() {
+        let _ = writeln!(out, "    {{");
+        let _ = writeln!(out, "      \"n\": {},", s.n);
+        match &s.dense {
+            Some(d) => {
+                let _ = writeln!(out, "      \"dense\": {},", model_json(d));
+                let _ = writeln!(
+                    out,
+                    "      \"construct_speedup\": {:.2},",
+                    d.construct_ms / s.sparse.construct_ms.max(1e-9)
+                );
+                let _ = writeln!(
+                    out,
+                    "      \"memory_ratio\": {:.2},",
+                    d.gain_table_bytes as f64 / s.sparse.gain_table_bytes.max(1) as f64
+                );
+            }
+            None => {
+                let _ = writeln!(out, "      \"dense\": null,");
+                let _ = writeln!(out, "      \"construct_speedup\": null,");
+                let _ = writeln!(out, "      \"memory_ratio\": null,");
+            }
+        }
+        let _ = writeln!(out, "      \"sparse\": {},", model_json(&s.sparse));
+        match s.vm_hwm_kb {
+            Some(kb) => {
+                let _ = writeln!(out, "      \"vm_hwm_kb\": {kb}");
+            }
+            None => {
+                let _ = writeln!(out, "      \"vm_hwm_kb\": null");
+            }
+        }
+        let comma = if i + 1 < sizes.len() { "," } else { "" };
+        let _ = writeln!(out, "    }}{comma}");
+    }
+    let _ = writeln!(out, "  ]");
+    let _ = writeln!(out, "}}");
+    out
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = if let Some(i) = args.iter().position(|a| a == "--smoke") {
+        args.remove(i);
+        true
+    } else {
+        false
+    };
+    let out_path = take_flag(&mut args, "--out").unwrap_or_else(|| "results/BENCH_sim.json".into());
+    assert!(args.is_empty(), "unrecognized arguments: {args:?}");
+
+    let (mode, ns, sim_seconds) = if smoke {
+        ("smoke", vec![200usize, 500], 0.02)
+    } else {
+        ("full", vec![500usize, 2_000, 5_000, 10_000], 0.2)
+    };
+
+    let mut sizes = Vec::new();
+    for &n in &ns {
+        eprintln!("bench_sim: n = {n} ...");
+        let model = InterferenceModel::Truncated { epsilon: EPSILON };
+        let sparse = measure(n, model, sim_seconds);
+        let dense = (n <= DENSE_CAP).then(|| measure(n, InterferenceModel::Exact, sim_seconds));
+        sizes.push(SizeStats {
+            n,
+            dense,
+            sparse,
+            vm_hwm_kb: vm_hwm_kb(),
+        });
+    }
+
+    let json = render_json(mode, &sizes);
+    if let Some(dir) = std::path::Path::new(&out_path).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create output directory");
+        }
+    }
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    eprintln!("bench_sim: wrote {out_path}");
+    print!("{json}");
+}

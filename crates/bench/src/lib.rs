@@ -9,12 +9,15 @@
 //! | `fig6` | Fig. 6 panels (a)–(f), ADDC vs Coolest |
 //! | `validate-bounds` | Theorem 1 / Theorem 2 numeric validation |
 //! | `ablations` | PCR-constants, fairness, routing, PU-model ablations |
+//! | `bench_sim` | `results/BENCH_sim.json` — dense-vs-sparse interference scaling |
 //!
 //! Run e.g. `cargo run -p crn-bench --release --bin fig6 -- all --preset
 //! scaled`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod synthetic;
 
 use std::io::Write as _;
 use std::time::Instant;

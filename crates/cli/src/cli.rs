@@ -3,6 +3,7 @@
 
 use crn_core::{CollectionAlgorithm, Scenario, ScenarioParams};
 use crn_interference::{pcr, PcrConstants, PhyParams};
+use crn_sim::InterferenceModel;
 use crn_theory::DelayBounds;
 use crn_workloads::export::{trace_to_string, TraceFormat};
 use crn_workloads::table::markdown_figure;
@@ -13,6 +14,7 @@ use std::fmt::Write as _;
 pub const USAGE: &str = "\
 usage:
   crn run    [--sus N] [--pus N] [--side S] [--pt P] [--seed K] [--algo ALGO]
+             [--interference exact|truncated:EPS]
   crn trace  [run flags] [--format jsonl|csv] [--out FILE]
   crn sweep  <a|b|c|d|e|f|all> [--preset paper|scaled|tiny] [--reps R] [--threads T]
   crn pcr    [--alpha A] [--eta-db E] [--pp P] [--ps P] [--big-r R] [--r r]
@@ -83,8 +85,16 @@ fn scenario_params(args: &mut Vec<String>) -> Result<ScenarioParams, String> {
     let side: f64 = take(args, "--side", 70.0)?;
     let p_t: f64 = take(args, "--pt", 0.3)?;
     let seed: u64 = take(args, "--seed", 0)?;
+    let interference: InterferenceModel = take(args, "--interference", InterferenceModel::Exact)?;
     if !(0.0..=1.0).contains(&p_t) {
         return Err(format!("--pt must be a probability, got {p_t}"));
+    }
+    if let Some(epsilon) = interference.epsilon() {
+        if !(epsilon > 0.0 && epsilon < 1.0) {
+            return Err(format!(
+                "--interference truncation epsilon must lie in (0, 1), got {epsilon}"
+            ));
+        }
     }
     Ok(ScenarioParams::builder()
         .num_sus(sus)
@@ -92,6 +102,7 @@ fn scenario_params(args: &mut Vec<String>) -> Result<ScenarioParams, String> {
         .area_side(side)
         .p_t(p_t)
         .seed(seed)
+        .interference(interference)
         .max_connectivity_attempts(3000)
         .build())
 }
@@ -411,5 +422,23 @@ mod tests {
     fn algo_parse_errors_are_reported() {
         let e = run(&["run", "--algo", "magic"]).unwrap_err();
         assert!(e.contains("magic"));
+    }
+
+    #[test]
+    fn run_with_truncated_interference_matches_exact() {
+        let common = ["--sus", "40", "--pus", "4", "--side", "36", "--seed", "3"];
+        let mut exact = vec!["run"];
+        exact.extend_from_slice(&common);
+        let mut truncated = exact.clone();
+        truncated.extend_from_slice(&["--interference", "truncated:0.1"]);
+        assert_eq!(run(&exact).unwrap(), run(&truncated).unwrap());
+    }
+
+    #[test]
+    fn interference_flag_rejects_garbage() {
+        let e = run(&["run", "--interference", "psychic"]).unwrap_err();
+        assert!(e.contains("psychic"), "{e}");
+        let e = run(&["run", "--interference", "truncated:1.5"]).unwrap_err();
+        assert!(e.contains("(0, 1)"), "{e}");
     }
 }

@@ -1,5 +1,5 @@
 use crn_interference::{PcrConstants, PhyParams};
-use crn_sim::MacConfig;
+use crn_sim::{InterferenceModel, MacConfig};
 use crn_spectrum::PuActivity;
 use serde::{Deserialize, Serialize};
 
@@ -26,6 +26,10 @@ pub struct ScenarioParams {
     pub pcr_constants: PcrConstants,
     /// MAC configuration (slotting, contention window, caps, ablations).
     pub mac: MacConfig,
+    /// How the simulator materializes path gains: dense `Exact` tables or
+    /// sparse `Truncated` near-field lists with a certified far-field
+    /// error bound (see [`InterferenceModel`]).
+    pub interference: InterferenceModel,
     /// Master seed: deployment and simulation randomness derive from it.
     pub seed: u64,
     /// How many deployments to try before giving up on connectivity.
@@ -77,6 +81,7 @@ impl Default for ScenarioParamsBuilder {
                 activity: PuActivity::bernoulli(0.3).expect("0.3 is a probability"),
                 pcr_constants: PcrConstants::Paper,
                 mac: MacConfig::default(),
+                interference: InterferenceModel::default(),
                 seed: 0,
                 max_connectivity_attempts: 100,
                 baseline_su_sense_factor: 1.0,
@@ -143,6 +148,12 @@ impl ScenarioParamsBuilder {
         self
     }
 
+    /// Selects the interference model (default [`InterferenceModel::Exact`]).
+    pub fn interference(&mut self, model: InterferenceModel) -> &mut Self {
+        self.params.interference = model;
+        self
+    }
+
     /// Sets the master seed.
     pub fn seed(&mut self, seed: u64) -> &mut Self {
         self.params.seed = seed;
@@ -192,6 +203,15 @@ mod tests {
         assert_eq!(p.area_side, 250.0);
         assert_eq!(p.activity.duty_cycle(), 0.3);
         assert_eq!(p.pcr_constants, PcrConstants::Paper);
+        assert_eq!(p.interference, InterferenceModel::Exact);
+    }
+
+    #[test]
+    fn interference_model_is_configurable() {
+        let p = ScenarioParams::builder()
+            .interference(InterferenceModel::Truncated { epsilon: 0.1 })
+            .build();
+        assert_eq!(p.interference.epsilon(), Some(0.1));
     }
 
     #[test]

@@ -6,7 +6,9 @@ use crn_topology::{CollectionTree, TreeError, TreeKind, UnitDiskGraph};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 use std::fmt;
+use std::sync::{Arc, Mutex};
 
 /// Which data collection algorithm to run over a [`Scenario`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -107,7 +109,7 @@ pub struct CollectionOutcome {
 /// collection algorithms on identical ground.
 ///
 /// See the crate-level example for typical use.
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct Scenario {
     params: ScenarioParams,
     region: Region,
@@ -116,6 +118,40 @@ pub struct Scenario {
     graph: UnitDiskGraph,
     pu_index: GridIndex,
     pcr: f64,
+    /// Per-algorithm routing tree + assembled world, built once and shared
+    /// (`Arc`) across repeated runs of the same scenario — gain-table
+    /// construction dominates short runs, so sweeps reuse it.
+    prepared: Mutex<HashMap<CollectionAlgorithm, PreparedRun>>,
+}
+
+/// Everything [`Scenario::run`] needs that depends only on the algorithm,
+/// not the simulation seed.
+#[derive(Clone, Debug)]
+struct PreparedRun {
+    world: Arc<SimWorld>,
+    tree_kind: TreeKind,
+    tree_height: u32,
+    tree_max_degree: usize,
+}
+
+impl Clone for Scenario {
+    fn clone(&self) -> Self {
+        Self {
+            params: self.params.clone(),
+            region: self.region,
+            su_deployment: self.su_deployment.clone(),
+            pu_deployment: self.pu_deployment.clone(),
+            graph: self.graph.clone(),
+            pu_index: self.pu_index.clone(),
+            pcr: self.pcr,
+            prepared: Mutex::new(
+                self.prepared
+                    .lock()
+                    .expect("prepared cache poisoned")
+                    .clone(),
+            ),
+        }
+    }
 }
 
 impl Scenario {
@@ -147,6 +183,7 @@ impl Scenario {
                 graph,
                 pu_index,
                 pcr,
+                prepared: Mutex::new(HashMap::new()),
             });
         }
         Err(ScenarioError::Disconnected { attempts })
@@ -308,15 +345,27 @@ impl Scenario {
         Ok(outcome)
     }
 
-    /// Shared run path: builds the world for `algorithm`, attaches
-    /// `probe`, runs, and returns the probe alongside the outcome.
-    fn run_probed<P: Probe>(
-        &self,
-        algorithm: CollectionAlgorithm,
-        sim_seed: u64,
-        traffic: crn_sim::Traffic,
-        probe: P,
-    ) -> Result<(CollectionOutcome, P), ScenarioError> {
+    /// The assembled simulator world for `algorithm`, built on first use
+    /// and shared (`Arc`) across every later run of this scenario.
+    ///
+    /// # Errors
+    ///
+    /// Propagates tree or world assembly failures.
+    pub fn world(&self, algorithm: CollectionAlgorithm) -> Result<Arc<SimWorld>, ScenarioError> {
+        Ok(self.prepared(algorithm)?.world)
+    }
+
+    /// Returns the cached tree + world for `algorithm`, building (and
+    /// caching) them on first use.
+    fn prepared(&self, algorithm: CollectionAlgorithm) -> Result<PreparedRun, ScenarioError> {
+        if let Some(hit) = self
+            .prepared
+            .lock()
+            .expect("prepared cache poisoned")
+            .get(&algorithm)
+        {
+            return Ok(hit.clone());
+        }
         let tree = self.tree(algorithm)?;
         let parents: Vec<Option<u32>> = (0..self.graph.len() as u32)
             .map(|u| tree.parent(u))
@@ -339,8 +388,32 @@ impl Scenario {
             .phy(self.params.phy)
             .pu_sense_range(self.pcr)
             .su_sense_range(su_sense)
+            .interference(self.params.interference)
             .build()?;
-        let (report, probe): (SimReport, P) = Simulator::builder(world)
+        let run = PreparedRun {
+            world: Arc::new(world),
+            tree_kind: tree.kind(),
+            tree_height: tree.height(),
+            tree_max_degree: tree.max_degree(),
+        };
+        self.prepared
+            .lock()
+            .expect("prepared cache poisoned")
+            .insert(algorithm, run.clone());
+        Ok(run)
+    }
+
+    /// Shared run path: fetches the cached world for `algorithm`, attaches
+    /// `probe`, runs, and returns the probe alongside the outcome.
+    fn run_probed<P: Probe>(
+        &self,
+        algorithm: CollectionAlgorithm,
+        sim_seed: u64,
+        traffic: crn_sim::Traffic,
+        probe: P,
+    ) -> Result<(CollectionOutcome, P), ScenarioError> {
+        let prepared = self.prepared(algorithm)?;
+        let (report, probe): (SimReport, P) = Simulator::builder(prepared.world)
             .mac(self.params.mac)
             .activity(self.params.activity)
             .seed(sim_seed)
@@ -351,9 +424,9 @@ impl Scenario {
         Ok((
             CollectionOutcome {
                 algorithm,
-                tree_kind: tree.kind(),
-                tree_height: tree.height(),
-                tree_max_degree: tree.max_degree(),
+                tree_kind: prepared.tree_kind,
+                tree_height: prepared.tree_height,
+                tree_max_degree: prepared.tree_max_degree,
                 report,
             },
             probe,
@@ -496,6 +569,39 @@ mod tests {
             }
         }
         assert_eq!(first, plain.report.delivery_times);
+    }
+
+    #[test]
+    fn worlds_are_cached_and_shared_across_runs() {
+        let s = Scenario::generate(&small_params(2)).unwrap();
+        let a = s.world(CollectionAlgorithm::Addc).unwrap();
+        let b = s.world(CollectionAlgorithm::Addc).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "same algorithm must share one world");
+        let c = s.world(CollectionAlgorithm::Coolest).unwrap();
+        assert!(!Arc::ptr_eq(&a, &c), "algorithms get distinct worlds");
+        // A clone carries the cache but stays independent; runs agree.
+        let o1 = s.run(CollectionAlgorithm::Addc).unwrap();
+        let o2 = s.clone().run(CollectionAlgorithm::Addc).unwrap();
+        assert_eq!(o1, o2);
+    }
+
+    #[test]
+    fn truncated_interference_matches_exact_at_scaled_fig6_params() {
+        use crn_sim::InterferenceModel;
+        // Fig. 6 densities (n/A = 0.032, N/A = 0.0064) on a 62.5-side
+        // region, paper phy/activity/MAC defaults throughout.
+        for seed in [11, 12] {
+            let mut b = ScenarioParams::builder();
+            b.num_sus(125).num_pus(25).area_side(62.5).seed(seed);
+            let exact = Scenario::generate(&b.build()).unwrap();
+            b.interference(InterferenceModel::Truncated { epsilon: 0.1 });
+            let truncated = Scenario::generate(&b.build()).unwrap();
+            for alg in [CollectionAlgorithm::Addc, CollectionAlgorithm::Coolest] {
+                let e = exact.run(alg).unwrap();
+                let t = truncated.run(alg).unwrap();
+                assert_eq!(e, t, "seed {seed}, {alg}");
+            }
+        }
     }
 
     #[test]

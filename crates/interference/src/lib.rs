@@ -21,7 +21,11 @@
 //!   the corrected constants (see `DESIGN.md` §5: the paper's bound
 //!   `ζ(x) ≤ 1/(x−1)` is a typo for `ζ(x) − 1 ≤ 1/(x−1)`),
 //! - [`concurrent`] — an empirical verifier that a point set is a
-//!   *concurrent set* (Definition 4.1), used to probe the PCR lemmas.
+//!   *concurrent set* (Definition 4.1), used to probe the PCR lemmas,
+//! - [`cutoff`] — the certified far-field truncation built on Lemma 2's
+//!   convergent hexagon-layer series: the smallest cutoff radius whose
+//!   worst-case far-field interference tail fits an ε fraction of the SIR
+//!   decision margin.
 //!
 //! # Example
 //!
@@ -49,9 +53,13 @@
 #![warn(missing_docs)]
 
 pub mod concurrent;
+pub mod cutoff;
 mod params;
 pub mod pcr;
 pub mod sir;
 
-pub use params::{db_to_linear, linear_to_db, ParamError, PhyParams, PhyParamsBuilder};
+pub use cutoff::{CutoffTable, FarFieldBound};
+pub use params::{
+    db_to_linear, linear_to_db, path_gain, path_gain_sq, ParamError, PhyParams, PhyParamsBuilder,
+};
 pub use pcr::PcrConstants;

@@ -27,6 +27,38 @@ pub fn linear_to_db(linear: f64) -> f64 {
     10.0 * linear.log10()
 }
 
+/// Path gain `d^{-α}` with the same 1e-9 distance clamp as
+/// [`PhyParams::received_power`], taking the `powi` fast path when `α` is
+/// (near-)integral — `powi` is several times cheaper than `powf` and the
+/// two agree to within a few ulps (pinned by a test).
+#[must_use]
+pub fn path_gain(d: f64, alpha: f64) -> f64 {
+    let d = d.max(1e-9);
+    let rounded = alpha.round();
+    if (alpha - rounded).abs() < 1e-9 && (3.0..=8.0).contains(&rounded) {
+        d.powi(-(rounded as i32))
+    } else {
+        d.powf(-alpha)
+    }
+}
+
+/// [`path_gain`] evaluated from a **squared** distance, skipping the
+/// square root entirely when `α` is an even integer (the paper's `α = 4`
+/// included). Hot construction loops that already have `d²` from a grid
+/// query use this; results agree with `path_gain(d, α)` to within a few
+/// ulps.
+#[must_use]
+pub fn path_gain_sq(d2: f64, alpha: f64) -> f64 {
+    let half = alpha * 0.5;
+    let rounded = half.round();
+    if (half - rounded).abs() < 1e-9 && (2.0..=4.0).contains(&rounded) {
+        // Same clamp as path_gain's d >= 1e-9, expressed on d².
+        d2.max(1e-18).powi(-(rounded as i32))
+    } else {
+        path_gain(d2.sqrt(), alpha)
+    }
+}
+
 /// Error from [`PhyParamsBuilder::build`].
 #[derive(Clone, Debug, PartialEq)]
 pub enum ParamError {
@@ -161,8 +193,7 @@ impl PhyParams {
     /// singularities when a receiver sits on top of a transmitter.
     #[must_use]
     pub fn received_power(&self, p: f64, d: f64) -> f64 {
-        let d = d.max(1e-9);
-        p * d.powf(-self.alpha)
+        p * path_gain(d, self.alpha)
     }
 }
 
@@ -355,6 +386,41 @@ mod tests {
     fn received_power_clamps_zero_distance() {
         let p = PhyParams::builder().build().unwrap();
         assert!(p.received_power(10.0, 0.0).is_finite());
+    }
+
+    #[test]
+    fn path_gain_powi_fast_path_matches_powf_within_ulps() {
+        // Integral alphas take the powi route; pin it to powf at a few-ulp
+        // relative tolerance across the distance range the simulator uses.
+        for alpha in [3.0, 4.0, 6.0] {
+            for d in [1e-9, 0.1, 1.0, 7.3, 24.0, 123.456, 5.0e3] {
+                let fast = path_gain(d, alpha);
+                let slow = d.max(1e-9).powf(-alpha);
+                let rel = ((fast - slow) / slow).abs();
+                assert!(rel < 1e-14, "alpha {alpha}, d {d}: rel error {rel:e}");
+            }
+        }
+    }
+
+    #[test]
+    fn path_gain_sq_matches_path_gain_within_ulps() {
+        for alpha in [3.0, 4.0, 6.0, 8.0, 3.7] {
+            for d in [1e-9, 0.1, 1.0, 7.3, 24.0, 123.456, 5.0e3] {
+                let from_sq = path_gain_sq(d * d, alpha);
+                let direct = path_gain(d, alpha);
+                let rel = ((from_sq - direct) / direct).abs();
+                assert!(rel < 1e-14, "alpha {alpha}, d {d}: rel error {rel:e}");
+            }
+        }
+    }
+
+    #[test]
+    fn path_gain_fractional_alpha_uses_powf_exactly() {
+        for alpha in [2.5, 3.7, 4.25] {
+            for d in [0.5, 2.0, 31.0] {
+                assert_eq!(path_gain(d, alpha), d.powf(-alpha));
+            }
+        }
     }
 
     #[test]

@@ -111,17 +111,19 @@ pub fn capture(
     candidates: &[usize],
     eta: f64,
 ) -> Option<usize> {
-    let strongest = candidates.iter().copied().max_by(|&a, &b| {
-        let pa = params.received_power(
-            transmitters[a].power,
-            transmitters[a].position.distance(receiver),
-        );
-        let pb = params.received_power(
-            transmitters[b].power,
-            transmitters[b].position.distance(receiver),
-        );
-        pa.total_cmp(&pb)
-    })?;
+    // One received-power evaluation per candidate, not per pairwise
+    // comparison inside max_by.
+    let strongest = candidates
+        .iter()
+        .map(|&c| {
+            let t = &transmitters[c];
+            (
+                c,
+                params.received_power(t.power, t.position.distance(receiver)),
+            )
+        })
+        .max_by(|a, b| a.1.total_cmp(&b.1))?
+        .0;
     transmission_ok(params, receiver, transmitters, strongest, eta).then_some(strongest)
 }
 

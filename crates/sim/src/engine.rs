@@ -6,6 +6,7 @@ use crn_spectrum::PuActivity;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 /// Per-SU MAC phase (Algorithm 1's control flow).
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -74,9 +75,14 @@ struct ActiveTx {
 /// The probe type parameter defaults to [`NoopProbe`], whose empty
 /// `on_event` monomorphizes every emission site away — an uninstrumented
 /// simulator costs exactly what it did before probes existed.
+///
+/// The world is held behind an [`Arc`], so many simulators (sweep
+/// repetitions differing only in seed or traffic) can share one built
+/// [`SimWorld`] without re-deriving its gain tables; passing a plain
+/// [`SimWorld`] to [`Simulator::builder`] still works and wraps it.
 #[derive(Debug)]
 pub struct Simulator<P: Probe = NoopProbe> {
-    world: SimWorld,
+    world: Arc<SimWorld>,
     mac: MacConfig,
     activity: PuActivity,
     traffic: Traffic,
@@ -148,7 +154,7 @@ pub struct Simulator<P: Probe = NoopProbe> {
 /// ```
 #[derive(Debug)]
 pub struct SimulatorBuilder<P: Probe = NoopProbe> {
-    world: SimWorld,
+    world: Arc<SimWorld>,
     mac: MacConfig,
     activity: PuActivity,
     seed: u64,
@@ -219,11 +225,12 @@ impl<P: Probe> SimulatorBuilder<P> {
 }
 
 impl Simulator {
-    /// Starts a [`SimulatorBuilder`] over `world`.
+    /// Starts a [`SimulatorBuilder`] over `world` — either an owned
+    /// [`SimWorld`] or an [`Arc<SimWorld>`] shared across repetitions.
     #[must_use]
-    pub fn builder(world: SimWorld) -> SimulatorBuilder {
+    pub fn builder(world: impl Into<Arc<SimWorld>>) -> SimulatorBuilder {
         SimulatorBuilder {
-            world,
+            world: world.into(),
             mac: MacConfig::default(),
             activity: PuActivity::bernoulli(0.0).expect("p_t = 0 is valid"),
             seed: 0,
@@ -242,7 +249,14 @@ impl Simulator {
     #[deprecated(since = "0.2.0", note = "use Simulator::builder(world) instead")]
     #[must_use]
     pub fn new(world: SimWorld, mac: MacConfig, activity: PuActivity, seed: u64) -> Self {
-        Self::construct(world, mac, activity, seed, Traffic::Snapshot, NoopProbe)
+        Self::construct(
+            world.into(),
+            mac,
+            activity,
+            seed,
+            Traffic::Snapshot,
+            NoopProbe,
+        )
     }
 
     /// Like `Simulator::new`, with an explicit [`Traffic`] model
@@ -263,13 +277,13 @@ impl Simulator {
         seed: u64,
         traffic: Traffic,
     ) -> Self {
-        Self::construct(world, mac, activity, seed, traffic, NoopProbe)
+        Self::construct(world.into(), mac, activity, seed, traffic, NoopProbe)
     }
 }
 
 impl<P: Probe> Simulator<P> {
     fn construct(
-        world: SimWorld,
+        world: Arc<SimWorld>,
         mac: MacConfig,
         activity: PuActivity,
         seed: u64,
@@ -568,10 +582,23 @@ impl<P: Probe> Simulator<P> {
         }
         self.check_all_sir();
 
-        // Cumulative interference the new reception starts with.
+        // Cumulative interference the new reception starts with. In
+        // truncated mode only the receiver's near-field PU list is
+        // scanned; exact mode sums every active PU as before.
         let mut interference = 0.0;
-        for &k in &self.on_pus {
-            interference += p_p * self.world.pu_gain(k as usize, rx_slot);
+        match self.world.near_pus(rx_slot) {
+            Some((ids, gains)) => {
+                for (&k, &g) in ids.iter().zip(gains) {
+                    if self.pu_on[k as usize] {
+                        interference += p_p * g;
+                    }
+                }
+            }
+            None => {
+                for &k in &self.on_pus {
+                    interference += p_p * self.world.pu_gain(k as usize, rx_slot);
+                }
+            }
         }
         for a in &self.active {
             interference += p_s * self.world.su_gain(a.su, rx_slot);
@@ -1594,5 +1621,67 @@ mod tests {
             old, new,
             "Simulator::with_traffic shim must match the builder"
         );
+    }
+
+    #[test]
+    fn shared_arc_world_runs_match_owned_world_runs() {
+        let world = chain_world(6, vec![Point::new(25.0, 8.0)]);
+        let shared = Arc::new(world.clone());
+        let activity = PuActivity::bernoulli(0.3).unwrap();
+        for seed in 0..3 {
+            let owned = Simulator::builder(world.clone())
+                .activity(activity)
+                .seed(seed)
+                .build()
+                .run();
+            let arc = Simulator::builder(shared.clone())
+                .activity(activity)
+                .seed(seed)
+                .build()
+                .run();
+            assert_eq!(owned, arc, "seed {seed}: Arc world changed the run");
+        }
+    }
+
+    #[test]
+    fn truncated_mode_reproduces_exact_reports() {
+        // Same deployment under both interference models: the certified
+        // truncation must leave every SIR decision — and therefore the
+        // whole report — unchanged.
+        let build = |model| {
+            let len = 8usize;
+            let sus: Vec<Point> = (0..len)
+                .map(|i| Point::new(5.0 + 7.0 * i as f64, 5.0))
+                .collect();
+            let parents: Vec<Option<u32>> = (0..len)
+                .map(|i| if i == 0 { None } else { Some(i as u32 - 1) })
+                .collect();
+            SimWorld::builder(Region::square(70.0))
+                .su_positions(sus)
+                .pu_positions(vec![Point::new(30.0, 10.0), Point::new(65.0, 65.0)])
+                .parents(parents)
+                .phy(phy())
+                .sense_range(25.0)
+                .interference(model)
+                .build()
+                .unwrap()
+        };
+        let exact = Arc::new(build(crate::InterferenceModel::Exact));
+        let sparse = Arc::new(build(crate::InterferenceModel::Truncated { epsilon: 0.1 }));
+        assert!(sparse.truncation_stats().is_some());
+        let activity = PuActivity::bernoulli(0.3).unwrap();
+        for seed in 0..6 {
+            let a = Simulator::builder(exact.clone())
+                .activity(activity)
+                .seed(seed)
+                .build()
+                .run();
+            let b = Simulator::builder(sparse.clone())
+                .activity(activity)
+                .seed(seed)
+                .build()
+                .run();
+            assert_eq!(a, b, "seed {seed}: truncated run diverged from exact");
+        }
     }
 }

@@ -87,7 +87,7 @@ mod probe;
 mod report;
 mod world;
 
-pub use config::{MacConfig, Traffic};
+pub use config::{InterferenceModel, MacConfig, Traffic};
 pub use engine::{Simulator, SimulatorBuilder};
 pub use probe::{
     NoopProbe, Probe, TimeSeries, TimeSeriesPoint, TraceEvent, TraceEventKind, TraceLog, TxOutcome,

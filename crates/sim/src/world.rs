@@ -1,5 +1,9 @@
+use crate::config::InterferenceModel;
 use crn_geometry::{GridIndex, Point, Region};
-use crn_interference::PhyParams;
+use crn_interference::cutoff::{CutoffTable, FarFieldBound};
+use crn_interference::{path_gain, path_gain_sq, PhyParams};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 use std::fmt;
 
 /// Errors from [`SimWorldBuilder::build`].
@@ -46,6 +50,12 @@ pub enum WorldError {
         /// SU radius `r`.
         r: f64,
     },
+    /// The truncation budget fraction of
+    /// [`InterferenceModel::Truncated`] must lie in `(0, 1)`.
+    BadEpsilon {
+        /// Supplied epsilon.
+        epsilon: f64,
+    },
 }
 
 impl fmt::Display for WorldError {
@@ -77,6 +87,9 @@ impl fmt::Display for WorldError {
                     f,
                     "{which} sensing range {range} is below the SU transmission radius {r}"
                 )
+            }
+            WorldError::BadEpsilon { epsilon } => {
+                write!(f, "truncation epsilon must lie in (0, 1), got {epsilon}")
             }
         }
     }
@@ -120,12 +133,66 @@ pub struct SimWorld {
     receiver_slot: Vec<Option<u32>>,
     /// Inverse of `receiver_slot`.
     receivers: Vec<u32>,
-    /// `pu_gain[pu * receivers.len() + slot]` = path gain `d^{-α}` from PU
-    /// to receiver.
-    pu_gain: Vec<f64>,
-    /// `su_gain[su * receivers.len() + slot]` = path gain from SU to
-    /// receiver.
+    /// Which interference model built the gain tables.
+    model: InterferenceModel,
+    /// Dense or sparse path-gain storage, per the interference model.
+    gains: GainTables,
+}
+
+/// Path-gain storage behind [`SimWorld`]'s `su_gain`/`pu_gain` lookups.
+#[derive(Clone, Debug)]
+enum GainTables {
+    /// `*_gain[tx * receivers.len() + slot]` — the original O(n²) layout.
+    Dense {
+        /// PU → receiver gains.
+        pu_gain: Vec<f64>,
+        /// SU → receiver gains.
+        su_gain: Vec<f64>,
+    },
+    /// Near-field CSR lists with certified far-field truncation.
+    Sparse(SparseGains),
+}
+
+/// Near-field gain lists for [`InterferenceModel::Truncated`].
+///
+/// SU gains are transmitter-major CSR (row `su` holds the receiver slots
+/// within that slot's cutoff radius, ascending); PU gains are
+/// receiver-major (per slot, the PUs inside the cutoff, ascending by id).
+/// Everything beyond a slot's cutoff is certified: the analytic Lemma-2
+/// tail (SU side) plus the exact all-on far-PU sum (`pu_residual`) stay
+/// below `epsilon` of the slot's weakest-link SIR decision margin.
+#[derive(Clone, Debug)]
+struct SparseGains {
+    /// Per-slot cutoff radius `R_c`.
+    cutoff: Vec<f64>,
+    /// Per-slot exact received power if every *excluded* PU transmitted
+    /// at once (the certified PU-side truncation error).
+    pu_residual: Vec<f64>,
+    /// CSR row offsets into `su_slot`/`su_gain`, length `n + 1`.
+    su_off: Vec<u32>,
+    /// Receiver slots per SU row, ascending.
+    su_slot: Vec<u32>,
+    /// Gains aligned with `su_slot`.
     su_gain: Vec<f64>,
+    /// Row offsets into `slot_pu_id`/`slot_pu_gain`, length `m + 1`.
+    slot_pu_off: Vec<u32>,
+    /// Near-field PU ids per slot, ascending.
+    slot_pu_id: Vec<u32>,
+    /// Gains aligned with `slot_pu_id`.
+    slot_pu_gain: Vec<f64>,
+}
+
+impl SparseGains {
+    fn bytes(&self) -> usize {
+        self.cutoff.len() * 8
+            + self.pu_residual.len() * 8
+            + self.su_off.len() * 4
+            + self.su_slot.len() * 4
+            + self.su_gain.len() * 8
+            + self.slot_pu_off.len() * 4
+            + self.slot_pu_id.len() * 4
+            + self.slot_pu_gain.len() * 8
+    }
 }
 
 /// Named-setter constructor for [`SimWorld`], replacing the positional
@@ -159,6 +226,7 @@ pub struct SimWorldBuilder {
     phy: PhyParams,
     pu_sense_range: Option<f64>,
     su_sense_range: Option<f64>,
+    interference: InterferenceModel,
 }
 
 impl SimWorldBuilder {
@@ -171,6 +239,7 @@ impl SimWorldBuilder {
             phy: PhyParams::paper_simulation_defaults(),
             pu_sense_range: None,
             su_sense_range: None,
+            interference: InterferenceModel::Exact,
         }
     }
 
@@ -228,6 +297,13 @@ impl SimWorldBuilder {
         self
     }
 
+    /// Interference model (defaults to [`InterferenceModel::Exact`]).
+    #[must_use]
+    pub fn interference(mut self, model: InterferenceModel) -> Self {
+        self.interference = model;
+        self
+    }
+
     /// Validates and assembles the world.
     ///
     /// # Errors
@@ -244,6 +320,7 @@ impl SimWorldBuilder {
             self.phy,
             self.pu_sense_range.unwrap_or(r),
             self.su_sense_range.or(self.pu_sense_range).unwrap_or(r),
+            self.interference,
         )
     }
 }
@@ -270,7 +347,16 @@ impl SimWorld {
         phy: PhyParams,
         pcr: f64,
     ) -> Result<Self, WorldError> {
-        Self::assemble(region, su_positions, pu_positions, parents, phy, pcr, pcr)
+        Self::assemble(
+            region,
+            su_positions,
+            pu_positions,
+            parents,
+            phy,
+            pcr,
+            pcr,
+            InterferenceModel::Exact,
+        )
     }
 
     /// Assembles and validates a world with independent PU and SU
@@ -301,6 +387,7 @@ impl SimWorld {
             phy,
             pu_sense_range,
             su_sense_range,
+            InterferenceModel::Exact,
         )
     }
 
@@ -313,7 +400,13 @@ impl SimWorld {
         phy: PhyParams,
         pu_sense_range: f64,
         su_sense_range: f64,
+        model: InterferenceModel,
     ) -> Result<Self, WorldError> {
+        if let InterferenceModel::Truncated { epsilon } = model {
+            if !(epsilon > 0.0 && epsilon < 1.0) {
+                return Err(WorldError::BadEpsilon { epsilon });
+            }
+        }
         let n = su_positions.len();
         if n == 0 {
             return Err(WorldError::NoSecondaryUsers);
@@ -393,21 +486,40 @@ impl SimWorld {
         }
 
         // Path-gain tables.
-        let alpha = phy.alpha();
-        let gain = |a: Point, b: Point| a.distance(b).max(1e-9).powf(-alpha);
-        let m = receivers.len();
-        let mut pu_gain = vec![0.0; pu_positions.len() * m];
-        for (k, &pu) in pu_positions.iter().enumerate() {
-            for (s, &r) in receivers.iter().enumerate() {
-                pu_gain[k * m + s] = gain(pu, su_positions[r as usize]);
+        let gains = match model {
+            InterferenceModel::Exact => {
+                // The original dense construction, kept verbatim so Exact
+                // worlds are bit-for-bit identical to the pre-sparse
+                // engine.
+                let alpha = phy.alpha();
+                let gain = |a: Point, b: Point| a.distance(b).max(1e-9).powf(-alpha);
+                let m = receivers.len();
+                let mut pu_gain = vec![0.0; pu_positions.len() * m];
+                for (k, &pu) in pu_positions.iter().enumerate() {
+                    for (s, &r) in receivers.iter().enumerate() {
+                        pu_gain[k * m + s] = gain(pu, su_positions[r as usize]);
+                    }
+                }
+                let mut su_gain = vec![0.0; n * m];
+                for (i, &su) in su_positions.iter().enumerate() {
+                    for (s, &r) in receivers.iter().enumerate() {
+                        su_gain[i * m + s] = gain(su, su_positions[r as usize]);
+                    }
+                }
+                GainTables::Dense { pu_gain, su_gain }
             }
-        }
-        let mut su_gain = vec![0.0; n * m];
-        for (i, &su) in su_positions.iter().enumerate() {
-            for (s, &r) in receivers.iter().enumerate() {
-                su_gain[i * m + s] = gain(su, su_positions[r as usize]);
-            }
-        }
+            InterferenceModel::Truncated { epsilon } => GainTables::Sparse(Self::build_sparse(
+                &su_positions,
+                &pu_positions,
+                &parents,
+                &receivers,
+                &receiver_slot,
+                &phy,
+                su_sense_range,
+                &su_index,
+                epsilon,
+            )),
+        };
 
         Ok(Self {
             su_positions,
@@ -420,9 +532,197 @@ impl SimWorld {
             pu_fanout,
             receiver_slot,
             receivers,
-            pu_gain,
-            su_gain,
+            model,
+            gains,
         })
+    }
+
+    /// Builds the sparse near-field gain lists of
+    /// [`InterferenceModel::Truncated`].
+    ///
+    /// Per receiver slot, the truncation budget is an `epsilon` fraction
+    /// of that slot's *weakest-link decision margin* `floor/η_s` (the
+    /// received power of the faintest child that must decode there,
+    /// divided by the SIR threshold), split evenly between the two
+    /// far-field sources:
+    ///
+    /// - **SU side** — concurrent SU transmitters keep pairwise distance
+    ///   ≥ `su_sense_range` (carrier sensing), so Lemma 2's hexagon-layer
+    ///   tail bound applies; the cutoff radius comes from a pre-tabulated
+    ///   [`CutoffTable`] inversion of that analytic tail.
+    /// - **PU side** — PUs obey no separation bound, so the excluded set
+    ///   is certified *exactly*: a slot keeps pulling its nearest
+    ///   far-field PUs into the near list until the summed all-on power
+    ///   of everything still excluded fits the budget.
+    #[allow(clippy::too_many_arguments)]
+    fn build_sparse(
+        su_positions: &[Point],
+        pu_positions: &[Point],
+        parents: &[Option<u32>],
+        receivers: &[u32],
+        receiver_slot: &[Option<u32>],
+        phy: &PhyParams,
+        su_sense_range: f64,
+        su_index: &GridIndex,
+        epsilon: f64,
+    ) -> SparseGains {
+        let n = su_positions.len();
+        let m = receivers.len();
+        let alpha = phy.alpha();
+        let p_s = phy.su_power();
+        let p_p = phy.pu_power();
+        let eta_s = phy.su_sir_threshold();
+
+        // Weakest-link signal floor per slot (every slot has >= 1 child
+        // by construction of the receiver set).
+        let mut floor = vec![f64::INFINITY; m];
+        for (i, &p) in parents.iter().enumerate() {
+            if let Some(p) = p {
+                let s = receiver_slot[p as usize].expect("parents are receivers") as usize;
+                let d = su_positions[i].distance(su_positions[p as usize]);
+                floor[s] = floor[s].min(p_s * path_gain(d, alpha));
+            }
+        }
+
+        // Cutoffs must at least cover every tree link (validation allows
+        // d <= r + 1e-9) and need never exceed the deployment's diameter.
+        let r_floor = phy.su_radius() * (1.0 + 1e-6) + 1e-6;
+        let mut r_max = r_floor * (1.0 + 1e-6);
+        if let Some(first) = su_positions.first() {
+            let (mut min_x, mut max_x) = (first.x, first.x);
+            let (mut min_y, mut max_y) = (first.y, first.y);
+            for p in su_positions.iter().chain(pu_positions) {
+                min_x = min_x.min(p.x);
+                max_x = max_x.max(p.x);
+                min_y = min_y.min(p.y);
+                max_y = max_y.max(p.y);
+            }
+            let diag = ((max_x - min_x).powi(2) + (max_y - min_y).powi(2)).sqrt();
+            r_max = r_max.max(diag);
+        }
+        let bound = FarFieldBound::new(alpha, p_s, su_sense_range);
+        let table = CutoffTable::new(&bound, r_floor, r_max, 512);
+        let cutoff: Vec<f64> = floor
+            .iter()
+            .map(|&fl| table.radius_for(0.5 * epsilon * fl / eta_s))
+            .collect();
+
+        // SU rows: generate (su, slot, gain) triples slot-major via the
+        // grid index, then scatter into transmitter-major CSR. The
+        // counting sort is stable, so each row stays slot-ascending.
+        let mut triples: Vec<(u32, u32, f64)> = Vec::new();
+        let mut row_counts = vec![0u32; n];
+        for (s, &rx) in receivers.iter().enumerate() {
+            let q = su_positions[rx as usize];
+            su_index.for_each_within(q, cutoff[s], |j| {
+                let g = path_gain_sq(su_positions[j as usize].distance_sq(q), alpha);
+                triples.push((j, s as u32, g));
+                row_counts[j as usize] += 1;
+            });
+        }
+        let mut su_off = vec![0u32; n + 1];
+        for i in 0..n {
+            su_off[i + 1] = su_off[i] + row_counts[i];
+        }
+        let nnz = su_off[n] as usize;
+        let mut su_slot = vec![0u32; nnz];
+        let mut su_gain = vec![0.0f64; nnz];
+        let mut cursor: Vec<u32> = su_off[..n].to_vec();
+        for &(su, slot, g) in &triples {
+            let c = cursor[su as usize] as usize;
+            su_slot[c] = slot;
+            su_gain[c] = g;
+            cursor[su as usize] += 1;
+        }
+
+        // PU rows: one O(P) partition per slot; when the exact all-on
+        // far-field power still exceeds the budget (PUs have no packing
+        // bound), pull the nearest excluded PUs in until it fits. A
+        // min-heap over distance beats a full sort: only a handful of
+        // pulls happen per slot.
+        let mut slot_pu_off = vec![0u32; m + 1];
+        let mut slot_pu_id = Vec::new();
+        let mut slot_pu_gain = Vec::new();
+        let mut pu_residual = vec![0.0f64; m];
+        let mut near: Vec<(u32, f64)> = Vec::new();
+        let mut far: Vec<(f64, u32, f64)> = Vec::new();
+        let mut heap_buf: Vec<Reverse<(u64, u32)>> = Vec::new();
+        let mut pulled: Vec<bool> = Vec::new();
+        for s in 0..m {
+            near.clear();
+            far.clear();
+            let q = su_positions[receivers[s] as usize];
+            let budget = 0.5 * epsilon * floor[s] / eta_s;
+            let cutoff_sq = cutoff[s] * cutoff[s];
+            let mut far_sum = 0.0;
+            for (k, &pu) in pu_positions.iter().enumerate() {
+                let d2 = pu.distance_sq(q);
+                let g = path_gain_sq(d2, alpha);
+                if d2 <= cutoff_sq {
+                    near.push((k as u32, g));
+                } else {
+                    far.push((d2, k as u32, g));
+                    far_sum += p_p * g;
+                }
+            }
+            if far_sum > budget {
+                // Distances are non-negative finite, so their bit patterns
+                // order identically to the values.
+                heap_buf.clear();
+                heap_buf.extend(
+                    far.iter()
+                        .enumerate()
+                        .map(|(j, &(d, _, _))| Reverse((d.to_bits(), j as u32))),
+                );
+                let mut heap = BinaryHeap::from(std::mem::take(&mut heap_buf));
+                pulled.clear();
+                pulled.resize(far.len(), false);
+                let mut rem = far_sum;
+                loop {
+                    while rem > budget {
+                        let Some(Reverse((_, j))) = heap.pop() else {
+                            break;
+                        };
+                        let (_, k, g) = far[j as usize];
+                        pulled[j as usize] = true;
+                        near.push((k, g));
+                        rem -= p_p * g;
+                    }
+                    // The running remainder drifts; certify with a fresh
+                    // exact sum of what stayed excluded.
+                    let exact: f64 = far
+                        .iter()
+                        .zip(&pulled)
+                        .filter(|&(_, &p)| !p)
+                        .map(|(&(_, _, g), _)| p_p * g)
+                        .sum();
+                    if exact <= budget || heap.is_empty() {
+                        far_sum = exact;
+                        break;
+                    }
+                    rem = exact;
+                }
+                heap_buf = heap.into_vec();
+            }
+            near.sort_unstable_by_key(|&(k, _)| k);
+            pu_residual[s] = far_sum;
+            for &(k, g) in &near {
+                slot_pu_id.push(k);
+                slot_pu_gain.push(g);
+            }
+            slot_pu_off[s + 1] = slot_pu_id.len() as u32;
+        }
+
+        SparseGains {
+            cutoff,
+            pu_residual,
+            su_off,
+            su_slot,
+            su_gain,
+            slot_pu_off,
+            slot_pu_id,
+            slot_pu_gain,
+        }
     }
 
     /// Number of SUs including the base station.
@@ -496,11 +796,80 @@ impl SimWorld {
     }
 
     pub(crate) fn pu_gain(&self, pu: usize, slot: u32) -> f64 {
-        self.pu_gain[pu * self.receivers.len() + slot as usize]
+        match &self.gains {
+            GainTables::Dense { pu_gain, .. } => pu_gain[pu * self.receivers.len() + slot as usize],
+            GainTables::Sparse(sg) => {
+                let lo = sg.slot_pu_off[slot as usize] as usize;
+                let hi = sg.slot_pu_off[slot as usize + 1] as usize;
+                match sg.slot_pu_id[lo..hi].binary_search(&(pu as u32)) {
+                    Ok(idx) => sg.slot_pu_gain[lo + idx],
+                    Err(_) => 0.0,
+                }
+            }
+        }
     }
 
     pub(crate) fn su_gain(&self, su: u32, slot: u32) -> f64 {
-        self.su_gain[su as usize * self.receivers.len() + slot as usize]
+        match &self.gains {
+            GainTables::Dense { su_gain, .. } => {
+                su_gain[su as usize * self.receivers.len() + slot as usize]
+            }
+            GainTables::Sparse(sg) => {
+                let lo = sg.su_off[su as usize] as usize;
+                let hi = sg.su_off[su as usize + 1] as usize;
+                match sg.su_slot[lo..hi].binary_search(&slot) {
+                    Ok(idx) => sg.su_gain[lo + idx],
+                    Err(_) => 0.0,
+                }
+            }
+        }
+    }
+
+    /// The near-field PU list of a receiver slot — `(pu ids, gains)`,
+    /// ascending by id — or `None` in dense (exact) mode, where callers
+    /// must sum over every PU.
+    pub(crate) fn near_pus(&self, slot: u32) -> Option<(&[u32], &[f64])> {
+        match &self.gains {
+            GainTables::Dense { .. } => None,
+            GainTables::Sparse(sg) => {
+                let lo = sg.slot_pu_off[slot as usize] as usize;
+                let hi = sg.slot_pu_off[slot as usize + 1] as usize;
+                Some((&sg.slot_pu_id[lo..hi], &sg.slot_pu_gain[lo..hi]))
+            }
+        }
+    }
+
+    /// The interference model this world was built with.
+    #[must_use]
+    pub fn interference_model(&self) -> InterferenceModel {
+        self.model
+    }
+
+    /// Bytes held by the path-gain storage (dense tables or sparse
+    /// near-field lists) — the memory the truncated model exists to
+    /// shrink.
+    #[must_use]
+    pub fn gain_table_bytes(&self) -> usize {
+        match &self.gains {
+            GainTables::Dense { pu_gain, su_gain } => (pu_gain.len() + su_gain.len()) * 8,
+            GainTables::Sparse(sg) => sg.bytes(),
+        }
+    }
+
+    /// Truncation diagnostics: per-slot `(cutoff radii, certified
+    /// excluded-PU residual powers)`. `None` in exact mode.
+    #[must_use]
+    pub fn truncation_stats(&self) -> Option<(&[f64], &[f64])> {
+        match &self.gains {
+            GainTables::Dense { .. } => None,
+            GainTables::Sparse(sg) => Some((&sg.cutoff, &sg.pu_residual)),
+        }
+    }
+
+    /// Receiver SUs in slot order (the slot of `receivers()[s]` is `s`).
+    #[must_use]
+    pub fn receivers(&self) -> &[u32] {
+        &self.receivers
     }
 
     /// Signal power of `su` at its own parent.
@@ -699,8 +1068,203 @@ mod tests {
                 range: 5.0,
                 r: 10.0,
             },
+            WorldError::BadEpsilon { epsilon: 1.5 },
         ] {
             assert!(!e.to_string().is_empty());
+        }
+    }
+
+    /// A 20×20 grid deployment (spacing 7, chain-to-corner parents) with
+    /// PUs sprinkled on a coarser grid — big enough that truncation
+    /// actually drops far-field pairs.
+    fn grid_world(model: InterferenceModel) -> SimWorld {
+        let cols = 20usize;
+        let spacing = 7.0;
+        let mut sus = Vec::new();
+        let mut parents = Vec::new();
+        for i in 0..cols * cols {
+            let (row, col) = (i / cols, i % cols);
+            sus.push(Point::new(
+                col as f64 * spacing + 1.0,
+                row as f64 * spacing + 1.0,
+            ));
+            parents.push(if i == 0 {
+                None
+            } else if col > 0 {
+                Some((i - 1) as u32)
+            } else {
+                Some((i - cols) as u32)
+            });
+        }
+        let side = cols as f64 * spacing + 2.0;
+        let pus: Vec<Point> = (0..25)
+            .map(|k| {
+                Point::new(
+                    (k % 5) as f64 * side / 5.0 + 10.0,
+                    (k / 5) as f64 * side / 5.0 + 10.0,
+                )
+            })
+            .collect();
+        SimWorld::builder(Region::square(side))
+            .su_positions(sus)
+            .pu_positions(pus)
+            .parents(parents)
+            .phy(phy())
+            .sense_range(24.0)
+            .interference(model)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn truncated_rejects_bad_epsilon() {
+        for eps in [0.0, 1.0, -0.1, 2.0] {
+            let e = SimWorld::builder(Region::square(20.0))
+                .su_positions(vec![Point::new(1.0, 1.0), Point::new(4.0, 1.0)])
+                .parents(vec![None, Some(0)])
+                .interference(InterferenceModel::Truncated { epsilon: eps })
+                .build()
+                .unwrap_err();
+            assert_eq!(e, WorldError::BadEpsilon { epsilon: eps });
+        }
+    }
+
+    #[test]
+    fn sparse_matches_dense_inside_the_cutoff() {
+        let dense = grid_world(InterferenceModel::Exact);
+        let sparse = grid_world(InterferenceModel::Truncated { epsilon: 0.1 });
+        let (cutoffs, _) = sparse.truncation_stats().unwrap();
+        assert_eq!(cutoffs.len(), sparse.num_receiver_slots());
+        for s in 0..sparse.num_receiver_slots() as u32 {
+            let rx = sparse.receivers()[s as usize];
+            let q = sparse.su_positions()[rx as usize];
+            for su in 0..sparse.num_sus() as u32 {
+                let d = sparse.su_positions()[su as usize].distance(q);
+                let got = sparse.su_gain(su, s);
+                if d <= cutoffs[s as usize] {
+                    let want = dense.su_gain(su, s);
+                    assert!(
+                        (got - want).abs() <= want * 1e-12,
+                        "slot {s} su {su}: {got} vs {want}"
+                    );
+                } else {
+                    assert_eq!(got, 0.0, "slot {s} su {su} beyond cutoff kept a gain");
+                }
+            }
+            for pu in 0..sparse.num_pus() {
+                let got = sparse.pu_gain(pu, s);
+                if got != 0.0 {
+                    let want = dense.pu_gain(pu, s);
+                    assert!((got - want).abs() <= want * 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_keeps_every_tree_link_and_self_gain() {
+        let w = grid_world(InterferenceModel::Truncated { epsilon: 0.1 });
+        for (i, &p) in w.parents().iter().enumerate() {
+            if let Some(p) = p {
+                assert!(w.link_signal(i as u32) > 0.0, "link {i} -> {p} truncated");
+            }
+        }
+        // A transmitting receiver must jam its own slot (half-duplex).
+        for s in 0..w.num_receiver_slots() as u32 {
+            let rx = w.receivers()[s as usize];
+            assert!(w.su_gain(rx, s) > 0.0, "slot {s} lost its self gain");
+        }
+    }
+
+    #[test]
+    fn sparse_truncation_error_is_certified() {
+        // Brute force: for each slot, everything the sparse tables dropped
+        // (SU side summed over the actual deployment restricted to any
+        // su_sense_range-separated subset; PU side all-on) must fit inside
+        // the epsilon budget.
+        let epsilon = 0.1;
+        let w = grid_world(InterferenceModel::Truncated { epsilon });
+        let phy = *w.phy();
+        let (cutoffs, residuals) = w.truncation_stats().unwrap();
+        let eta = phy.su_sir_threshold();
+        for s in 0..w.num_receiver_slots() as u32 {
+            let rx = w.receivers()[s as usize];
+            let q = w.su_positions()[rx as usize];
+            // Weakest-link margin of this slot.
+            let mut floor = f64::INFINITY;
+            for (i, &p) in w.parents().iter().enumerate() {
+                if p == Some(rx) {
+                    floor = floor.min(w.link_signal(i as u32));
+                }
+            }
+            let budget = epsilon * floor / eta;
+
+            // SU side: greedily pick the strongest far-field SUs that keep
+            // pairwise separation >= su_sense_range — the worst concurrent
+            // set the MAC allows from this deployment.
+            let mut far: Vec<(f64, Point)> = w
+                .su_positions()
+                .iter()
+                .map(|&p| (p.distance(q), p))
+                .filter(|&(d, _)| d > cutoffs[s as usize])
+                .collect();
+            far.sort_unstable_by(|a, b| a.0.total_cmp(&b.0));
+            let mut chosen: Vec<Point> = Vec::new();
+            let mut su_sum = 0.0;
+            for &(d, p) in &far {
+                if chosen
+                    .iter()
+                    .all(|&c| c.distance(p) >= w.su_sense_range() - 1e-9)
+                {
+                    chosen.push(p);
+                    su_sum += phy.su_power() * path_gain(d, phy.alpha());
+                }
+            }
+            // PU side: every excluded PU on at once is exactly the stored
+            // residual.
+            let mut pu_sum = 0.0;
+            for (k, &pu) in w.pu_positions().iter().enumerate() {
+                if w.pu_gain(k, s) == 0.0 {
+                    pu_sum += phy.pu_power() * path_gain(pu.distance(q), phy.alpha());
+                }
+            }
+            assert!(
+                pu_sum <= residuals[s as usize] + 1e-15,
+                "slot {s}: stored residual underestimates the PU far field"
+            );
+            assert!(
+                su_sum + pu_sum <= budget,
+                "slot {s}: truncated field {su_sum} + {pu_sum} exceeds budget {budget}"
+            );
+        }
+    }
+
+    #[test]
+    fn sparse_tables_are_much_smaller() {
+        let dense = grid_world(InterferenceModel::Exact);
+        let sparse = grid_world(InterferenceModel::Truncated { epsilon: 0.1 });
+        assert_eq!(dense.interference_model(), InterferenceModel::Exact);
+        assert!(sparse.gain_table_bytes() < dense.gain_table_bytes());
+    }
+
+    #[test]
+    fn exact_world_reports_no_truncation() {
+        let w = chain_world();
+        assert!(w.truncation_stats().is_none());
+        assert!(w.near_pus(0).is_none());
+        assert!(w.gain_table_bytes() > 0);
+    }
+
+    #[test]
+    fn sparse_near_pu_lists_are_sorted_and_consistent() {
+        let w = grid_world(InterferenceModel::Truncated { epsilon: 0.1 });
+        for s in 0..w.num_receiver_slots() as u32 {
+            let (ids, gains) = w.near_pus(s).unwrap();
+            assert_eq!(ids.len(), gains.len());
+            assert!(ids.windows(2).all(|w| w[0] < w[1]), "slot {s} ids unsorted");
+            for (&k, &g) in ids.iter().zip(gains) {
+                assert_eq!(w.pu_gain(k as usize, s), g);
+            }
         }
     }
 }

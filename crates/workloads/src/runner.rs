@@ -100,11 +100,16 @@ impl std::error::Error for SweepError {
 /// job order.
 ///
 /// The sweep is embarrassingly parallel; [`SweepOptions::threads`] picks
-/// the worker count (0 = auto). A scenario that fails to generate (e.g. a
-/// disconnected deployment beyond the retry budget) or to run aborts the
-/// sweep — remaining jobs are cancelled at the next job boundary — and is
-/// reported as a [`SweepError`] carrying the failing job's identity, so a
-/// sweep whose points silently vanish cannot misreport a figure.
+/// the worker count (0 = auto). Workers claim one **group** of consecutive
+/// jobs at a time — [`SweepSpec::jobs`] puts algorithms innermost, so the
+/// jobs of a group differ only in algorithm and share one generated
+/// [`Scenario`] (deployment sampling, connectivity retries, and the
+/// per-algorithm simulator worlds are built once per group instead of once
+/// per job). A scenario that fails to generate (e.g. a disconnected
+/// deployment beyond the retry budget) or to run aborts the sweep —
+/// remaining jobs are cancelled at the next boundary — and is reported as
+/// a [`SweepError`] carrying the failing job's identity, so a sweep whose
+/// points silently vanish cannot misreport a figure.
 ///
 /// # Errors
 ///
@@ -112,6 +117,7 @@ impl std::error::Error for SweepError {
 pub fn run_sweep(spec: &SweepSpec, options: SweepOptions) -> Result<Vec<RunRecord>, SweepError> {
     let jobs = spec.jobs();
     let total = jobs.len();
+    let stride = spec.algorithms.len().max(1);
     let threads = options.effective_threads();
     let progress = options.progress.as_deref();
 
@@ -122,18 +128,40 @@ pub fn run_sweep(spec: &SweepSpec, options: SweepOptions) -> Result<Vec<RunRecor
     results.resize_with(total, || None);
     let results = Mutex::new(&mut results);
 
-    let worker = |jobs: &[Job]| loop {
-        let i = next.fetch_add(1, Ordering::Relaxed);
-        if i >= jobs.len() || failed.load(Ordering::Relaxed) {
-            break;
-        }
-        let outcome = run_job(&jobs[i]);
+    let record = |slot: usize, outcome: Result<RunRecord, SweepError>| {
         if outcome.is_err() {
             failed.store(true, Ordering::Relaxed);
         }
-        results.lock().expect("results lock poisoned")[i] = Some(outcome);
+        results.lock().expect("results lock poisoned")[slot] = Some(outcome);
         if let Some(progress) = progress {
             progress(done.fetch_add(1, Ordering::Relaxed) + 1, total);
+        }
+    };
+
+    let worker = |jobs: &[Job]| loop {
+        let start = next.fetch_add(1, Ordering::Relaxed) * stride;
+        if start >= jobs.len() || failed.load(Ordering::Relaxed) {
+            break;
+        }
+        let group = &jobs[start..(start + stride).min(jobs.len())];
+        debug_assert!(
+            group.iter().all(|j| j.params == group[0].params),
+            "a job group must share one parameter set"
+        );
+        let scenario = match Scenario::generate(&group[0].params) {
+            Ok(scenario) => scenario,
+            Err(source) => {
+                record(start, Err(fail_for(&group[0], source)));
+                continue;
+            }
+        };
+        for (offset, job) in group.iter().enumerate() {
+            let outcome = run_group_job(&scenario, job);
+            let stop = outcome.is_err();
+            record(start + offset, outcome);
+            if stop {
+                break;
+            }
         }
     };
 
@@ -169,16 +197,20 @@ pub fn run_sweep(spec: &SweepSpec, options: SweepOptions) -> Result<Vec<RunRecor
     Ok(records)
 }
 
-fn run_job(job: &Job) -> Result<RunRecord, SweepError> {
-    let fail = |source: ScenarioError| SweepError {
+fn fail_for(job: &Job, source: ScenarioError) -> SweepError {
+    SweepError {
         figure: job.figure.clone(),
         x_name: job.x_name,
         x: job.x,
         rep: job.rep,
         source,
-    };
-    let scenario = Scenario::generate(&job.params).map_err(fail)?;
-    let outcome = scenario.run(job.algorithm).map_err(fail)?;
+    }
+}
+
+fn run_group_job(scenario: &Scenario, job: &Job) -> Result<RunRecord, SweepError> {
+    let outcome = scenario
+        .run(job.algorithm)
+        .map_err(|source| fail_for(job, source))?;
     Ok(RunRecord::from_outcome(
         &job.figure,
         job.x_name,

@@ -103,6 +103,7 @@ fn bench_interference_scaling(c: &mut Criterion) {
                     .mac(mac)
                     .seed(42)
                     .build()
+                    .unwrap()
                     .run();
                 black_box(report.attempts)
             });

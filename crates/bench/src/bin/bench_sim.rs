@@ -53,6 +53,7 @@ fn measure(n: usize, model: InterferenceModel, sim_seconds: f64) -> ModelStats {
         .seed(42)
         .probe(TraceLog::bounded(64))
         .build()
+        .unwrap()
         .run_with_probe();
     let wall = started.elapsed().as_secs_f64();
     assert!(report.attempts > 0, "capped run must make progress");

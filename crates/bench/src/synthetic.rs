@@ -22,7 +22,7 @@ const MARGIN: f64 = 1.0;
 ///
 /// The routing tree chains each row leftward and climbs column 0 to the
 /// base station at the corner, so every non-root node is a transmitter at
-/// distance [`SPACING`] from its parent. Physical-layer parameters are the
+/// distance `SPACING` (7.0) from its parent. Physical-layer parameters are the
 /// paper's Fig. 6 defaults and both sensing ranges are the derived PCR.
 ///
 /// # Panics
@@ -104,6 +104,7 @@ mod tests {
             .mac(mac)
             .seed(9)
             .build()
+            .unwrap()
             .run();
         let truncated = Simulator::builder(grid_world(
             80,
@@ -112,6 +113,7 @@ mod tests {
         .mac(mac)
         .seed(9)
         .build()
+        .unwrap()
         .run();
         assert!(exact.attempts > 0);
         assert_eq!(exact, truncated, "ε = 0.1 must not flip any decision");

@@ -23,7 +23,12 @@ fn sparse_engine_handles_ten_thousand_sus() {
         max_sim_time: 0.1,
         ..MacConfig::default()
     };
-    let report = Simulator::builder(world).mac(mac).seed(7).build().run();
+    let report = Simulator::builder(world)
+        .mac(mac)
+        .seed(7)
+        .build()
+        .unwrap()
+        .run();
     assert!(report.attempts > 0, "capped 10k-SU run must make progress");
     eprintln!(
         "n=10000 sparse: built in {:.1} ms, {} attempts in 100 slots",

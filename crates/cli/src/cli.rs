@@ -14,7 +14,7 @@ use std::fmt::Write as _;
 pub const USAGE: &str = "\
 usage:
   crn run    [--sus N] [--pus N] [--side S] [--pt P] [--seed K] [--algo ALGO]
-             [--interference exact|truncated:EPS]
+             [--interference exact|truncated:EPS] [--check-invariants] [--map]
   crn trace  [run flags] [--format jsonl|csv] [--out FILE]
   crn sweep  <a|b|c|d|e|f|all> [--preset paper|scaled|tiny] [--reps R] [--threads T]
   crn pcr    [--alpha A] [--eta-db E] [--pp P] [--ps P] [--big-r R] [--r r]
@@ -107,18 +107,30 @@ fn scenario_params(args: &mut Vec<String>) -> Result<ScenarioParams, String> {
         .build())
 }
 
-fn cmd_run(mut args: Vec<String>) -> Result<String, String> {
-    let algo = parse_algo(&take(&mut args, "--algo", "addc".to_owned())?)?;
-    let show_map = if let Some(i) = args.iter().position(|a| a == "--map") {
+fn presence(args: &mut Vec<String>, flag: &str) -> bool {
+    if let Some(i) = args.iter().position(|a| a == flag) {
         args.remove(i);
         true
     } else {
         false
-    };
+    }
+}
+
+fn cmd_run(mut args: Vec<String>) -> Result<String, String> {
+    let algo = parse_algo(&take(&mut args, "--algo", "addc".to_owned())?)?;
+    let show_map = presence(&mut args, "--map");
+    let check_invariants = presence(&mut args, "--check-invariants");
     let params = scenario_params(&mut args)?;
     ensure_consumed(&args)?;
     let scenario = Scenario::generate(&params).map_err(|e| e.to_string())?;
-    let outcome = scenario.run(algo).map_err(|e| e.to_string())?;
+    // `run_checked` shares `run`'s derived seed, so the checked report is
+    // identical to the unchecked one — the oracle observes, never perturbs.
+    let (outcome, oracle) = if check_invariants {
+        let (outcome, oracle) = scenario.run_checked(algo).map_err(|e| e.to_string())?;
+        (outcome, Some(oracle))
+    } else {
+        (scenario.run(algo).map_err(|e| e.to_string())?, None)
+    };
     let r = &outcome.report;
     let mut out = String::new();
     let _ = writeln!(
@@ -150,6 +162,13 @@ fn cmd_run(mut args: Vec<String>) -> Result<String, String> {
         outcome.tree_height,
         outcome.tree_max_degree
     );
+    if let Some(oracle) = oracle {
+        let _ = writeln!(
+            out,
+            "  invariants: ok ({} events checked)",
+            oracle.events_checked()
+        );
+    }
     if show_map {
         let tree = scenario.tree(algo).map_err(|e| e.to_string())?;
         let _ = writeln!(out);
@@ -422,6 +441,28 @@ mod tests {
     fn algo_parse_errors_are_reported() {
         let e = run(&["run", "--algo", "magic"]).unwrap_err();
         assert!(e.contains("magic"));
+    }
+
+    #[test]
+    fn run_with_check_invariants_reports_clean_oracle() {
+        let common = ["--sus", "40", "--pus", "4", "--side", "36", "--seed", "3"];
+        let mut plain = vec!["run"];
+        plain.extend_from_slice(&common);
+        let mut checked = plain.clone();
+        checked.push("--check-invariants");
+        let checked_out = run(&checked).unwrap();
+        assert!(
+            checked_out.contains("invariants: ok ("),
+            "oracle verdict missing: {checked_out}"
+        );
+        // Apart from the verdict line, the checked run reports the exact
+        // same results — the oracle must not perturb the simulation.
+        let stripped: String = checked_out
+            .lines()
+            .filter(|l| !l.contains("invariants:"))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        assert_eq!(run(&plain).unwrap(), stripped);
     }
 
     #[test]

@@ -1,7 +1,10 @@
 use crate::{coolest_tree, ScenarioParams};
 use crn_geometry::{Deployment, GridIndex, Point, Region};
 use crn_interference::pcr;
-use crn_sim::{Probe, SimReport, SimWorld, Simulator, TraceLog, WorldError};
+use crn_sim::{
+    BuildError, InvariantChecker, Probe, SimReport, SimWorld, Simulator, TraceLog, Violation,
+    WorldError,
+};
 use crn_topology::{CollectionTree, TreeError, TreeKind, UnitDiskGraph};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -52,6 +55,12 @@ pub enum ScenarioError {
     Tree(TreeError),
     /// Simulator world assembly failed.
     World(WorldError),
+    /// Simulator configuration was rejected at build time.
+    Sim(BuildError),
+    /// The simulation oracle observed an invariant violation (only from
+    /// [`Scenario::run_checked`]); carries the first violation, which is
+    /// usually the root cause.
+    Invariant(Box<Violation>),
 }
 
 impl fmt::Display for ScenarioError {
@@ -63,6 +72,8 @@ impl fmt::Display for ScenarioError {
             ),
             ScenarioError::Tree(e) => write!(f, "tree construction failed: {e}"),
             ScenarioError::World(e) => write!(f, "world assembly failed: {e}"),
+            ScenarioError::Sim(e) => write!(f, "simulator configuration rejected: {e}"),
+            ScenarioError::Invariant(v) => write!(f, "simulation invariant violated: {v}"),
         }
     }
 }
@@ -70,9 +81,10 @@ impl fmt::Display for ScenarioError {
 impl std::error::Error for ScenarioError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
-            ScenarioError::Disconnected { .. } => None,
+            ScenarioError::Disconnected { .. } | ScenarioError::Invariant(_) => None,
             ScenarioError::Tree(e) => Some(e),
             ScenarioError::World(e) => Some(e),
+            ScenarioError::Sim(e) => Some(e),
         }
     }
 }
@@ -86,6 +98,12 @@ impl From<TreeError> for ScenarioError {
 impl From<WorldError> for ScenarioError {
     fn from(e: WorldError) -> Self {
         ScenarioError::World(e)
+    }
+}
+
+impl From<BuildError> for ScenarioError {
+    fn from(e: BuildError) -> Self {
+        ScenarioError::Sim(e)
     }
 }
 
@@ -403,9 +421,50 @@ impl Scenario {
         Ok(run)
     }
 
+    /// Runs a full data collection task under `algorithm` with the live
+    /// simulation oracle attached: an [`InvariantChecker`] audits packet
+    /// conservation, the concurrent-set/SIR property, PU protection, and
+    /// scheduler hygiene on every trace event. The checker is returned for
+    /// inspection (e.g. [`InvariantChecker::events_checked`]).
+    ///
+    /// The run itself is identical to [`Scenario::run`] — probes observe,
+    /// they never perturb.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError::Invariant`] carrying the first violation
+    /// if the oracle caught any, besides propagating tree/world/simulator
+    /// assembly failures.
+    pub fn run_checked(
+        &self,
+        algorithm: CollectionAlgorithm,
+    ) -> Result<(CollectionOutcome, InvariantChecker), ScenarioError> {
+        let sim_seed = self.params.seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let checker = InvariantChecker::new(self.world(algorithm)?, self.params.mac).with_repro(
+            self.params.seed,
+            format!(
+                "n={} N={} side={} alg={algorithm}",
+                self.params.num_sus, self.params.num_pus, self.params.area_side
+            ),
+        );
+        let (outcome, oracle) =
+            self.run_probed(algorithm, sim_seed, crn_sim::Traffic::Snapshot, checker)?;
+        match oracle.first_violation() {
+            Some(v) => Err(ScenarioError::Invariant(Box::new(v.clone()))),
+            None => Ok((outcome, oracle)),
+        }
+    }
+
     /// Shared run path: fetches the cached world for `algorithm`, attaches
-    /// `probe`, runs, and returns the probe alongside the outcome.
-    fn run_probed<P: Probe>(
+    /// `probe`, runs, and returns the probe alongside the outcome. This is
+    /// the generic backbone under [`Scenario::run`], [`Scenario::run_traced`],
+    /// and [`Scenario::run_checked`] — bring your own [`Probe`] for anything
+    /// they don't cover.
+    ///
+    /// # Errors
+    ///
+    /// Propagates tree, world, or simulator assembly failures.
+    pub fn run_probed<P: Probe>(
         &self,
         algorithm: CollectionAlgorithm,
         sim_seed: u64,
@@ -419,7 +478,7 @@ impl Scenario {
             .seed(sim_seed)
             .traffic(traffic)
             .probe(probe)
-            .build()
+            .build()?
             .run_with_probe();
         Ok((
             CollectionOutcome {
@@ -569,6 +628,30 @@ mod tests {
             }
         }
         assert_eq!(first, plain.report.delivery_times);
+    }
+
+    #[test]
+    fn checked_runs_are_invariant_clean() {
+        use crn_sim::InterferenceModel;
+        let s = Scenario::generate(&small_params(2)).unwrap();
+        for alg in [CollectionAlgorithm::Addc, CollectionAlgorithm::Coolest] {
+            let (o, oracle) = s.run_checked(alg).unwrap();
+            assert!(o.report.finished, "{alg}");
+            assert!(oracle.events_checked() > 0);
+            assert!(oracle.is_clean());
+        }
+        // The oracle rechecks SIR under the *exact* model even when the
+        // engine runs truncated tables — the Lemma-2 certificate holds.
+        let mut b = ScenarioParams::builder();
+        b.num_sus(60)
+            .num_pus(12)
+            .area_side(45.0)
+            .seed(2)
+            .interference(InterferenceModel::Truncated { epsilon: 0.1 });
+        let t = Scenario::generate(&b.build()).unwrap();
+        let (o, oracle) = t.run_checked(CollectionAlgorithm::Addc).unwrap();
+        assert!(o.report.finished);
+        assert!(oracle.is_clean());
     }
 
     #[test]

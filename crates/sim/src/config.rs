@@ -139,26 +139,114 @@ impl Traffic {
         }
     }
 
-    /// Validates the traffic model.
+    /// Validates the traffic model, returning a typed error for a
+    /// non-positive/non-finite periodic interval or a zero snapshot count.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if a periodic interval is not strictly positive or the
-    /// snapshot count is zero.
-    pub fn validate(&self) {
+    /// [`BuildError::BadInterval`] or [`BuildError::NoSnapshots`].
+    pub fn validated(&self) -> Result<(), BuildError> {
         if let Traffic::Periodic {
             interval,
             snapshots,
         } = *self
         {
-            assert!(
-                interval > 0.0 && interval.is_finite(),
-                "periodic interval must be positive, got {interval}"
-            );
-            assert!(snapshots >= 1, "at least one snapshot required");
+            if !(interval > 0.0 && interval.is_finite()) {
+                return Err(BuildError::BadInterval { interval });
+            }
+            if snapshots < 1 {
+                return Err(BuildError::NoSnapshots);
+            }
+        }
+        Ok(())
+    }
+
+    /// Validates the traffic model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a periodic interval is not strictly positive or the
+    /// snapshot count is zero. Prefer [`Traffic::validated`] for a typed
+    /// error.
+    pub fn validate(&self) {
+        if let Err(e) = self.validated() {
+            panic!("{e}");
         }
     }
 }
+
+/// Why [`crate::SimulatorBuilder::build`] rejected a configuration.
+///
+/// Every variant corresponds to a timing parameter that would otherwise
+/// surface as a panic deep inside the event queue mid-run (non-finite
+/// event times fail `EventQueue::push`'s assertion); validating at build
+/// time turns those into a typed, matchable error.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum BuildError {
+    /// The slot length is not strictly positive and finite.
+    BadSlot {
+        /// Offending slot length in seconds.
+        slot: f64,
+    },
+    /// The contention window does not lie in `(0, slot)` or is non-finite.
+    BadContentionWindow {
+        /// Offending contention window in seconds.
+        contention_window: f64,
+        /// The configured slot length in seconds.
+        slot: f64,
+    },
+    /// The airtime does not lie in `(0, slot]` or is non-finite.
+    BadAirtime {
+        /// Offending airtime in seconds.
+        airtime: f64,
+        /// The configured slot length in seconds.
+        slot: f64,
+    },
+    /// `max_sim_time` is not strictly positive and finite.
+    BadMaxSimTime {
+        /// Offending time cap in seconds.
+        max_sim_time: f64,
+    },
+    /// A periodic traffic interval is not strictly positive and finite.
+    BadInterval {
+        /// Offending interval in seconds.
+        interval: f64,
+    },
+    /// Periodic traffic was configured with zero snapshots.
+    NoSnapshots,
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            BuildError::BadSlot { slot } => {
+                write!(f, "slot must be positive, got {slot}")
+            }
+            BuildError::BadContentionWindow {
+                contention_window,
+                slot,
+            } => write!(
+                f,
+                "contention window must lie in (0, slot), got {contention_window} (slot {slot})"
+            ),
+            BuildError::BadAirtime { airtime, slot } => {
+                write!(
+                    f,
+                    "airtime must lie in (0, slot], got {airtime} (slot {slot})"
+                )
+            }
+            BuildError::BadMaxSimTime { max_sim_time } => {
+                write!(f, "max_sim_time must be positive, got {max_sim_time}")
+            }
+            BuildError::BadInterval { interval } => {
+                write!(f, "periodic interval must be positive, got {interval}")
+            }
+            BuildError::NoSnapshots => f.write_str("at least one snapshot required"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
 
 impl Default for MacConfig {
     fn default() -> Self {
@@ -175,36 +263,50 @@ impl Default for MacConfig {
 }
 
 impl MacConfig {
+    /// Validates internal consistency, returning a typed error instead of
+    /// panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first applicable [`BuildError`] if the slot, contention
+    /// window, airtime, or time cap is non-finite, non-positive, or out of
+    /// range (`contention_window ∈ (0, slot)`, `airtime ∈ (0, slot]`).
+    pub fn validated(&self) -> Result<(), BuildError> {
+        if !(self.slot > 0.0 && self.slot.is_finite()) {
+            return Err(BuildError::BadSlot { slot: self.slot });
+        }
+        if !(self.contention_window > 0.0 && self.contention_window < self.slot) {
+            return Err(BuildError::BadContentionWindow {
+                contention_window: self.contention_window,
+                slot: self.slot,
+            });
+        }
+        if !(self.airtime > 0.0 && self.airtime <= self.slot) {
+            return Err(BuildError::BadAirtime {
+                airtime: self.airtime,
+                slot: self.slot,
+            });
+        }
+        if !(self.max_sim_time > 0.0 && self.max_sim_time.is_finite()) {
+            return Err(BuildError::BadMaxSimTime {
+                max_sim_time: self.max_sim_time,
+            });
+        }
+        Ok(())
+    }
+
     /// Validates internal consistency.
     ///
     /// # Panics
     ///
     /// Panics if the slot or contention window is not strictly positive,
     /// if `contention_window ≥ slot`, or if `max_sim_time` is not
-    /// positive.
+    /// positive and finite. Prefer [`MacConfig::validated`] for a typed
+    /// error.
     pub fn validate(&self) {
-        assert!(
-            self.slot > 0.0 && self.slot.is_finite(),
-            "slot must be positive, got {}",
-            self.slot
-        );
-        assert!(
-            self.contention_window > 0.0 && self.contention_window < self.slot,
-            "contention window must lie in (0, slot), got {} (slot {})",
-            self.contention_window,
-            self.slot
-        );
-        assert!(
-            self.airtime > 0.0 && self.airtime <= self.slot,
-            "airtime must lie in (0, slot], got {} (slot {})",
-            self.airtime,
-            self.slot
-        );
-        assert!(
-            self.max_sim_time > 0.0,
-            "max_sim_time must be positive, got {}",
-            self.max_sim_time
-        );
+        if let Err(e) = self.validated() {
+            panic!("{e}");
+        }
     }
 
     /// Convenience: the safety cap expressed in slots.
@@ -263,6 +365,62 @@ mod tests {
             ..MacConfig::default()
         };
         c.validate();
+    }
+
+    #[test]
+    fn validated_returns_typed_errors() {
+        let defaults = MacConfig::default();
+        assert_eq!(defaults.validated(), Ok(()));
+        let nan_slot = MacConfig {
+            slot: f64::NAN,
+            ..defaults
+        };
+        assert!(matches!(
+            nan_slot.validated(),
+            Err(BuildError::BadSlot { .. })
+        ));
+        let inf_cap = MacConfig {
+            max_sim_time: f64::INFINITY,
+            ..defaults
+        };
+        assert_eq!(
+            inf_cap.validated(),
+            Err(BuildError::BadMaxSimTime {
+                max_sim_time: f64::INFINITY
+            })
+        );
+        let wide_cw = MacConfig {
+            contention_window: 2e-3,
+            ..defaults
+        };
+        assert!(wide_cw
+            .validated()
+            .unwrap_err()
+            .to_string()
+            .contains("contention window"));
+    }
+
+    #[test]
+    fn traffic_validated_returns_typed_errors() {
+        assert_eq!(Traffic::Snapshot.validated(), Ok(()));
+        let bad = Traffic::Periodic {
+            interval: 0.0,
+            snapshots: 3,
+        };
+        assert!(matches!(
+            bad.validated(),
+            Err(BuildError::BadInterval { .. })
+        ));
+        assert!(bad
+            .validated()
+            .unwrap_err()
+            .to_string()
+            .contains("interval"));
+        let none = Traffic::Periodic {
+            interval: 1e-3,
+            snapshots: 0,
+        };
+        assert_eq!(none.validated(), Err(BuildError::NoSnapshots));
     }
 
     #[test]

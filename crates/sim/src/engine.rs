@@ -1,7 +1,7 @@
 use crate::event::{EventKind, EventQueue};
 use crate::probe::{NoopProbe, Probe, TraceEvent, TraceEventKind, TxOutcome};
 use crate::report::NodeStats;
-use crate::{MacConfig, SimReport, SimWorld, Traffic};
+use crate::{BuildError, MacConfig, SimReport, SimWorld, Traffic};
 use crn_spectrum::PuActivity;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -148,6 +148,7 @@ pub struct Simulator<P: Probe = NoopProbe> {
 ///     .seed(7)
 ///     .probe(TraceLog::unbounded())
 ///     .build()
+///     .expect("valid MAC config")
 ///     .run_with_probe();
 /// assert!(report.finished);
 /// assert!(!trace.is_empty());
@@ -206,13 +207,16 @@ impl<P: Probe> SimulatorBuilder<P> {
         }
     }
 
-    /// Constructs the simulator.
+    /// Constructs the simulator, validating the MAC timing and traffic
+    /// model up front.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the MAC configuration or traffic model fail validation.
-    #[must_use]
-    pub fn build(self) -> Simulator<P> {
+    /// Returns a [`BuildError`] when any timing parameter is non-finite or
+    /// out of range (see [`MacConfig::validated`] and
+    /// [`Traffic::validated`]) — the same configurations that would
+    /// otherwise panic deep inside the event queue mid-run.
+    pub fn build(self) -> Result<Simulator<P>, BuildError> {
         Simulator::construct(
             self.world,
             self.mac,
@@ -257,6 +261,7 @@ impl Simulator {
             Traffic::Snapshot,
             NoopProbe,
         )
+        .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Like `Simulator::new`, with an explicit [`Traffic`] model
@@ -278,6 +283,7 @@ impl Simulator {
         traffic: Traffic,
     ) -> Self {
         Self::construct(world.into(), mac, activity, seed, traffic, NoopProbe)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 }
 
@@ -289,13 +295,13 @@ impl<P: Probe> Simulator<P> {
         seed: u64,
         traffic: Traffic,
         probe: P,
-    ) -> Self {
-        mac.validate();
-        traffic.validate();
+    ) -> Result<Self, BuildError> {
+        mac.validated()?;
+        traffic.validated()?;
         let n = world.num_sus();
         let num_pus = world.num_pus();
         let slots = world.num_receiver_slots();
-        Self {
+        Ok(Self {
             mac,
             activity,
             traffic,
@@ -340,7 +346,7 @@ impl<P: Probe> Simulator<P> {
             events_processed: 0,
             world,
             probe,
-        }
+        })
     }
 
     /// Emits a trace event at the current simulation time. With the
@@ -432,6 +438,7 @@ impl<P: Probe> Simulator<P> {
             self.peak_queue = self.peak_queue.max(qlen);
             let ns = &mut self.node_stats[su as usize];
             ns.peak_queue = ns.peak_queue.max(qlen as u32);
+            self.emit(TraceEventKind::PacketGenerated { su });
             self.emit(TraceEventKind::QueueDepth {
                 su,
                 depth: qlen as u32,
@@ -836,6 +843,7 @@ impl<P: Probe> Simulator<P> {
 
     fn set_pu_on(&mut self, k: usize) {
         debug_assert!(!self.pu_on[k]);
+        self.emit(TraceEventKind::PuOn { pu: k as u32 });
         self.pu_on[k] = true;
         self.on_pos[k] = self.on_pus.len();
         self.on_pus.push(k as u32);
@@ -864,6 +872,7 @@ impl<P: Probe> Simulator<P> {
 
     fn set_pu_off(&mut self, k: usize) {
         debug_assert!(self.pu_on[k]);
+        self.emit(TraceEventKind::PuOff { pu: k as u32 });
         self.pu_on[k] = false;
         let pos = self.on_pos[k];
         self.on_pus.swap_remove(pos);
@@ -962,6 +971,7 @@ mod tests {
             .activity(activity)
             .seed(seed)
             .build()
+            .unwrap()
             .run()
     }
 
@@ -1016,6 +1026,7 @@ mod tests {
             .activity(activity)
             .seed(7)
             .build()
+            .unwrap()
             .run();
         assert!(!r.finished);
         assert_eq!(r.packets_delivered, 0);
@@ -1048,6 +1059,7 @@ mod tests {
                     .activity(activity)
                     .seed(seed)
                     .build()
+                    .unwrap()
                     .run()
                     .pu_aborts
             })
@@ -1120,6 +1132,7 @@ mod tests {
                         .activity(activity)
                         .seed(s)
                         .build()
+                        .unwrap()
                         .run()
                         .pu_aborts
                 })
@@ -1153,7 +1166,7 @@ mod tests {
             .sense_range(25.0)
             .build()
             .unwrap();
-        let r = Simulator::builder(world).seed(3).build().run();
+        let r = Simulator::builder(world).seed(3).build().unwrap().run();
         assert!(r.finished);
         assert_eq!(r.packets_delivered, k);
         let jain = r.jain_fairness().unwrap();
@@ -1174,7 +1187,12 @@ mod tests {
             check_sir: false,
             ..MacConfig::default()
         };
-        let r = Simulator::builder(world).mac(mac).seed(1).build().run();
+        let r = Simulator::builder(world)
+            .mac(mac)
+            .seed(1)
+            .build()
+            .unwrap()
+            .run();
         assert!(r.finished);
         assert_eq!(r.sir_failures, 0);
     }
@@ -1186,7 +1204,12 @@ mod tests {
             fairness_wait: false,
             ..MacConfig::default()
         };
-        let r = Simulator::builder(world).mac(mac).seed(1).build().run();
+        let r = Simulator::builder(world)
+            .mac(mac)
+            .seed(1)
+            .build()
+            .unwrap()
+            .run();
         assert!(r.finished);
         assert_eq!(r.packets_delivered, 3);
     }
@@ -1204,6 +1227,7 @@ mod tests {
             .activity(PuActivity::bernoulli(0.5).unwrap())
             .seed(1)
             .build()
+            .unwrap()
             .run();
         assert!(r.finished);
         assert_eq!(r.packets_expected, 0);
@@ -1221,6 +1245,7 @@ mod tests {
             .seed(5)
             .traffic(traffic)
             .build()
+            .unwrap()
             .run();
         assert!(r.finished);
         assert_eq!(r.packets_expected, 9);
@@ -1250,6 +1275,7 @@ mod tests {
             .seed(9)
             .traffic(traffic)
             .build()
+            .unwrap()
             .run();
         assert!(
             r.peak_queue >= 2,
@@ -1267,16 +1293,61 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "interval")]
     fn bad_periodic_interval_rejected() {
         let world = chain_world(2, vec![]);
-        let _ = Simulator::builder(world)
+        let err = Simulator::builder(world)
             .seed(1)
             .traffic(Traffic::Periodic {
                 interval: 0.0,
                 snapshots: 2,
             })
-            .build();
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, BuildError::BadInterval { .. }));
+        assert!(err.to_string().contains("interval"), "{err}");
+    }
+
+    #[test]
+    fn bad_mac_config_rejected_at_build_time() {
+        // Configurations that previously panicked deep inside
+        // EventQueue::push mid-run now fail the build with a typed error.
+        let cases = [
+            (
+                MacConfig {
+                    contention_window: f64::NAN,
+                    ..MacConfig::default()
+                },
+                "contention window",
+            ),
+            (
+                MacConfig {
+                    airtime: f64::INFINITY,
+                    ..MacConfig::default()
+                },
+                "airtime",
+            ),
+            (
+                MacConfig {
+                    max_sim_time: f64::INFINITY,
+                    ..MacConfig::default()
+                },
+                "max_sim_time",
+            ),
+            (
+                MacConfig {
+                    slot: -1.0,
+                    ..MacConfig::default()
+                },
+                "slot",
+            ),
+        ];
+        for (mac, needle) in cases {
+            let err = Simulator::builder(chain_world(2, vec![]))
+                .mac(mac)
+                .build()
+                .unwrap_err();
+            assert!(err.to_string().contains(needle), "{err}");
+        }
     }
 
     #[test]
@@ -1319,6 +1390,7 @@ mod tests {
             let r = Simulator::builder(hidden_terminal_world())
                 .seed(seed)
                 .build()
+                .unwrap()
                 .run();
             assert!(r.finished, "BEB must resolve the collision (seed {seed})");
             assert_eq!(r.packets_delivered, 2);
@@ -1350,7 +1422,11 @@ mod tests {
         let mut near_first = 0;
         let mut far_first = 0;
         for seed in 0..20 {
-            let r = Simulator::builder(world.clone()).seed(seed).build().run();
+            let r = Simulator::builder(world.clone())
+                .seed(seed)
+                .build()
+                .unwrap()
+                .run();
             assert!(r.finished);
             let t1 = r.delivery_times[1].unwrap();
             let t2 = r.delivery_times[2].unwrap();
@@ -1383,6 +1459,7 @@ mod tests {
                 .mac(mac)
                 .seed(seed)
                 .build()
+                .unwrap()
                 .run();
             assert!(r.finished);
             // worst case: cw + air + wait + cw + air + wait + cw + air
@@ -1417,7 +1494,7 @@ mod tests {
             .sense_range(25.0)
             .build()
             .unwrap();
-        let r = Simulator::builder(world).seed(3).build().run();
+        let r = Simulator::builder(world).seed(3).build().unwrap().run();
         assert!(r.finished);
         assert_eq!(r.packets_delivered, 4);
     }
@@ -1437,12 +1514,14 @@ mod tests {
             .activity(PuActivity::bernoulli(0.2).unwrap())
             .seed(8)
             .build()
+            .unwrap()
             .run();
         let b = Simulator::builder(world)
             .mac(mac_long)
             .activity(PuActivity::bernoulli(0.2).unwrap())
             .seed(8)
             .build()
+            .unwrap()
             .run();
         assert_eq!(
             a.delay, b.delay,
@@ -1463,6 +1542,7 @@ mod tests {
             .seed(seed)
             .probe(TraceLog::unbounded())
             .build()
+            .unwrap()
             .run_with_probe()
     }
 
@@ -1575,6 +1655,7 @@ mod tests {
             .seed(3)
             .probe(TimeSeries::per_slot(&mac))
             .build()
+            .unwrap()
             .run_with_probe();
         assert!(report.finished);
         let points = ts.points();
@@ -1601,6 +1682,7 @@ mod tests {
             .activity(activity)
             .seed(11)
             .build()
+            .unwrap()
             .run();
         assert_eq!(old, new, "Simulator::new shim must match the builder");
 
@@ -1616,6 +1698,7 @@ mod tests {
             .seed(11)
             .traffic(traffic)
             .build()
+            .unwrap()
             .run();
         assert_eq!(
             old, new,
@@ -1633,11 +1716,13 @@ mod tests {
                 .activity(activity)
                 .seed(seed)
                 .build()
+                .unwrap()
                 .run();
             let arc = Simulator::builder(shared.clone())
                 .activity(activity)
                 .seed(seed)
                 .build()
+                .unwrap()
                 .run();
             assert_eq!(owned, arc, "seed {seed}: Arc world changed the run");
         }
@@ -1675,11 +1760,13 @@ mod tests {
                 .activity(activity)
                 .seed(seed)
                 .build()
+                .unwrap()
                 .run();
             let b = Simulator::builder(sparse.clone())
                 .activity(activity)
                 .seed(seed)
                 .build()
+                .unwrap()
                 .run();
             assert_eq!(a, b, "seed {seed}: truncated run diverged from exact");
         }

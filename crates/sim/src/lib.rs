@@ -48,7 +48,7 @@
 //!     .sense_range(25.0)
 //!     .build()
 //!     .unwrap();
-//! let report = Simulator::builder(world).seed(7).build().run();
+//! let report = Simulator::builder(world).seed(7).build().unwrap().run();
 //! assert!(report.finished);
 //! assert_eq!(report.packets_delivered, 2);
 //! ```
@@ -69,6 +69,7 @@
 //!     .seed(7)
 //!     .probe(TraceLog::unbounded())
 //!     .build()
+//!     .unwrap()
 //!     .run_with_probe();
 //! let deliveries = trace
 //!     .events()
@@ -83,12 +84,14 @@
 mod config;
 mod engine;
 mod event;
+mod oracle;
 mod probe;
 mod report;
 mod world;
 
-pub use config::{InterferenceModel, MacConfig, Traffic};
+pub use config::{BuildError, InterferenceModel, MacConfig, Traffic};
 pub use engine::{Simulator, SimulatorBuilder};
+pub use oracle::{InvariantChecker, InvariantKind, Violation};
 pub use probe::{
     NoopProbe, Probe, TimeSeries, TimeSeriesPoint, TraceEvent, TraceEventKind, TraceLog, TxOutcome,
 };

@@ -115,6 +115,21 @@ pub enum TraceEventKind {
         /// New queue length.
         depth: u32,
     },
+    /// A primary user turned ON for the current slot.
+    PuOn {
+        /// Activating PU.
+        pu: u32,
+    },
+    /// A primary user turned OFF for the current slot.
+    PuOff {
+        /// Deactivating PU.
+        pu: u32,
+    },
+    /// A snapshot packet was generated at an SU (enqueued at its origin).
+    PacketGenerated {
+        /// Origin SU.
+        su: u32,
+    },
 }
 
 impl TraceEventKind {
@@ -130,6 +145,9 @@ impl TraceEventKind {
             TraceEventKind::FairnessWait { .. } => "fairness_wait",
             TraceEventKind::Delivery { .. } => "delivery",
             TraceEventKind::QueueDepth { .. } => "queue_depth",
+            TraceEventKind::PuOn { .. } => "pu_on",
+            TraceEventKind::PuOff { .. } => "pu_off",
+            TraceEventKind::PacketGenerated { .. } => "packet_generated",
         }
     }
 }
@@ -179,6 +197,12 @@ impl TraceEvent {
             TraceEventKind::QueueDepth { su, depth } => {
                 s.push_str(&format!(",\"su\":{su},\"depth\":{depth}"));
             }
+            TraceEventKind::PuOn { pu } | TraceEventKind::PuOff { pu } => {
+                s.push_str(&format!(",\"pu\":{pu}"));
+            }
+            TraceEventKind::PacketGenerated { su } => {
+                s.push_str(&format!(",\"su\":{su}"));
+            }
         }
         s.push('}');
         s
@@ -207,6 +231,10 @@ impl TraceEvent {
             TraceEventKind::QueueDepth { su, depth } => {
                 (su, None, None, Some(f64::from(depth)), None)
             }
+            TraceEventKind::PuOn { pu } | TraceEventKind::PuOff { pu } => {
+                (pu, None, None, None, None)
+            }
+            TraceEventKind::PacketGenerated { su } => (su, None, None, None, None),
         };
         let fmt_opt_u32 = |v: Option<u32>| v.map_or(String::new(), |v| v.to_string());
         let fmt_opt_f64 = |v: Option<f64>| v.map_or(String::new(), |v| v.to_string());
@@ -612,6 +640,9 @@ mod tests {
             ev(1.5e-3, TraceEventKind::FairnessWait { su: 2, wait: 4e-4 }),
             ev(1.5e-3, TraceEventKind::Delivery { origin: 2, via: 2 }),
             ev(1.5e-3, TraceEventKind::QueueDepth { su: 2, depth: 0 }),
+            ev(2e-3, TraceEventKind::PuOn { pu: 1 }),
+            ev(3e-3, TraceEventKind::PuOff { pu: 1 }),
+            ev(0.0, TraceEventKind::PacketGenerated { su: 2 }),
         ];
         for e in &events {
             let line = e.to_jsonl();
@@ -647,6 +678,8 @@ mod tests {
                 },
             ),
             ev(0.0, TraceEventKind::Delivery { origin: 3, via: 1 }),
+            ev(0.0, TraceEventKind::PuOn { pu: 2 }),
+            ev(0.0, TraceEventKind::PacketGenerated { su: 4 }),
         ];
         for r in &rows {
             assert_eq!(r.to_csv_row().split(',').count(), header_fields);

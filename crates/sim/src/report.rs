@@ -81,18 +81,13 @@ impl SimReport {
     }
 
     /// Jain's fairness index over per-origin delivery times (1 = all flows
-    /// finished together; → `1/n` = one flow hogged the channel). Only
-    /// delivered flows are counted; returns `None` if fewer than two
-    /// flows were delivered.
+    /// finished together; → `1/n` = one flow hogged the channel). Every
+    /// delivered flow counts, including deliveries at `t = 0` —
+    /// undelivered flows are the `None` entries, not the zero times.
+    /// Returns `None` if fewer than two flows were delivered.
     #[must_use]
     pub fn jain_fairness(&self) -> Option<f64> {
-        let times: Vec<f64> = self
-            .delivery_times
-            .iter()
-            .flatten()
-            .copied()
-            .filter(|t| *t > 0.0)
-            .collect();
+        let times: Vec<f64> = self.delivery_times.iter().flatten().copied().collect();
         if times.len() < 2 {
             return None;
         }
@@ -181,6 +176,20 @@ mod tests {
         let j = r.jain_fairness().unwrap();
         assert!(j < 0.6, "jain {j}");
         assert!(j > 0.5 - 1e-9, "jain lower bound 1/n: {j}");
+    }
+
+    #[test]
+    fn jain_counts_time_zero_deliveries() {
+        // A delivery at t = 0 is a delivered flow, not a missing one: with
+        // one flow at 0 and one at 2, Jain is (0+2)²/(2·(0²+2²)) = 0.5.
+        let mut r = report();
+        r.delivery_times = vec![None, Some(0.0), Some(2.0)];
+        let j = r.jain_fairness().expect("two delivered flows");
+        assert!((j - 0.5).abs() < 1e-12, "jain {j}");
+        // Two flows, one delivered at 0: still only pairs with a second
+        // *delivered* flow — a lone t = 0 delivery yields None.
+        r.delivery_times = vec![None, Some(0.0), None];
+        assert_eq!(r.jain_fairness(), None);
     }
 
     #[test]

@@ -56,6 +56,14 @@ pub enum WorldError {
         /// Supplied epsilon.
         epsilon: f64,
     },
+    /// A node's parent chain never reaches the base station (node 0) —
+    /// the parent pointers contain a cycle, so the "tree" would silently
+    /// strand that node's traffic.
+    UnreachableRoot {
+        /// A node on the cycle (its chain revisits a node before
+        /// reaching node 0).
+        node: u32,
+    },
 }
 
 impl fmt::Display for WorldError {
@@ -90,6 +98,12 @@ impl fmt::Display for WorldError {
             }
             WorldError::BadEpsilon { epsilon } => {
                 write!(f, "truncation epsilon must lie in (0, 1), got {epsilon}")
+            }
+            WorldError::UnreachableRoot { node } => {
+                write!(
+                    f,
+                    "node {node}'s parent chain never reaches the base station (node 0): the parent pointers form a cycle"
+                )
             }
         }
     }
@@ -454,6 +468,30 @@ impl SimWorld {
                         });
                     }
                 }
+            }
+        }
+        // Every parent chain must reach the base station at node 0: the
+        // simulator's snapshot generation (`1..n` with node 0 as sink)
+        // and delivery accounting assume a tree rooted there, and a
+        // cycle would pass the pointwise checks above while silently
+        // stranding its nodes' traffic. `reaches_root[i]` memoizes so
+        // the whole pass is O(n).
+        let mut reaches_root = vec![false; n];
+        reaches_root[0] = true;
+        let mut visited_at = vec![0usize; n];
+        for start in 1..n {
+            let mut chain = Vec::new();
+            let mut cur = start;
+            while !reaches_root[cur] {
+                if visited_at[cur] == start {
+                    return Err(WorldError::UnreachableRoot { node: start as u32 });
+                }
+                visited_at[cur] = start;
+                chain.push(cur);
+                cur = parents[cur].expect("non-root nodes have parents") as usize;
+            }
+            for c in chain {
+                reaches_root[c] = true;
             }
         }
 
@@ -974,6 +1012,45 @@ mod tests {
     }
 
     #[test]
+    fn rejects_parent_cycle_detached_from_root() {
+        // 1 → 2 → 1 passes every pointwise parent check but never reaches
+        // the base station; snapshot generation would strand both nodes'
+        // packets forever.
+        let e = SimWorld::builder(Region::square(20.0))
+            .su_positions(vec![
+                Point::new(1.0, 1.0),
+                Point::new(2.0, 1.0),
+                Point::new(3.0, 1.0),
+            ])
+            .parents(vec![None, Some(2), Some(1)])
+            .phy(phy())
+            .sense_range(25.0)
+            .build()
+            .unwrap_err();
+        assert!(matches!(e, WorldError::UnreachableRoot { .. }));
+        assert!(e.to_string().contains("base station"), "{e}");
+    }
+
+    #[test]
+    fn accepts_deep_chains_to_root() {
+        // A long path 0 ← 1 ← 2 ← … exercises the memoized reach-root
+        // walk (every prefix re-uses the previous chain's result).
+        let n = 50usize;
+        let sus: Vec<Point> = (0..n).map(|i| Point::new(1.0 + i as f64, 1.0)).collect();
+        let parents: Vec<Option<u32>> = (0..n)
+            .map(|i| if i == 0 { None } else { Some(i as u32 - 1) })
+            .collect();
+        let w = SimWorld::builder(Region::square(60.0))
+            .su_positions(sus)
+            .parents(parents)
+            .phy(phy())
+            .sense_range(25.0)
+            .build()
+            .unwrap();
+        assert_eq!(w.num_sus(), n);
+    }
+
+    #[test]
     fn rejects_overlong_link() {
         let e = SimWorld::builder(Region::square(40.0))
             .su_positions(vec![Point::new(1.0, 1.0), Point::new(30.0, 1.0)])
@@ -1069,6 +1146,7 @@ mod tests {
                 r: 10.0,
             },
             WorldError::BadEpsilon { epsilon: 1.5 },
+            WorldError::UnreachableRoot { node: 2 },
         ] {
             assert!(!e.to_string().is_empty());
         }

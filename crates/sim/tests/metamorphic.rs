@@ -1,0 +1,130 @@
+//! Metamorphic tests: transformations of a world that must not change
+//! what the simulator computes (or must change it only in oracle-clean
+//! ways). Each one runs under the [`InvariantChecker`] so a metamorphic
+//! break and an invariant break are both caught.
+
+use crn_geometry::{Point, Region};
+use crn_sim::{
+    InterferenceModel, InvariantChecker, MacConfig, SimReport, SimWorld, Simulator, Traffic,
+};
+use crn_spectrum::PuActivity;
+use std::sync::Arc;
+
+/// A zig-zag chain on grid coordinates (exact in f64), with a couple of
+/// grid-placed PUs. `offset` translates everything rigidly.
+fn world(offset: f64, interference: InterferenceModel) -> Arc<SimWorld> {
+    let sus: Vec<Point> = (0..10)
+        .map(|i| Point::new(8.0 * i as f64 + offset, 4.0 * (i % 2) as f64 + offset))
+        .collect();
+    let pus = vec![
+        Point::new(20.0 + offset, 16.0 + offset),
+        Point::new(56.0 + offset, 16.0 + offset),
+    ];
+    let parents: Vec<Option<u32>> = (0..10)
+        .map(|i| if i == 0 { None } else { Some(i - 1) })
+        .collect();
+    Arc::new(
+        SimWorld::builder(Region::square(1024.0))
+            .su_positions(sus)
+            .pu_positions(pus)
+            .parents(parents)
+            .sense_range(20.0)
+            .interference(interference)
+            .build()
+            .unwrap(),
+    )
+}
+
+fn run_checked(world: Arc<SimWorld>, seed: u64) -> (SimReport, InvariantChecker) {
+    let checker =
+        InvariantChecker::new(world.clone(), MacConfig::default()).with_repro(seed, "metamorphic");
+    Simulator::builder(world)
+        .activity(PuActivity::bernoulli(0.3).unwrap())
+        .seed(seed)
+        .traffic(Traffic::Snapshot)
+        .probe(checker)
+        .build()
+        .unwrap()
+        .run_with_probe()
+}
+
+/// Rigid translation by a power of two keeps every pairwise distance
+/// bit-identical (grid coordinates stay exactly representable), so the
+/// whole simulation must reproduce bit-for-bit.
+#[test]
+fn translation_by_power_of_two_is_bit_exact() {
+    for seed in [0, 7, 91] {
+        let (base, oracle) = run_checked(world(0.0, InterferenceModel::Exact), seed);
+        assert!(oracle.is_clean(), "{}", oracle.first_violation().unwrap());
+        let (moved, oracle) = run_checked(world(512.0, InterferenceModel::Exact), seed);
+        assert!(oracle.is_clean(), "{}", oracle.first_violation().unwrap());
+        assert_eq!(base, moved, "seed {seed}: translation changed the run");
+    }
+}
+
+/// Relabeling the non-root SUs is a pure renaming: the engine's RNG
+/// consumption is id-ordered, so the *trajectory* may differ, but the
+/// run must stay a complete, invariant-clean collection either way.
+#[test]
+fn su_relabeling_preserves_collection_and_invariants() {
+    let original = world(0.0, InterferenceModel::Exact);
+    // Reverse the chain's non-root labels: old SU i becomes new SU n−i.
+    let n = original.num_sus();
+    let perm = |i: usize| if i == 0 { 0 } else { n - i };
+    let mut sus = vec![Point::new(0.0, 0.0); n];
+    let mut parents = vec![None; n];
+    for i in 0..n {
+        sus[perm(i)] = original.su_positions()[i];
+        if i > 0 {
+            parents[perm(i)] = Some(perm(i - 1) as u32);
+        }
+    }
+    let relabeled = Arc::new(
+        SimWorld::builder(Region::square(1024.0))
+            .su_positions(sus)
+            .pu_positions(original.pu_positions().to_vec())
+            .parents(parents)
+            .sense_range(20.0)
+            .build()
+            .unwrap(),
+    );
+    for seed in [1, 13] {
+        let (a, oracle_a) = run_checked(original.clone(), seed);
+        let (b, oracle_b) = run_checked(relabeled.clone(), seed);
+        assert!(
+            oracle_a.is_clean(),
+            "{}",
+            oracle_a.first_violation().unwrap()
+        );
+        assert!(
+            oracle_b.is_clean(),
+            "{}",
+            oracle_b.first_violation().unwrap()
+        );
+        assert!(a.finished && b.finished, "seed {seed}");
+        assert_eq!(a.packets_expected, b.packets_expected);
+        assert_eq!(a.packets_delivered, b.packets_delivered, "seed {seed}");
+    }
+}
+
+/// Truncated interference is a certified approximation: as ε → 0 it must
+/// coincide with the exact model — and at *every* ε the oracle audits
+/// successes against the exact model, so a broken certificate shows up
+/// as a concurrent-set violation rather than a silently shifted report.
+#[test]
+fn truncated_epsilon_to_zero_matches_exact() {
+    for seed in [2, 17] {
+        let (exact, oracle) = run_checked(world(0.0, InterferenceModel::Exact), seed);
+        assert!(oracle.is_clean(), "{}", oracle.first_violation().unwrap());
+        for epsilon in [0.5, 0.1, 1e-3, 1e-6] {
+            let (truncated, oracle) =
+                run_checked(world(0.0, InterferenceModel::Truncated { epsilon }), seed);
+            assert!(
+                oracle.is_clean(),
+                "ε={epsilon}: {}",
+                oracle.first_violation().unwrap()
+            );
+            assert_eq!(exact, truncated, "seed {seed}, ε={epsilon}");
+        }
+    }
+}

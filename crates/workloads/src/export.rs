@@ -75,18 +75,20 @@ pub fn record_jsonl(r: &RunRecord) -> String {
         "\"figure\":{},\"x_name\":{},\"x\":{},\"algorithm\":{},\"rep\":{}",
         json_str(&r.figure),
         json_str(&r.x_name),
-        r.x,
+        json_f64(r.x),
         json_str(&r.algorithm.to_string()),
         r.rep,
     );
     let _ = write!(
         s,
         ",\"finished\":{},\"delay_slots\":{},\"capacity_fraction\":{}",
-        r.finished, r.delay_slots, r.capacity_fraction,
+        r.finished,
+        json_f64(r.delay_slots),
+        json_f64(r.capacity_fraction),
     );
     match r.jain {
         Some(j) => {
-            let _ = write!(s, ",\"jain\":{j}");
+            let _ = write!(s, ",\"jain\":{}", json_f64(j));
         }
         None => s.push_str(",\"jain\":null"),
     }
@@ -101,6 +103,17 @@ pub fn record_jsonl(r: &RunRecord) -> String {
         r.peak_queue, r.tree_height, r.tree_max_degree,
     );
     s
+}
+
+/// JSON number rendering: shortest round-trip for finite values, `null`
+/// for NaN/±∞ — JSON has no non-finite literals, and a `NaN` token turns
+/// the whole line unparsable (an all-`t = 0` round yields a NaN Jain).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        v.to_string()
+    } else {
+        "null".to_owned()
+    }
 }
 
 /// Minimal JSON string encoding (quotes, backslashes, control chars).
@@ -183,6 +196,35 @@ mod tests {
     #[test]
     fn json_str_escapes() {
         assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn non_finite_floats_stay_valid_json() {
+        // A round where every flow lands at t = 0 makes Jain 0/0 = NaN;
+        // JSON has no NaN literal, so the writer must fall back to null.
+        let mut r = record();
+        r.jain = Some(f64::NAN);
+        r.delay_slots = f64::INFINITY;
+        r.capacity_fraction = f64::NEG_INFINITY;
+        let line = record_jsonl(&r);
+        assert!(line.contains("\"jain\":null"), "{line}");
+        assert!(line.contains("\"delay_slots\":null"), "{line}");
+        assert!(line.contains("\"capacity_fraction\":null"), "{line}");
+        for token in ["NaN", "inf"] {
+            assert!(!line.contains(token), "invalid JSON token {token}: {line}");
+        }
+        // Finite values still use shortest round-trip formatting.
+        assert!(record_jsonl(&record()).contains("\"delay_slots\":123.5"));
+    }
+
+    #[test]
+    fn figure_names_with_metacharacters_stay_one_json_object() {
+        let mut r = record();
+        r.figure = "delay \"vs\" N,\nper rep".into();
+        let line = record_jsonl(&r);
+        assert_eq!(line.matches('{').count(), 1);
+        assert!(line.contains("\\\"vs\\\""), "{line}");
+        assert!(!line.contains('\n'), "JSONL must stay one line: {line}");
     }
 
     #[test]

@@ -27,6 +27,12 @@ pub struct SweepOptions {
     pub threads: usize,
     /// Called after each completed job with `(done, total)`.
     pub progress: Option<Box<dyn Fn(usize, usize) + Send + Sync>>,
+    /// Run every job under the live simulation oracle
+    /// ([`crn_core::Scenario::run_checked`]): any invariant violation
+    /// aborts the sweep as a [`SweepError`] carrying the violation and the
+    /// failing job's identity. Off by default — the oracle roughly doubles
+    /// per-job cost.
+    pub check_invariants: bool,
 }
 
 impl SweepOptions {
@@ -52,6 +58,13 @@ impl SweepOptions {
         F: Fn(usize, usize) + Send + Sync + 'static,
     {
         self.progress = Some(Box::new(progress));
+        self
+    }
+
+    /// Enable (or disable) the live simulation oracle for every job.
+    #[must_use]
+    pub fn check_invariants(mut self, check: bool) -> Self {
+        self.check_invariants = check;
         self
     }
 
@@ -120,6 +133,7 @@ pub fn run_sweep(spec: &SweepSpec, options: SweepOptions) -> Result<Vec<RunRecor
     let stride = spec.algorithms.len().max(1);
     let threads = options.effective_threads();
     let progress = options.progress.as_deref();
+    let check_invariants = options.check_invariants;
 
     let done = AtomicUsize::new(0);
     let next = AtomicUsize::new(0);
@@ -156,7 +170,7 @@ pub fn run_sweep(spec: &SweepSpec, options: SweepOptions) -> Result<Vec<RunRecor
             }
         };
         for (offset, job) in group.iter().enumerate() {
-            let outcome = run_group_job(&scenario, job);
+            let outcome = run_group_job(&scenario, job, check_invariants);
             let stop = outcome.is_err();
             record(start + offset, outcome);
             if stop {
@@ -207,10 +221,19 @@ fn fail_for(job: &Job, source: ScenarioError) -> SweepError {
     }
 }
 
-fn run_group_job(scenario: &Scenario, job: &Job) -> Result<RunRecord, SweepError> {
-    let outcome = scenario
-        .run(job.algorithm)
-        .map_err(|source| fail_for(job, source))?;
+fn run_group_job(
+    scenario: &Scenario,
+    job: &Job,
+    check_invariants: bool,
+) -> Result<RunRecord, SweepError> {
+    // `run_checked` uses the same derived seed as `run`, so checked sweeps
+    // reproduce unchecked ones bit-for-bit (probes observe, never perturb).
+    let outcome = if check_invariants {
+        scenario.run_checked(job.algorithm).map(|(o, _)| o)
+    } else {
+        scenario.run(job.algorithm)
+    }
+    .map_err(|source| fail_for(job, source))?;
     Ok(RunRecord::from_outcome(
         &job.figure,
         job.x_name,
@@ -301,6 +324,15 @@ mod tests {
         assert!(records.iter().any(|r| r.x == 0.1 && r.algorithm == Addc));
         assert!(records.iter().any(|r| r.x == 0.2 && r.algorithm == Coolest));
         assert!(records.iter().all(|r| r.figure == "t" && r.x_name == "p_t"));
+    }
+
+    #[test]
+    fn checked_sweep_matches_unchecked() {
+        let spec = tiny_spec();
+        let plain = run_sweep(&spec, SweepOptions::sequential()).unwrap();
+        let checked = run_sweep(&spec, SweepOptions::sequential().check_invariants(true))
+            .expect("tiny sweep is invariant-clean");
+        assert_eq!(plain, checked, "the oracle must not perturb results");
     }
 
     #[test]

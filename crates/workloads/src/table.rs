@@ -72,6 +72,18 @@ pub fn markdown_figure(points: &[AggregatePoint]) -> String {
     out
 }
 
+/// RFC-4180 field quoting: wrap in double quotes (doubling any inner
+/// quote) when the value contains a comma, quote, or line break —
+/// figure names are free-form, and an unescaped `delay,vs,N` would
+/// shift every column after it.
+fn csv_field(s: &str) -> String {
+    if s.contains(['"', ',', '\n', '\r']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_owned()
+    }
+}
+
 /// Renders raw records as CSV (header + one line per record).
 #[must_use]
 pub fn csv_records(records: &[RunRecord]) -> String {
@@ -83,8 +95,8 @@ pub fn csv_records(records: &[RunRecord]) -> String {
         let _ = writeln!(
             out,
             "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
-            r.figure,
-            r.x_name,
+            csv_field(&r.figure),
+            csv_field(&r.x_name),
             r.x,
             r.algorithm,
             r.rep,
@@ -201,12 +213,33 @@ mod tests {
             tree_height: 5,
             tree_max_degree: 7,
         };
-        let csv = csv_records(&[r]);
+        let csv = csv_records(std::slice::from_ref(&r));
         let mut lines = csv.lines();
         assert!(lines.next().unwrap().starts_with("figure,"));
         let row = lines.next().unwrap();
         assert!(row.starts_with("fig6a,N,100,ADDC,0,true,42,"));
         assert_eq!(csv.lines().count(), 2);
+
+        // Free-form figure names with CSV metacharacters must be quoted
+        // (RFC 4180), or every later column shifts.
+        let mut tricky = r;
+        tricky.figure = "delay \"vs\" N,per rep".into();
+        let csv = csv_records(&[tricky]);
+        let row = csv.lines().nth(1).unwrap();
+        assert!(
+            row.starts_with("\"delay \"\"vs\"\" N,per rep\",N,100,"),
+            "{row}"
+        );
+        // Header + quoted field: the record still parses to 17 columns.
+        assert_eq!(csv.lines().count(), 2);
+    }
+
+    #[test]
+    fn csv_field_quotes_only_when_needed() {
+        assert_eq!(csv_field("plain"), "plain");
+        assert_eq!(csv_field("a,b"), "\"a,b\"");
+        assert_eq!(csv_field("say \"hi\""), "\"say \"\"hi\"\"\"");
+        assert_eq!(csv_field("two\nlines"), "\"two\nlines\"");
     }
 
     #[test]

@@ -1,0 +1,205 @@
+//! Emits `results/BENCH_serve.json`: load-generation against the
+//! `crn-serve` simulation service, measuring the content-addressed
+//! result cache end to end.
+//!
+//! The harness starts an in-process server on an ephemeral loopback
+//! port, then drives a 50-point seed sweep through real TCP clients
+//! twice: a **cold** pass (every point computed by the worker pool) and
+//! a **warm** pass (every point answered from cache). The headline
+//! number is the wall-clock speedup of the warm pass; it also reports a
+//! coalescing measurement (identical requests raced concurrently) and
+//! the server's own counters for cross-checking.
+//!
+//! Flags: `--smoke` (small network + fewer points, for CI PR runs),
+//! `--points N`, `--clients C`, `--workers W`, `--out FILE` (default
+//! `results/BENCH_serve.json`).
+//!
+//! Run with `cargo run -p crn-bench --release --bin bench_serve`.
+
+use crn_bench::take_flag;
+use crn_serve::client::Client;
+use crn_serve::server::{ServeConfig, Server};
+use crn_workloads::json::Json;
+use std::fmt::Write as _;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One pass over the seed list: `clients` threads pull seeds from a
+/// shared queue and submit them as `run` requests. Returns (wall seconds,
+/// mean per-request latency ms, cached responses seen).
+fn drive_pass(
+    addr: SocketAddr,
+    request_for: &dyn Fn(u64) -> String,
+    points: usize,
+    clients: usize,
+) -> (f64, f64, u64) {
+    let next = Arc::new(AtomicUsize::new(0));
+    let started = Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|_| {
+            let next = next.clone();
+            let requests: Vec<String> = (0..points).map(|i| request_for(i as u64)).collect();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect to bench server");
+                let mut latency_sum_ms = 0.0;
+                let mut served = 0u64;
+                let mut cached = 0u64;
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= requests.len() {
+                        return (latency_sum_ms, served, cached);
+                    }
+                    let sent = Instant::now();
+                    let response = client.request_line(&requests[i]).expect("response");
+                    latency_sum_ms += sent.elapsed().as_secs_f64() * 1e3;
+                    assert_eq!(
+                        response.get("ok").and_then(Json::as_bool),
+                        Some(true),
+                        "bench request failed: {response}"
+                    );
+                    served += 1;
+                    if response.get("cached").and_then(Json::as_bool) == Some(true) {
+                        cached += 1;
+                    }
+                }
+            })
+        })
+        .collect();
+    let mut latency_sum_ms = 0.0;
+    let mut served = 0u64;
+    let mut cached = 0u64;
+    for h in handles {
+        let (l, s, c) = h.join().expect("client thread");
+        latency_sum_ms += l;
+        served += s;
+        cached += c;
+    }
+    assert_eq!(served as usize, points);
+    let wall = started.elapsed().as_secs_f64();
+    (wall, latency_sum_ms / served as f64, cached)
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    args.retain(|a| a != "--smoke");
+    let out_path =
+        take_flag(&mut args, "--out").unwrap_or_else(|| "results/BENCH_serve.json".into());
+    let points: usize = take_flag(&mut args, "--points").map_or(if smoke { 10 } else { 50 }, |v| {
+        v.parse().expect("--points")
+    });
+    let clients: usize =
+        take_flag(&mut args, "--clients").map_or(4, |v| v.parse().expect("--clients"));
+    let workers: usize =
+        take_flag(&mut args, "--workers").map_or(4, |v| v.parse().expect("--workers"));
+    assert!(args.is_empty(), "unrecognized arguments: {args:?}");
+
+    // Network size: big enough that a cold run costs real work, small
+    // enough that the full pass stays in seconds.
+    let (sus, pus, side) = if smoke { (40, 4, 36.0) } else { (80, 8, 52.0) };
+    let request_for = move |seed: u64| {
+        format!(
+            r#"{{"v":1,"cmd":"run","params":{{"sus":{sus},"pus":{pus},"side":{side},"seed":{seed}}}}}"#
+        )
+    };
+
+    let server = Server::start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers,
+        // Queue sized to the pass so admission control never rejects the
+        // bench itself (rejection behaviour is covered by the e2e tests).
+        queue_cap: points.max(64),
+        cache_cap: points.max(64),
+    })
+    .expect("start bench server");
+    let addr = server.local_addr();
+    eprintln!("bench-serve: {points} points, {clients} clients, {workers} workers @ {addr}");
+
+    let (cold_wall, cold_latency_ms, cold_cached) = drive_pass(addr, &request_for, points, clients);
+    eprintln!("  cold pass: {cold_wall:.3}s ({cold_latency_ms:.1} ms/request)");
+    let (warm_wall, warm_latency_ms, warm_cached) = drive_pass(addr, &request_for, points, clients);
+    eprintln!("  warm pass: {warm_wall:.3}s ({warm_latency_ms:.3} ms/request)");
+    assert_eq!(cold_cached, 0, "first pass must compute every point");
+    assert_eq!(
+        warm_cached as usize, points,
+        "second pass must be fully cached"
+    );
+    let speedup = cold_wall / warm_wall.max(1e-9);
+
+    // Coalescing measurement: all clients race the *same* request while
+    // the pool is otherwise idle; exactly one computation may happen.
+    let coalesce_request = format!(
+        r#"{{"v":1,"cmd":"run","params":{{"sus":{sus},"pus":{pus},"side":{side},"seed":{}}}}}"#,
+        points as u64 + 1
+    );
+    let racers: Vec<_> = (0..clients.max(2))
+        .map(|_| {
+            let line = coalesce_request.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                let response = client.request_line(&line).expect("response");
+                assert_eq!(response.get("ok").and_then(Json::as_bool), Some(true));
+            })
+        })
+        .collect();
+    for r in racers {
+        r.join().expect("racer thread");
+    }
+
+    let mut control = Client::connect(addr).expect("connect control");
+    let stats = control.stats().expect("stats");
+    let counters = stats.get("counters").expect("counters block");
+    let counter = |name: &str| counters.get(name).and_then(Json::as_u64).unwrap_or(0);
+    let computed = counter("computed");
+    let coalesced = counter("coalesced");
+    let cache_hits = counter("cache_hits");
+    assert!(
+        computed <= points as u64 + 1,
+        "coalescing/caching must stop duplicate work: computed {computed}"
+    );
+    control.shutdown().expect("shutdown");
+    server.wait();
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"bench\": \"serve_cache_loadgen\",");
+    let _ = writeln!(
+        json,
+        "  \"mode\": \"{}\",",
+        if smoke { "smoke" } else { "full" }
+    );
+    let _ = writeln!(
+        json,
+        "  \"scenario\": {{\"sus\": {sus}, \"pus\": {pus}, \"side\": {side}, \"algo\": \"addc\"}},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"points\": {points}, \"clients\": {clients}, \"workers\": {workers},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"cold\": {{\"wall_s\": {cold_wall:.3}, \"mean_latency_ms\": {cold_latency_ms:.2}, \"cached\": {cold_cached}}},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"warm\": {{\"wall_s\": {warm_wall:.4}, \"mean_latency_ms\": {warm_latency_ms:.3}, \"cached\": {warm_cached}}},"
+    );
+    let _ = writeln!(json, "  \"speedup\": {speedup:.1},");
+    let _ = writeln!(
+        json,
+        "  \"counters\": {{\"computed\": {computed}, \"cache_hits\": {cache_hits}, \"coalesced\": {coalesced}}}"
+    );
+    let _ = writeln!(json, "}}");
+
+    if let Some(dir) = std::path::Path::new(&out_path).parent() {
+        std::fs::create_dir_all(dir).expect("create output directory");
+    }
+    std::fs::write(&out_path, &json).expect("write bench output");
+    eprintln!("  speedup {speedup:.1}x; wrote {out_path}");
+    assert!(
+        speedup >= 2.0,
+        "fully-cached pass must be at least 2x faster, got {speedup:.2}x"
+    );
+}

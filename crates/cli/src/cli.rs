@@ -1,11 +1,17 @@
 //! Argument parsing and command execution, kept pure (string in → string
-//! out) so every path is unit-testable without spawning processes.
+//! out) so every path is unit-testable without spawning processes. The
+//! exceptions are the inherently effectful commands: `serve` (binds a
+//! socket and blocks) and `submit` (talks to a server); their argument
+//! parsing is still pure and unit-tested.
 
 use crn_core::{CollectionAlgorithm, Scenario, ScenarioParams};
 use crn_interference::{pcr, PcrConstants, PhyParams};
-use crn_sim::InterferenceModel;
+use crn_serve::client::Client;
+use crn_serve::server::{ServeConfig, Server};
+use crn_sim::{InterferenceModel, InvariantChecker, Traffic};
 use crn_theory::DelayBounds;
 use crn_workloads::export::{trace_to_string, TraceFormat};
+use crn_workloads::json::Json;
 use crn_workloads::table::markdown_figure;
 use crn_workloads::{aggregate, presets, run_sweep, Fig6Panel, PresetKind, SweepOptions};
 use std::fmt::Write as _;
@@ -19,18 +25,72 @@ usage:
   crn sweep  <a|b|c|d|e|f|all> [--preset paper|scaled|tiny] [--reps R] [--threads T]
   crn pcr    [--alpha A] [--eta-db E] [--pp P] [--ps P] [--big-r R] [--r r]
   crn bounds [--sus N] [--pus N] [--side S] [--pt P]
-algorithms: addc (default), coolest, coolest-oracle, bfs";
+  crn serve  [--addr H:P] [--workers N] [--queue-cap Q] [--cache-cap C]
+  crn submit --addr H:P  [run flags] [--timeout-ms T] [--seed-count N [--seed-start K]]
+             | --stats | --status | --shutdown | --raw JSON
+algorithms: addc (default), coolest, coolest-oracle, bfs
+exit codes: 0 ok, 1 runtime failure (violation, server error, timeout), 2 usage";
+
+/// A command failure with a process exit code attached.
+///
+/// Usage mistakes (bad flags, unknown commands) exit 2 and reprint the
+/// usage text; runtime failures (a failed simulation, an invariant
+/// violation under `--check-invariants`, a server-side error from
+/// `submit`) exit 1 so scripts can tell "you called it wrong" from "it
+/// ran and failed".
+#[derive(Debug)]
+pub struct CliError {
+    /// Human-readable explanation (printed to stderr).
+    pub message: String,
+    /// Process exit code (1 = runtime failure, 2 = usage error).
+    pub code: i32,
+    /// Whether main should reprint [`USAGE`] after the message.
+    pub show_usage: bool,
+}
+
+impl CliError {
+    /// A runtime failure: the invocation was well-formed but the work
+    /// itself failed. Exits 1, no usage spam.
+    pub fn runtime(message: impl std::fmt::Display) -> Self {
+        Self {
+            message: message.to_string(),
+            code: 1,
+            show_usage: false,
+        }
+    }
+
+    /// A usage error: bad flags or values. Exits 2 with usage text.
+    pub fn usage(message: impl std::fmt::Display) -> Self {
+        Self {
+            message: message.to_string(),
+            code: 2,
+            show_usage: true,
+        }
+    }
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl From<String> for CliError {
+    fn from(message: String) -> Self {
+        CliError::usage(message)
+    }
+}
 
 /// Parses and executes one invocation, returning its stdout.
 ///
 /// # Errors
 ///
-/// Returns a human-readable message for unknown commands, flags, or
-/// malformed values.
-pub fn dispatch(args: &[String]) -> Result<String, String> {
+/// Returns a [`CliError`] carrying the message and exit code for unknown
+/// commands, malformed flags (exit 2), or runtime failures (exit 1).
+pub fn dispatch(args: &[String]) -> Result<String, CliError> {
     let mut args = args.to_vec();
     let Some(command) = args.first().cloned() else {
-        return Err("no command given".into());
+        return Err(CliError::usage("no command given"));
     };
     args.remove(0);
     match command.as_str() {
@@ -39,8 +99,10 @@ pub fn dispatch(args: &[String]) -> Result<String, String> {
         "sweep" => cmd_sweep(args),
         "pcr" => cmd_pcr(args),
         "bounds" => cmd_bounds(args),
+        "serve" => cmd_serve(args),
+        "submit" => cmd_submit(args),
         "help" | "--help" | "-h" => Ok(format!("{USAGE}\n")),
-        other => Err(format!("unknown command '{other}'")),
+        other => Err(CliError::usage(format!("unknown command '{other}'"))),
     }
 }
 
@@ -116,20 +178,33 @@ fn presence(args: &mut Vec<String>, flag: &str) -> bool {
     }
 }
 
-fn cmd_run(mut args: Vec<String>) -> Result<String, String> {
+fn cmd_run(mut args: Vec<String>) -> Result<String, CliError> {
     let algo = parse_algo(&take(&mut args, "--algo", "addc".to_owned())?)?;
     let show_map = presence(&mut args, "--map");
     let check_invariants = presence(&mut args, "--check-invariants");
+    // Undocumented testing aid: run the engine with the Algorithm 1
+    // fairness wait disabled while the oracle audits against the honest
+    // config, yielding a real end-to-end invariant violation (and exit
+    // code 1). Used by the exit-code integration tests.
+    let inject_fairness_skip = presence(&mut args, "--inject-fairness-skip");
     let params = scenario_params(&mut args)?;
     ensure_consumed(&args)?;
-    let scenario = Scenario::generate(&params).map_err(|e| e.to_string())?;
+    if inject_fairness_skip && !check_invariants {
+        return Err(CliError::usage(
+            "--inject-fairness-skip requires --check-invariants",
+        ));
+    }
+    if inject_fairness_skip {
+        return run_with_injected_fairness_skip(&params, algo);
+    }
+    let scenario = Scenario::generate(&params).map_err(CliError::runtime)?;
     // `run_checked` shares `run`'s derived seed, so the checked report is
     // identical to the unchecked one — the oracle observes, never perturbs.
     let (outcome, oracle) = if check_invariants {
-        let (outcome, oracle) = scenario.run_checked(algo).map_err(|e| e.to_string())?;
+        let (outcome, oracle) = scenario.run_checked(algo).map_err(CliError::runtime)?;
         (outcome, Some(oracle))
     } else {
-        (scenario.run(algo).map_err(|e| e.to_string())?, None)
+        (scenario.run(algo).map_err(CliError::runtime)?, None)
     };
     let r = &outcome.report;
     let mut out = String::new();
@@ -170,7 +245,7 @@ fn cmd_run(mut args: Vec<String>) -> Result<String, String> {
         );
     }
     if show_map {
-        let tree = scenario.tree(algo).map_err(|e| e.to_string())?;
+        let tree = scenario.tree(algo).map_err(CliError::runtime)?;
         let _ = writeln!(out);
         out.push_str(&crn_topology::render_ascii(
             scenario.graph(),
@@ -181,23 +256,56 @@ fn cmd_run(mut args: Vec<String>) -> Result<String, String> {
     Ok(out)
 }
 
+/// The `--inject-fairness-skip` path: the engine runs with
+/// `fairness_wait: false` but the [`InvariantChecker`] is configured with
+/// the honest MAC, so the oracle reports a scheduler-hygiene violation —
+/// which this function turns into a runtime (exit 1) error, exactly like
+/// a genuine violation caught in the field.
+fn run_with_injected_fairness_skip(
+    params: &ScenarioParams,
+    algo: CollectionAlgorithm,
+) -> Result<String, CliError> {
+    let mut rigged = params.clone();
+    rigged.mac.fairness_wait = false;
+    let scenario = Scenario::generate(&rigged).map_err(CliError::runtime)?;
+    let world = scenario.world(algo).map_err(CliError::runtime)?;
+    let checker = InvariantChecker::new(world, params.mac).with_repro(
+        params.seed,
+        format!(
+            "n={} N={} side={} alg={algo} (fairness wait disabled)",
+            params.num_sus, params.num_pus, params.area_side
+        ),
+    );
+    let sim_seed = rigged.seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let (_outcome, oracle) = scenario
+        .run_probed(algo, sim_seed, Traffic::Snapshot, checker)
+        .map_err(CliError::runtime)?;
+    match oracle.first_violation() {
+        Some(v) => Err(CliError::runtime(format!("invariant violation: {v}"))),
+        None => Err(CliError::runtime(
+            "injected fairness skip produced no violation — oracle is blind",
+        )),
+    }
+}
+
 /// `crn trace`: run one scenario with a [`crn_sim::TraceLog`] attached and
 /// emit the event stream (JSONL by default). The trace uses the same
 /// derived seed as `crn run`, so its `delivery` events line up exactly
 /// with the run's reported delivery times.
-fn cmd_trace(mut args: Vec<String>) -> Result<String, String> {
+fn cmd_trace(mut args: Vec<String>) -> Result<String, CliError> {
     let algo = parse_algo(&take(&mut args, "--algo", "addc".to_owned())?)?;
     let format: TraceFormat = take(&mut args, "--format", "jsonl".to_owned())?.parse()?;
     let out_path: String = take(&mut args, "--out", String::new())?;
     let params = scenario_params(&mut args)?;
     ensure_consumed(&args)?;
-    let scenario = Scenario::generate(&params).map_err(|e| e.to_string())?;
-    let (outcome, log) = scenario.run_traced(algo).map_err(|e| e.to_string())?;
+    let scenario = Scenario::generate(&params).map_err(CliError::runtime)?;
+    let (outcome, log) = scenario.run_traced(algo).map_err(CliError::runtime)?;
     let rendered = trace_to_string(&log, format);
     if out_path.is_empty() {
         return Ok(rendered);
     }
-    std::fs::write(&out_path, &rendered).map_err(|e| format!("cannot write {out_path}: {e}"))?;
+    std::fs::write(&out_path, &rendered)
+        .map_err(|e| CliError::runtime(format!("cannot write {out_path}: {e}")))?;
     Ok(format!(
         "wrote {} events ({} dropped) to {out_path}; delivered {}/{} in {:.0} slots\n",
         log.len(),
@@ -208,7 +316,7 @@ fn cmd_trace(mut args: Vec<String>) -> Result<String, String> {
     ))
 }
 
-fn cmd_sweep(mut args: Vec<String>) -> Result<String, String> {
+fn cmd_sweep(mut args: Vec<String>) -> Result<String, CliError> {
     let preset: PresetKind = take(&mut args, "--preset", "tiny".to_owned())?.parse()?;
     let reps: u32 = take(&mut args, "--reps", 0)?;
     let threads: usize = take(&mut args, "--threads", 1)?;
@@ -222,7 +330,9 @@ fn cmd_sweep(mut args: Vec<String>) -> Result<String, String> {
         panels
     };
     if panels.is_empty() {
-        return Err("sweep requires panel letters a..f or 'all'".into());
+        return Err(CliError::usage(
+            "sweep requires panel letters a..f or 'all'",
+        ));
     }
     let mut out = String::new();
     for panel in panels {
@@ -231,14 +341,14 @@ fn cmd_sweep(mut args: Vec<String>) -> Result<String, String> {
             spec.reps = reps;
         }
         let records =
-            run_sweep(&spec, SweepOptions::with_threads(threads)).map_err(|e| e.to_string())?;
+            run_sweep(&spec, SweepOptions::with_threads(threads)).map_err(CliError::runtime)?;
         let _ = writeln!(out, "## {panel} [{preset}, {} reps]\n", spec.reps);
         let _ = writeln!(out, "{}", markdown_figure(&aggregate(&records)));
     }
     Ok(out)
 }
 
-fn cmd_pcr(mut args: Vec<String>) -> Result<String, String> {
+fn cmd_pcr(mut args: Vec<String>) -> Result<String, CliError> {
     let alpha: f64 = take(&mut args, "--alpha", 4.0)?;
     let eta_db: f64 = take(&mut args, "--eta-db", 10.0)?;
     let pp: f64 = take(&mut args, "--pp", 10.0)?;
@@ -268,13 +378,13 @@ fn cmd_pcr(mut args: Vec<String>) -> Result<String, String> {
     Ok(out)
 }
 
-fn cmd_bounds(mut args: Vec<String>) -> Result<String, String> {
+fn cmd_bounds(mut args: Vec<String>) -> Result<String, CliError> {
     let params = scenario_params(&mut args)?;
     ensure_consumed(&args)?;
-    let scenario = Scenario::generate(&params).map_err(|e| e.to_string())?;
+    let scenario = Scenario::generate(&params).map_err(CliError::runtime)?;
     let tree = scenario
         .tree(CollectionAlgorithm::Addc)
-        .map_err(|e| e.to_string())?;
+        .map_err(CliError::runtime)?;
     let c0 = params.area_side * params.area_side / params.num_sus as f64;
     let b = DelayBounds::compute(
         &params.phy,
@@ -306,11 +416,143 @@ fn cmd_bounds(mut args: Vec<String>) -> Result<String, String> {
     Ok(out)
 }
 
+/// Parses `crn serve` flags into a [`ServeConfig`] (pure, unit-tested).
+fn parse_serve_config(args: &mut Vec<String>) -> Result<ServeConfig, CliError> {
+    let addr: String = take(args, "--addr", "127.0.0.1:0".to_owned())?;
+    let workers: usize = take(args, "--workers", 4)?;
+    let queue_cap: usize = take(args, "--queue-cap", 64)?;
+    let cache_cap: usize = take(args, "--cache-cap", 1024)?;
+    if workers == 0 {
+        return Err(CliError::usage("--workers must be at least 1"));
+    }
+    Ok(ServeConfig {
+        addr,
+        workers,
+        queue_cap,
+        cache_cap,
+    })
+}
+
+/// `crn serve`: bind, print the bound address immediately (so scripts can
+/// parse the ephemeral port), then block until a `shutdown` request
+/// drains the service; the final counter summary becomes the output.
+fn cmd_serve(mut args: Vec<String>) -> Result<String, CliError> {
+    let cfg = parse_serve_config(&mut args)?;
+    ensure_consumed(&args)?;
+    let server =
+        Server::start(cfg).map_err(|e| CliError::runtime(format!("cannot bind listener: {e}")))?;
+    {
+        use std::io::Write as _;
+        let mut stdout = std::io::stdout();
+        let _ = writeln!(stdout, "crn-serve listening on {}", server.local_addr());
+        let _ = stdout.flush();
+    }
+    let c = server.wait();
+    Ok(format!(
+        "served {} ok ({} cache hits, {} coalesced, {} computed); \
+         rejected {}, timed out {}, failed {}, bad requests {}\n",
+        c.served,
+        c.cache_hits,
+        c.coalesced,
+        c.computed,
+        c.rejected,
+        c.timed_out,
+        c.failed,
+        c.bad_requests,
+    ))
+}
+
+/// Builds the protocol request line for `crn submit` (pure, unit-tested).
+fn build_submit_request(args: &mut Vec<String>) -> Result<String, CliError> {
+    let raw: String = take(args, "--raw", String::new())?;
+    if !raw.is_empty() {
+        return Ok(raw);
+    }
+    for (flag, cmd) in [
+        ("--stats", "stats"),
+        ("--status", "status"),
+        ("--shutdown", "shutdown"),
+    ] {
+        if presence(args, flag) {
+            return Ok(format!(r#"{{"v":1,"cmd":"{cmd}"}}"#));
+        }
+    }
+    let algo: String = take(args, "--algo", "addc".to_owned())?;
+    parse_algo(&algo)?; // reject bad algorithms locally, before shipping
+    let check_invariants = presence(args, "--check-invariants");
+    let sus: u64 = take(args, "--sus", 150)?;
+    let pus: u64 = take(args, "--pus", 16)?;
+    let side: f64 = take(args, "--side", 70.0)?;
+    let p_t: f64 = take(args, "--pt", 0.3)?;
+    let seed: u64 = take(args, "--seed", 0)?;
+    let interference: InterferenceModel = take(args, "--interference", InterferenceModel::Exact)?;
+    let timeout_ms: u64 = take(args, "--timeout-ms", 0)?;
+    let seed_count: u64 = take(args, "--seed-count", 0)?;
+    let seed_start: u64 = take(args, "--seed-start", 0)?;
+    let mut params = Json::obj();
+    params
+        .set("sus", Json::UInt(sus))
+        .set("pus", Json::UInt(pus))
+        .set("side", Json::float(side))
+        .set("pt", Json::float(p_t))
+        .set("seed", Json::UInt(seed))
+        .set("interference", Json::Str(interference.to_string()));
+    let mut req = Json::obj();
+    req.set("v", Json::UInt(1)).set(
+        "cmd",
+        Json::Str(if seed_count > 0 { "sweep" } else { "run" }.into()),
+    );
+    req.set("params", params)
+        .set("algo", Json::Str(algo))
+        .set("check_invariants", Json::Bool(check_invariants));
+    if seed_count > 0 {
+        req.set("seed_start", Json::UInt(seed_start))
+            .set("seed_count", Json::UInt(seed_count));
+    }
+    if timeout_ms > 0 {
+        req.set("timeout_ms", Json::UInt(timeout_ms));
+    }
+    Ok(req.to_string())
+}
+
+/// `crn submit`: send one request to a running `crn serve` and print the
+/// response line. Exit code 0 for an `ok` response, 1 for a server-side
+/// error (overloaded, timed out, failed run), 2 for bad flags.
+fn cmd_submit(mut args: Vec<String>) -> Result<String, CliError> {
+    let addr: String = take(&mut args, "--addr", String::new())?;
+    if addr.is_empty() {
+        return Err(CliError::usage("submit requires --addr HOST:PORT"));
+    }
+    let request = build_submit_request(&mut args)?;
+    ensure_consumed(&args)?;
+    let mut client = Client::connect(addr.as_str())
+        .map_err(|e| CliError::runtime(format!("cannot connect to {addr}: {e}")))?;
+    let response = client
+        .request_line(&request)
+        .map_err(|e| CliError::runtime(format!("request to {addr} failed: {e}")))?;
+    if response.get("ok").and_then(Json::as_bool) == Some(true) {
+        return Ok(format!("{response}\n"));
+    }
+    let kind = response
+        .get("error")
+        .and_then(|e| e.get("kind"))
+        .and_then(Json::as_str)
+        .unwrap_or("unknown");
+    let message = response
+        .get("error")
+        .and_then(|e| e.get("message"))
+        .and_then(Json::as_str)
+        .unwrap_or("(no message)");
+    Err(CliError::runtime(format!(
+        "server error ({kind}): {message}"
+    )))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn run(args: &[&str]) -> Result<String, String> {
+    fn run(args: &[&str]) -> Result<String, CliError> {
         dispatch(&args.iter().map(|s| (*s).to_owned()).collect::<Vec<_>>())
     }
 
@@ -322,7 +564,9 @@ mod tests {
     #[test]
     fn unknown_command_is_an_error() {
         let e = run(&["frobnicate"]).unwrap_err();
-        assert!(e.contains("frobnicate"));
+        assert!(e.message.contains("frobnicate"));
+        assert_eq!(e.code, 2);
+        assert!(e.show_usage);
     }
 
     #[test]
@@ -343,7 +587,7 @@ mod tests {
     #[test]
     fn pcr_rejects_bad_alpha() {
         let e = run(&["pcr", "--alpha", "1.5"]).unwrap_err();
-        assert!(e.contains("path-loss"), "{e}");
+        assert!(e.message.contains("path-loss"), "{e}");
     }
 
     #[test]
@@ -396,19 +640,20 @@ mod tests {
     #[test]
     fn trace_rejects_unknown_format() {
         let e = run(&["trace", "--format", "xml"]).unwrap_err();
-        assert!(e.contains("xml"), "{e}");
+        assert!(e.message.contains("xml"), "{e}");
     }
 
     #[test]
     fn run_rejects_unknown_flag() {
         let e = run(&["run", "--bogus", "1"]).unwrap_err();
-        assert!(e.contains("unrecognized"), "{e}");
+        assert!(e.message.contains("unrecognized"), "{e}");
+        assert_eq!(e.code, 2, "bad flags are usage errors");
     }
 
     #[test]
     fn run_rejects_bad_probability() {
         let e = run(&["run", "--pt", "1.5"]).unwrap_err();
-        assert!(e.contains("probability"), "{e}");
+        assert!(e.message.contains("probability"), "{e}");
     }
 
     #[test]
@@ -440,7 +685,7 @@ mod tests {
     #[test]
     fn algo_parse_errors_are_reported() {
         let e = run(&["run", "--algo", "magic"]).unwrap_err();
-        assert!(e.contains("magic"));
+        assert!(e.message.contains("magic"));
     }
 
     #[test]
@@ -478,8 +723,129 @@ mod tests {
     #[test]
     fn interference_flag_rejects_garbage() {
         let e = run(&["run", "--interference", "psychic"]).unwrap_err();
-        assert!(e.contains("psychic"), "{e}");
+        assert!(e.message.contains("psychic"), "{e}");
         let e = run(&["run", "--interference", "truncated:1.5"]).unwrap_err();
-        assert!(e.contains("(0, 1)"), "{e}");
+        assert!(e.message.contains("(0, 1)"), "{e}");
+    }
+
+    #[test]
+    fn injected_fairness_skip_is_a_runtime_failure() {
+        let e = run(&[
+            "run",
+            "--check-invariants",
+            "--inject-fairness-skip",
+            "--sus",
+            "40",
+            "--pus",
+            "4",
+            "--side",
+            "36",
+            "--seed",
+            "3",
+        ])
+        .unwrap_err();
+        assert_eq!(e.code, 1, "violations are runtime failures, not usage");
+        assert!(!e.show_usage);
+        assert!(e.message.contains("invariant violation"), "{e}");
+        assert!(e.message.contains("scheduler-hygiene"), "{e}");
+    }
+
+    #[test]
+    fn inject_flag_requires_check_invariants() {
+        let e = run(&["run", "--inject-fairness-skip"]).unwrap_err();
+        assert_eq!(e.code, 2);
+        assert!(e.message.contains("--check-invariants"), "{e}");
+    }
+
+    #[test]
+    fn serve_config_parses_with_defaults_and_flags() {
+        let mut args = Vec::new();
+        let cfg = parse_serve_config(&mut args).unwrap();
+        assert_eq!(cfg.addr, "127.0.0.1:0");
+        assert_eq!((cfg.workers, cfg.queue_cap, cfg.cache_cap), (4, 64, 1024));
+
+        let mut args: Vec<String> = [
+            "--addr",
+            "0.0.0.0:9000",
+            "--workers",
+            "2",
+            "--queue-cap",
+            "5",
+            "--cache-cap",
+            "10",
+        ]
+        .iter()
+        .map(|s| (*s).to_owned())
+        .collect();
+        let cfg = parse_serve_config(&mut args).unwrap();
+        assert_eq!(cfg.addr, "0.0.0.0:9000");
+        assert_eq!((cfg.workers, cfg.queue_cap, cfg.cache_cap), (2, 5, 10));
+        assert!(args.is_empty(), "all flags consumed");
+
+        let mut args: Vec<String> = vec!["--workers".into(), "0".into()];
+        assert!(parse_serve_config(&mut args).is_err());
+    }
+
+    #[test]
+    fn submit_request_builder_emits_protocol_lines() {
+        let build = |flags: &[&str]| {
+            let mut args: Vec<String> = flags.iter().map(|s| (*s).to_owned()).collect();
+            let line = build_submit_request(&mut args).unwrap();
+            assert!(args.is_empty(), "unconsumed: {args:?}");
+            line
+        };
+        // Control commands.
+        assert_eq!(build(&["--stats"]), r#"{"v":1,"cmd":"stats"}"#);
+        assert_eq!(build(&["--shutdown"]), r#"{"v":1,"cmd":"shutdown"}"#);
+        // A run request parses under the server's own protocol parser.
+        let line = build(&[
+            "--sus",
+            "40",
+            "--seed",
+            "7",
+            "--algo",
+            "coolest",
+            "--timeout-ms",
+            "500",
+        ]);
+        let req = crn_serve::protocol::parse_request(&line).unwrap();
+        let crn_serve::protocol::Request::Run { spec, timeout_ms } = req else {
+            panic!("expected run request: {line}");
+        };
+        assert_eq!(spec.params.num_sus, 40);
+        assert_eq!(spec.params.seed, 7);
+        assert_eq!(spec.algorithm, CollectionAlgorithm::Coolest);
+        assert_eq!(timeout_ms, Some(500));
+        // Sweep form.
+        let line = build(&["--seed-count", "3", "--seed-start", "5"]);
+        let req = crn_serve::protocol::parse_request(&line).unwrap();
+        let crn_serve::protocol::Request::Sweep { seeds, .. } = req else {
+            panic!("expected sweep request: {line}");
+        };
+        assert_eq!(seeds, vec![5, 6, 7]);
+        // --raw passes through verbatim.
+        let mut args: Vec<String> = vec!["--raw".into(), r#"{"v":1,"cmd":"status"}"#.into()];
+        assert_eq!(
+            build_submit_request(&mut args).unwrap(),
+            r#"{"v":1,"cmd":"status"}"#
+        );
+        // Bad algorithms are rejected locally.
+        let mut args: Vec<String> = vec!["--algo".into(), "magic".into()];
+        assert!(build_submit_request(&mut args).is_err());
+    }
+
+    #[test]
+    fn submit_requires_addr() {
+        let e = run(&["submit", "--stats"]).unwrap_err();
+        assert_eq!(e.code, 2);
+        assert!(e.message.contains("--addr"), "{e}");
+    }
+
+    #[test]
+    fn submit_to_dead_server_is_a_runtime_failure() {
+        // Port 1 on loopback is essentially never listening.
+        let e = run(&["submit", "--addr", "127.0.0.1:1", "--stats"]).unwrap_err();
+        assert_eq!(e.code, 1, "connection failure is runtime, not usage");
+        assert!(e.message.contains("cannot connect"), "{e}");
     }
 }

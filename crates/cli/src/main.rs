@@ -17,8 +17,10 @@ fn main() {
         Ok(output) => print!("{output}"),
         Err(e) => {
             eprintln!("error: {e}");
-            eprintln!("{}", cli::USAGE);
-            std::process::exit(2);
+            if e.show_usage {
+                eprintln!("{}", cli::USAGE);
+            }
+            std::process::exit(e.code);
         }
     }
 }

@@ -36,10 +36,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cache_key;
 mod coolest;
 mod params;
 mod scenario;
 
+pub use cache_key::{canonical_params_string, fnv1a_64};
 pub use coolest::{coolest_tree, coolest_tree_with, CoolestStrategy};
 pub use params::{ScenarioParams, ScenarioParamsBuilder};
 pub use scenario::{CollectionAlgorithm, CollectionOutcome, Scenario, ScenarioError};

@@ -42,6 +42,24 @@ impl fmt::Display for CollectionAlgorithm {
     }
 }
 
+impl std::str::FromStr for CollectionAlgorithm {
+    type Err = String;
+
+    /// Parses both the CLI spellings (`addc`, `coolest`, `coolest-oracle`,
+    /// `bfs`) and the display names (`ADDC`, `Coolest`, `Coolest-oracle`,
+    /// `BFS-tree`), case-insensitively — so exported records and protocol
+    /// messages round-trip through the same parser the CLI uses.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "addc" => Ok(CollectionAlgorithm::Addc),
+            "coolest" => Ok(CollectionAlgorithm::Coolest),
+            "coolest-oracle" => Ok(CollectionAlgorithm::CoolestOracle),
+            "bfs" | "bfs-tree" => Ok(CollectionAlgorithm::BfsTree),
+            other => Err(format!("unknown algorithm '{other}'")),
+        }
+    }
+}
+
 /// Errors from scenario generation or execution.
 #[derive(Clone, Debug, PartialEq)]
 pub enum ScenarioError {
@@ -692,6 +710,28 @@ mod tests {
         assert_eq!(CollectionAlgorithm::Addc.to_string(), "ADDC");
         assert_eq!(CollectionAlgorithm::Coolest.to_string(), "Coolest");
         assert_eq!(CollectionAlgorithm::BfsTree.to_string(), "BFS-tree");
+    }
+
+    #[test]
+    fn algorithm_parses_cli_and_display_spellings() {
+        for alg in [
+            CollectionAlgorithm::Addc,
+            CollectionAlgorithm::Coolest,
+            CollectionAlgorithm::CoolestOracle,
+            CollectionAlgorithm::BfsTree,
+        ] {
+            let display: CollectionAlgorithm = alg.to_string().parse().unwrap();
+            assert_eq!(display, alg, "display name must round-trip");
+        }
+        assert_eq!(
+            "addc".parse::<CollectionAlgorithm>().unwrap(),
+            CollectionAlgorithm::Addc
+        );
+        assert_eq!(
+            "bfs".parse::<CollectionAlgorithm>().unwrap(),
+            CollectionAlgorithm::BfsTree
+        );
+        assert!("magic".parse::<CollectionAlgorithm>().is_err());
     }
 
     #[test]

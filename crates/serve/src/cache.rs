@@ -1,0 +1,252 @@
+//! A small intrusive-free LRU cache with observable hit/miss/eviction
+//! counters, used for the server's content-addressed result cache.
+//!
+//! Implementation: a `HashMap` from key to slot index plus a doubly
+//! linked recency list threaded through a slab of entries. Everything is
+//! O(1) per operation; no dependencies beyond `std`.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// Sentinel for "no neighbor" in the recency list.
+const NIL: usize = usize::MAX;
+
+/// Counters the cache exposes for the `stats` protocol command.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found a live entry.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Entries displaced by capacity pressure.
+    pub evictions: u64,
+    /// Insertions performed.
+    pub insertions: u64,
+}
+
+struct Entry<K, V> {
+    key: K,
+    value: V,
+    prev: usize,
+    next: usize,
+}
+
+/// A fixed-capacity least-recently-used map.
+///
+/// Capacity 0 is legal and turns the cache into a pure pass-through
+/// (every lookup misses, inserts are dropped) — the server uses this for
+/// `--cache-cap 0`.
+pub struct LruCache<K, V> {
+    map: HashMap<K, usize>,
+    slab: Vec<Entry<K, V>>,
+    free: Vec<usize>,
+    head: usize,
+    tail: usize,
+    capacity: usize,
+    stats: CacheStats,
+}
+
+impl<K: Clone + Eq + Hash, V: Clone> LruCache<K, V> {
+    /// Creates a cache holding at most `capacity` entries.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            map: HashMap::with_capacity(capacity.min(1024)),
+            slab: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            capacity,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Entries currently held.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The configured capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Counter snapshot.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Looks `key` up, refreshing its recency on a hit.
+    pub fn get(&mut self, key: &K) -> Option<V> {
+        match self.map.get(key).copied() {
+            Some(idx) => {
+                self.stats.hits += 1;
+                self.unlink(idx);
+                self.push_front(idx);
+                Some(self.slab[idx].value.clone())
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts (or refreshes) `key → value`, evicting the least recently
+    /// used entry if at capacity.
+    pub fn insert(&mut self, key: K, value: V) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.stats.insertions += 1;
+        if let Some(&idx) = self.map.get(&key) {
+            self.slab[idx].value = value;
+            self.unlink(idx);
+            self.push_front(idx);
+            return;
+        }
+        if self.map.len() >= self.capacity {
+            let lru = self.tail;
+            debug_assert_ne!(lru, NIL);
+            self.unlink(lru);
+            self.map.remove(&self.slab[lru].key);
+            self.free.push(lru);
+            self.stats.evictions += 1;
+        }
+        let idx = match self.free.pop() {
+            Some(idx) => {
+                self.slab[idx] = Entry {
+                    key: key.clone(),
+                    value,
+                    prev: NIL,
+                    next: NIL,
+                };
+                idx
+            }
+            None => {
+                self.slab.push(Entry {
+                    key: key.clone(),
+                    value,
+                    prev: NIL,
+                    next: NIL,
+                });
+                self.slab.len() - 1
+            }
+        };
+        self.map.insert(key, idx);
+        self.push_front(idx);
+    }
+
+    fn unlink(&mut self, idx: usize) {
+        let (prev, next) = (self.slab[idx].prev, self.slab[idx].next);
+        if prev == NIL {
+            if self.head == idx {
+                self.head = next;
+            }
+        } else {
+            self.slab[prev].next = next;
+        }
+        if next == NIL {
+            if self.tail == idx {
+                self.tail = prev;
+            }
+        } else {
+            self.slab[next].prev = prev;
+        }
+        self.slab[idx].prev = NIL;
+        self.slab[idx].next = NIL;
+    }
+
+    fn push_front(&mut self, idx: usize) {
+        self.slab[idx].prev = NIL;
+        self.slab[idx].next = self.head;
+        if self.head != NIL {
+            self.slab[self.head].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_miss_and_counters() {
+        let mut c: LruCache<u64, &str> = LruCache::new(2);
+        assert_eq!(c.get(&1), None);
+        c.insert(1, "a");
+        assert_eq!(c.get(&1), Some("a"));
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.insertions), (1, 1, 1));
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c: LruCache<u64, u64> = LruCache::new(2);
+        c.insert(1, 10);
+        c.insert(2, 20);
+        assert_eq!(c.get(&1), Some(10)); // refresh 1; 2 is now LRU
+        c.insert(3, 30);
+        assert_eq!(c.get(&2), None, "2 was LRU and must be evicted");
+        assert_eq!(c.get(&1), Some(10));
+        assert_eq!(c.get(&3), Some(30));
+        assert_eq!(c.stats().evictions, 1);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn reinsert_refreshes_value_and_recency() {
+        let mut c: LruCache<u64, u64> = LruCache::new(2);
+        c.insert(1, 10);
+        c.insert(2, 20);
+        c.insert(1, 11); // refresh: 2 becomes LRU
+        c.insert(3, 30);
+        assert_eq!(c.get(&1), Some(11));
+        assert_eq!(c.get(&2), None);
+    }
+
+    #[test]
+    fn zero_capacity_is_a_passthrough() {
+        let mut c: LruCache<u64, u64> = LruCache::new(0);
+        c.insert(1, 10);
+        assert_eq!(c.get(&1), None);
+        assert_eq!(c.len(), 0);
+        assert_eq!(c.stats().insertions, 0);
+    }
+
+    #[test]
+    fn slots_are_reused_after_eviction() {
+        let mut c: LruCache<u64, u64> = LruCache::new(3);
+        for k in 0..100 {
+            c.insert(k, k);
+        }
+        assert_eq!(c.len(), 3);
+        assert!(c.slab.len() <= 4, "slab grew: {}", c.slab.len());
+        assert_eq!(c.get(&99), Some(99));
+        assert_eq!(c.get(&0), None);
+    }
+
+    #[test]
+    fn single_entry_cache() {
+        let mut c: LruCache<u64, u64> = LruCache::new(1);
+        c.insert(1, 10);
+        c.insert(2, 20);
+        assert_eq!(c.get(&1), None);
+        assert_eq!(c.get(&2), Some(20));
+        assert!(!c.is_empty());
+        assert_eq!(c.capacity(), 1);
+    }
+}

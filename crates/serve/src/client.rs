@@ -1,0 +1,132 @@
+//! A minimal blocking client for the JSON-lines protocol, used by
+//! `crn submit`, the `bench-serve` load generator, and the end-to-end
+//! tests. One request line out, one response line back.
+
+use crn_workloads::json::Json;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Why a client call failed (transport or protocol layer — a server-side
+/// error *response* is returned as a parsed [`Json`] object, not as a
+/// `ClientError`).
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure (connect, read, write, or unexpected EOF).
+    Io(std::io::Error),
+    /// The server's reply was not a parseable JSON line.
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io error: {e}"),
+            ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// A connected protocol client. Requests are serialized over one
+/// connection; open several clients for concurrency.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to a running server.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Sets (or clears) a socket read timeout for responses.
+    ///
+    /// # Errors
+    ///
+    /// Propagates setsockopt failures.
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> Result<(), ClientError> {
+        self.reader.get_ref().set_read_timeout(timeout)?;
+        Ok(())
+    }
+
+    /// Sends one raw request line and returns the parsed response.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Io`] on transport failure or EOF,
+    /// [`ClientError::Protocol`] if the response line is not JSON.
+    pub fn request_line(&mut self, line: &str) -> Result<Json, ClientError> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        let mut response = String::new();
+        let n = self.reader.read_line(&mut response)?;
+        if n == 0 {
+            return Err(ClientError::Io(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            )));
+        }
+        response
+            .trim()
+            .parse()
+            .map_err(|e| ClientError::Protocol(format!("unparseable response: {e}")))
+    }
+
+    /// Sends a request object (serialized to one line).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Client::request_line`].
+    pub fn request(&mut self, req: &Json) -> Result<Json, ClientError> {
+        self.request_line(&req.to_string())
+    }
+
+    /// Convenience: requests the server's `stats` object.
+    ///
+    /// # Errors
+    ///
+    /// Transport/protocol failures, or [`ClientError::Protocol`] if the
+    /// response has no `stats` field.
+    pub fn stats(&mut self) -> Result<Json, ClientError> {
+        let mut req = Json::obj();
+        req.set("v", Json::UInt(crate::PROTOCOL_VERSION))
+            .set("cmd", Json::Str("stats".into()));
+        let response = self.request(&req)?;
+        response
+            .get("stats")
+            .cloned()
+            .ok_or_else(|| ClientError::Protocol(format!("no stats in response: {response}")))
+    }
+
+    /// Convenience: asks the server to shut down gracefully.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Client::request_line`].
+    pub fn shutdown(&mut self) -> Result<Json, ClientError> {
+        let mut req = Json::obj();
+        req.set("v", Json::UInt(crate::PROTOCOL_VERSION))
+            .set("cmd", Json::Str("shutdown".into()));
+        self.request(&req)
+    }
+}

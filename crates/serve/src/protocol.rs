@@ -1,0 +1,554 @@
+//! The `crn-serve` wire protocol: newline-delimited JSON, version 1.
+//!
+//! One request per line, one response line per request, over a plain TCP
+//! stream. Every message carries `"v":1`; unknown versions are rejected
+//! with a typed error instead of being guessed at.
+//!
+//! Requests (`cmd` selects):
+//!
+//! ```text
+//! {"v":1,"cmd":"run","params":{"sus":60,"pus":12,"side":45,"pt":0.3,"seed":7,
+//!   "interference":"exact"},"algo":"addc","check_invariants":false,"timeout_ms":30000}
+//! {"v":1,"cmd":"sweep","params":{...},"algo":"addc","seeds":[1,2,3]}
+//! {"v":1,"cmd":"sweep","params":{...},"seed_start":0,"seed_count":50}
+//! {"v":1,"cmd":"status"}
+//! {"v":1,"cmd":"stats"}
+//! {"v":1,"cmd":"shutdown"}
+//! ```
+//!
+//! Responses carry `"ok":true` plus payload, or `"ok":false` plus a typed
+//! `error` object `{kind, code, message}` where `code` follows HTTP
+//! conventions (`429` for admission-control rejection, `408` for a
+//! deadline miss, `400` for malformed requests, `503` while draining).
+
+use crate::ErrorKind;
+use crn_core::{CollectionAlgorithm, CollectionOutcome, ScenarioParams};
+use crn_sim::InterferenceModel;
+use crn_workloads::json::Json;
+
+/// The protocol version this build speaks.
+pub const PROTOCOL_VERSION: u64 = 1;
+
+/// Engine version folded into every cache key: bump(s) of the crate
+/// version invalidate cached reports across deployments.
+pub const ENGINE_VERSION: &str = env!("CARGO_PKG_VERSION");
+
+/// Upper bound on seeds in one sweep request (keeps a single line from
+/// scheduling unbounded work behind the admission controller's back).
+pub const MAX_SWEEP_SEEDS: usize = 4096;
+
+/// One simulation to execute: the full deterministic identity of a run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RunSpec {
+    /// Scenario parameters (seed included).
+    pub params: ScenarioParams,
+    /// Collection algorithm.
+    pub algorithm: CollectionAlgorithm,
+    /// Whether to attach the live invariant oracle.
+    pub check_invariants: bool,
+    /// Testing aid: makes the worker panic instead of simulating, so the
+    /// panic-isolation path is exercisable end-to-end. Never cached.
+    pub inject_panic: bool,
+}
+
+impl RunSpec {
+    /// The content address of this run's result: the params key chained
+    /// with algorithm, oracle flag, and engine version.
+    #[must_use]
+    pub fn cache_key(&self) -> u64 {
+        let mut h = self.params.cache_key();
+        h = crn_core::fnv1a_64(h, self.algorithm.to_string().as_bytes());
+        h = crn_core::fnv1a_64(h, &[u8::from(self.check_invariants)]);
+        crn_core::fnv1a_64(h, ENGINE_VERSION.as_bytes())
+    }
+
+    /// A one-line reproduction recipe (reported with timeouts/errors).
+    #[must_use]
+    pub fn repro(&self) -> String {
+        format!(
+            "crn run --algo {} --sus {} --pus {} --side {} --pt {} --seed {} --interference {}{}",
+            match self.algorithm {
+                CollectionAlgorithm::Addc => "addc",
+                CollectionAlgorithm::Coolest => "coolest",
+                CollectionAlgorithm::CoolestOracle => "coolest-oracle",
+                CollectionAlgorithm::BfsTree => "bfs",
+            },
+            self.params.num_sus,
+            self.params.num_pus,
+            self.params.area_side,
+            self.params.activity.duty_cycle(),
+            self.params.seed,
+            self.params.interference,
+            if self.check_invariants {
+                " --check-invariants"
+            } else {
+                ""
+            },
+        )
+    }
+}
+
+/// A parsed protocol request.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Execute (or serve from cache) one simulation.
+    Run {
+        /// What to run.
+        spec: RunSpec,
+        /// Per-request deadline in milliseconds, if any.
+        timeout_ms: Option<u64>,
+    },
+    /// Execute a seed sweep over one parameter point.
+    Sweep {
+        /// Template spec; each seed derives its own [`RunSpec`].
+        spec: RunSpec,
+        /// Seeds to run.
+        seeds: Vec<u64>,
+        /// Per-seed deadline in milliseconds, if any.
+        timeout_ms: Option<u64>,
+    },
+    /// Liveness probe.
+    Status,
+    /// Full counter/histogram snapshot.
+    Stats,
+    /// Graceful shutdown: stop accepting, drain, exit.
+    Shutdown,
+}
+
+/// A malformed or unacceptable request.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ProtoError {
+    /// Error class (drives the response `code`).
+    pub kind: ErrorKind,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl ProtoError {
+    fn bad(message: impl Into<String>) -> Self {
+        Self {
+            kind: ErrorKind::BadRequest,
+            message: message.into(),
+        }
+    }
+}
+
+/// Parses one request line.
+///
+/// # Errors
+///
+/// Returns [`ProtoError`] for invalid JSON, a missing/unsupported
+/// version, an unknown command, or malformed fields.
+pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
+    let v: Json = line.parse().map_err(|e| ProtoError::bad(format!("{e}")))?;
+    let version = v
+        .get("v")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| ProtoError::bad("missing protocol version field 'v'"))?;
+    if version != PROTOCOL_VERSION {
+        return Err(ProtoError {
+            kind: ErrorKind::UnsupportedVersion,
+            message: format!(
+                "unsupported protocol version {version} (this server speaks v{PROTOCOL_VERSION})"
+            ),
+        });
+    }
+    let cmd = v
+        .get("cmd")
+        .and_then(Json::as_str)
+        .ok_or_else(|| ProtoError::bad("missing string field 'cmd'"))?;
+    match cmd {
+        "status" => Ok(Request::Status),
+        "stats" => Ok(Request::Stats),
+        "shutdown" => Ok(Request::Shutdown),
+        "run" => {
+            let spec = parse_spec(&v)?;
+            Ok(Request::Run {
+                spec,
+                timeout_ms: opt_u64(&v, "timeout_ms")?,
+            })
+        }
+        "sweep" => {
+            let spec = parse_spec(&v)?;
+            let seeds = parse_seeds(&v)?;
+            Ok(Request::Sweep {
+                spec,
+                seeds,
+                timeout_ms: opt_u64(&v, "timeout_ms")?,
+            })
+        }
+        other => Err(ProtoError::bad(format!("unknown cmd '{other}'"))),
+    }
+}
+
+fn opt_u64(v: &Json, key: &str) -> Result<Option<u64>, ProtoError> {
+    match v.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(field) => field.as_u64().map(Some).ok_or_else(|| {
+            ProtoError::bad(format!("field '{key}' must be a non-negative integer"))
+        }),
+    }
+}
+
+fn parse_seeds(v: &Json) -> Result<Vec<u64>, ProtoError> {
+    let seeds: Vec<u64> = if let Some(arr) = v.get("seeds") {
+        arr.as_arr()
+            .ok_or_else(|| ProtoError::bad("'seeds' must be an array"))?
+            .iter()
+            .map(|s| {
+                s.as_u64()
+                    .ok_or_else(|| ProtoError::bad("'seeds' entries must be non-negative integers"))
+            })
+            .collect::<Result<_, _>>()?
+    } else {
+        let start = opt_u64(v, "seed_start")?.unwrap_or(0);
+        let count = opt_u64(v, "seed_count")?
+            .ok_or_else(|| ProtoError::bad("sweep needs 'seeds' or 'seed_start'/'seed_count'"))?;
+        (0..count).map(|k| start.wrapping_add(k)).collect()
+    };
+    if seeds.is_empty() {
+        return Err(ProtoError::bad("sweep needs at least one seed"));
+    }
+    if seeds.len() > MAX_SWEEP_SEEDS {
+        return Err(ProtoError::bad(format!(
+            "sweep of {} seeds exceeds the per-request cap of {MAX_SWEEP_SEEDS}",
+            seeds.len()
+        )));
+    }
+    Ok(seeds)
+}
+
+/// Parses the `params` object (CLI-flag vocabulary, CLI defaults) plus
+/// the run options into a [`RunSpec`].
+fn parse_spec(v: &Json) -> Result<RunSpec, ProtoError> {
+    let empty = Json::obj();
+    let p = match v.get("params") {
+        None => &empty,
+        Some(obj @ Json::Obj(_)) => obj,
+        Some(_) => return Err(ProtoError::bad("'params' must be an object")),
+    };
+    for (key, _) in match p {
+        Json::Obj(pairs) => pairs.iter(),
+        _ => unreachable!("checked above"),
+    } {
+        if !matches!(
+            key.as_str(),
+            "sus"
+                | "pus"
+                | "side"
+                | "pt"
+                | "seed"
+                | "interference"
+                | "max_connectivity_attempts"
+                | "baseline_su_sense_factor"
+        ) {
+            return Err(ProtoError::bad(format!("unknown params field '{key}'")));
+        }
+    }
+    let uint = |key: &str, default: u64| -> Result<u64, ProtoError> {
+        match p.get(key) {
+            None => Ok(default),
+            Some(field) => field.as_u64().ok_or_else(|| {
+                ProtoError::bad(format!("params.{key} must be a non-negative integer"))
+            }),
+        }
+    };
+    let float = |key: &str, default: f64| -> Result<f64, ProtoError> {
+        match p.get(key) {
+            None => Ok(default),
+            Some(field) => field
+                .as_f64()
+                .filter(|x| x.is_finite())
+                .ok_or_else(|| ProtoError::bad(format!("params.{key} must be a finite number"))),
+        }
+    };
+    let sus = usize::try_from(uint("sus", 150)?)
+        .map_err(|_| ProtoError::bad("params.sus out of range"))?;
+    let pus = usize::try_from(uint("pus", 16)?)
+        .map_err(|_| ProtoError::bad("params.pus out of range"))?;
+    let side = float("side", 70.0)?;
+    let p_t = float("pt", 0.3)?;
+    if !(0.0..=1.0).contains(&p_t) {
+        return Err(ProtoError::bad(format!(
+            "params.pt must be a probability, got {p_t}"
+        )));
+    }
+    if side <= 0.0 || !side.is_finite() {
+        return Err(ProtoError::bad(format!(
+            "params.side must be positive, got {side}"
+        )));
+    }
+    let seed = uint("seed", 0)?;
+    let interference: InterferenceModel = match p.get("interference") {
+        None => InterferenceModel::Exact,
+        Some(field) => field
+            .as_str()
+            .ok_or_else(|| ProtoError::bad("params.interference must be a string"))?
+            .parse()
+            .map_err(|e| ProtoError::bad(format!("params.interference: {e}")))?,
+    };
+    if let Some(epsilon) = interference.epsilon() {
+        if !(epsilon > 0.0 && epsilon < 1.0) {
+            return Err(ProtoError::bad(format!(
+                "truncation epsilon must lie in (0, 1), got {epsilon}"
+            )));
+        }
+    }
+    let attempts = usize::try_from(uint("max_connectivity_attempts", 3000)?)
+        .map_err(|_| ProtoError::bad("params.max_connectivity_attempts out of range"))?;
+    let base_factor = float("baseline_su_sense_factor", 1.0)?;
+    if base_factor < 1.0 {
+        return Err(ProtoError::bad(
+            "params.baseline_su_sense_factor must be >= 1",
+        ));
+    }
+    let algorithm: CollectionAlgorithm = match v.get("algo") {
+        None => CollectionAlgorithm::Addc,
+        Some(field) => field
+            .as_str()
+            .ok_or_else(|| ProtoError::bad("'algo' must be a string"))?
+            .parse()
+            .map_err(|e: String| ProtoError::bad(e))?,
+    };
+    let check_invariants = match v.get("check_invariants") {
+        None => false,
+        Some(field) => field
+            .as_bool()
+            .ok_or_else(|| ProtoError::bad("'check_invariants' must be a bool"))?,
+    };
+    let inject_panic = v
+        .get("inject_panic")
+        .and_then(Json::as_bool)
+        .unwrap_or(false);
+    let params = ScenarioParams::builder()
+        .num_sus(sus)
+        .num_pus(pus)
+        .area_side(side)
+        .p_t(p_t)
+        .seed(seed)
+        .interference(interference)
+        .max_connectivity_attempts(attempts)
+        .baseline_su_sense_factor(base_factor)
+        .build();
+    Ok(RunSpec {
+        params,
+        algorithm,
+        check_invariants,
+        inject_panic,
+    })
+}
+
+/// Serializes one completed run as the response payload fields.
+///
+/// The per-node arrays (`delivery_times`, `node_stats`) are summarized,
+/// not shipped — a 2000-SU report would otherwise dwarf every other
+/// message on the wire; clients that need event-level detail run
+/// `crn trace` locally.
+#[must_use]
+pub fn report_json(outcome: &CollectionOutcome) -> Json {
+    let r = &outcome.report;
+    let mut o = Json::obj();
+    o.set("algorithm", Json::Str(outcome.algorithm.to_string()))
+        .set("finished", Json::Bool(r.finished))
+        .set("delay", Json::float(r.delay))
+        .set("delay_slots", Json::float(r.delay_slots))
+        .set("packets_expected", Json::UInt(r.packets_expected as u64))
+        .set("packets_delivered", Json::UInt(r.packets_delivered as u64))
+        .set("attempts", Json::UInt(r.attempts))
+        .set("successes", Json::UInt(r.successes))
+        .set("pu_aborts", Json::UInt(r.pu_aborts))
+        .set("sir_failures", Json::UInt(r.sir_failures))
+        .set("capture_losses", Json::UInt(r.capture_losses))
+        .set("peak_queue", Json::UInt(r.peak_queue as u64))
+        .set("mean_service_time", Json::float(r.mean_service_time))
+        .set("max_service_time", Json::float(r.max_service_time))
+        .set("events_processed", Json::UInt(r.events_processed))
+        .set("capacity_fraction", Json::float(r.capacity_fraction()))
+        .set("jain", r.jain_fairness().map_or(Json::Null, Json::float))
+        .set("tree_kind", Json::Str(format!("{:?}", outcome.tree_kind)))
+        .set("tree_height", Json::UInt(u64::from(outcome.tree_height)))
+        .set(
+            "tree_max_degree",
+            Json::UInt(outcome.tree_max_degree as u64),
+        );
+    o
+}
+
+/// Starts a versioned response object.
+#[must_use]
+pub fn response_base(ok: bool) -> Json {
+    let mut o = Json::obj();
+    o.set("v", Json::UInt(PROTOCOL_VERSION))
+        .set("ok", Json::Bool(ok));
+    o
+}
+
+/// A complete error response line (without trailing newline).
+#[must_use]
+pub fn error_response(kind: ErrorKind, message: &str) -> Json {
+    let mut e = Json::obj();
+    e.set("kind", Json::Str(kind.as_str().into()))
+        .set("code", Json::UInt(kind.code()))
+        .set("message", Json::Str(message.into()));
+    let mut o = response_base(false);
+    o.set("error", e);
+    o
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimal_run_request_uses_cli_defaults() {
+        let req = parse_request(r#"{"v":1,"cmd":"run"}"#).unwrap();
+        let Request::Run { spec, timeout_ms } = req else {
+            panic!("not a run");
+        };
+        assert_eq!(spec.params.num_sus, 150);
+        assert_eq!(spec.params.num_pus, 16);
+        assert_eq!(spec.params.area_side, 70.0);
+        assert_eq!(spec.params.seed, 0);
+        assert_eq!(spec.algorithm, CollectionAlgorithm::Addc);
+        assert!(!spec.check_invariants);
+        assert_eq!(timeout_ms, None);
+    }
+
+    #[test]
+    fn full_run_request_parses() {
+        let req = parse_request(
+            r#"{"v":1,"cmd":"run","params":{"sus":60,"pus":12,"side":45.0,"pt":0.4,"seed":7,
+                "interference":"truncated:0.1"},"algo":"coolest","check_invariants":true,
+                "timeout_ms":2500}"#,
+        )
+        .unwrap();
+        let Request::Run { spec, timeout_ms } = req else {
+            panic!("not a run");
+        };
+        assert_eq!(spec.params.num_sus, 60);
+        assert_eq!(spec.params.seed, 7);
+        assert_eq!(spec.params.activity.duty_cycle(), 0.4);
+        assert_eq!(
+            spec.params.interference,
+            InterferenceModel::Truncated { epsilon: 0.1 }
+        );
+        assert_eq!(spec.algorithm, CollectionAlgorithm::Coolest);
+        assert!(spec.check_invariants);
+        assert_eq!(timeout_ms, Some(2500));
+    }
+
+    #[test]
+    fn unknown_version_rejected_cleanly() {
+        let e = parse_request(r#"{"v":2,"cmd":"run"}"#).unwrap_err();
+        assert_eq!(e.kind, ErrorKind::UnsupportedVersion);
+        assert!(e.message.contains("v1"), "{}", e.message);
+        let e = parse_request(r#"{"cmd":"run"}"#).unwrap_err();
+        assert_eq!(e.kind, ErrorKind::BadRequest);
+    }
+
+    #[test]
+    fn malformed_requests_are_typed_errors() {
+        for bad in [
+            "not json",
+            r#"{"v":1}"#,
+            r#"{"v":1,"cmd":"frobnicate"}"#,
+            r#"{"v":1,"cmd":"run","params":{"sus":-3}}"#,
+            r#"{"v":1,"cmd":"run","params":{"pt":1.5}}"#,
+            r#"{"v":1,"cmd":"run","params":{"bogus":1}}"#,
+            r#"{"v":1,"cmd":"run","params":7}"#,
+            r#"{"v":1,"cmd":"run","algo":"magic"}"#,
+            r#"{"v":1,"cmd":"run","params":{"interference":"psychic"}}"#,
+            r#"{"v":1,"cmd":"run","timeout_ms":-1}"#,
+            r#"{"v":1,"cmd":"sweep"}"#,
+            r#"{"v":1,"cmd":"sweep","seeds":[]}"#,
+            r#"{"v":1,"cmd":"sweep","seeds":"x"}"#,
+        ] {
+            let e = parse_request(bad).unwrap_err();
+            assert_eq!(e.kind, ErrorKind::BadRequest, "{bad} → {}", e.message);
+        }
+    }
+
+    #[test]
+    fn sweep_seeds_forms() {
+        let explicit = parse_request(r#"{"v":1,"cmd":"sweep","seeds":[3,1,4]}"#).unwrap();
+        let Request::Sweep { seeds, .. } = explicit else {
+            panic!("not a sweep");
+        };
+        assert_eq!(seeds, vec![3, 1, 4]);
+        let range =
+            parse_request(r#"{"v":1,"cmd":"sweep","seed_start":10,"seed_count":3}"#).unwrap();
+        let Request::Sweep { seeds, .. } = range else {
+            panic!("not a sweep");
+        };
+        assert_eq!(seeds, vec![10, 11, 12]);
+        let e = parse_request(r#"{"v":1,"cmd":"sweep","seed_count":99999}"#).unwrap_err();
+        assert!(e.message.contains("cap"), "{}", e.message);
+    }
+
+    #[test]
+    fn control_commands_parse() {
+        assert_eq!(
+            parse_request(r#"{"v":1,"cmd":"status"}"#).unwrap(),
+            Request::Status
+        );
+        assert_eq!(
+            parse_request(r#"{"v":1,"cmd":"stats"}"#).unwrap(),
+            Request::Stats
+        );
+        assert_eq!(
+            parse_request(r#"{"v":1,"cmd":"shutdown"}"#).unwrap(),
+            Request::Shutdown
+        );
+    }
+
+    #[test]
+    fn cache_key_separates_algorithm_and_oracle() {
+        let spec = |algo: CollectionAlgorithm, check: bool| {
+            let Request::Run { spec, .. } = parse_request(&format!(
+                r#"{{"v":1,"cmd":"run","algo":"{}","check_invariants":{check}}}"#,
+                match algo {
+                    CollectionAlgorithm::Addc => "addc",
+                    _ => "coolest",
+                }
+            ))
+            .unwrap() else {
+                panic!()
+            };
+            spec
+        };
+        let a = spec(CollectionAlgorithm::Addc, false).cache_key();
+        let b = spec(CollectionAlgorithm::Coolest, false).cache_key();
+        let c = spec(CollectionAlgorithm::Addc, true).cache_key();
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a, spec(CollectionAlgorithm::Addc, false).cache_key());
+    }
+
+    #[test]
+    fn repro_string_is_a_cli_line() {
+        let Request::Run { spec, .. } =
+            parse_request(r#"{"v":1,"cmd":"run","params":{"sus":60,"seed":9}}"#).unwrap()
+        else {
+            panic!()
+        };
+        let repro = spec.repro();
+        assert!(repro.starts_with("crn run"), "{repro}");
+        assert!(repro.contains("--seed 9"), "{repro}");
+        assert!(repro.contains("--sus 60"), "{repro}");
+    }
+
+    #[test]
+    fn error_response_shape() {
+        let r = error_response(ErrorKind::Overloaded, "queue full");
+        let s = r.to_string();
+        assert!(s.contains("\"ok\":false"), "{s}");
+        assert!(s.contains("\"code\":429"), "{s}");
+        assert!(s.contains("\"kind\":\"overloaded\""), "{s}");
+        // And it parses back.
+        let v: Json = s.parse().unwrap();
+        assert_eq!(
+            v.get("error").unwrap().get("code").unwrap().as_u64(),
+            Some(429)
+        );
+    }
+}

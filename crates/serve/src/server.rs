@@ -1,0 +1,765 @@
+//! The service runtime: accept loop, worker pool, bounded admission
+//! queue, content-addressed result cache, and single-flight deduping.
+//!
+//! ## Life of a `run` request
+//!
+//! 1. The connection thread parses the line and computes the spec's
+//!    [`RunSpec::cache_key`].
+//! 2. Under one lock: cache hit → respond immediately (`"cached":true`);
+//!    an identical request already queued or running → *coalesce* onto
+//!    its job (no new work); otherwise admission control — if the bounded
+//!    queue is full the request is rejected with `429 overloaded` right
+//!    away, else a job is enqueued for the worker pool.
+//! 3. The connection thread blocks on the job's completion slot (with the
+//!    request's `timeout_ms` deadline, if any). A deadline miss responds
+//!    `408 timed_out` carrying a CLI repro string; the worker still
+//!    finishes and populates the cache, so a retry is a hit.
+//! 4. Workers run the simulation under `catch_unwind`: a poisoned
+//!    scenario fails that one request (`500 worker_panicked`), never the
+//!    server.
+//!
+//! `shutdown` flips the draining flag: the listener stops accepting,
+//! queued jobs drain, idle connections close, and [`Server::wait`]
+//! returns the final stats snapshot.
+
+use crate::cache::LruCache;
+use crate::protocol::{
+    error_response, parse_request, report_json, response_base, Request, RunSpec, ENGINE_VERSION,
+    PROTOCOL_VERSION,
+};
+use crate::ErrorKind;
+use crn_core::{CollectionOutcome, Scenario, ScenarioError};
+use crn_workloads::export::record_jsonl;
+use crn_workloads::json::Json;
+use crn_workloads::RunRecord;
+use std::collections::{HashMap, VecDeque};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Upper edges of the latency histogram buckets, in milliseconds; the
+/// implicit last bucket is `+∞`.
+pub const LATENCY_BUCKETS_MS: [f64; 12] = [
+    1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0, 2500.0, 5000.0,
+];
+
+/// How the service is sized; see the field docs for defaults.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Bind address; port 0 picks an ephemeral port (the bound address is
+    /// available from [`Server::local_addr`]).
+    pub addr: String,
+    /// Worker threads executing simulations (min 1).
+    pub workers: usize,
+    /// Bounded request queue capacity; a full queue rejects new work with
+    /// `429 overloaded` (admission control).
+    pub queue_cap: usize,
+    /// Result cache capacity in entries (0 disables caching).
+    pub cache_cap: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".into(),
+            workers: 4,
+            queue_cap: 64,
+            cache_cap: 1024,
+        }
+    }
+}
+
+/// Aggregate request counters (all monotonically increasing).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Counters {
+    /// Run/sweep-point requests received (control commands excluded).
+    pub received: u64,
+    /// Requests answered `ok` (from cache or computation).
+    pub served: u64,
+    /// Requests answered from the result cache.
+    pub cache_hits: u64,
+    /// Requests that coalesced onto an identical in-flight computation.
+    pub coalesced: u64,
+    /// Simulations actually executed by the worker pool.
+    pub computed: u64,
+    /// Requests rejected by admission control (queue full).
+    pub rejected: u64,
+    /// Requests whose deadline expired before the result was ready.
+    pub timed_out: u64,
+    /// Requests that failed (scenario error, invariant violation, panic).
+    pub failed: u64,
+    /// Lines that failed to parse as protocol requests.
+    pub bad_requests: u64,
+}
+
+/// A worker-side failure, shipped back to every waiter of the job.
+#[derive(Clone, Debug)]
+struct ExecError {
+    kind: ErrorKind,
+    message: String,
+}
+
+type JobOutcome = Result<Arc<CollectionOutcome>, ExecError>;
+
+/// One admitted computation; identical concurrent requests share it.
+struct Job {
+    spec: RunSpec,
+    key: u64,
+    slot: Mutex<Option<JobOutcome>>,
+    done: Condvar,
+}
+
+impl Job {
+    fn new(spec: RunSpec, key: u64) -> Self {
+        Self {
+            spec,
+            key,
+            slot: Mutex::new(None),
+            done: Condvar::new(),
+        }
+    }
+
+    fn complete(&self, outcome: JobOutcome) {
+        let mut slot = self.slot.lock().expect("job slot poisoned");
+        *slot = Some(outcome);
+        self.done.notify_all();
+    }
+
+    /// Blocks until the job completes or `deadline` passes.
+    fn wait(&self, deadline: Option<Instant>) -> Option<JobOutcome> {
+        let mut slot = self.slot.lock().expect("job slot poisoned");
+        loop {
+            if let Some(out) = slot.as_ref() {
+                return Some(out.clone());
+            }
+            match deadline {
+                None => slot = self.done.wait(slot).expect("job slot poisoned"),
+                Some(d) => {
+                    let now = Instant::now();
+                    if now >= d {
+                        return None;
+                    }
+                    let (guard, _) = self
+                        .done
+                        .wait_timeout(slot, d - now)
+                        .expect("job slot poisoned");
+                    slot = guard;
+                }
+            }
+        }
+    }
+}
+
+struct State {
+    queue: VecDeque<Arc<Job>>,
+    in_flight: HashMap<u64, Arc<Job>>,
+    running: usize,
+    cache: LruCache<u64, Arc<CollectionOutcome>>,
+    counters: Counters,
+    latency_hist: [u64; LATENCY_BUCKETS_MS.len() + 1],
+    draining: bool,
+}
+
+struct Shared {
+    cfg: ServeConfig,
+    started: Instant,
+    state: Mutex<State>,
+    work_ready: Condvar,
+}
+
+impl Shared {
+    fn draining(&self) -> bool {
+        self.state.lock().expect("state poisoned").draining
+    }
+}
+
+/// What [`submit`] decided about a run request.
+enum Submitted {
+    Cached(Arc<CollectionOutcome>),
+    Wait { job: Arc<Job>, coalesced: bool },
+    Rejected,
+    Draining,
+}
+
+/// A running simulation service.
+pub struct Server {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    connections: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl Server {
+    /// Binds and starts the service (listener + worker pool). Returns as
+    /// soon as the socket is bound; the actual address (with the resolved
+    /// ephemeral port) is [`Server::local_addr`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket bind failures.
+    pub fn start(cfg: ServeConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+        let workers = cfg.workers.max(1);
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                queue: VecDeque::with_capacity(cfg.queue_cap),
+                in_flight: HashMap::new(),
+                running: 0,
+                cache: LruCache::new(cfg.cache_cap),
+                counters: Counters::default(),
+                latency_hist: [0; LATENCY_BUCKETS_MS.len() + 1],
+                draining: false,
+            }),
+            work_ready: Condvar::new(),
+            started: Instant::now(),
+            cfg,
+        });
+        let worker_handles: Vec<JoinHandle<()>> = (0..workers)
+            .map(|i| {
+                let shared = shared.clone();
+                std::thread::Builder::new()
+                    .name(format!("crn-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker")
+            })
+            .collect();
+        let connections = Arc::new(Mutex::new(Vec::new()));
+        let accept = {
+            let shared = shared.clone();
+            let connections = connections.clone();
+            std::thread::Builder::new()
+                .name("crn-serve-accept".into())
+                .spawn(move || accept_loop(&listener, &shared, &connections))
+                .expect("spawn acceptor")
+        };
+        Ok(Server {
+            shared,
+            addr,
+            accept: Some(accept),
+            workers: worker_handles,
+            connections,
+        })
+    }
+
+    /// The bound address (resolves `--addr 127.0.0.1:0` to the actual
+    /// ephemeral port).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Initiates a graceful shutdown programmatically (equivalent to a
+    /// `shutdown` protocol request): stop accepting, drain, exit.
+    pub fn shutdown(&self) {
+        initiate_shutdown(&self.shared, self.addr);
+    }
+
+    /// Blocks until the service has fully drained after a shutdown
+    /// request, then returns the final counter snapshot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a service thread itself panicked (worker panics are
+    /// caught per-request and do **not** trip this).
+    pub fn wait(mut self) -> Counters {
+        if let Some(accept) = self.accept.take() {
+            accept.join().expect("accept thread panicked");
+        }
+        for w in self.workers.drain(..) {
+            w.join().expect("worker thread panicked");
+        }
+        loop {
+            let handle = self.connections.lock().expect("connections poisoned").pop();
+            match handle {
+                Some(h) => h.join().expect("connection thread panicked"),
+                None => break,
+            }
+        }
+        let st = self.shared.state.lock().expect("state poisoned");
+        st.counters
+    }
+}
+
+fn initiate_shutdown(shared: &Arc<Shared>, addr: SocketAddr) {
+    {
+        let mut st = shared.state.lock().expect("state poisoned");
+        if st.draining {
+            return;
+        }
+        st.draining = true;
+    }
+    shared.work_ready.notify_all();
+    // Unblock the accept loop: it checks the draining flag after every
+    // accept, so poke it with a throwaway connection.
+    drop(TcpStream::connect_timeout(
+        &addr,
+        Duration::from_millis(500),
+    ));
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    shared: &Arc<Shared>,
+    connections: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    for stream in listener.incoming() {
+        if shared.draining() {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let shared = shared.clone();
+        let addr = listener.local_addr().expect("listener has an address");
+        let Ok(handle) = std::thread::Builder::new()
+            .name("crn-serve-conn".into())
+            .spawn(move || connection_loop(stream, &shared, addr))
+        else {
+            continue;
+        };
+        connections
+            .lock()
+            .expect("connections poisoned")
+            .push(handle);
+    }
+}
+
+fn connection_loop(stream: TcpStream, shared: &Arc<Shared>, addr: SocketAddr) {
+    // A finite read timeout lets idle connections notice the draining
+    // flag and close, so `wait()` can join every connection thread.
+    stream
+        .set_read_timeout(Some(Duration::from_millis(200)))
+        .ok();
+    stream.set_nodelay(true).ok();
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        match reader.read_line(&mut line) {
+            Ok(0) => return, // EOF
+            Ok(_) => {
+                let trimmed = line.trim();
+                if !trimmed.is_empty() {
+                    let (response, shutdown) = handle_line(trimmed, shared, addr);
+                    let payload = format!("{response}\n");
+                    if writer.write_all(payload.as_bytes()).is_err() || writer.flush().is_err() {
+                        return;
+                    }
+                    if shutdown {
+                        return;
+                    }
+                }
+                line.clear();
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                // Idle poll tick; `line` keeps any partial read.
+                if shared.draining() {
+                    return;
+                }
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// Dispatches one request line; the bool asks the connection to close
+/// (after a `shutdown` acknowledgment).
+fn handle_line(line: &str, shared: &Arc<Shared>, addr: SocketAddr) -> (Json, bool) {
+    let request = match parse_request(line) {
+        Ok(r) => r,
+        Err(e) => {
+            shared
+                .state
+                .lock()
+                .expect("state poisoned")
+                .counters
+                .bad_requests += 1;
+            return (error_response(e.kind, &e.message), false);
+        }
+    };
+    match request {
+        Request::Status => (status_json(shared), false),
+        Request::Stats => (stats_json(shared), false),
+        Request::Shutdown => {
+            initiate_shutdown(shared, addr);
+            let mut o = response_base(true);
+            o.set("shutting_down", Json::Bool(true));
+            (o, true)
+        }
+        Request::Run { spec, timeout_ms } => (handle_run(shared, spec, timeout_ms), false),
+        Request::Sweep {
+            spec,
+            seeds,
+            timeout_ms,
+        } => (handle_sweep(shared, &spec, &seeds, timeout_ms), false),
+    }
+}
+
+/// Admission decision for one run spec; see the module docs for the
+/// cache → coalesce → enqueue/reject ladder.
+fn submit(shared: &Arc<Shared>, spec: RunSpec) -> Submitted {
+    let key = spec.cache_key();
+    let mut st = shared.state.lock().expect("state poisoned");
+    st.counters.received += 1;
+    if st.draining {
+        return Submitted::Draining;
+    }
+    // Injected panics must reach a worker (that is their point), so they
+    // skip the cache on both ends.
+    if !spec.inject_panic {
+        if let Some(hit) = st.cache.get(&key) {
+            st.counters.cache_hits += 1;
+            return Submitted::Cached(hit);
+        }
+    }
+    if let Some(job) = st.in_flight.get(&key).cloned() {
+        st.counters.coalesced += 1;
+        return Submitted::Wait {
+            job,
+            coalesced: true,
+        };
+    }
+    if st.queue.len() >= shared.cfg.queue_cap {
+        st.counters.rejected += 1;
+        return Submitted::Rejected;
+    }
+    let job = Arc::new(Job::new(spec, key));
+    st.in_flight.insert(key, job.clone());
+    st.queue.push_back(job.clone());
+    drop(st);
+    shared.work_ready.notify_one();
+    Submitted::Wait {
+        job,
+        coalesced: false,
+    }
+}
+
+/// How one run/sweep-point request resolved.
+enum PointResult {
+    Ok {
+        outcome: Arc<CollectionOutcome>,
+        cached: bool,
+        coalesced: bool,
+        latency_ms: f64,
+    },
+    /// A complete error response object, ready to send.
+    Err(Json),
+}
+
+/// Serves one point through the full cache → coalesce → admit → wait
+/// ladder, maintaining the served/timed-out/failed counters and the
+/// latency histogram.
+fn run_point(shared: &Arc<Shared>, spec: RunSpec, timeout_ms: Option<u64>) -> PointResult {
+    let received = Instant::now();
+    let repro = spec.repro();
+    let (outcome, cached, coalesced) = match submit(shared, spec) {
+        Submitted::Draining => {
+            return PointResult::Err(error_response(
+                ErrorKind::Draining,
+                "server is shutting down",
+            ));
+        }
+        Submitted::Rejected => {
+            return PointResult::Err(error_response(
+                ErrorKind::Overloaded,
+                &format!(
+                    "request queue full ({} pending); retry later",
+                    shared.cfg.queue_cap
+                ),
+            ));
+        }
+        Submitted::Cached(outcome) => (outcome, true, false),
+        Submitted::Wait { job, coalesced } => {
+            let deadline = timeout_ms.map(|ms| received + Duration::from_millis(ms));
+            match job.wait(deadline) {
+                None => {
+                    shared
+                        .state
+                        .lock()
+                        .expect("state poisoned")
+                        .counters
+                        .timed_out += 1;
+                    return PointResult::Err(error_response(
+                        ErrorKind::TimedOut,
+                        &format!(
+                            "deadline of {}ms expired; repro: {repro}",
+                            timeout_ms.unwrap_or(0)
+                        ),
+                    ));
+                }
+                Some(Err(e)) => {
+                    shared.state.lock().expect("state poisoned").counters.failed += 1;
+                    return PointResult::Err(error_response(
+                        e.kind,
+                        &format!("{}; repro: {repro}", e.message),
+                    ));
+                }
+                Some(Ok(outcome)) => (outcome, false, coalesced),
+            }
+        }
+    };
+    let latency_ms = received.elapsed().as_secs_f64() * 1e3;
+    {
+        let mut st = shared.state.lock().expect("state poisoned");
+        st.counters.served += 1;
+        let bucket = LATENCY_BUCKETS_MS
+            .iter()
+            .position(|&le| latency_ms <= le)
+            .unwrap_or(LATENCY_BUCKETS_MS.len());
+        st.latency_hist[bucket] += 1;
+    }
+    PointResult::Ok {
+        outcome,
+        cached,
+        coalesced,
+        latency_ms,
+    }
+}
+
+/// Serves one run request end to end, returning the response line.
+fn handle_run(shared: &Arc<Shared>, spec: RunSpec, timeout_ms: Option<u64>) -> Json {
+    let key = spec.cache_key();
+    match run_point(shared, spec, timeout_ms) {
+        PointResult::Err(response) => response,
+        PointResult::Ok {
+            outcome,
+            cached,
+            coalesced,
+            latency_ms,
+        } => {
+            let mut o = response_base(true);
+            o.set("cached", Json::Bool(cached))
+                .set("coalesced", Json::Bool(coalesced))
+                .set("key", Json::Str(format!("{key:016x}")))
+                .set("latency_ms", Json::float(latency_ms))
+                .set("report", report_json(&outcome));
+            o
+        }
+    }
+}
+
+/// A sweep is a batch of run points sharing one parameter set: each seed
+/// goes through the same cache/coalesce/admission ladder, so a re-sent
+/// sweep is answered from cache point by point. Per-seed results reuse
+/// the `crn-workloads` record exporter shape (`RunRecord` JSONL objects),
+/// so sweep output splices directly into existing analysis tooling.
+fn handle_sweep(
+    shared: &Arc<Shared>,
+    template: &RunSpec,
+    seeds: &[u64],
+    timeout_ms: Option<u64>,
+) -> Json {
+    let started = Instant::now();
+    let mut results = Vec::with_capacity(seeds.len());
+    let mut ok_count: u64 = 0;
+    let mut cached_count: u64 = 0;
+    for &seed in seeds {
+        let mut spec = template.clone();
+        spec.params.seed = seed;
+        let mut entry = Json::obj();
+        entry.set("seed", Json::UInt(seed));
+        match run_point(shared, spec, timeout_ms) {
+            PointResult::Ok {
+                outcome, cached, ..
+            } => {
+                ok_count += 1;
+                cached_count += u64::from(cached);
+                entry
+                    .set("cached", Json::Bool(cached))
+                    .set("record", outcome_record_json(seed, &outcome));
+            }
+            PointResult::Err(response) => {
+                entry.set(
+                    "error",
+                    response.get("error").cloned().unwrap_or(Json::Null),
+                );
+            }
+        }
+        results.push(entry);
+    }
+    let mut o = response_base(true);
+    o.set("points", Json::UInt(seeds.len() as u64))
+        .set("ok_points", Json::UInt(ok_count))
+        .set("cached_points", Json::UInt(cached_count))
+        .set(
+            "wall_ms",
+            Json::float(started.elapsed().as_secs_f64() * 1e3),
+        )
+        .set("results", Json::Arr(results));
+    o
+}
+
+fn status_json(shared: &Arc<Shared>) -> Json {
+    let draining = shared.draining();
+    let mut o = response_base(true);
+    o.set(
+        "status",
+        Json::Str(if draining { "draining" } else { "running" }.into()),
+    )
+    .set(
+        "uptime_s",
+        Json::float(shared.started.elapsed().as_secs_f64()),
+    )
+    .set("engine_version", Json::Str(ENGINE_VERSION.into()))
+    .set("protocol_version", Json::UInt(PROTOCOL_VERSION));
+    o
+}
+
+fn stats_json(shared: &Arc<Shared>) -> Json {
+    let st = shared.state.lock().expect("state poisoned");
+    let c = st.counters;
+    let cache = st.cache.stats();
+    let mut counters = Json::obj();
+    counters
+        .set("received", Json::UInt(c.received))
+        .set("served", Json::UInt(c.served))
+        .set("cache_hits", Json::UInt(c.cache_hits))
+        .set("coalesced", Json::UInt(c.coalesced))
+        .set("computed", Json::UInt(c.computed))
+        .set("rejected", Json::UInt(c.rejected))
+        .set("timed_out", Json::UInt(c.timed_out))
+        .set("failed", Json::UInt(c.failed))
+        .set("bad_requests", Json::UInt(c.bad_requests));
+    let mut cache_json = Json::obj();
+    cache_json
+        .set("capacity", Json::UInt(st.cache.capacity() as u64))
+        .set("len", Json::UInt(st.cache.len() as u64))
+        .set("hits", Json::UInt(cache.hits))
+        .set("misses", Json::UInt(cache.misses))
+        .set("evictions", Json::UInt(cache.evictions))
+        .set("insertions", Json::UInt(cache.insertions));
+    let mut hist = Vec::with_capacity(st.latency_hist.len());
+    for (i, &count) in st.latency_hist.iter().enumerate() {
+        let mut bucket = Json::obj();
+        bucket.set(
+            "le_ms",
+            LATENCY_BUCKETS_MS
+                .get(i)
+                .map_or(Json::Null, |&le| Json::float(le)),
+        );
+        bucket.set("count", Json::UInt(count));
+        hist.push(bucket);
+    }
+    let mut s = Json::obj();
+    s.set(
+        "uptime_s",
+        Json::float(shared.started.elapsed().as_secs_f64()),
+    )
+    .set("engine_version", Json::Str(ENGINE_VERSION.into()))
+    .set("workers", Json::UInt(shared.cfg.workers.max(1) as u64))
+    .set("queue_cap", Json::UInt(shared.cfg.queue_cap as u64))
+    .set("queue_depth", Json::UInt(st.queue.len() as u64))
+    .set("running", Json::UInt(st.running as u64))
+    .set("in_flight", Json::UInt(st.in_flight.len() as u64))
+    .set("draining", Json::Bool(st.draining))
+    .set("counters", counters)
+    .set("cache", cache_json)
+    .set("latency_ms", Json::Arr(hist));
+    let mut o = response_base(true);
+    o.set("stats", s);
+    o
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    loop {
+        let job = {
+            let mut st = shared.state.lock().expect("state poisoned");
+            loop {
+                if let Some(job) = st.queue.pop_front() {
+                    st.running += 1;
+                    break job;
+                }
+                if st.draining {
+                    return;
+                }
+                st = shared.work_ready.wait(st).expect("state poisoned");
+            }
+        };
+        let result = catch_unwind(AssertUnwindSafe(|| execute(&job.spec)));
+        let outcome: JobOutcome = match result {
+            Ok(Ok(o)) => Ok(Arc::new(o)),
+            Ok(Err(e)) => Err(e),
+            Err(panic) => Err(ExecError {
+                kind: ErrorKind::WorkerPanicked,
+                message: format!("worker panicked: {}", panic_message(&panic)),
+            }),
+        };
+        {
+            let mut st = shared.state.lock().expect("state poisoned");
+            st.running -= 1;
+            st.in_flight.remove(&job.key);
+            match &outcome {
+                Ok(o) => {
+                    st.counters.computed += 1;
+                    st.cache.insert(job.key, o.clone());
+                }
+                Err(_) => {
+                    // The failure counter is incremented per *waiter* in
+                    // handle_run; nothing to cache.
+                }
+            }
+        }
+        job.complete(outcome);
+    }
+}
+
+fn panic_message(panic: &Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".into()
+    }
+}
+
+/// Runs one simulation (the worker body).
+fn execute(spec: &RunSpec) -> Result<CollectionOutcome, ExecError> {
+    assert!(
+        !spec.inject_panic,
+        "injected panic (inject_panic=true): exercising worker panic isolation"
+    );
+    let scenario = Scenario::generate(&spec.params).map_err(|e| ExecError {
+        kind: ErrorKind::SimFailed,
+        message: e.to_string(),
+    })?;
+    if spec.check_invariants {
+        let (outcome, _oracle) = scenario.run_checked(spec.algorithm).map_err(|e| match e {
+            ScenarioError::Invariant(_) => ExecError {
+                kind: ErrorKind::InvariantViolation,
+                message: e.to_string(),
+            },
+            other => ExecError {
+                kind: ErrorKind::SimFailed,
+                message: other.to_string(),
+            },
+        })?;
+        Ok(outcome)
+    } else {
+        scenario.run(spec.algorithm).map_err(|e| ExecError {
+            kind: ErrorKind::SimFailed,
+            message: e.to_string(),
+        })
+    }
+}
+
+/// Exporter-shape helper used by the sweep path; lives here so the serve
+/// crate has exactly one conversion from outcomes to record objects.
+#[must_use]
+pub fn outcome_record_json(seed: u64, outcome: &CollectionOutcome) -> Json {
+    let record = RunRecord::from_outcome("serve", "seed", seed as f64, 0, outcome);
+    record_jsonl(&record)
+        .parse()
+        .expect("record exporter emits valid JSON")
+}

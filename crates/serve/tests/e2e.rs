@@ -1,0 +1,394 @@
+//! End-to-end tests for the simulation service: a real server on an
+//! ephemeral port, real TCP clients, real simulations (small networks so
+//! the suite stays fast).
+
+use crn_serve::client::Client;
+use crn_serve::server::{ServeConfig, Server};
+use crn_workloads::json::Json;
+use std::time::Duration;
+
+/// A small-but-real run request: ~60 SUs finishes in well under a second.
+fn small_run(seed: u64) -> String {
+    format!(r#"{{"v":1,"cmd":"run","params":{{"sus":50,"pus":8,"side":42.0,"seed":{seed}}}}}"#)
+}
+
+fn start(workers: usize, queue_cap: usize, cache_cap: usize) -> Server {
+    Server::start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers,
+        queue_cap,
+        cache_cap,
+    })
+    .expect("bind ephemeral port")
+}
+
+fn connect(server: &Server) -> Client {
+    let client = Client::connect(server.local_addr()).expect("connect");
+    client
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .expect("set timeout");
+    client
+}
+
+fn ok(response: &Json) -> bool {
+    response.get("ok").and_then(Json::as_bool) == Some(true)
+}
+
+fn error_kind(response: &Json) -> Option<&str> {
+    response.get("error")?.get("kind")?.as_str()
+}
+
+#[test]
+fn run_round_trip_and_cache_hit_via_stats() {
+    let server = start(2, 8, 64);
+    let mut client = connect(&server);
+
+    let first = client.request_line(&small_run(7)).unwrap();
+    assert!(ok(&first), "first run failed: {first}");
+    assert_eq!(first.get("cached").and_then(Json::as_bool), Some(false));
+    let report = first.get("report").expect("report present");
+    assert_eq!(
+        report.get("packets_delivered").and_then(Json::as_u64),
+        Some(50),
+        "all packets collected: {report}"
+    );
+
+    // The identical request must be answered from the cache…
+    let second = client.request_line(&small_run(7)).unwrap();
+    assert!(ok(&second), "cached run failed: {second}");
+    assert_eq!(second.get("cached").and_then(Json::as_bool), Some(true));
+    assert_eq!(
+        second.get("key").and_then(Json::as_str),
+        first.get("key").and_then(Json::as_str),
+        "same spec, same content address"
+    );
+
+    // …and the stats must say so.
+    let stats = client.stats().unwrap();
+    let counters = stats.get("counters").expect("counters");
+    assert_eq!(counters.get("cache_hits").and_then(Json::as_u64), Some(1));
+    assert_eq!(counters.get("computed").and_then(Json::as_u64), Some(1));
+    assert_eq!(counters.get("served").and_then(Json::as_u64), Some(2));
+
+    // A different seed is a different content address.
+    let third = client.request_line(&small_run(8)).unwrap();
+    assert!(ok(&third));
+    assert_eq!(third.get("cached").and_then(Json::as_bool), Some(false));
+    assert_ne!(
+        third.get("key").and_then(Json::as_str),
+        first.get("key").and_then(Json::as_str)
+    );
+
+    client.shutdown().unwrap();
+    server.wait();
+}
+
+/// The ISSUE acceptance test: 4 workers, queue cap 8, a burst of 32
+/// distinct requests from concurrent connections. Every response must be
+/// either `ok` or a clean `429 overloaded` — never a hang, never a
+/// malformed line — and at least one of each must occur (the queue can't
+/// hold 32, and admitted work must finish).
+#[test]
+fn burst_of_32_yields_only_ok_or_overloaded() {
+    let server = start(4, 8, 64);
+    let addr = server.local_addr();
+
+    let handles: Vec<_> = (0..32u64)
+        .map(|i| {
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                client
+                    .set_read_timeout(Some(Duration::from_secs(120)))
+                    .expect("set timeout");
+                client.request_line(&small_run(i)).expect("response line")
+            })
+        })
+        .collect();
+    let responses: Vec<Json> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+
+    let mut ok_count = 0;
+    let mut overloaded = 0;
+    for r in &responses {
+        if ok(r) {
+            ok_count += 1;
+        } else {
+            assert_eq!(
+                error_kind(r),
+                Some("overloaded"),
+                "unexpected failure mode: {r}"
+            );
+            assert_eq!(
+                r.get("error").unwrap().get("code").and_then(Json::as_u64),
+                Some(429)
+            );
+            overloaded += 1;
+        }
+    }
+    assert_eq!(ok_count + overloaded, 32);
+    assert!(
+        ok_count >= 8,
+        "at least workers+queue requests must be admitted, got {ok_count}"
+    );
+    assert!(
+        overloaded > 0,
+        "32 concurrent distinct requests cannot all fit in workers=4 + queue=8"
+    );
+
+    // Admission-control rejections must show up in the counters.
+    let mut client = connect(&server);
+    let stats = client.stats().unwrap();
+    let counters = stats.get("counters").expect("counters");
+    assert_eq!(
+        counters.get("rejected").and_then(Json::as_u64),
+        Some(overloaded)
+    );
+    client.shutdown().unwrap();
+    server.wait();
+}
+
+/// Identical concurrent requests coalesce onto one computation: the
+/// follower does not consume a queue slot and the simulation runs once.
+#[test]
+fn identical_concurrent_requests_coalesce() {
+    let server = start(1, 4, 64);
+    let addr = server.local_addr();
+
+    // Many clients ask for the same spec at once, racing the lone worker.
+    let handles: Vec<_> = (0..6)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                client
+                    .set_read_timeout(Some(Duration::from_secs(120)))
+                    .expect("set timeout");
+                client.request_line(&small_run(3)).expect("response line")
+            })
+        })
+        .collect();
+    let responses: Vec<Json> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    for r in &responses {
+        assert!(ok(r), "coalesced request failed: {r}");
+    }
+
+    let mut client = connect(&server);
+    let stats = client.stats().unwrap();
+    let counters = stats.get("counters").expect("counters");
+    let computed = counters.get("computed").and_then(Json::as_u64).unwrap();
+    let coalesced = counters.get("coalesced").and_then(Json::as_u64).unwrap();
+    let hits = counters.get("cache_hits").and_then(Json::as_u64).unwrap();
+    assert_eq!(computed, 1, "one simulation serves all identical requests");
+    assert_eq!(coalesced + hits, 5, "the other five piggybacked: {stats}");
+    client.shutdown().unwrap();
+    server.wait();
+}
+
+#[test]
+fn deadline_miss_reports_timed_out_with_repro_then_cache_recovers() {
+    let server = start(1, 4, 64);
+    let mut client = connect(&server);
+
+    // A 170-SU network takes much longer than 1ms.
+    let slow =
+        r#"{"v":1,"cmd":"run","params":{"sus":170,"pus":12,"side":75.0,"seed":5},"timeout_ms":1}"#;
+    let response = client.request_line(slow).unwrap();
+    assert!(!ok(&response), "must time out: {response}");
+    assert_eq!(error_kind(&response), Some("timed_out"));
+    let message = response
+        .get("error")
+        .unwrap()
+        .get("message")
+        .and_then(Json::as_str)
+        .unwrap();
+    assert!(
+        message.contains("crn run") && message.contains("--seed 5"),
+        "timeout must carry a repro line: {message}"
+    );
+
+    // The worker still finishes and caches; an untimed retry is a hit
+    // (or at worst coalesces onto the still-running job).
+    let retry = r#"{"v":1,"cmd":"run","params":{"sus":170,"pus":12,"side":75.0,"seed":5}}"#;
+    let response = client.request_line(retry).unwrap();
+    assert!(ok(&response), "retry failed: {response}");
+
+    let stats = client.stats().unwrap();
+    let counters = stats.get("counters").expect("counters");
+    assert_eq!(counters.get("timed_out").and_then(Json::as_u64), Some(1));
+    client.shutdown().unwrap();
+    server.wait();
+}
+
+/// A panicking simulation fails its own request with `worker_panicked`
+/// but leaves the server fully operational.
+#[test]
+fn worker_panic_is_isolated() {
+    let server = start(2, 8, 64);
+    let mut client = connect(&server);
+
+    let poisoned = r#"{"v":1,"cmd":"run","params":{"sus":50,"pus":8,"side":42.0,"seed":1},"inject_panic":true}"#;
+    let response = client.request_line(poisoned).unwrap();
+    assert!(!ok(&response));
+    assert_eq!(error_kind(&response), Some("worker_panicked"));
+    assert_eq!(
+        response
+            .get("error")
+            .unwrap()
+            .get("code")
+            .and_then(Json::as_u64),
+        Some(500)
+    );
+
+    // The same connection and the same server keep working.
+    let response = client.request_line(&small_run(1)).unwrap();
+    assert!(
+        ok(&response),
+        "server must survive a worker panic: {response}"
+    );
+    let stats = client.stats().unwrap();
+    assert_eq!(
+        stats
+            .get("counters")
+            .unwrap()
+            .get("failed")
+            .and_then(Json::as_u64),
+        Some(1)
+    );
+    client.shutdown().unwrap();
+    server.wait();
+}
+
+#[test]
+fn sweep_batches_seeds_and_second_pass_is_fully_cached() {
+    let server = start(2, 8, 64);
+    let mut client = connect(&server);
+
+    let sweep = r#"{"v":1,"cmd":"sweep","params":{"sus":50,"pus":8,"side":42.0},"seed_start":0,"seed_count":4}"#;
+    let first = client.request_line(sweep).unwrap();
+    assert!(ok(&first), "sweep failed: {first}");
+    assert_eq!(first.get("points").and_then(Json::as_u64), Some(4));
+    assert_eq!(first.get("ok_points").and_then(Json::as_u64), Some(4));
+    assert_eq!(first.get("cached_points").and_then(Json::as_u64), Some(0));
+    let results = first.get("results").and_then(Json::as_arr).unwrap();
+    assert_eq!(results.len(), 4);
+    // Per-seed entries embed exporter-shaped records.
+    let record = results[0].get("record").expect("record");
+    assert_eq!(record.get("figure").and_then(Json::as_str), Some("serve"));
+    assert_eq!(record.get("x_name").and_then(Json::as_str), Some("seed"));
+    assert_eq!(record.get("x").and_then(Json::as_f64), Some(0.0));
+    assert_eq!(record.get("finished").and_then(Json::as_bool), Some(true));
+
+    // Same sweep again: every point served from cache.
+    let second = client.request_line(sweep).unwrap();
+    assert!(ok(&second));
+    assert_eq!(second.get("cached_points").and_then(Json::as_u64), Some(4));
+
+    client.shutdown().unwrap();
+    server.wait();
+}
+
+#[test]
+fn check_invariants_runs_clean_through_the_service() {
+    let server = start(1, 4, 64);
+    let mut client = connect(&server);
+    let checked = r#"{"v":1,"cmd":"run","params":{"sus":40,"pus":6,"side":38.0,"seed":2},"check_invariants":true}"#;
+    let response = client.request_line(checked).unwrap();
+    assert!(ok(&response), "oracle-checked run failed: {response}");
+    // Checked and unchecked runs have distinct content addresses.
+    let unchecked = r#"{"v":1,"cmd":"run","params":{"sus":40,"pus":6,"side":38.0,"seed":2}}"#;
+    let other = client.request_line(unchecked).unwrap();
+    assert!(ok(&other));
+    assert_ne!(
+        response.get("key").and_then(Json::as_str),
+        other.get("key").and_then(Json::as_str)
+    );
+    client.shutdown().unwrap();
+    server.wait();
+}
+
+#[test]
+fn protocol_violations_get_typed_errors_not_disconnects() {
+    let server = start(1, 4, 64);
+    let mut client = connect(&server);
+
+    let bad_json = client.request_line("{this is not json").unwrap();
+    assert_eq!(error_kind(&bad_json), Some("bad_request"));
+
+    let bad_version = client.request_line(r#"{"v":99,"cmd":"status"}"#).unwrap();
+    assert_eq!(error_kind(&bad_version), Some("unsupported_version"));
+    assert_eq!(
+        bad_version
+            .get("error")
+            .unwrap()
+            .get("code")
+            .and_then(Json::as_u64),
+        Some(400)
+    );
+
+    let unknown_cmd = client.request_line(r#"{"v":1,"cmd":"teleport"}"#).unwrap();
+    assert_eq!(error_kind(&unknown_cmd), Some("bad_request"));
+
+    // Connection is still usable afterwards.
+    let status = client.request_line(r#"{"v":1,"cmd":"status"}"#).unwrap();
+    assert!(ok(&status));
+    assert_eq!(status.get("status").and_then(Json::as_str), Some("running"));
+
+    let stats = client.stats().unwrap();
+    assert_eq!(
+        stats
+            .get("counters")
+            .unwrap()
+            .get("bad_requests")
+            .and_then(Json::as_u64),
+        Some(3)
+    );
+    client.shutdown().unwrap();
+    server.wait();
+}
+
+#[test]
+fn graceful_shutdown_acknowledges_then_drains() {
+    let server = start(2, 8, 16);
+    let addr = server.local_addr();
+    let mut client = connect(&server);
+    let response = client.request_line(&small_run(11)).unwrap();
+    assert!(ok(&response));
+
+    let ack = client.shutdown().unwrap();
+    assert!(ok(&ack), "shutdown must be acknowledged: {ack}");
+    assert_eq!(ack.get("shutting_down").and_then(Json::as_bool), Some(true));
+
+    // wait() returns the final counters once every thread has drained.
+    let counters = server.wait();
+    assert_eq!(counters.served, 1);
+    assert_eq!(counters.computed, 1);
+
+    // The listener is gone once wait() returns.
+    assert!(
+        std::net::TcpStream::connect_timeout(&addr, Duration::from_millis(500)).is_err(),
+        "listener must be closed after drain"
+    );
+}
+
+#[test]
+fn stats_shape_is_complete() {
+    let server = start(3, 5, 7);
+    let mut client = connect(&server);
+    client.request_line(&small_run(1)).unwrap();
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.get("workers").and_then(Json::as_u64), Some(3));
+    assert_eq!(stats.get("queue_cap").and_then(Json::as_u64), Some(5));
+    assert_eq!(stats.get("draining").and_then(Json::as_bool), Some(false));
+    assert!(stats.get("uptime_s").and_then(Json::as_f64).unwrap() >= 0.0);
+    let cache = stats.get("cache").expect("cache block");
+    assert_eq!(cache.get("capacity").and_then(Json::as_u64), Some(7));
+    assert_eq!(cache.get("insertions").and_then(Json::as_u64), Some(1));
+    let hist = stats.get("latency_ms").and_then(Json::as_arr).unwrap();
+    assert_eq!(hist.len(), 13, "12 finite buckets + overflow");
+    let total: u64 = hist
+        .iter()
+        .map(|b| b.get("count").and_then(Json::as_u64).unwrap())
+        .sum();
+    assert_eq!(total, 1, "one served request, one histogram sample");
+    assert!(hist[12].get("le_ms").unwrap().is_null(), "overflow bucket");
+    client.shutdown().unwrap();
+    server.wait();
+}

@@ -1672,24 +1672,34 @@ mod tests {
         }
     }
 
+    /// Pinned compatibility test for the deprecated `Simulator::new`
+    /// shim: one per deprecated constructor, builders everywhere else.
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_constructors_match_the_builder() {
+    fn deprecated_simulator_new_shim_matches_builder() {
         let world = chain_world(5, vec![Point::new(20.0, 10.0)]);
         let activity = PuActivity::bernoulli(0.3).unwrap();
+        #[allow(deprecated)]
         let old = Simulator::new(world.clone(), MacConfig::default(), activity, 11).run();
-        let new = Simulator::builder(world.clone())
+        let new = Simulator::builder(world)
             .activity(activity)
             .seed(11)
             .build()
             .unwrap()
             .run();
         assert_eq!(old, new, "Simulator::new shim must match the builder");
+    }
 
+    /// Pinned compatibility test for the deprecated
+    /// `Simulator::with_traffic` shim.
+    #[test]
+    fn deprecated_with_traffic_shim_matches_builder() {
+        let world = chain_world(5, vec![Point::new(20.0, 10.0)]);
+        let activity = PuActivity::bernoulli(0.3).unwrap();
         let traffic = Traffic::Periodic {
             interval: 0.05,
             snapshots: 2,
         };
+        #[allow(deprecated)]
         let old =
             Simulator::with_traffic(world.clone(), MacConfig::default(), activity, 11, traffic)
                 .run();

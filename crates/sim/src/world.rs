@@ -1100,6 +1100,9 @@ mod tests {
         assert!((w.su_sense_range() - w.phy().su_radius()).abs() < 1e-12);
     }
 
+    /// Pinned compatibility test for the deprecated `SimWorld::build`
+    /// positional constructor: one per deprecated constructor, builders
+    /// everywhere else.
     #[test]
     fn builder_matches_deprecated_positional_constructor() {
         #[allow(deprecated)]
@@ -1123,6 +1126,38 @@ mod tests {
         assert_eq!(old.num_sus(), new.num_sus());
         assert_eq!(old.parents(), new.parents());
         assert_eq!(old.pu_sense_range(), new.pu_sense_range());
+        for i in 0..new.num_sus() as u32 {
+            assert_eq!(old.su_hears_su(i), new.su_hears_su(i));
+        }
+    }
+
+    /// Pinned compatibility test for the deprecated
+    /// `SimWorld::build_with_ranges` positional constructor.
+    #[test]
+    fn builder_matches_deprecated_split_range_constructor() {
+        #[allow(deprecated)]
+        let old = SimWorld::build_with_ranges(
+            Region::square(60.0),
+            vec![Point::new(5.0, 5.0), Point::new(12.0, 5.0)],
+            vec![Point::new(50.0, 5.0)],
+            vec![None, Some(0)],
+            phy(),
+            25.0,
+            18.0,
+        )
+        .unwrap();
+        let new = SimWorld::builder(Region::square(60.0))
+            .su_positions(vec![Point::new(5.0, 5.0), Point::new(12.0, 5.0)])
+            .pu_positions(vec![Point::new(50.0, 5.0)])
+            .parents(vec![None, Some(0)])
+            .phy(phy())
+            .pu_sense_range(25.0)
+            .su_sense_range(18.0)
+            .build()
+            .unwrap();
+        assert_eq!(old.num_sus(), new.num_sus());
+        assert_eq!(old.pu_sense_range(), new.pu_sense_range());
+        assert_eq!(old.su_sense_range(), new.su_sense_range());
         for i in 0..new.num_sus() as u32 {
             assert_eq!(old.su_hears_su(i), new.su_hears_su(i));
         }

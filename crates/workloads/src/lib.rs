@@ -35,6 +35,7 @@
 
 pub mod export;
 pub mod fig4;
+pub mod json;
 pub mod presets;
 mod record;
 mod runner;

@@ -16,6 +16,7 @@
 //! | [`core`] | `crn-core` | ADDC (Algorithm 1) and the Coolest-path baseline |
 //! | [`theory`] | `crn-theory` | Lemmas 4–8, Theorems 1–2 analytic bounds |
 //! | [`workloads`] | `crn-workloads` | scenarios, sweeps, parallel runners, tables |
+//! | [`serve`] | `crn-serve` | JSON-lines-over-TCP simulation service: batching, caching, admission control |
 //!
 //! # Quickstart
 //!
@@ -44,6 +45,7 @@
 pub use crn_core as core;
 pub use crn_geometry as geometry;
 pub use crn_interference as interference;
+pub use crn_serve as serve;
 pub use crn_sim as sim;
 pub use crn_spectrum as spectrum;
 pub use crn_theory as theory;

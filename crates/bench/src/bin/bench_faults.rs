@@ -1,0 +1,132 @@
+//! Emits `results/BENCH_faults.json`: delivery ratio and p99 collection
+//! delay versus churn rate for ADDC and Coolest-path under the seeded
+//! fault-injection subsystem.
+//!
+//! Each point resolves the `Tiny`-preset churn sweep exactly as
+//! `crn sweep churn` does — paired algorithms share a master seed, so
+//! both face the identical crash/recover script at every
+//! `(rate, rep)` — and pools per-packet delivery times across
+//! repetitions for the p99.
+//!
+//! Flags: `--smoke` (one repetition over the CI rate grid), `--out FILE`
+//! (default `results/BENCH_faults.json`).
+//!
+//! Run with `cargo run -p crn-bench --release --bin bench_faults`.
+
+use crn_bench::take_flag;
+use crn_core::Scenario;
+use crn_workloads::{presets, PresetKind};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Accumulated results for one `(churn rate, algorithm)` series point.
+#[derive(Default)]
+struct Point {
+    delivery_ratios: Vec<f64>,
+    /// Per-packet delivery times in slots, pooled across repetitions.
+    packet_delays: Vec<f64>,
+    packets_lost: u64,
+    fault_aborts: u64,
+    reparents: u64,
+}
+
+/// Empirical `q`-quantile of the pooled per-packet delays (ceil rank).
+fn quantile(sorted: &[f64], q: f64) -> Option<f64> {
+    if sorted.is_empty() {
+        return None;
+    }
+    let rank = (q * sorted.len() as f64).ceil().max(1.0) as usize;
+    Some(sorted[rank.min(sorted.len()) - 1])
+}
+
+fn render_json(mode: &str, reps: u32, points: &BTreeMap<(u64, String), Point>) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"bench\": \"faults_churn\",");
+    let _ = writeln!(out, "  \"mode\": \"{mode}\",");
+    let _ = writeln!(out, "  \"preset\": \"tiny\",");
+    let _ = writeln!(out, "  \"reps\": {reps},");
+    let _ = writeln!(out, "  \"points\": [");
+    for (i, ((rate_bits, algorithm), p)) in points.iter().enumerate() {
+        let rate = f64::from_bits(*rate_bits);
+        let mean_ratio =
+            p.delivery_ratios.iter().sum::<f64>() / p.delivery_ratios.len().max(1) as f64;
+        let mut delays = p.packet_delays.clone();
+        delays.sort_unstable_by(f64::total_cmp);
+        let p99 = match quantile(&delays, 0.99) {
+            Some(v) => format!("{v:.1}"),
+            None => "null".to_owned(),
+        };
+        let comma = if i + 1 < points.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{\"churn_rate\": {rate}, \"algorithm\": \"{algorithm}\", \
+             \"delivery_ratio_mean\": {mean_ratio:.4}, \"p99_delay_slots\": {p99}, \
+             \"packets_lost\": {}, \"fault_aborts\": {}, \"reparents\": {}}}{comma}",
+            p.packets_lost, p.fault_aborts, p.reparents
+        );
+    }
+    let _ = writeln!(out, "  ]");
+    let _ = writeln!(out, "}}");
+    out
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = if let Some(i) = args.iter().position(|a| a == "--smoke") {
+        args.remove(i);
+        true
+    } else {
+        false
+    };
+    let out_path =
+        take_flag(&mut args, "--out").unwrap_or_else(|| "results/BENCH_faults.json".into());
+    assert!(args.is_empty(), "unrecognized arguments: {args:?}");
+
+    let mut spec = presets::churn_spec(PresetKind::Tiny);
+    let mode = if smoke {
+        spec.reps = 1;
+        "smoke"
+    } else {
+        spec.axis.values = vec![0.0, 2.0, 5.0, 10.0, 20.0];
+        spec.reps = 5;
+        "full"
+    };
+    let slot = spec.base.mac.slot;
+
+    // Jobs are ordered with algorithms innermost; each consecutive pair
+    // shares one generated deployment (and one resolved fault schedule).
+    let jobs = spec.jobs();
+    let stride = spec.algorithms.len();
+    let mut points: BTreeMap<(u64, String), Point> = BTreeMap::new();
+    for group in jobs.chunks(stride) {
+        eprintln!(
+            "bench_faults: churn={} rep={} ...",
+            group[0].x, group[0].rep
+        );
+        let scenario = Scenario::generate(&group[0].params).expect("preset scenario generates");
+        for job in group {
+            let outcome = scenario.run(job.algorithm).expect("preset scenario runs");
+            let r = &outcome.report;
+            let p = points
+                .entry((job.x.to_bits(), job.algorithm.to_string()))
+                .or_default();
+            p.delivery_ratios.push(r.delivery_ratio());
+            p.packet_delays
+                .extend(r.delivery_times.iter().flatten().map(|t| t / slot));
+            p.packets_lost += r.packets_lost;
+            p.fault_aborts += r.fault_aborts;
+            p.reparents += u64::from(r.reparents);
+        }
+    }
+
+    let json = render_json(mode, spec.reps, &points);
+    if let Some(dir) = std::path::Path::new(&out_path).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create output directory");
+        }
+    }
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    eprintln!("bench_faults: wrote {out_path}");
+    print!("{json}");
+}

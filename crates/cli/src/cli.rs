@@ -8,9 +8,10 @@ use crn_core::{CollectionAlgorithm, Scenario, ScenarioParams};
 use crn_interference::{pcr, PcrConstants, PhyParams};
 use crn_serve::client::Client;
 use crn_serve::server::{ServeConfig, Server};
-use crn_sim::{InterferenceModel, InvariantChecker, Traffic};
+use crn_sim::{FaultsConfig, InterferenceModel, InvariantChecker, Traffic};
 use crn_theory::DelayBounds;
 use crn_workloads::export::{trace_to_string, TraceFormat};
+use crn_workloads::faults_wire::fault_plan_from_json;
 use crn_workloads::json::Json;
 use crn_workloads::table::markdown_figure;
 use crn_workloads::{aggregate, presets, run_sweep, Fig6Panel, PresetKind, SweepOptions};
@@ -21,8 +22,9 @@ pub const USAGE: &str = "\
 usage:
   crn run    [--sus N] [--pus N] [--side S] [--pt P] [--seed K] [--algo ALGO]
              [--interference exact|truncated:EPS] [--check-invariants] [--map]
+             [--faults PLAN.json | --fault-preset none|churn:RATE]
   crn trace  [run flags] [--format jsonl|csv] [--out FILE]
-  crn sweep  <a|b|c|d|e|f|all> [--preset paper|scaled|tiny] [--reps R] [--threads T]
+  crn sweep  <a|b|c|d|e|f|all|churn> [--preset paper|scaled|tiny] [--reps R] [--threads T]
   crn pcr    [--alpha A] [--eta-db E] [--pp P] [--ps P] [--big-r R] [--r r]
   crn bounds [--sus N] [--pus N] [--side S] [--pt P]
   crn serve  [--addr H:P] [--workers N] [--queue-cap Q] [--cache-cap C]
@@ -148,6 +150,7 @@ fn scenario_params(args: &mut Vec<String>) -> Result<ScenarioParams, String> {
     let p_t: f64 = take(args, "--pt", 0.3)?;
     let seed: u64 = take(args, "--seed", 0)?;
     let interference: InterferenceModel = take(args, "--interference", InterferenceModel::Exact)?;
+    let faults = fault_flags(args)?;
     if !(0.0..=1.0).contains(&p_t) {
         return Err(format!("--pt must be a probability, got {p_t}"));
     }
@@ -166,7 +169,34 @@ fn scenario_params(args: &mut Vec<String>) -> Result<ScenarioParams, String> {
         .seed(seed)
         .interference(interference)
         .max_connectivity_attempts(3000)
+        .faults(faults)
         .build())
+}
+
+/// Parses the fault workload flags: `--faults PLAN.json` (an explicit
+/// plan in the `faults_wire` format) or `--fault-preset none|churn:RATE`
+/// (the preset grammar). The two are mutually exclusive; absent both, the
+/// run is guaranteed bit-for-bit the fault-free simulation.
+fn fault_flags(args: &mut Vec<String>) -> Result<FaultsConfig, String> {
+    let plan_path: String = take(args, "--faults", String::new())?;
+    let preset: String = take(args, "--fault-preset", String::new())?;
+    if !plan_path.is_empty() && !preset.is_empty() {
+        return Err("--faults and --fault-preset are mutually exclusive".into());
+    }
+    if !plan_path.is_empty() {
+        let text = std::fs::read_to_string(&plan_path)
+            .map_err(|e| format!("cannot read fault plan {plan_path}: {e}"))?;
+        let v: Json = text
+            .trim()
+            .parse()
+            .map_err(|e| format!("{plan_path}: {e}"))?;
+        let plan = fault_plan_from_json(&v).map_err(|e| format!("{plan_path}: {e}"))?;
+        return Ok(FaultsConfig::Plan(plan));
+    }
+    if !preset.is_empty() {
+        return preset.parse::<FaultsConfig>();
+    }
+    Ok(FaultsConfig::None)
 }
 
 fn presence(args: &mut Vec<String>, flag: &str) -> bool {
@@ -237,6 +267,23 @@ fn cmd_run(mut args: Vec<String>) -> Result<String, CliError> {
         outcome.tree_height,
         outcome.tree_max_degree
     );
+    // Fault lines appear only when a fault workload is attached, so the
+    // fault-free output stays byte-identical to the pre-faults CLI.
+    if !params.faults.is_none() {
+        let _ = writeln!(
+            out,
+            "  faults [{}]: delivery ratio {:.3} | lost {} | fault aborts {}",
+            params.faults,
+            r.delivery_ratio(),
+            r.packets_lost,
+            r.fault_aborts
+        );
+        let _ = writeln!(
+            out,
+            "  healing: reparents {} | latency mean {:.4} s, max {:.4} s",
+            r.reparents, r.reparent_latency_mean, r.reparent_latency_max
+        );
+    }
     if let Some(oracle) = oracle {
         let _ = writeln!(
             out,
@@ -320,29 +367,38 @@ fn cmd_sweep(mut args: Vec<String>) -> Result<String, CliError> {
     let preset: PresetKind = take(&mut args, "--preset", "tiny".to_owned())?.parse()?;
     let reps: u32 = take(&mut args, "--reps", 0)?;
     let threads: usize = take(&mut args, "--threads", 1)?;
-    let panels: Vec<Fig6Panel> = if args.iter().any(|a| a == "all") {
+    let churn = presence(&mut args, "churn");
+    let mut specs: Vec<crn_workloads::SweepSpec> = if args.iter().any(|a| a == "all") {
         args.clear();
-        Fig6Panel::ALL.to_vec()
+        Fig6Panel::ALL
+            .iter()
+            .map(|&p| presets::fig6_spec(preset, p))
+            .collect()
     } else {
-        let parsed: Result<Vec<_>, _> = args.iter().map(|a| a.parse()).collect();
+        let parsed: Result<Vec<Fig6Panel>, String> = args.iter().map(|a| a.parse()).collect();
         let panels = parsed?;
         args.clear();
         panels
+            .into_iter()
+            .map(|p| presets::fig6_spec(preset, p))
+            .collect()
     };
-    if panels.is_empty() {
+    if churn {
+        specs.push(presets::churn_spec(preset));
+    }
+    if specs.is_empty() {
         return Err(CliError::usage(
-            "sweep requires panel letters a..f or 'all'",
+            "sweep requires panel letters a..f, 'all', or 'churn'",
         ));
     }
     let mut out = String::new();
-    for panel in panels {
-        let mut spec = presets::fig6_spec(preset, panel);
+    for mut spec in specs {
         if reps > 0 {
             spec.reps = reps;
         }
         let records =
             run_sweep(&spec, SweepOptions::with_threads(threads)).map_err(CliError::runtime)?;
-        let _ = writeln!(out, "## {panel} [{preset}, {} reps]\n", spec.reps);
+        let _ = writeln!(out, "## {} [{preset}, {} reps]\n", spec.figure, spec.reps);
         let _ = writeln!(out, "{}", markdown_figure(&aggregate(&records)));
     }
     Ok(out)
@@ -515,14 +571,73 @@ fn build_submit_request(args: &mut Vec<String>) -> Result<String, CliError> {
     Ok(req.to_string())
 }
 
+/// The latency percentile ladder `crn submit --stats` summarizes.
+const STATS_PERCENTILES: [(&str, f64); 3] = [("p50", 0.50), ("p95", 0.95), ("p99", 0.99)];
+
+/// Upper-bound percentile from a cumulative histogram: the first bucket
+/// edge at which the cumulative count covers fraction `q` of the samples.
+/// A `None` edge is the open `+∞` bucket. Returns `None` when empty.
+fn histogram_percentile(buckets: &[(Option<f64>, u64)], q: f64) -> Option<Option<f64>> {
+    let total: u64 = buckets.iter().map(|&(_, c)| c).sum();
+    if total == 0 {
+        return None;
+    }
+    // ceil(q·total), clamped to at least one sample.
+    let target = ((q * total as f64).ceil() as u64).clamp(1, total);
+    let mut cumulative = 0;
+    for &(le, count) in buckets {
+        cumulative += count;
+        if cumulative >= target {
+            return Some(le);
+        }
+    }
+    None
+}
+
+/// Renders the `submit --stats` percentile summary from a stats response,
+/// reading the serve layer's `latency_ms` histogram. Returns `None` when
+/// the response carries no histogram (e.g. `--raw` against an older
+/// server).
+fn stats_latency_summary(response: &Json) -> Option<String> {
+    let hist = response.get("stats")?.get("latency_ms")?.as_arr()?;
+    let buckets: Vec<(Option<f64>, u64)> = hist
+        .iter()
+        .map(|b| {
+            (
+                b.get("le_ms").and_then(Json::as_f64),
+                b.get("count").and_then(Json::as_u64).unwrap_or(0),
+            )
+        })
+        .collect();
+    let total: u64 = buckets.iter().map(|&(_, c)| c).sum();
+    if total == 0 {
+        return Some("latency: no served requests yet\n".to_owned());
+    }
+    // The +∞ bucket reports as "greater than the last finite edge".
+    let last_edge = buckets.iter().rev().find_map(|&(le, _)| le);
+    let mut line = format!("latency over {total} served:");
+    for (name, q) in STATS_PERCENTILES {
+        let bound = match histogram_percentile(&buckets, q)? {
+            Some(le) => format!("<={le}ms"),
+            None => last_edge.map_or("?".to_owned(), |le| format!(">{le}ms")),
+        };
+        let _ = write!(line, " {name} {bound}");
+    }
+    line.push('\n');
+    Some(line)
+}
+
 /// `crn submit`: send one request to a running `crn serve` and print the
 /// response line. Exit code 0 for an `ok` response, 1 for a server-side
-/// error (overloaded, timed out, failed run), 2 for bad flags.
+/// error (overloaded, timed out, failed run), 2 for bad flags. `--stats`
+/// appends a human-readable p50/p95/p99 summary computed from the
+/// server's latency histogram.
 fn cmd_submit(mut args: Vec<String>) -> Result<String, CliError> {
     let addr: String = take(&mut args, "--addr", String::new())?;
     if addr.is_empty() {
         return Err(CliError::usage("submit requires --addr HOST:PORT"));
     }
+    let want_stats = args.iter().any(|a| a == "--stats");
     let request = build_submit_request(&mut args)?;
     ensure_consumed(&args)?;
     let mut client = Client::connect(addr.as_str())
@@ -531,6 +646,11 @@ fn cmd_submit(mut args: Vec<String>) -> Result<String, CliError> {
         .request_line(&request)
         .map_err(|e| CliError::runtime(format!("request to {addr} failed: {e}")))?;
     if response.get("ok").and_then(Json::as_bool) == Some(true) {
+        if want_stats {
+            if let Some(summary) = stats_latency_summary(&response) {
+                return Ok(format!("{response}\n{summary}"));
+            }
+        }
         return Ok(format!("{response}\n"));
     }
     let kind = response
@@ -755,6 +875,159 @@ mod tests {
         let e = run(&["run", "--inject-fairness-skip"]).unwrap_err();
         assert_eq!(e.code, 2);
         assert!(e.message.contains("--check-invariants"), "{e}");
+    }
+
+    #[test]
+    fn fault_free_flags_leave_the_output_byte_identical() {
+        let common = ["--sus", "40", "--pus", "4", "--side", "36", "--seed", "3"];
+        let mut plain = vec!["run"];
+        plain.extend_from_slice(&common);
+        let mut preset_none = plain.clone();
+        preset_none.extend_from_slice(&["--fault-preset", "none"]);
+        assert_eq!(run(&plain).unwrap(), run(&preset_none).unwrap());
+    }
+
+    #[test]
+    fn empty_plan_file_matches_the_fault_free_report() {
+        // ISSUE acceptance at the CLI level: an explicit empty plan runs
+        // the identical simulation; only the fault-summary lines differ.
+        let path = std::env::temp_dir().join("crn_cli_empty_plan.json");
+        std::fs::write(&path, r#"{"events":[]}"#).unwrap();
+        let common = ["--sus", "40", "--pus", "4", "--side", "36", "--seed", "3"];
+        let mut plain = vec!["run"];
+        plain.extend_from_slice(&common);
+        let mut with_plan = plain.clone();
+        let path_s = path.to_str().unwrap();
+        with_plan.extend_from_slice(&["--faults", path_s]);
+        let with_out = run(&with_plan).unwrap();
+        assert!(with_out.contains("faults [plan(0 events)]"), "{with_out}");
+        assert!(with_out.contains("delivery ratio 1.000"), "{with_out}");
+        let stripped: String = with_out
+            .lines()
+            .filter(|l| !l.contains("faults [") && !l.contains("healing:"))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        assert_eq!(run(&plain).unwrap(), stripped);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn churn_preset_runs_clean_under_the_oracle_and_reports_faults() {
+        let out = run(&[
+            "run",
+            "--check-invariants",
+            "--fault-preset",
+            "churn:10",
+            "--sus",
+            "40",
+            "--pus",
+            "4",
+            "--side",
+            "36",
+            "--seed",
+            "3",
+        ])
+        .unwrap();
+        assert!(out.contains("faults [churn:10]"), "{out}");
+        assert!(out.contains("healing: reparents"), "{out}");
+        assert!(out.contains("invariants: ok ("), "{out}");
+    }
+
+    #[test]
+    fn plan_file_crash_is_reported() {
+        let path = std::env::temp_dir().join("crn_cli_crash_plan.json");
+        std::fs::write(
+            &path,
+            r#"{"events":[{"t":0.001,"kind":"crash","su":1},{"t":0.5,"kind":"recover","su":1}]}"#,
+        )
+        .unwrap();
+        let out = run(&[
+            "run",
+            "--check-invariants",
+            "--faults",
+            path.to_str().unwrap(),
+            "--sus",
+            "40",
+            "--pus",
+            "4",
+            "--side",
+            "36",
+            "--seed",
+            "3",
+        ])
+        .unwrap();
+        assert!(out.contains("faults [plan(2 events)]"), "{out}");
+        assert!(out.contains("invariants: ok ("), "{out}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn fault_flag_misuse_is_a_usage_error() {
+        let e = run(&["run", "--faults", "x.json", "--fault-preset", "churn:1"]).unwrap_err();
+        assert_eq!(e.code, 2);
+        assert!(e.message.contains("mutually exclusive"), "{e}");
+        let e = run(&["run", "--fault-preset", "meteor"]).unwrap_err();
+        assert!(e.message.contains("meteor"), "{e}");
+        let e = run(&["run", "--faults", "/nonexistent/plan.json"]).unwrap_err();
+        assert!(e.message.contains("cannot read"), "{e}");
+    }
+
+    #[test]
+    fn malformed_plan_files_are_rejected_with_the_path() {
+        let path = std::env::temp_dir().join("crn_cli_bad_plan.json");
+        for bad in ["not json", r#"{"events":[{"t":0.0,"kind":"zap"}]}"#] {
+            std::fs::write(&path, bad).unwrap();
+            let e = run(&["run", "--faults", path.to_str().unwrap()]).unwrap_err();
+            assert_eq!(e.code, 2, "{bad}");
+            assert!(e.message.contains("crn_cli_bad_plan"), "{bad}: {e}");
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn sweep_runs_the_churn_figure() {
+        let out = run(&["sweep", "churn", "--reps", "1"]).unwrap();
+        assert!(out.contains("## churn"), "{out}");
+        assert!(out.contains("ADDC delay"), "{out}");
+    }
+
+    #[test]
+    fn histogram_percentiles_walk_the_cumulative_counts() {
+        let buckets = vec![(Some(1.0), 50u64), (Some(5.0), 45), (None, 5)];
+        assert_eq!(histogram_percentile(&buckets, 0.50), Some(Some(1.0)));
+        assert_eq!(histogram_percentile(&buckets, 0.95), Some(Some(5.0)));
+        assert_eq!(histogram_percentile(&buckets, 0.99), Some(None));
+        assert_eq!(histogram_percentile(&[], 0.5), None);
+        assert_eq!(histogram_percentile(&[(Some(1.0), 0)], 0.5), None);
+        // A single sample is every percentile.
+        let one = vec![(Some(1.0), 0u64), (Some(5.0), 1)];
+        assert_eq!(histogram_percentile(&one, 0.50), Some(Some(5.0)));
+        assert_eq!(histogram_percentile(&one, 0.99), Some(Some(5.0)));
+    }
+
+    #[test]
+    fn stats_summary_renders_percentiles_from_a_response() {
+        let response: Json = r#"{"v":1,"ok":true,"stats":{"latency_ms":[
+            {"le_ms":1.0,"count":90},{"le_ms":5.0,"count":5},{"le_ms":null,"count":5}
+        ]}}"#
+            .parse()
+            .unwrap();
+        let summary = stats_latency_summary(&response).unwrap();
+        assert_eq!(
+            summary,
+            "latency over 100 served: p50 <=1ms p95 <=5ms p99 >5ms\n"
+        );
+        let empty: Json = r#"{"v":1,"ok":true,"stats":{"latency_ms":[
+            {"le_ms":1.0,"count":0},{"le_ms":null,"count":0}
+        ]}}"#
+            .parse()
+            .unwrap();
+        assert_eq!(
+            stats_latency_summary(&empty).unwrap(),
+            "latency: no served requests yet\n"
+        );
+        let no_hist: Json = r#"{"v":1,"ok":true}"#.parse().unwrap();
+        assert!(stats_latency_summary(&no_hist).is_none());
     }
 
     #[test]

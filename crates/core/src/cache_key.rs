@@ -17,7 +17,7 @@
 
 use crate::ScenarioParams;
 use crn_interference::PcrConstants;
-use crn_sim::InterferenceModel;
+use crn_sim::{FaultKind, FaultsConfig, InterferenceModel};
 use crn_spectrum::PuActivity;
 use std::fmt::Write as _;
 
@@ -112,6 +112,55 @@ pub fn canonical_params_string(p: &ScenarioParams) -> String {
         p.seed, p.max_connectivity_attempts
     );
     bits(&mut s, p.baseline_su_sense_factor);
+    s.push_str(";faults=");
+    match &p.faults {
+        FaultsConfig::None => s.push_str("none"),
+        FaultsConfig::Plan(plan) => {
+            s.push_str("plan:");
+            for e in plan.events() {
+                bits(&mut s, e.time);
+                s.push('@');
+                s.push_str(e.kind.label());
+                match e.kind {
+                    FaultKind::SuCrash { su }
+                    | FaultKind::SuRecover { su }
+                    | FaultKind::SuPause { su }
+                    | FaultKind::SuResume { su } => {
+                        let _ = write!(s, ":{su}");
+                    }
+                    FaultKind::LinkDegrade { su, factor } => {
+                        let _ = write!(s, ":{su}:");
+                        bits(&mut s, factor);
+                    }
+                    FaultKind::PuRegimeShift { activity } => {
+                        s.push(':');
+                        match activity {
+                            PuActivity::Bernoulli { p_t } => {
+                                s.push_str("bern:");
+                                bits(&mut s, p_t);
+                            }
+                            PuActivity::Gilbert(g) => {
+                                s.push_str("gilb:");
+                                bits(&mut s, g.p_on);
+                                s.push(',');
+                                bits(&mut s, g.p_off);
+                            }
+                        }
+                    }
+                    FaultKind::BrownoutStart | FaultKind::BrownoutEnd => {}
+                }
+                s.push(';');
+            }
+        }
+        FaultsConfig::Churn(c) => {
+            s.push_str("churn:");
+            bits(&mut s, c.rate_per_1k_slots);
+            s.push(',');
+            bits(&mut s, c.downtime_slots);
+            s.push(',');
+            bits(&mut s, c.horizon_slots);
+        }
+    }
     s
 }
 
@@ -216,6 +265,32 @@ mod tests {
         let mut p = b.clone();
         p.baseline_su_sense_factor = 1.5;
         variants.push(("baseline_su_sense_factor", p));
+        let mut p = b.clone();
+        p.faults = FaultsConfig::Churn(crn_sim::ChurnSpec::new(2.0).unwrap());
+        variants.push(("faults churn", p));
+        let mut p = b.clone();
+        p.faults = FaultsConfig::Churn(crn_sim::ChurnSpec::new(3.0).unwrap());
+        variants.push(("faults churn rate", p));
+        let mut p = b.clone();
+        p.faults = FaultsConfig::Plan(crn_sim::FaultPlan::from_events(vec![
+            crn_sim::FaultEvent::new(0.05, crn_sim::FaultKind::SuCrash { su: 3 }),
+        ]));
+        variants.push(("faults plan", p));
+        let mut p = b.clone();
+        p.faults = FaultsConfig::Plan(crn_sim::FaultPlan::from_events(vec![
+            crn_sim::FaultEvent::new(0.05, crn_sim::FaultKind::SuCrash { su: 4 }),
+        ]));
+        variants.push(("faults plan target", p));
+        let mut p = b.clone();
+        p.faults = FaultsConfig::Plan(crn_sim::FaultPlan::from_events(vec![
+            crn_sim::FaultEvent::new(0.06, crn_sim::FaultKind::SuCrash { su: 3 }),
+        ]));
+        variants.push(("faults plan time", p));
+        let mut p = b.clone();
+        p.faults = FaultsConfig::Plan(crn_sim::FaultPlan::from_events(vec![
+            crn_sim::FaultEvent::new(0.05, crn_sim::FaultKind::LinkDegrade { su: 3, factor: 0.5 }),
+        ]));
+        variants.push(("faults plan kind", p));
 
         let mut seen = vec![key];
         for (field, p) in &variants {

@@ -1,5 +1,5 @@
 use crn_interference::{PcrConstants, PhyParams};
-use crn_sim::{InterferenceModel, MacConfig};
+use crn_sim::{FaultsConfig, InterferenceModel, MacConfig};
 use crn_spectrum::PuActivity;
 use serde::{Deserialize, Serialize};
 
@@ -34,6 +34,10 @@ pub struct ScenarioParams {
     pub seed: u64,
     /// How many deployments to try before giving up on connectivity.
     pub max_connectivity_attempts: usize,
+    /// Fault workload: none (inert, the default), an explicit
+    /// [`crn_sim::FaultPlan`], or seeded churn resolved against the
+    /// scenario's size, slot, and seed at run time.
+    pub faults: FaultsConfig,
     /// SU↔SU carrier-sensing range of the **Coolest baseline**, as a
     /// multiple of the SU radius `r`. ADDC's PCR is the paper's
     /// contribution; the baseline routing protocol uses a conventional
@@ -84,6 +88,7 @@ impl Default for ScenarioParamsBuilder {
                 interference: InterferenceModel::default(),
                 seed: 0,
                 max_connectivity_attempts: 100,
+                faults: FaultsConfig::None,
                 baseline_su_sense_factor: 1.0,
             },
             p_t: None,
@@ -163,6 +168,13 @@ impl ScenarioParamsBuilder {
     /// Sets the connectivity resampling budget.
     pub fn max_connectivity_attempts(&mut self, attempts: usize) -> &mut Self {
         self.params.max_connectivity_attempts = attempts;
+        self
+    }
+
+    /// Sets the fault workload (default [`FaultsConfig::None`], which is
+    /// guaranteed bit-for-bit inert).
+    pub fn faults(&mut self, faults: FaultsConfig) -> &mut Self {
+        self.params.faults = faults;
         self
     }
 

@@ -75,6 +75,8 @@ pub enum ScenarioError {
     World(WorldError),
     /// Simulator configuration was rejected at build time.
     Sim(BuildError),
+    /// The fault workload failed to resolve (invalid plan or churn spec).
+    Fault(crn_sim::FaultError),
     /// The simulation oracle observed an invariant violation (only from
     /// [`Scenario::run_checked`]); carries the first violation, which is
     /// usually the root cause.
@@ -91,6 +93,7 @@ impl fmt::Display for ScenarioError {
             ScenarioError::Tree(e) => write!(f, "tree construction failed: {e}"),
             ScenarioError::World(e) => write!(f, "world assembly failed: {e}"),
             ScenarioError::Sim(e) => write!(f, "simulator configuration rejected: {e}"),
+            ScenarioError::Fault(e) => write!(f, "fault workload rejected: {e}"),
             ScenarioError::Invariant(v) => write!(f, "simulation invariant violated: {v}"),
         }
     }
@@ -103,7 +106,14 @@ impl std::error::Error for ScenarioError {
             ScenarioError::Tree(e) => Some(e),
             ScenarioError::World(e) => Some(e),
             ScenarioError::Sim(e) => Some(e),
+            ScenarioError::Fault(e) => Some(e),
         }
+    }
+}
+
+impl From<crn_sim::FaultError> for ScenarioError {
+    fn from(e: crn_sim::FaultError) -> Self {
+        ScenarioError::Fault(e)
     }
 }
 
@@ -490,11 +500,20 @@ impl Scenario {
         probe: P,
     ) -> Result<(CollectionOutcome, P), ScenarioError> {
         let prepared = self.prepared(algorithm)?;
+        // Fault schedules resolve against the *master* seed, not the sim
+        // seed, so algorithm comparisons and repetition sweeps face the
+        // same churn workload.
+        let faults = self.params.faults.resolve(
+            self.params.num_sus,
+            self.params.mac.slot,
+            self.params.seed,
+        )?;
         let (report, probe): (SimReport, P) = Simulator::builder(prepared.world)
             .mac(self.params.mac)
             .activity(self.params.activity)
             .seed(sim_seed)
             .traffic(traffic)
+            .faults(faults)
             .probe(probe)
             .build()?
             .run_with_probe();
@@ -553,6 +572,61 @@ mod tests {
             Scenario::generate(&p).unwrap_err(),
             ScenarioError::Disconnected { attempts: 3 }
         );
+    }
+
+    #[test]
+    fn empty_fault_plan_reproduces_reports_bit_for_bit() {
+        // FaultsConfig::None and an explicit empty plan must both be
+        // byte-identical to the fault-unaware path (report PartialEq
+        // compares every float bit-exactly).
+        let baseline = Scenario::generate(&small_params(3))
+            .unwrap()
+            .run(CollectionAlgorithm::Addc)
+            .unwrap();
+        let mut with_plan = small_params(3);
+        with_plan.faults = crn_sim::FaultsConfig::Plan(crn_sim::FaultPlan::empty());
+        let planned = Scenario::generate(&with_plan)
+            .unwrap()
+            .run(CollectionAlgorithm::Addc)
+            .unwrap();
+        assert_eq!(baseline, planned);
+    }
+
+    #[test]
+    fn churn_scenario_passes_the_oracle_and_loses_accountably() {
+        let mut p = small_params(4);
+        p.faults = "churn:4".parse().unwrap();
+        let s = Scenario::generate(&p).unwrap();
+        let (o, oracle) = s.run_checked(CollectionAlgorithm::Addc).unwrap();
+        assert!(oracle.is_clean());
+        let r = &o.report;
+        assert!(r.packets_delivered as u64 + r.packets_lost <= 60);
+        if r.finished {
+            assert_eq!(
+                r.packets_delivered as u64 + r.packets_lost,
+                60,
+                "a finished run accounts for every packet"
+            );
+        }
+        assert!(r.delivery_ratio() <= 1.0);
+    }
+
+    #[test]
+    fn churn_workload_hits_every_algorithm() {
+        // The schedule resolves from the master seed, so ADDC and the
+        // baseline face the same crash script (how many packets each
+        // loses still differs with their queue states — only the script
+        // is shared). A heavy rate must visibly perturb both.
+        let mut p = small_params(6);
+        p.faults = "churn:25".parse().unwrap();
+        let s = Scenario::generate(&p).unwrap();
+        for alg in [CollectionAlgorithm::Addc, CollectionAlgorithm::Coolest] {
+            let o = s.run(alg).unwrap();
+            assert!(
+                o.report.packets_lost + o.report.fault_aborts > 0,
+                "{alg:?} saw no churn effect"
+            );
+        }
     }
 
     #[test]

@@ -362,6 +362,78 @@ mod tests {
     }
 
     #[test]
+    fn decision_budget_accepts_boundary_epsilons() {
+        // ε may approach both ends of (0, 1) without tripping the guard,
+        // and the budget stays proportional all the way down.
+        let tiny = decision_budget(1.0, 8.0, 1e-300);
+        assert!(tiny > 0.0 && tiny.is_finite());
+        let nearly_one = decision_budget(1.0, 8.0, 1.0 - f64::EPSILON);
+        assert!(nearly_one < 1.0 / 8.0);
+        assert!(nearly_one > 0.124);
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon")]
+    fn decision_budget_rejects_epsilon_zero() {
+        let _ = decision_budget(1.0, 8.0, 0.0);
+    }
+
+    #[test]
+    fn extreme_epsilon_budgets_still_invert_cleanly() {
+        // A near-zero ε produces a tiny budget; the doubling search must
+        // still terminate with a certified, minimal radius.
+        let b = bound();
+        let budget = decision_budget(1e-6, 8.0, 1e-9);
+        let r = b.cutoff_radius(budget);
+        assert!(r.is_finite() && r > 0.0);
+        assert!(b.tail(r) <= budget);
+        assert!(b.tail(r * 0.99) > budget);
+    }
+
+    #[test]
+    fn budget_exactly_the_full_series_needs_no_cutoff() {
+        // The `tail(0) ≤ budget` comparison is inclusive: a budget equal
+        // to the whole series is satisfiable with no truncation at all.
+        let b = bound();
+        assert_eq!(b.cutoff_radius(b.tail(0.0)), 0.0);
+    }
+
+    #[test]
+    fn budget_exactly_a_tail_value_stays_certified() {
+        // Feeding a tail value back in as the budget sits exactly on the
+        // decision boundary; the returned radius must still certify.
+        let b = bound();
+        for r in [24.0, 48.0, 96.0] {
+            let budget = b.tail(r);
+            let chosen = b.cutoff_radius(budget);
+            assert!(b.tail(chosen) <= budget, "boundary budget broken at {r}");
+            assert!(
+                chosen <= r + 1e-6,
+                "boundary budget {budget} pushed the cutoff from {r} to {chosen}"
+            );
+        }
+    }
+
+    #[test]
+    fn table_boundary_budgets_round_to_their_own_grid_point() {
+        // A budget exactly equal to a tabulated tail is satisfied by that
+        // grid point itself (`partition_point` uses a strict comparison),
+        // so the certificate holds with zero slack.
+        let b = bound();
+        let table = CutoffTable::new(&b, 5.0, 2000.0, 64);
+        for budget in [b.tail(5.0), b.tail(130.0), b.tail(2000.0)] {
+            let r = table.radius_for(budget);
+            assert!(b.tail(r) <= budget, "tabulated boundary budget broken");
+        }
+        // Just beyond the finest tabulated tail the table saturates.
+        let below_min = b.tail(2000.0) * (1.0 - 1e-12);
+        assert_eq!(table.radius_for(below_min), table.max_radius());
+        // Just above the coarsest tail the first grid point suffices.
+        let above_max = b.tail(5.0) * (1.0 + 1e-12);
+        assert_eq!(table.radius_for(above_max), 5.0);
+    }
+
+    #[test]
     fn table_saturates_at_max_radius() {
         let b = bound();
         let table = CutoffTable::new(&b, 5.0, 50.0, 16);

@@ -23,7 +23,8 @@
 
 use crate::ErrorKind;
 use crn_core::{CollectionAlgorithm, CollectionOutcome, ScenarioParams};
-use crn_sim::InterferenceModel;
+use crn_sim::{FaultsConfig, InterferenceModel};
+use crn_workloads::faults_wire;
 use crn_workloads::json::Json;
 
 /// The protocol version this build speaks.
@@ -65,8 +66,17 @@ impl RunSpec {
     /// A one-line reproduction recipe (reported with timeouts/errors).
     #[must_use]
     pub fn repro(&self) -> String {
+        let faults = match &self.params.faults {
+            FaultsConfig::None => String::new(),
+            FaultsConfig::Churn(c) => format!(" --fault-preset churn:{}", c.rate_per_1k_slots),
+            // An explicit plan has no flag-only spelling; point at the
+            // wire shape so the operator knows what file to reconstruct.
+            FaultsConfig::Plan(plan) => {
+                format!(" --faults <plan.json: {} events>", plan.events().len())
+            }
+        };
         format!(
-            "crn run --algo {} --sus {} --pus {} --side {} --pt {} --seed {} --interference {}{}",
+            "crn run --algo {} --sus {} --pus {} --side {} --pt {} --seed {} --interference {}{faults}{}",
             match self.algorithm {
                 CollectionAlgorithm::Addc => "addc",
                 CollectionAlgorithm::Coolest => "coolest",
@@ -241,6 +251,7 @@ fn parse_spec(v: &Json) -> Result<RunSpec, ProtoError> {
                 | "interference"
                 | "max_connectivity_attempts"
                 | "baseline_su_sense_factor"
+                | "faults"
         ) {
             return Err(ProtoError::bad(format!("unknown params field '{key}'")));
         }
@@ -302,6 +313,13 @@ fn parse_spec(v: &Json) -> Result<RunSpec, ProtoError> {
             "params.baseline_su_sense_factor must be >= 1",
         ));
     }
+    // Faults travel either as a preset string ("none", "churn:RATE") or
+    // as the structured wire shapes ({"churn":{...}}, {"events":[...]}).
+    let faults = match p.get("faults") {
+        None => FaultsConfig::None,
+        Some(field) => faults_wire::faults_config_from_json(field)
+            .map_err(|e| ProtoError::bad(format!("params.faults: {e}")))?,
+    };
     let algorithm: CollectionAlgorithm = match v.get("algo") {
         None => CollectionAlgorithm::Addc,
         Some(field) => field
@@ -329,6 +347,7 @@ fn parse_spec(v: &Json) -> Result<RunSpec, ProtoError> {
         .interference(interference)
         .max_connectivity_attempts(attempts)
         .baseline_su_sense_factor(base_factor)
+        .faults(faults)
         .build();
     Ok(RunSpec {
         params,
@@ -359,6 +378,10 @@ pub fn report_json(outcome: &CollectionOutcome) -> Json {
         .set("pu_aborts", Json::UInt(r.pu_aborts))
         .set("sir_failures", Json::UInt(r.sir_failures))
         .set("capture_losses", Json::UInt(r.capture_losses))
+        .set("delivery_ratio", Json::float(r.delivery_ratio()))
+        .set("packets_lost", Json::UInt(r.packets_lost))
+        .set("fault_aborts", Json::UInt(r.fault_aborts))
+        .set("reparents", Json::UInt(u64::from(r.reparents)))
         .set("peak_queue", Json::UInt(r.peak_queue as u64))
         .set("mean_service_time", Json::float(r.mean_service_time))
         .set("max_service_time", Json::float(r.max_service_time))
@@ -535,6 +558,68 @@ mod tests {
         assert!(repro.starts_with("crn run"), "{repro}");
         assert!(repro.contains("--seed 9"), "{repro}");
         assert!(repro.contains("--sus 60"), "{repro}");
+    }
+
+    #[test]
+    fn faults_field_parses_presets_plans_and_churn_objects() {
+        let run = |line: &str| {
+            let Request::Run { spec, .. } = parse_request(line).unwrap() else {
+                panic!("not a run: {line}");
+            };
+            spec
+        };
+        // Absent → inert default.
+        assert!(run(r#"{"v":1,"cmd":"run"}"#).params.faults.is_none());
+        // Preset string, same grammar as the CLI.
+        let spec = run(r#"{"v":1,"cmd":"run","params":{"faults":"churn:4"}}"#);
+        let FaultsConfig::Churn(c) = &spec.params.faults else {
+            panic!("expected churn: {:?}", spec.params.faults);
+        };
+        assert_eq!(c.rate_per_1k_slots, 4.0);
+        // Structured plan, the CLI `--faults plan.json` wire shape.
+        let spec = run(
+            r#"{"v":1,"cmd":"run","params":{"faults":{"events":[{"t":0.05,"kind":"crash","su":3}]}}}"#,
+        );
+        let FaultsConfig::Plan(plan) = &spec.params.faults else {
+            panic!("expected plan: {:?}", spec.params.faults);
+        };
+        assert_eq!(plan.events().len(), 1);
+        // Garbage is a typed bad request.
+        for bad in [
+            r#"{"v":1,"cmd":"run","params":{"faults":"meteor"}}"#,
+            r#"{"v":1,"cmd":"run","params":{"faults":7}}"#,
+            r#"{"v":1,"cmd":"run","params":{"faults":{"events":[{"t":0.0,"kind":"zap"}]}}}"#,
+        ] {
+            let e = parse_request(bad).unwrap_err();
+            assert_eq!(e.kind, ErrorKind::BadRequest, "{bad}");
+            assert!(e.message.contains("faults"), "{}", e.message);
+        }
+    }
+
+    #[test]
+    fn faults_feed_the_cache_key_and_the_repro_line() {
+        let spec = |faults: &str| {
+            let Request::Run { spec, .. } = parse_request(&format!(
+                r#"{{"v":1,"cmd":"run","params":{{"faults":{faults}}}}}"#
+            ))
+            .unwrap() else {
+                panic!()
+            };
+            spec
+        };
+        let plain = spec("\"none\"");
+        let churn = spec("\"churn:3\"");
+        let plan = spec(r#"{"events":[{"t":0.05,"kind":"crash","su":3}]}"#);
+        assert_ne!(plain.cache_key(), churn.cache_key());
+        assert_ne!(plain.cache_key(), plan.cache_key());
+        assert_ne!(churn.cache_key(), plan.cache_key());
+        assert!(!plain.repro().contains("--fault"), "{}", plain.repro());
+        assert!(
+            churn.repro().contains("--fault-preset churn:3"),
+            "{}",
+            churn.repro()
+        );
+        assert!(plan.repro().contains("1 events"), "{}", plan.repro());
     }
 
     #[test]

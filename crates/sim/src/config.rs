@@ -214,6 +214,13 @@ pub enum BuildError {
     },
     /// Periodic traffic was configured with zero snapshots.
     NoSnapshots,
+    /// The fault schedule targets a node id outside the simulated world.
+    BadFaultTarget {
+        /// Largest node id mentioned by the schedule.
+        target: u32,
+        /// Number of nodes in the world (ids are `0..nodes`).
+        nodes: usize,
+    },
 }
 
 impl fmt::Display for BuildError {
@@ -242,6 +249,10 @@ impl fmt::Display for BuildError {
                 write!(f, "periodic interval must be positive, got {interval}")
             }
             BuildError::NoSnapshots => f.write_str("at least one snapshot required"),
+            BuildError::BadFaultTarget { target, nodes } => write!(
+                f,
+                "fault schedule targets node {target}, but the world has only {nodes} nodes"
+            ),
         }
     }
 }

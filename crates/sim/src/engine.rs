@@ -2,6 +2,7 @@ use crate::event::{EventKind, EventQueue};
 use crate::probe::{NoopProbe, Probe, TraceEvent, TraceEventKind, TxOutcome};
 use crate::report::NodeStats;
 use crate::{BuildError, MacConfig, SimReport, SimWorld, Traffic};
+use crn_faults::{FaultKind, FaultSchedule};
 use crn_spectrum::PuActivity;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -21,6 +22,22 @@ enum Phase {
     Transmitting,
     /// Fairness wait (`τ_c − t_i`) after a transmission.
     Waiting,
+    /// Knocked out by an injected fault (crash or pause); no timers run
+    /// until the matching recover/resume.
+    Down,
+}
+
+/// How a transmission's airtime came to its end, for outcome
+/// classification in `finish_tx`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum FinishCause {
+    /// The airtime ran to completion with a live receiver.
+    Natural,
+    /// A PU appeared inside the transmitter's PCR (spectrum handoff).
+    PuAbort,
+    /// An injected fault voided it: the transmitter went down mid-air, or
+    /// the receiver was dead when the airtime ended.
+    Fault,
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -93,6 +110,28 @@ pub struct Simulator<P: Probe = NoopProbe> {
     now: f64,
     su: Vec<SuState>,
 
+    // Fault-injection state. All of it stays at its fault-free fixpoint
+    // (everything up, factors 1, `cur_parent` = the world's tree) when the
+    // schedule is empty, and none of the fault paths below consume RNG
+    // draws, so an empty schedule reproduces fault-free runs bit-for-bit.
+    faults: FaultSchedule,
+    /// Whether each node is currently knocked out (crashed or paused).
+    down: Vec<bool>,
+    /// Whether each node's outage is a crash (queue dropped) rather than a
+    /// pause (queue retained).
+    crashed: Vec<bool>,
+    /// Per-transmitter multiplier on the *intended-link* path gain
+    /// (fault-injected obstruction); interference contributions to other
+    /// receivers are unaffected.
+    link_factor: Vec<f64>,
+    /// Whether the base station is inside a brownout window.
+    brownout: bool,
+    /// Live routing overlay: starts as the world's tree and is rewritten
+    /// by self-healing re-parents.
+    cur_parent: Vec<Option<u32>>,
+    /// When each orphaned node lost its parent (None while parented).
+    orphan_since: Vec<Option<f64>>,
+
     pu_on: Vec<bool>,
     pu_scratch: Vec<bool>,
     /// Dense list of currently active PUs.
@@ -123,6 +162,11 @@ pub struct Simulator<P: Probe = NoopProbe> {
     peak_queue: usize,
     node_stats: Vec<NodeStats>,
     events_processed: u64,
+    packets_lost: u64,
+    fault_aborts: u64,
+    reparents: u32,
+    reparent_lat_sum: f64,
+    reparent_lat_max: f64,
 }
 
 /// Fluent constructor for [`Simulator`], started by
@@ -160,6 +204,7 @@ pub struct SimulatorBuilder<P: Probe = NoopProbe> {
     activity: PuActivity,
     seed: u64,
     traffic: Traffic,
+    faults: FaultSchedule,
     probe: P,
 }
 
@@ -193,6 +238,15 @@ impl<P: Probe> SimulatorBuilder<P> {
         self
     }
 
+    /// Compiled fault schedule to inject (defaults to
+    /// [`FaultSchedule::empty`], which injects nothing and leaves runs
+    /// bit-for-bit identical to a fault-free simulator).
+    #[must_use]
+    pub fn faults(mut self, faults: FaultSchedule) -> Self {
+        self.faults = faults;
+        self
+    }
+
     /// Attaches `probe`, replacing any previously attached one (the
     /// builder's probe type parameter changes with it).
     #[must_use]
@@ -203,6 +257,7 @@ impl<P: Probe> SimulatorBuilder<P> {
             activity: self.activity,
             seed: self.seed,
             traffic: self.traffic,
+            faults: self.faults,
             probe,
         }
     }
@@ -223,6 +278,7 @@ impl<P: Probe> SimulatorBuilder<P> {
             self.activity,
             self.seed,
             self.traffic,
+            self.faults,
             self.probe,
         )
     }
@@ -239,6 +295,7 @@ impl Simulator {
             activity: PuActivity::bernoulli(0.0).expect("p_t = 0 is valid"),
             seed: 0,
             traffic: Traffic::Snapshot,
+            faults: FaultSchedule::empty(),
             probe: NoopProbe,
         }
     }
@@ -259,6 +316,7 @@ impl Simulator {
             activity,
             seed,
             Traffic::Snapshot,
+            FaultSchedule::empty(),
             NoopProbe,
         )
         .unwrap_or_else(|e| panic!("{e}"))
@@ -282,8 +340,16 @@ impl Simulator {
         seed: u64,
         traffic: Traffic,
     ) -> Self {
-        Self::construct(world.into(), mac, activity, seed, traffic, NoopProbe)
-            .unwrap_or_else(|e| panic!("{e}"))
+        Self::construct(
+            world.into(),
+            mac,
+            activity,
+            seed,
+            traffic,
+            FaultSchedule::empty(),
+            NoopProbe,
+        )
+        .unwrap_or_else(|e| panic!("{e}"))
     }
 }
 
@@ -294,6 +360,7 @@ impl<P: Probe> Simulator<P> {
         activity: PuActivity,
         seed: u64,
         traffic: Traffic,
+        faults: FaultSchedule,
         probe: P,
     ) -> Result<Self, BuildError> {
         mac.validated()?;
@@ -301,6 +368,12 @@ impl<P: Probe> Simulator<P> {
         let n = world.num_sus();
         let num_pus = world.num_pus();
         let slots = world.num_receiver_slots();
+        if let Some(target) = faults.max_target() {
+            if target as usize >= n {
+                return Err(BuildError::BadFaultTarget { target, nodes: n });
+            }
+        }
+        let cur_parent = world.parents().to_vec();
         Ok(Self {
             mac,
             activity,
@@ -344,6 +417,18 @@ impl<P: Probe> Simulator<P> {
             peak_queue: 0,
             node_stats: vec![NodeStats::default(); n],
             events_processed: 0,
+            packets_lost: 0,
+            fault_aborts: 0,
+            reparents: 0,
+            reparent_lat_sum: 0.0,
+            reparent_lat_max: 0.0,
+            faults,
+            down: vec![false; n],
+            crashed: vec![false; n],
+            link_factor: vec![1.0; n],
+            brownout: false,
+            cur_parent,
+            orphan_since: vec![None; n],
             world,
             probe,
         })
@@ -387,6 +472,8 @@ impl<P: Probe> Simulator<P> {
                 EventKind::TxEnd { su, gen } => self.on_tx_end(su, gen),
                 EventKind::WaitEnd { su, gen } => self.on_wait_end(su, gen),
                 EventKind::SnapshotTick { index } => self.on_snapshot_tick(index),
+                EventKind::FaultAt { index } => self.on_fault_at(index),
+                EventKind::Heal { su } => self.on_heal(su),
             }
         }
         let end = self.finished_at.unwrap_or(self.mac.max_sim_time);
@@ -421,14 +508,30 @@ impl<P: Probe> Simulator<P> {
                     .push(interval, EventKind::SnapshotTick { index: 1 });
             }
         }
+        // Arm the fault driver: exactly one FaultAt is ever pending (it
+        // chains itself), and an empty schedule pushes nothing — keeping
+        // event sequence numbers identical to a fault-free run.
+        if let Some(first) = self.faults.events().first() {
+            self.queue.push(first.time, EventKind::FaultAt { index: 0 });
+        }
         if self.packets_expected == 0 {
             self.finished_at = Some(0.0);
         }
     }
 
-    /// Every SU produces one packet now (a snapshot round).
+    /// Every SU produces one packet now (a snapshot round). Packets
+    /// generated on a crashed node are lost immediately; a paused node
+    /// enqueues but stays silent until resume.
     fn generate_snapshot(&mut self) {
         for su in 1..self.world.num_sus() as u32 {
+            if self.crashed[su as usize] {
+                self.emit(TraceEventKind::PacketGenerated { su });
+                self.packets_lost += 1;
+                self.node_stats[su as usize].packets_lost += 1;
+                self.emit(TraceEventKind::PacketsLost { su, count: 1 });
+                self.check_finished();
+                continue;
+            }
             let s = &mut self.su[su as usize];
             if s.queue.is_empty() {
                 s.head_since = self.now;
@@ -578,7 +681,9 @@ impl<P: Probe> Simulator<P> {
     // Transmissions.
 
     fn begin_tx(&mut self, su: u32) {
-        let rx = self.world.parent(su).expect("base station never transmits");
+        // The routing overlay, not the world's tree: self-healing may have
+        // re-parented this node (identical until a fault rewrites it).
+        let rx = self.cur_parent[su as usize].expect("base station never transmits");
         let rx_slot = self.world.receiver_slot(rx).expect("parents are receivers");
         let p_s = self.world.phy().su_power();
         let p_p = self.world.phy().pu_power();
@@ -611,7 +716,10 @@ impl<P: Probe> Simulator<P> {
             interference += p_s * self.world.su_gain(a.su, rx_slot);
         }
 
-        let signal = self.world.link_signal(su);
+        // Intended-link signal through the overlay parent, scaled by any
+        // injected degradation (`× 1.0` is exact, so fault-free runs are
+        // bit-identical to `SimWorld::link_signal`).
+        let signal = p_s * self.world.su_gain(su, rx_slot) * self.link_factor[su as usize];
         let mut tx = ActiveTx {
             su,
             rx,
@@ -671,17 +779,28 @@ impl<P: Probe> Simulator<P> {
         if self.su[su as usize].gen != gen {
             return; // aborted earlier
         }
-        self.finish_tx(su, false);
+        // A reception whose receiver died mid-air (or whose base station
+        // browned out) is voided by the fault, whatever else happened.
+        let pos = self.active_pos[su as usize];
+        debug_assert_ne!(pos, usize::MAX);
+        let rx = self.active[pos].rx;
+        let cause = if self.down[rx as usize] || (rx == 0 && self.brownout) {
+            FinishCause::Fault
+        } else {
+            FinishCause::Natural
+        };
+        self.finish_tx(su, cause);
     }
 
     /// Aborts an in-flight transmission (spectrum handoff).
     fn abort_tx(&mut self, su: u32) {
         debug_assert!(matches!(self.su[su as usize].phase, Phase::Transmitting));
         self.su[su as usize].gen += 1; // cancels the pending TxEnd
-        self.finish_tx(su, true);
+        self.finish_tx(su, FinishCause::PuAbort);
     }
 
-    fn finish_tx(&mut self, su: u32, aborted: bool) {
+    fn finish_tx(&mut self, su: u32, cause: FinishCause) {
+        let aborted = cause != FinishCause::Natural;
         let pos = self.active_pos[su as usize];
         debug_assert_ne!(pos, usize::MAX, "finish_tx without active tx");
         let tx = self.active.swap_remove(pos);
@@ -710,7 +829,11 @@ impl<P: Probe> Simulator<P> {
         }
 
         let success = !aborted && held_lock && !tx.failed_sir && !tx.failed_capture;
-        let outcome = if aborted {
+        let outcome = if cause == FinishCause::Fault {
+            self.fault_aborts += 1;
+            self.node_stats[su as usize].fault_aborts += 1;
+            TxOutcome::FaultAbort
+        } else if aborted {
             self.pu_aborts += 1;
             self.node_stats[su as usize].pu_aborts += 1;
             TxOutcome::PuAbort
@@ -766,9 +889,7 @@ impl<P: Probe> Simulator<P> {
                 if self.delivery_times[packet.origin as usize].is_none() {
                     self.delivery_times[packet.origin as usize] = Some(self.now);
                 }
-                if self.delivered == self.packets_expected {
-                    self.finished_at = Some(self.now);
-                }
+                self.check_finished();
             } else {
                 let was_empty = self.su[tx.rx as usize].queue.is_empty();
                 self.su[tx.rx as usize].queue.push_back(packet);
@@ -817,6 +938,248 @@ impl<P: Probe> Simulator<P> {
         } else {
             self.start_round(su);
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Fault injection and self-healing.
+
+    /// The task is over once every expected packet is either delivered or
+    /// attributed to a fault (identical to `delivered == expected` in
+    /// fault-free runs, where nothing is ever lost).
+    fn check_finished(&mut self) {
+        if self.finished_at.is_none()
+            && self.delivered as u64 + self.packets_lost == self.packets_expected as u64
+        {
+            self.finished_at = Some(self.now);
+        }
+    }
+
+    /// Applies the schedule entry at `index`, then chains the driver to
+    /// the next entry (so at most one `FaultAt` is ever pending).
+    fn on_fault_at(&mut self, index: u32) {
+        let kind = self.faults.events()[index as usize].kind;
+        match kind {
+            FaultKind::SuCrash { su } => self.fault_down(su, true),
+            FaultKind::SuPause { su } => self.fault_down(su, false),
+            FaultKind::SuRecover { su } => self.fault_up(su, true),
+            FaultKind::SuResume { su } => self.fault_up(su, false),
+            FaultKind::PuRegimeShift { activity } => {
+                // Per-PU on/off states persist; only the transition law
+                // changes. Bernoulli/Gilbert advances draw once per PU per
+                // slot regardless of parameters, so the RNG stream stays
+                // aligned across the shift.
+                self.activity = activity;
+                self.emit(TraceEventKind::PuRegimeShift {
+                    duty: activity.duty_cycle(),
+                });
+            }
+            FaultKind::LinkDegrade { su, factor } => {
+                self.link_factor[su as usize] = factor;
+                self.emit(TraceEventKind::LinkDegraded { su, factor });
+            }
+            FaultKind::BrownoutStart => {
+                self.brownout = true;
+                self.emit(TraceEventKind::Brownout { on: true });
+            }
+            FaultKind::BrownoutEnd => {
+                self.brownout = false;
+                self.emit(TraceEventKind::Brownout { on: false });
+            }
+        }
+        let next = index as usize + 1;
+        if next < self.faults.len() {
+            self.queue.push(
+                self.faults.events()[next].time,
+                EventKind::FaultAt { index: next as u32 },
+            );
+        }
+    }
+
+    /// Knocks an SU out: crash (`drop queue, orphan children`) or pause
+    /// (`queue retained`). Idempotent, except that a crash landing on a
+    /// paused node upgrades the outage.
+    fn fault_down(&mut self, su: u32, crash: bool) {
+        let i = su as usize;
+        if self.down[i] {
+            if crash && !self.crashed[i] {
+                self.crashed[i] = true;
+                self.emit(TraceEventKind::SuCrashed { su });
+                self.drop_queue(su);
+                self.orphan_children(su);
+            }
+            return;
+        }
+        self.down[i] = true;
+        self.crashed[i] = crash;
+        // A transmission in flight dies with the node.
+        if self.active_pos[i] != usize::MAX {
+            self.su[i].gen += 1; // cancels the pending TxEnd
+            self.finish_tx(su, FinishCause::Fault);
+        }
+        // Cancel whatever timer finish_tx (or the prior phase) left armed.
+        self.su[i].gen += 1;
+        self.su[i].phase = Phase::Down;
+        if crash {
+            self.emit(TraceEventKind::SuCrashed { su });
+            self.drop_queue(su);
+            self.orphan_children(su);
+        } else {
+            self.emit(TraceEventKind::SuPaused { su });
+        }
+    }
+
+    /// Brings an SU back: recover clears any outage, resume only a pause
+    /// (a crashed node stays down until its recover).
+    fn fault_up(&mut self, su: u32, recover: bool) {
+        let i = su as usize;
+        if !self.down[i] || (!recover && self.crashed[i]) {
+            return;
+        }
+        self.down[i] = false;
+        self.crashed[i] = false;
+        self.su[i].gen += 1;
+        self.su[i].phase = Phase::Idle;
+        self.emit(if recover {
+            TraceEventKind::SuRecovered { su }
+        } else {
+            TraceEventKind::SuResumed { su }
+        });
+        // If our parent died while we were out, enter the healing protocol.
+        if let Some(p) = self.cur_parent[i] {
+            if self.down[p as usize] && self.orphan_since[i].is_none() {
+                self.orphan_since[i] = Some(self.now);
+                self.queue
+                    .push(self.now + self.mac.slot, EventKind::Heal { su });
+            }
+        }
+        if !self.su[i].queue.is_empty() {
+            self.su[i].head_since = self.now;
+            self.start_round(su);
+        }
+    }
+
+    /// Drops an SU's queue, attributing every packet to the fault.
+    fn drop_queue(&mut self, su: u32) {
+        let count = self.su[su as usize].queue.len() as u32;
+        if count == 0 {
+            return;
+        }
+        self.su[su as usize].queue.clear();
+        self.packets_lost += u64::from(count);
+        self.node_stats[su as usize].packets_lost += count;
+        self.emit(TraceEventKind::PacketsLost { su, count });
+        self.emit(TraceEventKind::QueueDepth { su, depth: 0 });
+        self.check_finished();
+    }
+
+    /// Marks every live child of a crashed node orphaned and schedules its
+    /// first healing attempt one slot out (the discovery delay).
+    fn orphan_children(&mut self, parent: u32) {
+        for su in 1..self.world.num_sus() as u32 {
+            if su != parent
+                && self.cur_parent[su as usize] == Some(parent)
+                && self.orphan_since[su as usize].is_none()
+            {
+                self.orphan_since[su as usize] = Some(self.now);
+                self.queue
+                    .push(self.now + self.mac.slot, EventKind::Heal { su });
+            }
+        }
+    }
+
+    /// A healing attempt: adopt the nearest live receiver-capable node
+    /// within radio range that would not create a routing cycle; retry one
+    /// slot later while none exists (the old parent recovering also ends
+    /// the search).
+    fn on_heal(&mut self, su: u32) {
+        let i = su as usize;
+        let Some(since) = self.orphan_since[i] else {
+            return; // healed (or re-healed) by an earlier attempt
+        };
+        if self.crashed[i] {
+            // A crashed orphan stops searching; its own recovery re-enters
+            // the protocol if the parent is still dead.
+            self.orphan_since[i] = None;
+            return;
+        }
+        if self.down[i] {
+            // Paused: keep the claim, try again after resume.
+            self.queue
+                .push(self.now + self.mac.slot, EventKind::Heal { su });
+            return;
+        }
+        if let Some(p) = self.cur_parent[i] {
+            if !self.down[p as usize] {
+                self.orphan_since[i] = None; // parent came back first
+                return;
+            }
+        }
+        match self.find_adoptive_parent(su) {
+            Some(to) => {
+                self.cur_parent[i] = Some(to);
+                self.orphan_since[i] = None;
+                let latency = self.now - since;
+                self.reparents += 1;
+                self.reparent_lat_sum += latency;
+                self.reparent_lat_max = self.reparent_lat_max.max(latency);
+                self.emit(TraceEventKind::Reparented { su, to, latency });
+                // Defensive: an idle node with data starts contending at
+                // its new parent (normally it never stopped).
+                if self.su[i].phase == Phase::Idle && !self.su[i].queue.is_empty() {
+                    self.start_round(su);
+                }
+            }
+            None => self
+                .queue
+                .push(self.now + self.mac.slot, EventKind::Heal { su }),
+        }
+    }
+
+    /// The nearest live dominator within the SU transmission radius whose
+    /// adoption keeps the overlay acyclic (ties broken by lowest id).
+    /// Candidates are restricted to the world's receiver-capable nodes, so
+    /// the sparse gain tables always cover the new link.
+    fn find_adoptive_parent(&self, su: u32) -> Option<u32> {
+        let pos = self.world.su_positions()[su as usize];
+        let radius = self.world.phy().su_radius() + 1e-9;
+        let mut best: Option<(f64, u32)> = None;
+        for idx in 0..self.world.receivers().len() {
+            let r = self.world.receivers()[idx];
+            if r == su || self.down[r as usize] {
+                continue;
+            }
+            let slot = self.world.receiver_slot(r).expect("receivers have slots");
+            if self.world.su_gain(su, slot) <= 0.0 {
+                continue; // beyond the truncated gain table's cutoff
+            }
+            let d = pos.distance(self.world.su_positions()[r as usize]);
+            if d > radius || self.would_cycle(su, r) {
+                continue;
+            }
+            if best.is_none_or(|(bd, br)| d < bd || (d == bd && r < br)) {
+                best = Some((d, r));
+            }
+        }
+        best.map(|(_, r)| r)
+    }
+
+    /// Whether making `candidate` the parent of `su` would close a cycle
+    /// in the routing overlay.
+    fn would_cycle(&self, su: u32, candidate: u32) -> bool {
+        let mut cur = candidate;
+        let mut steps = 0;
+        while let Some(p) = self.cur_parent[cur as usize] {
+            if p == su {
+                return true;
+            }
+            cur = p;
+            steps += 1;
+            if steps > self.world.num_sus() {
+                debug_assert!(false, "pre-existing cycle in routing overlay");
+                return true;
+            }
+        }
+        false
     }
 
     // ------------------------------------------------------------------
@@ -931,6 +1294,15 @@ impl<P: Probe> Simulator<P> {
             },
             max_service_time: self.service_max,
             events_processed: self.events_processed,
+            packets_lost: self.packets_lost,
+            fault_aborts: self.fault_aborts,
+            reparents: self.reparents,
+            reparent_latency_mean: if self.reparents == 0 {
+                0.0
+            } else {
+                self.reparent_lat_sum / f64::from(self.reparents)
+            },
+            reparent_latency_max: self.reparent_lat_max,
         }
     }
 }
@@ -1585,6 +1957,7 @@ mod tests {
                     TxOutcome::Success => folded[su as usize].successes += 1,
                     TxOutcome::PuAbort => folded[su as usize].pu_aborts += 1,
                     TxOutcome::SirLoss => folded[su as usize].sir_failures += 1,
+                    TxOutcome::FaultAbort => folded[su as usize].fault_aborts += 1,
                     TxOutcome::CaptureLoss => {}
                 },
                 TraceEventKind::QueueDepth { su, depth } => {

@@ -40,6 +40,19 @@ pub enum EventKind {
         /// Snapshot index about to be generated.
         index: u32,
     },
+    /// The next entry of the compiled fault schedule fires (chains itself
+    /// to the following entry, so at most one is ever pending; an empty
+    /// schedule pushes none and leaves the queue untouched).
+    FaultAt {
+        /// Index into the compiled, time-sorted fault schedule.
+        index: u32,
+    },
+    /// A self-healing attempt: an orphaned SU looks for a live adoptive
+    /// parent (re-scheduled while none is reachable).
+    Heal {
+        /// Orphaned SU id.
+        su: u32,
+    },
 }
 
 #[derive(Clone, Copy, Debug)]

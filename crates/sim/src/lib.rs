@@ -90,6 +90,9 @@ mod report;
 mod world;
 
 pub use config::{BuildError, InterferenceModel, MacConfig, Traffic};
+pub use crn_faults::{
+    ChurnSpec, FaultError, FaultEvent, FaultKind, FaultPlan, FaultSchedule, FaultsConfig,
+};
 pub use engine::{Simulator, SimulatorBuilder};
 pub use oracle::{InvariantChecker, InvariantKind, Violation};
 pub use probe::{

@@ -75,6 +75,11 @@ pub enum InvariantKind {
     PuProtection,
     /// Monotone times, phase machine, timer budgets, fairness waits.
     SchedulerHygiene,
+    /// Injected faults and self-healing: losses attributed exactly once,
+    /// fault-aborts justified by an actual outage, re-parents to live
+    /// in-range receivers without routing cycles, no traffic through dead
+    /// nodes or a browned-out base station.
+    FaultConsistency,
 }
 
 impl fmt::Display for InvariantKind {
@@ -84,6 +89,7 @@ impl fmt::Display for InvariantKind {
             InvariantKind::ConcurrentSet => "concurrent-set",
             InvariantKind::PuProtection => "pu-protection",
             InvariantKind::SchedulerHygiene => "scheduler-hygiene",
+            InvariantKind::FaultConsistency => "fault-consistency",
         })
     }
 }
@@ -135,6 +141,8 @@ enum NodePhase {
     AfterTx,
     /// Fairness wait running until `until`.
     Waiting { until: f64 },
+    /// Knocked out by an injected fault (crash or pause).
+    Down,
 }
 
 /// Per-SU oracle state.
@@ -193,9 +201,29 @@ pub struct InvariantChecker {
     /// Transmitters that must hand off at the recorded activation time.
     must_abort: Vec<(u32, f64)>,
 
+    // Fault mirrors (all at their fault-free fixpoint in clean runs).
+    /// Whether each node is knocked out (crashed or paused).
+    down: Vec<bool>,
+    /// Whether a knocked-out node's outage is a crash.
+    crashed: Vec<bool>,
+    /// Mirrored per-transmitter intended-link gain multipliers.
+    link_factor: Vec<f64>,
+    /// Whether the base station is inside a brownout window.
+    brownout: bool,
+    /// Mirrored routing overlay (the world's tree until re-parents).
+    cur_parent: Vec<Option<u32>>,
+    /// When each orphaned node lost its parent, to audit re-parent
+    /// latencies.
+    orphan_since: Vec<Option<f64>>,
+    /// `FaultAbort` TxEnds awaiting their same-instant crash/pause event.
+    fault_abort_pending: Vec<(u32, f64)>,
+
     generated: u64,
     delivered: u64,
     deliveries_seen: u64,
+    /// Packets attributed to faults (crash-dropped queues, packets
+    /// generated on crashed nodes).
+    lost: u64,
 }
 
 impl InvariantChecker {
@@ -239,9 +267,17 @@ impl InvariantChecker {
             pu_on: vec![false; num_pus],
             su_near_pus,
             must_abort: Vec::new(),
+            down: vec![false; n],
+            crashed: vec![false; n],
+            link_factor: vec![1.0; n],
+            brownout: false,
+            cur_parent: world.parents().to_vec(),
+            orphan_since: vec![None; n],
+            fault_abort_pending: Vec::new(),
             generated: 0,
             delivered: 0,
             deliveries_seen: 0,
+            lost: 0,
             world,
         }
     }
@@ -319,7 +355,11 @@ impl InvariantChecker {
             let su = self.active[i];
             let rx = self.sir[su as usize].expect("active SU has SIR state").rx;
             let rx_pos = sus[rx as usize];
-            let signal = p_s * path_gain(sus[su as usize].distance(rx_pos), alpha);
+            // The intended link carries any injected degradation (×1.0
+            // exactly in fault-free runs); interference terms do not.
+            let signal = p_s
+                * path_gain(sus[su as usize].distance(rx_pos), alpha)
+                * self.link_factor[su as usize];
             let mut interference = 0.0;
             for &other in &self.active {
                 if other != su {
@@ -474,13 +514,21 @@ impl InvariantChecker {
                 format!("SU {su} began transmitting from phase {phase:?}"),
             ),
         }
-        if self.world.parent(su) != Some(rx) {
+        // The routing overlay, not the world's tree: self-healing may have
+        // re-parented this node (identical until a Reparented event).
+        if self.cur_parent[su as usize] != Some(rx) {
             self.record(
                 InvariantKind::SchedulerHygiene,
                 format!(
-                    "SU {su} transmitted to {rx}, not its tree parent {:?}",
-                    self.world.parent(su)
+                    "SU {su} transmitted to {rx}, not its overlay parent {:?}",
+                    self.cur_parent[su as usize]
                 ),
+            );
+        }
+        if self.down[su as usize] {
+            self.record(
+                InvariantKind::FaultConsistency,
+                format!("SU {su} began transmitting while knocked out by a fault"),
             );
         }
         // PU protection: no ON PU may sense this transmitter.
@@ -535,7 +583,8 @@ impl InvariantChecker {
         match self.nodes[su as usize].phase {
             NodePhase::Transmitting { since } => {
                 let airtime = self.now - since;
-                let ok = if outcome == TxOutcome::PuAbort {
+                let cut_short = matches!(outcome, TxOutcome::PuAbort | TxOutcome::FaultAbort);
+                let ok = if cut_short {
                     airtime <= self.mac.airtime + TIME_TOL
                 } else {
                     (airtime - self.mac.airtime).abs() <= TIME_TOL
@@ -567,6 +616,11 @@ impl InvariantChecker {
                 InvariantKind::PuProtection,
                 format!("SU {su} reported a spectrum handoff with no PU activation covering it"),
             ),
+            // A fault abort also stops the transmission at the activation
+            // instant, so it satisfies a pending handoff obligation.
+            (TxOutcome::FaultAbort, Some(i)) => {
+                self.must_abort.swap_remove(i);
+            }
             (_, Some(i)) => {
                 self.must_abort.swap_remove(i);
                 self.record(
@@ -612,6 +666,30 @@ impl InvariantChecker {
                 InvariantKind::SchedulerHygiene,
                 format!("TxEnd for SU {su} without a matching TxStart"),
             ),
+        }
+        // A fault abort must be justified by an actual outage. The engine
+        // emits the TxEnd *before* the crash/pause event when the dying
+        // node is the transmitter itself, so an unjustified abort goes on
+        // a pending list that the same-instant outage event must clear.
+        let justified =
+            self.down[rx as usize] || (rx == 0 && self.brownout) || self.down[su as usize];
+        if outcome == TxOutcome::FaultAbort && !justified {
+            self.fault_abort_pending.push((su, self.now));
+        }
+        // No traffic lands on a dead receiver or a browned-out BS.
+        if outcome == TxOutcome::Success {
+            if self.down[rx as usize] {
+                self.record(
+                    InvariantKind::FaultConsistency,
+                    format!("SU {su} → {rx} succeeded though the receiver is down"),
+                );
+            }
+            if rx == 0 && self.brownout {
+                self.record(
+                    InvariantKind::FaultConsistency,
+                    format!("SU {su} delivered to the base station during a brownout"),
+                );
+            }
         }
         // Conservation: a success moves the head packet downstream.
         if outcome == TxOutcome::Success {
@@ -744,6 +822,227 @@ impl InvariantChecker {
             );
         }
     }
+
+    /// A `FaultAbort` that no mirrored outage justified must be followed
+    /// by its transmitter's crash/pause event in the same instant; an
+    /// entry that survives a time advance was never justified at all.
+    fn check_stale_fault_aborts(&mut self) {
+        let mut stale = Vec::new();
+        self.fault_abort_pending.retain(|&(su, t0)| {
+            if self.now > t0 + TIME_TOL {
+                stale.push((su, t0));
+                false
+            } else {
+                true
+            }
+        });
+        for (su, t0) in stale {
+            self.record(
+                InvariantKind::FaultConsistency,
+                format!(
+                    "SU {su} reported a fault abort at t={t0} that no outage \
+                     (dead peer, brownout, or same-instant crash/pause) justifies"
+                ),
+            );
+        }
+    }
+
+    /// Clears a pending fault-abort justification once the transmitter's
+    /// own outage event arrives.
+    fn resolve_fault_abort(&mut self, su: u32) {
+        if let Some(i) = self.fault_abort_pending.iter().position(|&(v, _)| v == su) {
+            self.fault_abort_pending.swap_remove(i);
+        }
+    }
+
+    /// Shared teardown when an SU is knocked out: the engine must have
+    /// ended any transmission first, and the node's phase becomes `Down`.
+    fn knock_down(&mut self, su: u32, label: &str) {
+        if self.sir[su as usize].is_some() {
+            self.record(
+                InvariantKind::FaultConsistency,
+                format!("SU {su} {label} while the oracle still saw it on air (no TxEnd)"),
+            );
+            self.sir[su as usize] = None;
+            if let Some(pos) = self.active.iter().position(|&v| v == su) {
+                self.active.swap_remove(pos);
+            }
+        }
+        self.nodes[su as usize].phase = NodePhase::Down;
+    }
+
+    fn on_su_crashed(&mut self, su: u32) {
+        self.resolve_fault_abort(su);
+        if self.crashed[su as usize] {
+            self.record(
+                InvariantKind::FaultConsistency,
+                format!("SU {su} crashed twice without recovering in between"),
+            );
+        }
+        // (A crash landing on a *paused* node is a legal upgrade.)
+        self.down[su as usize] = true;
+        self.crashed[su as usize] = true;
+        self.knock_down(su, "crashed");
+        // Its children enter the healing protocol. Claims persist until
+        // the matching `Reparented` — the engine clears them lazily at
+        // invisible heal ticks, so the oracle keeps the earliest claim
+        // and audits re-parent latencies with one-sided bounds.
+        for v in 0..self.cur_parent.len() {
+            if v as u32 != su && self.cur_parent[v] == Some(su) && self.orphan_since[v].is_none() {
+                self.orphan_since[v] = Some(self.now);
+            }
+        }
+    }
+
+    fn on_su_paused(&mut self, su: u32) {
+        self.resolve_fault_abort(su);
+        if self.down[su as usize] {
+            self.record(
+                InvariantKind::FaultConsistency,
+                format!("SU {su} paused while already knocked out"),
+            );
+        }
+        self.down[su as usize] = true;
+        self.crashed[su as usize] = false;
+        self.knock_down(su, "paused");
+    }
+
+    /// Shared bring-up for recover/resume: flags clear, the node idles,
+    /// and an orphaned comeback (parent still dead) re-enters healing.
+    fn bring_up(&mut self, su: u32) {
+        self.down[su as usize] = false;
+        self.crashed[su as usize] = false;
+        self.nodes[su as usize].phase = NodePhase::Idle;
+        if let Some(p) = self.cur_parent[su as usize] {
+            if self.down[p as usize] && self.orphan_since[su as usize].is_none() {
+                self.orphan_since[su as usize] = Some(self.now);
+            }
+        }
+    }
+
+    fn on_su_recovered(&mut self, su: u32) {
+        if !self.down[su as usize] {
+            self.record(
+                InvariantKind::FaultConsistency,
+                format!("SU {su} recovered though it was not down"),
+            );
+        }
+        self.bring_up(su);
+    }
+
+    fn on_su_resumed(&mut self, su: u32) {
+        if !self.down[su as usize] || self.crashed[su as usize] {
+            self.record(
+                InvariantKind::FaultConsistency,
+                format!(
+                    "SU {su} resumed though it was not paused \
+                     (a crashed node needs a recover)"
+                ),
+            );
+        }
+        self.bring_up(su);
+    }
+
+    fn on_reparented(&mut self, su: u32, to: u32, latency: f64) {
+        let i = su as usize;
+        match self.cur_parent[i] {
+            Some(p) if self.down[p as usize] => {}
+            Some(p) => self.record(
+                InvariantKind::FaultConsistency,
+                format!("SU {su} re-parented away from {p}, which is alive"),
+            ),
+            None => self.record(
+                InvariantKind::FaultConsistency,
+                format!("the base station ({su}) claims to have re-parented"),
+            ),
+        }
+        if self.down[i] {
+            self.record(
+                InvariantKind::FaultConsistency,
+                format!("SU {su} re-parented while itself knocked out"),
+            );
+        }
+        if to == su || self.down[to as usize] {
+            self.record(
+                InvariantKind::FaultConsistency,
+                format!("SU {su} adopted {to}, which is itself or down"),
+            );
+        }
+        if self.world.receiver_slot(to).is_none() {
+            self.record(
+                InvariantKind::FaultConsistency,
+                format!("SU {su} adopted {to}, which is not receiver-capable"),
+            );
+        }
+        let sus = self.world.su_positions();
+        let d = sus[i].distance(sus[to as usize]);
+        let radius = self.world.phy().su_radius() + 1e-9;
+        if d > radius {
+            self.record(
+                InvariantKind::FaultConsistency,
+                format!("SU {su} adopted {to} at distance {d}, beyond the SU radius"),
+            );
+        }
+        // Adopting `to` must keep the overlay acyclic.
+        let mut cur = to;
+        let mut steps = 0;
+        while let Some(p) = self.cur_parent[cur as usize] {
+            if p == su {
+                self.record(
+                    InvariantKind::FaultConsistency,
+                    format!("SU {su} adopting {to} closes a routing cycle"),
+                );
+                break;
+            }
+            cur = p;
+            steps += 1;
+            if steps > self.cur_parent.len() {
+                break;
+            }
+        }
+        // Latency audit: the claimed orphan instant may not precede the
+        // oracle's earliest recorded claim, and discovery takes ≥ 1 slot.
+        match self.orphan_since[i] {
+            Some(since) => {
+                if latency < self.mac.slot - TIME_TOL || self.now - latency < since - TIME_TOL {
+                    self.record(
+                        InvariantKind::FaultConsistency,
+                        format!(
+                            "SU {su} re-parent latency {latency} is inconsistent \
+                             (orphaned at {since}, now {}, slot {})",
+                            self.now, self.mac.slot
+                        ),
+                    );
+                }
+            }
+            None => self.record(
+                InvariantKind::FaultConsistency,
+                format!("SU {su} re-parented without ever being orphaned"),
+            ),
+        }
+        self.cur_parent[i] = Some(to);
+        self.orphan_since[i] = None;
+    }
+
+    fn on_packets_lost(&mut self, su: u32, count: u32) {
+        if !self.crashed[su as usize] {
+            self.record(
+                InvariantKind::FaultConsistency,
+                format!("SU {su} lost {count} packets without being crashed"),
+            );
+        }
+        let mirrored = self.nodes[su as usize].depth;
+        if u64::from(count) > mirrored {
+            self.record(
+                InvariantKind::PacketConservation,
+                format!("SU {su} lost {count} packets but its mirror holds only {mirrored}"),
+            );
+            self.nodes[su as usize].depth = 0;
+        } else {
+            self.nodes[su as usize].depth -= u64::from(count);
+        }
+        self.lost += u64::from(count);
+    }
 }
 
 impl Probe for InvariantChecker {
@@ -761,6 +1060,7 @@ impl Probe for InvariantChecker {
         self.now = event.time.max(previous);
         if self.now > previous {
             self.check_overdue_handoffs();
+            self.check_stale_fault_aborts();
         }
         match event.kind {
             TraceEventKind::BackoffStart { su, t_i, cw } => self.on_backoff_start(su, t_i, cw),
@@ -777,6 +1077,30 @@ impl Probe for InvariantChecker {
                 self.generated += 1;
                 self.nodes[su as usize].depth += 1;
             }
+            TraceEventKind::SuCrashed { su } => self.on_su_crashed(su),
+            TraceEventKind::SuRecovered { su } => self.on_su_recovered(su),
+            TraceEventKind::SuPaused { su } => self.on_su_paused(su),
+            TraceEventKind::SuResumed { su } => self.on_su_resumed(su),
+            TraceEventKind::Reparented { su, to, latency } => self.on_reparented(su, to, latency),
+            TraceEventKind::PuRegimeShift { duty } => {
+                if !(duty.is_finite() && (0.0..=1.0).contains(&duty)) {
+                    self.record(
+                        InvariantKind::FaultConsistency,
+                        format!("PU regime shift to impossible duty cycle {duty}"),
+                    );
+                }
+            }
+            TraceEventKind::LinkDegraded { su, factor } => {
+                if !(factor.is_finite() && (0.0..=1.0).contains(&factor)) {
+                    self.record(
+                        InvariantKind::FaultConsistency,
+                        format!("SU {su} link degraded by impossible factor {factor}"),
+                    );
+                }
+                self.link_factor[su as usize] = factor;
+            }
+            TraceEventKind::Brownout { on } => self.brownout = on,
+            TraceEventKind::PacketsLost { su, count } => self.on_packets_lost(su, count),
         }
         self.events_checked += 1;
     }
@@ -784,6 +1108,14 @@ impl Probe for InvariantChecker {
     fn on_finish(&mut self, end_time: f64) {
         self.now = self.now.max(end_time);
         self.check_overdue_handoffs();
+        // Any still-pending fault abort never got its outage event.
+        let unjustified: Vec<(u32, f64)> = self.fault_abort_pending.drain(..).collect();
+        for (su, t0) in unjustified {
+            self.record(
+                InvariantKind::FaultConsistency,
+                format!("run ended with SU {su}'s fault abort at t={t0} unjustified"),
+            );
+        }
         if !self.must_abort.is_empty() {
             let stuck: Vec<u32> = self.must_abort.iter().map(|&(su, _)| su).collect();
             self.record(
@@ -801,12 +1133,13 @@ impl Probe for InvariantChecker {
             );
         }
         let queued: u64 = self.nodes.iter().map(|s| s.depth).sum();
-        if self.generated != self.delivered + queued {
+        if self.generated != self.delivered + queued + self.lost {
             self.record(
                 InvariantKind::PacketConservation,
                 format!(
-                    "conservation broke: generated {} ≠ delivered {} + queued {}",
-                    self.generated, self.delivered, queued
+                    "conservation broke: generated {} ≠ delivered {} + queued {} \
+                     + lost to faults {}",
+                    self.generated, self.delivered, queued, self.lost
                 ),
             );
         }

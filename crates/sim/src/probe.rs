@@ -33,6 +33,11 @@ pub enum TxOutcome {
     /// The receiver was captured by a stronger concurrent transmission
     /// (RS mode).
     CaptureLoss,
+    /// Voided by an injected fault: the transmitter crashed or paused
+    /// mid-air, or the receiver was dead (crashed SU, or the base station
+    /// during a brownout window) when the airtime ended. The packet stays
+    /// queued at the sender.
+    FaultAbort,
 }
 
 impl TxOutcome {
@@ -44,6 +49,7 @@ impl TxOutcome {
             TxOutcome::PuAbort => "pu_abort",
             TxOutcome::SirLoss => "sir_loss",
             TxOutcome::CaptureLoss => "capture_loss",
+            TxOutcome::FaultAbort => "fault_abort",
         }
     }
 }
@@ -130,6 +136,62 @@ pub enum TraceEventKind {
         /// Origin SU.
         su: u32,
     },
+    /// An injected fault crashed an SU: its queue is dropped (a
+    /// [`TraceEventKind::PacketsLost`] follows when it was non-empty) and
+    /// its children become orphans of the self-healing protocol.
+    SuCrashed {
+        /// Crashed SU.
+        su: u32,
+    },
+    /// A crashed SU rejoined with an empty queue.
+    SuRecovered {
+        /// Recovered SU.
+        su: u32,
+    },
+    /// An injected fault paused an SU; its queue is retained.
+    SuPaused {
+        /// Paused SU.
+        su: u32,
+    },
+    /// A paused SU resumed with its retained queue.
+    SuResumed {
+        /// Resumed SU.
+        su: u32,
+    },
+    /// Self-healing: an orphaned SU adopted a new live parent.
+    Reparented {
+        /// Orphaned SU.
+        su: u32,
+        /// Adoptive parent (a live dominator within range).
+        to: u32,
+        /// Seconds from orphaning to adoption.
+        latency: f64,
+    },
+    /// The primary network switched activity regime.
+    PuRegimeShift {
+        /// Duty cycle of the new activity model.
+        duty: f64,
+    },
+    /// An SU's uplink path gain was scaled by an injected fault.
+    LinkDegraded {
+        /// Affected transmitter.
+        su: u32,
+        /// New multiplier on the link's path gain, in `[0, 1]`.
+        factor: f64,
+    },
+    /// A base-station brownout window opened (`on = true`) or closed.
+    Brownout {
+        /// Whether the base station is now down.
+        on: bool,
+    },
+    /// Packets were lost to an injected fault at an SU (queue dropped on
+    /// crash, or a snapshot generated while crashed).
+    PacketsLost {
+        /// The losing SU.
+        su: u32,
+        /// How many packets.
+        count: u32,
+    },
 }
 
 impl TraceEventKind {
@@ -148,6 +210,15 @@ impl TraceEventKind {
             TraceEventKind::PuOn { .. } => "pu_on",
             TraceEventKind::PuOff { .. } => "pu_off",
             TraceEventKind::PacketGenerated { .. } => "packet_generated",
+            TraceEventKind::SuCrashed { .. } => "su_crashed",
+            TraceEventKind::SuRecovered { .. } => "su_recovered",
+            TraceEventKind::SuPaused { .. } => "su_paused",
+            TraceEventKind::SuResumed { .. } => "su_resumed",
+            TraceEventKind::Reparented { .. } => "reparented",
+            TraceEventKind::PuRegimeShift { .. } => "pu_regime_shift",
+            TraceEventKind::LinkDegraded { .. } => "link_degraded",
+            TraceEventKind::Brownout { .. } => "brownout",
+            TraceEventKind::PacketsLost { .. } => "packets_lost",
         }
     }
 }
@@ -200,8 +271,27 @@ impl TraceEvent {
             TraceEventKind::PuOn { pu } | TraceEventKind::PuOff { pu } => {
                 s.push_str(&format!(",\"pu\":{pu}"));
             }
-            TraceEventKind::PacketGenerated { su } => {
+            TraceEventKind::PacketGenerated { su }
+            | TraceEventKind::SuCrashed { su }
+            | TraceEventKind::SuRecovered { su }
+            | TraceEventKind::SuPaused { su }
+            | TraceEventKind::SuResumed { su } => {
                 s.push_str(&format!(",\"su\":{su}"));
+            }
+            TraceEventKind::Reparented { su, to, latency } => {
+                s.push_str(&format!(",\"su\":{su},\"to\":{to},\"latency\":{latency}"));
+            }
+            TraceEventKind::PuRegimeShift { duty } => {
+                s.push_str(&format!(",\"duty\":{duty}"));
+            }
+            TraceEventKind::LinkDegraded { su, factor } => {
+                s.push_str(&format!(",\"su\":{su},\"factor\":{factor}"));
+            }
+            TraceEventKind::Brownout { on } => {
+                s.push_str(&format!(",\"on\":{on}"));
+            }
+            TraceEventKind::PacketsLost { su, count } => {
+                s.push_str(&format!(",\"su\":{su},\"count\":{count}"));
             }
         }
         s.push('}');
@@ -234,7 +324,20 @@ impl TraceEvent {
             TraceEventKind::PuOn { pu } | TraceEventKind::PuOff { pu } => {
                 (pu, None, None, None, None)
             }
-            TraceEventKind::PacketGenerated { su } => (su, None, None, None, None),
+            TraceEventKind::PacketGenerated { su }
+            | TraceEventKind::SuCrashed { su }
+            | TraceEventKind::SuRecovered { su }
+            | TraceEventKind::SuPaused { su }
+            | TraceEventKind::SuResumed { su } => (su, None, None, None, None),
+            TraceEventKind::Reparented { su, to, latency } => {
+                (su, Some(to), None, Some(latency), None)
+            }
+            TraceEventKind::PuRegimeShift { duty } => (0, None, None, Some(duty), None),
+            TraceEventKind::LinkDegraded { su, factor } => (su, None, None, Some(factor), None),
+            TraceEventKind::Brownout { on } => (0, None, None, Some(f64::from(u8::from(on))), None),
+            TraceEventKind::PacketsLost { su, count } => {
+                (su, None, None, Some(f64::from(count)), None)
+            }
         };
         let fmt_opt_u32 = |v: Option<u32>| v.map_or(String::new(), |v| v.to_string());
         let fmt_opt_f64 = |v: Option<f64>| v.map_or(String::new(), |v| v.to_string());
@@ -643,6 +746,30 @@ mod tests {
             ev(2e-3, TraceEventKind::PuOn { pu: 1 }),
             ev(3e-3, TraceEventKind::PuOff { pu: 1 }),
             ev(0.0, TraceEventKind::PacketGenerated { su: 2 }),
+            ev(4e-3, TraceEventKind::SuCrashed { su: 2 }),
+            ev(5e-3, TraceEventKind::SuRecovered { su: 2 }),
+            ev(6e-3, TraceEventKind::SuPaused { su: 3 }),
+            ev(7e-3, TraceEventKind::SuResumed { su: 3 }),
+            ev(
+                8e-3,
+                TraceEventKind::Reparented {
+                    su: 4,
+                    to: 1,
+                    latency: 2e-3,
+                },
+            ),
+            ev(9e-3, TraceEventKind::PuRegimeShift { duty: 0.6 }),
+            ev(1e-2, TraceEventKind::LinkDegraded { su: 2, factor: 0.5 }),
+            ev(1.1e-2, TraceEventKind::Brownout { on: true }),
+            ev(1.2e-2, TraceEventKind::PacketsLost { su: 2, count: 3 }),
+            ev(
+                1.3e-2,
+                TraceEventKind::TxEnd {
+                    su: 2,
+                    rx: 0,
+                    outcome: TxOutcome::FaultAbort,
+                },
+            ),
         ];
         for e in &events {
             let line = e.to_jsonl();
@@ -680,6 +807,36 @@ mod tests {
             ev(0.0, TraceEventKind::Delivery { origin: 3, via: 1 }),
             ev(0.0, TraceEventKind::PuOn { pu: 2 }),
             ev(0.0, TraceEventKind::PacketGenerated { su: 4 }),
+            ev(0.0, TraceEventKind::SuCrashed { su: 4 }),
+            ev(0.0, TraceEventKind::SuRecovered { su: 4 }),
+            ev(0.0, TraceEventKind::SuPaused { su: 4 }),
+            ev(0.0, TraceEventKind::SuResumed { su: 4 }),
+            ev(
+                0.0,
+                TraceEventKind::Reparented {
+                    su: 4,
+                    to: 1,
+                    latency: 1e-3,
+                },
+            ),
+            ev(0.0, TraceEventKind::PuRegimeShift { duty: 0.2 }),
+            ev(
+                0.0,
+                TraceEventKind::LinkDegraded {
+                    su: 4,
+                    factor: 0.25,
+                },
+            ),
+            ev(0.0, TraceEventKind::Brownout { on: false }),
+            ev(0.0, TraceEventKind::PacketsLost { su: 4, count: 2 }),
+            ev(
+                0.0,
+                TraceEventKind::TxEnd {
+                    su: 4,
+                    rx: 0,
+                    outcome: TxOutcome::FaultAbort,
+                },
+            ),
         ];
         for r in &rows {
             assert_eq!(r.to_csv_row().split(',').count(), header_fields);

@@ -16,6 +16,12 @@ pub struct NodeStats {
     pub sir_failures: u32,
     /// Largest queue this node ever held.
     pub peak_queue: u32,
+    /// Transmissions by this node voided by an injected fault (its own
+    /// crash/pause, a dead receiver, or a base-station brownout).
+    pub fault_aborts: u32,
+    /// Packets lost at this node to injected faults (queue dropped on
+    /// crash, or generated while crashed).
+    pub packets_lost: u32,
 }
 
 /// Outcome of one simulated data collection task.
@@ -61,6 +67,20 @@ pub struct SimReport {
     pub max_service_time: f64,
     /// Total events processed (diagnostic).
     pub events_processed: u64,
+    /// Packets lost to injected faults (crashed queues and packets
+    /// generated on crashed nodes). Always 0 in fault-free runs; packet
+    /// conservation is `generated = delivered + queued + packets_lost`.
+    pub packets_lost: u64,
+    /// Transmissions voided by injected faults (transmitter crash/pause,
+    /// dead receiver, base-station brownout). Always 0 without faults.
+    pub fault_aborts: u64,
+    /// Self-healing re-parent operations performed.
+    pub reparents: u32,
+    /// Mean latency from orphaning to adoption across re-parents
+    /// (0 when none occurred), in seconds.
+    pub reparent_latency_mean: f64,
+    /// Largest re-parent latency observed, in seconds.
+    pub reparent_latency_max: f64,
     /// Per-node counters (entry 0 is the base station).
     pub node_stats: Vec<NodeStats>,
 }
@@ -94,6 +114,28 @@ impl SimReport {
         let sum: f64 = times.iter().sum();
         let sum_sq: f64 = times.iter().map(|t| t * t).sum();
         Some(sum * sum / (times.len() as f64 * sum_sq))
+    }
+
+    /// Fraction of the expected snapshot that reached the base station:
+    /// `delivered / expected` (1 when nothing was expected). Under fault
+    /// injection this is the headline degradation metric — packets lost
+    /// to crashes pull it below 1 even in "finished" runs, where every
+    /// surviving packet was accounted for.
+    #[must_use]
+    pub fn delivery_ratio(&self) -> f64 {
+        if self.packets_expected == 0 {
+            1.0
+        } else {
+            self.packets_delivered as f64 / self.packets_expected as f64
+        }
+    }
+
+    /// Per-node fault-loss counts, indexed like [`SimReport::node_stats`]
+    /// (entry 0 is the base station): how many packets each node lost to
+    /// injected faults. All zeros in fault-free runs.
+    #[must_use]
+    pub fn loss_counts(&self) -> Vec<u32> {
+        self.node_stats.iter().map(|s| s.packets_lost).collect()
     }
 
     /// Fraction of attempts that succeeded.
@@ -145,8 +187,26 @@ mod tests {
             mean_service_time: 0.001,
             max_service_time: 0.002,
             events_processed: 100,
+            packets_lost: 0,
+            fault_aborts: 0,
+            reparents: 0,
+            reparent_latency_mean: 0.0,
+            reparent_latency_max: 0.0,
             node_stats: vec![NodeStats::default(); 6],
         }
+    }
+
+    #[test]
+    fn delivery_ratio_and_loss_counts() {
+        let mut r = report();
+        assert!((r.delivery_ratio() - 1.0).abs() < 1e-12);
+        r.packets_delivered = 3;
+        assert!((r.delivery_ratio() - 0.6).abs() < 1e-12);
+        r.packets_expected = 0;
+        assert_eq!(r.delivery_ratio(), 1.0);
+        let mut r = report();
+        r.node_stats[2].packets_lost = 4;
+        assert_eq!(r.loss_counts(), vec![0, 0, 4, 0, 0, 0]);
     }
 
     #[test]

@@ -793,7 +793,10 @@ impl SimWorld {
         self.su_sense_range
     }
 
-    /// Parent of `su` in the routing tree.
+    /// Parent of `su` in the routing tree. Production code reads the
+    /// engine's `cur_parent` overlay instead (identical until a fault
+    /// re-parents someone); tests keep this direct accessor.
+    #[cfg(test)]
     #[must_use]
     pub(crate) fn parent(&self, su: u32) -> Option<u32> {
         self.parents[su as usize]
@@ -910,7 +913,10 @@ impl SimWorld {
         &self.receivers
     }
 
-    /// Signal power of `su` at its own parent.
+    /// Signal power of `su` at its own parent. Like [`SimWorld::parent`],
+    /// superseded in the engine by the overlay-aware computation; kept
+    /// for tests pinning the gain tables.
+    #[cfg(test)]
     pub(crate) fn link_signal(&self, su: u32) -> f64 {
         let parent = self.parents[su as usize].expect("non-root");
         let slot = self.receiver_slot[parent as usize].expect("parents are receivers");

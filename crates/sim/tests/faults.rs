@@ -1,0 +1,450 @@
+//! Fault-injection and self-healing behavior, end to end: every scenario
+//! runs under the fault-aware [`InvariantChecker`] oracle, and the empty
+//! plan is pinned bit-for-bit to the fault-free engine.
+
+use crn_geometry::{Point, Region};
+use crn_interference::PhyParams;
+use crn_sim::{
+    BuildError, FaultEvent, FaultKind, FaultPlan, FaultSchedule, InvariantChecker, MacConfig,
+    SimReport, SimWorld, Simulator, TraceEventKind, TraceLog, Traffic,
+};
+use crn_spectrum::PuActivity;
+use std::sync::Arc;
+
+/// bs(0) ← 1 ← 2 ← … chain, 7 apart, with optional PUs.
+fn chain_world(len: usize, pus: Vec<Point>) -> Arc<SimWorld> {
+    let sus: Vec<Point> = (0..len)
+        .map(|i| Point::new(5.0 + 7.0 * i as f64, 5.0))
+        .collect();
+    let parents: Vec<Option<u32>> = (0..len)
+        .map(|i| if i == 0 { None } else { Some(i as u32 - 1) })
+        .collect();
+    let side = (10.0 + 7.0 * len as f64).max(60.0);
+    Arc::new(
+        SimWorld::builder(Region::square(side))
+            .su_positions(sus)
+            .pu_positions(pus)
+            .parents(parents)
+            .phy(PhyParams::paper_simulation_defaults())
+            .sense_range(25.0)
+            .build()
+            .unwrap(),
+    )
+}
+
+/// A diamond with two receiver branches, so a crashed relay's child has a
+/// live adoptive parent in range:
+///
+/// ```text
+///   bs(0) ← 1 ← 3        3 sits 7.07 from receiver 2 (< r = 10)
+///   bs(0) ← 2 ← 4
+/// ```
+fn diamond_world() -> Arc<SimWorld> {
+    Arc::new(
+        SimWorld::builder(Region::square(40.0))
+            .su_positions(vec![
+                Point::new(5.0, 5.0),   // 0: base station
+                Point::new(12.0, 5.0),  // 1: relay (crashes)
+                Point::new(5.0, 12.0),  // 2: relay (adoptive parent)
+                Point::new(12.0, 11.0), // 3: child of 1, 7.07 from 2
+                Point::new(5.0, 19.0),  // 4: child of 2 (makes 2 a receiver)
+            ])
+            .parents(vec![None, Some(0), Some(0), Some(1), Some(2)])
+            .phy(PhyParams::paper_simulation_defaults())
+            .sense_range(25.0)
+            .build()
+            .unwrap(),
+    )
+}
+
+fn schedule(events: Vec<FaultEvent>) -> FaultSchedule {
+    FaultPlan::from_events(events).compile().unwrap()
+}
+
+/// Runs `world` under the oracle with the given faults; panics on any
+/// invariant violation, returns the report and full trace.
+fn run_checked(
+    world: Arc<SimWorld>,
+    faults: FaultSchedule,
+    p_t: f64,
+    seed: u64,
+    traffic: Traffic,
+) -> (SimReport, Vec<crn_sim::TraceEvent>) {
+    run_checked_mac(world, faults, p_t, seed, traffic, MacConfig::default())
+}
+
+fn run_checked_mac(
+    world: Arc<SimWorld>,
+    faults: FaultSchedule,
+    p_t: f64,
+    seed: u64,
+    traffic: Traffic,
+    mac: MacConfig,
+) -> (SimReport, Vec<crn_sim::TraceEvent>) {
+    let checker = InvariantChecker::new(world.clone(), mac).with_repro(seed, "faults-test");
+    let (report, oracle) = Simulator::builder(world.clone())
+        .mac(mac)
+        .activity(PuActivity::bernoulli(p_t).unwrap())
+        .seed(seed)
+        .traffic(traffic)
+        .faults(faults.clone())
+        .probe(checker)
+        .build()
+        .unwrap()
+        .run_with_probe();
+    assert!(
+        oracle.is_clean(),
+        "oracle violation: {}",
+        oracle.first_violation().unwrap()
+    );
+    let (report2, log) = Simulator::builder(world)
+        .mac(mac)
+        .activity(PuActivity::bernoulli(p_t).unwrap())
+        .seed(seed)
+        .traffic(traffic)
+        .faults(faults)
+        .probe(TraceLog::unbounded())
+        .build()
+        .unwrap()
+        .run_with_probe();
+    assert_eq!(report, report2, "probe choice must not change the run");
+    (report, log.into_events())
+}
+
+#[test]
+fn empty_schedule_is_bit_for_bit_identical() {
+    for seed in [1, 9, 42] {
+        let baseline = Simulator::builder(chain_world(6, vec![Point::new(25.0, 8.0)]))
+            .activity(PuActivity::bernoulli(0.3).unwrap())
+            .seed(seed)
+            .build()
+            .unwrap()
+            .run();
+        let with_empty = Simulator::builder(chain_world(6, vec![Point::new(25.0, 8.0)]))
+            .activity(PuActivity::bernoulli(0.3).unwrap())
+            .seed(seed)
+            .faults(FaultSchedule::empty())
+            .build()
+            .unwrap()
+            .run();
+        // PartialEq on SimReport compares every float bit-exactly (NaN-free
+        // by construction), so this pins byte-identical behavior.
+        assert_eq!(baseline, with_empty, "seed {seed}");
+    }
+}
+
+#[test]
+fn empty_schedule_leaves_the_trace_untouched() {
+    let traced = |faults: Option<FaultSchedule>| {
+        let b = Simulator::builder(chain_world(5, vec![Point::new(19.0, 5.0)]))
+            .activity(PuActivity::bernoulli(0.4).unwrap())
+            .seed(3);
+        let b = match faults {
+            Some(f) => b.faults(f),
+            None => b,
+        };
+        let (_, log) = b
+            .probe(TraceLog::unbounded())
+            .build()
+            .unwrap()
+            .run_with_probe();
+        log.into_events()
+    };
+    assert_eq!(traced(None), traced(Some(FaultSchedule::empty())));
+}
+
+#[test]
+fn crash_drops_the_queue_and_conservation_holds() {
+    // Crash the chain's first relay early: its own packet (and anything
+    // forwarded into it) is lost; upstream nodes keep retrying into a
+    // dead parent and nothing is ever double-counted.
+    let world = chain_world(4, vec![]);
+    let faults = schedule(vec![FaultEvent::new(5e-5, FaultKind::SuCrash { su: 1 })]);
+    // Orphans keep retrying into the dead relay forever (no adoptive
+    // parent exists on a sparse chain), so cap the horizon.
+    let mac = MacConfig {
+        max_sim_time: 0.05,
+        ..MacConfig::default()
+    };
+    let (report, trace) = run_checked_mac(world, faults, 0.0, 7, Traffic::Snapshot, mac);
+    assert!(
+        report.packets_lost >= 1,
+        "crash must lose the queued packet"
+    );
+    assert!(
+        report.fault_aborts > 0,
+        "retries into the dead parent are voided as fault aborts"
+    );
+    assert!(
+        trace
+            .iter()
+            .any(|e| matches!(e.kind, TraceEventKind::SuCrashed { su: 1 })),
+        "trace must record the crash"
+    );
+    // Node 1's own packet died with it; 2 and 3 are stuck behind the
+    // dead relay (no adoptive parent in range on a sparse chain), so the
+    // run cannot finish — but conservation still balances.
+    assert!(!report.finished);
+    assert_eq!(report.node_stats[1].packets_lost, 1);
+}
+
+#[test]
+fn reparenting_heals_the_tree_and_traffic_drains() {
+    let world = diamond_world();
+    let faults = schedule(vec![FaultEvent::new(5e-5, FaultKind::SuCrash { su: 1 })]);
+    let (report, trace) = run_checked(world, faults, 0.0, 11, Traffic::Snapshot);
+    let reparent = trace
+        .iter()
+        .find_map(|e| match e.kind {
+            TraceEventKind::Reparented { su, to, latency } => Some((su, to, latency)),
+            _ => None,
+        })
+        .expect("orphaned SU 3 must re-parent");
+    assert_eq!(reparent.0, 3);
+    assert_eq!(reparent.1, 2, "2 is the nearest live receiver in range");
+    assert!(
+        reparent.2 >= MacConfig::default().slot,
+        "discovery takes at least one slot, got {}",
+        reparent.2
+    );
+    assert_eq!(report.reparents, 1);
+    assert!(report.reparent_latency_mean >= MacConfig::default().slot);
+    assert!(report.reparent_latency_max >= report.reparent_latency_mean);
+    // 1's own packet is lost; 2, 3 (re-routed), and 4 all deliver.
+    assert!(report.finished, "healed tree must drain");
+    assert_eq!(report.packets_delivered, 3);
+    assert_eq!(report.packets_lost, 1);
+}
+
+#[test]
+fn pause_and_resume_preserve_the_queue() {
+    let world = chain_world(4, vec![]);
+    let faults = schedule(vec![
+        FaultEvent::new(2e-5, FaultKind::SuPause { su: 2 }),
+        FaultEvent::new(8e-3, FaultKind::SuResume { su: 2 }),
+    ]);
+    let (report, trace) = run_checked(world, faults, 0.0, 5, Traffic::Snapshot);
+    assert_eq!(report.packets_lost, 0, "a pause must not lose packets");
+    assert!(report.finished, "resumed node must drain its queue");
+    assert_eq!(report.packets_delivered, 3);
+    assert!(trace
+        .iter()
+        .any(|e| matches!(e.kind, TraceEventKind::SuPaused { su: 2 })));
+    assert!(trace
+        .iter()
+        .any(|e| matches!(e.kind, TraceEventKind::SuResumed { su: 2 })));
+}
+
+#[test]
+fn crash_then_recover_rejoins_with_later_traffic() {
+    // Periodic traffic: snapshot 0 dies with the crash, snapshots
+    // generated after the recovery flow normally.
+    let world = chain_world(4, vec![]);
+    let faults = schedule(vec![
+        FaultEvent::new(1e-5, FaultKind::SuCrash { su: 3 }),
+        FaultEvent::new(3e-3, FaultKind::SuRecover { su: 3 }),
+    ]);
+    let traffic = Traffic::Periodic {
+        interval: 5e-3,
+        snapshots: 3,
+    };
+    let (report, trace) = run_checked(world, faults, 0.0, 2, traffic);
+    assert_eq!(report.packets_lost, 1, "only snapshot 0's packet dies");
+    assert!(report.finished);
+    // 3 snapshots × 3 sources − 1 lost.
+    assert_eq!(report.packets_delivered, 8);
+    assert!(trace
+        .iter()
+        .any(|e| matches!(e.kind, TraceEventKind::SuRecovered { su: 3 })));
+}
+
+#[test]
+fn mid_transmission_crash_emits_a_fault_abort() {
+    // Crash inside the first contention window with certainty that
+    // someone is on air: single relay, generous airtime overlap. Sweep a
+    // few crash instants; at least one must catch SU 1 mid-transmission.
+    let mut saw_abort = false;
+    let mac = MacConfig {
+        max_sim_time: 0.02,
+        ..MacConfig::default()
+    };
+    for k in 1..=8 {
+        let t = f64::from(k) * 1.25e-4;
+        let world = chain_world(3, vec![]);
+        let faults = schedule(vec![FaultEvent::new(t, FaultKind::SuCrash { su: 1 })]);
+        let (report, trace) = run_checked_mac(world, faults, 0.0, 4, Traffic::Snapshot, mac);
+        if report.fault_aborts > 0 {
+            saw_abort = true;
+            assert!(
+                trace.iter().any(|e| matches!(
+                    e.kind,
+                    TraceEventKind::TxEnd {
+                        outcome: crn_sim::TxOutcome::FaultAbort,
+                        ..
+                    }
+                )),
+                "report counted a fault abort the trace never shows"
+            );
+        }
+    }
+    assert!(
+        saw_abort,
+        "no crash instant caught a transmission in flight"
+    );
+}
+
+#[test]
+fn pu_regime_shift_changes_the_duty_cycle() {
+    let world = chain_world(5, vec![Point::new(19.0, 5.0)]);
+    let faults = schedule(vec![FaultEvent::new(
+        5e-3,
+        FaultKind::PuRegimeShift {
+            activity: PuActivity::bernoulli(0.9).unwrap(),
+        },
+    )]);
+    let (_, trace) = run_checked(world, faults, 0.05, 6, Traffic::Snapshot);
+    let duty = trace
+        .iter()
+        .find_map(|e| match e.kind {
+            TraceEventKind::PuRegimeShift { duty } => Some(duty),
+            _ => None,
+        })
+        .expect("regime shift must be traced");
+    assert!((duty - 0.9).abs() < 1e-12);
+    // The PU gets markedly busier after the shift.
+    let ons_after = trace
+        .iter()
+        .filter(|e| e.time > 5e-3 && matches!(e.kind, TraceEventKind::PuOn { .. }))
+        .count();
+    assert!(ons_after > 0, "a 0.9 duty cycle must switch the PU on");
+}
+
+#[test]
+fn link_degradation_is_traced_and_oracle_clean() {
+    let world = chain_world(6, vec![Point::new(25.0, 8.0)]);
+    let faults = schedule(vec![FaultEvent::new(
+        1e-3,
+        FaultKind::LinkDegrade { su: 2, factor: 0.5 },
+    )]);
+    let (_, trace) = run_checked(world, faults, 0.3, 8, Traffic::Snapshot);
+    assert!(trace
+        .iter()
+        .any(|e| matches!(e.kind, TraceEventKind::LinkDegraded { su: 2, .. })));
+}
+
+#[test]
+fn brownout_blocks_deliveries_inside_the_window() {
+    let world = chain_world(4, vec![]);
+    let (t0, t1) = (1e-4, 6e-3);
+    let faults = schedule(vec![
+        FaultEvent::new(t0, FaultKind::BrownoutStart),
+        FaultEvent::new(t1, FaultKind::BrownoutEnd),
+    ]);
+    let (report, trace) = run_checked(world, faults, 0.0, 9, Traffic::Snapshot);
+    assert!(report.finished, "senders retry after the brownout lifts");
+    assert_eq!(report.packets_delivered, 3);
+    assert_eq!(report.packets_lost, 0);
+    for e in &trace {
+        if let TraceEventKind::Delivery { .. } = e.kind {
+            assert!(
+                e.time < t0 || e.time >= t1,
+                "delivery at t={} inside the brownout window",
+                e.time
+            );
+        }
+    }
+    assert!(
+        report.fault_aborts > 0,
+        "transmissions to the browned-out BS must be voided"
+    );
+}
+
+#[test]
+fn nontrivial_plan_passes_every_invariant() {
+    // The issue's acceptance plan: crash + recovery + regime shift (plus
+    // a pause window and a degraded link for good measure) on a PU-laden
+    // chain, all under the oracle.
+    let world = chain_world(7, vec![Point::new(25.0, 8.0), Point::new(46.0, 8.0)]);
+    let faults = schedule(vec![
+        FaultEvent::new(1e-3, FaultKind::SuCrash { su: 2 }),
+        FaultEvent::new(2e-3, FaultKind::SuPause { su: 5 }),
+        FaultEvent::new(
+            4e-3,
+            FaultKind::PuRegimeShift {
+                activity: PuActivity::bernoulli(0.7).unwrap(),
+            },
+        ),
+        FaultEvent::new(5e-3, FaultKind::LinkDegrade { su: 4, factor: 0.6 }),
+        FaultEvent::new(6e-3, FaultKind::SuResume { su: 5 }),
+        FaultEvent::new(8e-3, FaultKind::SuRecover { su: 2 }),
+    ]);
+    let traffic = Traffic::Periodic {
+        interval: 4e-3,
+        snapshots: 4,
+    };
+    for seed in 0..4 {
+        let (report, trace) = run_checked(
+            chain_world(7, vec![Point::new(25.0, 8.0), Point::new(46.0, 8.0)]),
+            faults.clone(),
+            0.2,
+            seed,
+            traffic,
+        );
+        assert!(
+            report.packets_lost > 0,
+            "seed {seed}: crash must cost packets"
+        );
+        assert!(
+            trace
+                .iter()
+                .any(|e| matches!(e.kind, TraceEventKind::SuRecovered { .. })),
+            "seed {seed}"
+        );
+    }
+    drop(world);
+}
+
+#[test]
+fn fault_target_outside_the_world_is_rejected() {
+    let err = Simulator::builder(chain_world(3, vec![]))
+        .faults(schedule(vec![FaultEvent::new(
+            1e-3,
+            FaultKind::SuCrash { su: 9 },
+        )]))
+        .build()
+        .unwrap_err();
+    match err {
+        BuildError::BadFaultTarget { target, nodes } => {
+            assert_eq!(target, 9);
+            assert_eq!(nodes, 3);
+        }
+        other => panic!("expected BadFaultTarget, got {other:?}"),
+    }
+}
+
+#[test]
+fn idempotent_faults_do_not_upset_the_oracle() {
+    // Double pause, resume-on-crashed, recover-on-up: the engine treats
+    // them as no-ops and emits nothing, so the oracle stays clean.
+    let world = chain_world(4, vec![]);
+    let faults = schedule(vec![
+        FaultEvent::new(1e-3, FaultKind::SuPause { su: 2 }),
+        FaultEvent::new(1.5e-3, FaultKind::SuPause { su: 2 }),
+        FaultEvent::new(2e-3, FaultKind::SuCrash { su: 2 }), // upgrade
+        FaultEvent::new(2.5e-3, FaultKind::SuResume { su: 2 }), // ignored
+        FaultEvent::new(3e-3, FaultKind::SuRecover { su: 2 }),
+        FaultEvent::new(3.5e-3, FaultKind::SuRecover { su: 2 }), // ignored
+    ]);
+    let (report, trace) = run_checked(world, faults, 0.0, 12, Traffic::Snapshot);
+    let crashes = trace
+        .iter()
+        .filter(|e| matches!(e.kind, TraceEventKind::SuCrashed { .. }))
+        .count();
+    let recoveries = trace
+        .iter()
+        .filter(|e| matches!(e.kind, TraceEventKind::SuRecovered { .. }))
+        .count();
+    assert_eq!(crashes, 1, "the pause→crash upgrade emits one crash");
+    assert_eq!(recoveries, 1, "the second recover is a no-op");
+    assert!(report.finished || report.packets_lost > 0);
+}

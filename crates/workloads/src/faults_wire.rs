@@ -1,0 +1,340 @@
+//! JSON wire format for fault workloads.
+//!
+//! Fault *presets* (`none`, `churn:RATE`) travel as strings through
+//! [`FaultsConfig`]'s `FromStr`; explicit plans are structured data and
+//! travel as JSON. This module defines the one wire shape shared by the
+//! CLI (`crn run --faults plan.json`) and the serve protocol:
+//!
+//! ```json
+//! {"events":[
+//!   {"t":0.05,"kind":"crash","su":3},
+//!   {"t":0.12,"kind":"recover","su":3},
+//!   {"t":0.20,"kind":"pu_regime_shift","p_t":0.6},
+//!   {"t":0.25,"kind":"link_degrade","su":2,"factor":0.5},
+//!   {"t":0.30,"kind":"brownout_start"},
+//!   {"t":0.40,"kind":"brownout_end"}
+//! ]}
+//! ```
+//!
+//! A Gilbert regime shift spells `"p_on"`/`"p_off"` instead of `"p_t"`.
+//! Encoding and decoding round-trip exactly for every representable plan
+//! (times and factors go through the shortest-round-trip float writer).
+
+use crate::json::Json;
+use crn_sim::{ChurnSpec, FaultEvent, FaultKind, FaultPlan, FaultsConfig};
+use crn_spectrum::{GilbertParams, PuActivity};
+
+/// Encodes a plan as the `{"events":[...]}` wire object.
+#[must_use]
+pub fn fault_plan_to_json(plan: &FaultPlan) -> Json {
+    let events = plan.events().iter().map(fault_event_to_json).collect();
+    let mut obj = Json::obj();
+    obj.set("events", Json::Arr(events));
+    obj
+}
+
+/// Encodes one fault event as a flat wire object.
+#[must_use]
+pub fn fault_event_to_json(e: &FaultEvent) -> Json {
+    let mut o = Json::obj();
+    o.set("t", Json::float(e.time));
+    o.set("kind", Json::Str(e.kind.label().to_owned()));
+    match e.kind {
+        FaultKind::SuCrash { su }
+        | FaultKind::SuRecover { su }
+        | FaultKind::SuPause { su }
+        | FaultKind::SuResume { su } => {
+            o.set("su", Json::UInt(u64::from(su)));
+        }
+        FaultKind::LinkDegrade { su, factor } => {
+            o.set("su", Json::UInt(u64::from(su)));
+            o.set("factor", Json::float(factor));
+        }
+        FaultKind::PuRegimeShift { activity } => match activity {
+            PuActivity::Bernoulli { p_t } => {
+                o.set("p_t", Json::float(p_t));
+            }
+            PuActivity::Gilbert(g) => {
+                o.set("p_on", Json::float(g.p_on));
+                o.set("p_off", Json::float(g.p_off));
+            }
+        },
+        FaultKind::BrownoutStart | FaultKind::BrownoutEnd => {}
+    }
+    o
+}
+
+/// Decodes a `{"events":[...]}` wire object back into a plan.
+///
+/// Decoding is *syntactic*: it reconstructs the events but does not run
+/// semantic validation (time ranges, factor bounds) — that stays in
+/// `FaultPlan::compile`, so the CLI and serve layer report one kind of
+/// validation error regardless of where a plan came from.
+///
+/// # Errors
+///
+/// Returns a human-readable message on missing/mistyped fields or an
+/// unknown `kind`.
+pub fn fault_plan_from_json(v: &Json) -> Result<FaultPlan, String> {
+    let events = v
+        .get("events")
+        .ok_or("fault plan needs an \"events\" array")?
+        .as_arr()
+        .ok_or("\"events\" must be an array")?;
+    let mut plan = FaultPlan::empty();
+    for (i, e) in events.iter().enumerate() {
+        plan.push(fault_event_from_json(e).map_err(|m| format!("events[{i}]: {m}"))?);
+    }
+    Ok(plan)
+}
+
+/// Decodes one fault event from its flat wire object.
+///
+/// # Errors
+///
+/// Returns a human-readable message on missing/mistyped fields or an
+/// unknown `kind`.
+pub fn fault_event_from_json(v: &Json) -> Result<FaultEvent, String> {
+    let time = v
+        .get("t")
+        .and_then(Json::as_f64)
+        .ok_or("missing numeric \"t\"")?;
+    let kind_str = v
+        .get("kind")
+        .and_then(Json::as_str)
+        .ok_or("missing string \"kind\"")?;
+    let su = |field: &str| -> Result<u32, String> {
+        v.get(field)
+            .and_then(Json::as_u64)
+            .and_then(|u| u32::try_from(u).ok())
+            .ok_or_else(|| format!("kind {kind_str:?} needs an integer \"{field}\""))
+    };
+    let num = |field: &str| -> Result<f64, String> {
+        v.get(field)
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("kind {kind_str:?} needs a numeric \"{field}\""))
+    };
+    let kind = match kind_str {
+        "crash" => FaultKind::SuCrash { su: su("su")? },
+        "recover" => FaultKind::SuRecover { su: su("su")? },
+        "pause" => FaultKind::SuPause { su: su("su")? },
+        "resume" => FaultKind::SuResume { su: su("su")? },
+        "link_degrade" => FaultKind::LinkDegrade {
+            su: su("su")?,
+            factor: num("factor")?,
+        },
+        "pu_regime_shift" => {
+            let activity = if v.get("p_t").is_some() {
+                PuActivity::Bernoulli { p_t: num("p_t")? }
+            } else {
+                PuActivity::Gilbert(GilbertParams {
+                    p_on: num("p_on")?,
+                    p_off: num("p_off")?,
+                })
+            };
+            FaultKind::PuRegimeShift { activity }
+        }
+        "brownout_start" => FaultKind::BrownoutStart,
+        "brownout_end" => FaultKind::BrownoutEnd,
+        other => return Err(format!("unknown fault kind {other:?}")),
+    };
+    Ok(FaultEvent::new(time, kind))
+}
+
+/// Encodes a full fault configuration: `"none"`, a `{"churn":{...}}`
+/// object, or a plan's `{"events":[...]}` object.
+#[must_use]
+pub fn faults_config_to_json(cfg: &FaultsConfig) -> Json {
+    match cfg {
+        FaultsConfig::None => Json::Str("none".to_owned()),
+        FaultsConfig::Plan(plan) => fault_plan_to_json(plan),
+        FaultsConfig::Churn(c) => {
+            let mut spec = Json::obj();
+            spec.set("rate_per_1k_slots", Json::float(c.rate_per_1k_slots));
+            spec.set("downtime_slots", Json::float(c.downtime_slots));
+            spec.set("horizon_slots", Json::float(c.horizon_slots));
+            let mut o = Json::obj();
+            o.set("churn", spec);
+            o
+        }
+    }
+}
+
+/// Decodes a fault configuration. Accepts the three shapes
+/// [`faults_config_to_json`] writes, plus preset *strings* (`"none"`,
+/// `"churn:RATE"`) so protocol clients can send the CLI grammar verbatim.
+///
+/// # Errors
+///
+/// Returns a human-readable message on an unrecognized shape or a
+/// malformed churn spec.
+pub fn faults_config_from_json(v: &Json) -> Result<FaultsConfig, String> {
+    if let Some(s) = v.as_str() {
+        return s.parse::<FaultsConfig>();
+    }
+    if let Some(churn) = v.get("churn") {
+        let field = |name: &str| -> Result<f64, String> {
+            churn
+                .get(name)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("churn spec needs a numeric \"{name}\""))
+        };
+        let spec = ChurnSpec {
+            rate_per_1k_slots: field("rate_per_1k_slots")?,
+            downtime_slots: field("downtime_slots")?,
+            horizon_slots: field("horizon_slots")?,
+        };
+        spec.validated().map_err(|e| e.to_string())?;
+        return Ok(FaultsConfig::Churn(spec));
+    }
+    if v.get("events").is_some() {
+        return Ok(FaultsConfig::Plan(fault_plan_from_json(v)?));
+    }
+    Err("unrecognized faults value (expected \"none\", \"churn:RATE\", {\"churn\":{...}}, or {\"events\":[...]})".to_owned())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_plan() -> FaultPlan {
+        FaultPlan::from_events(vec![
+            FaultEvent::new(0.05, FaultKind::SuCrash { su: 3 }),
+            FaultEvent::new(0.12, FaultKind::SuRecover { su: 3 }),
+            FaultEvent::new(0.13, FaultKind::SuPause { su: 5 }),
+            FaultEvent::new(0.14, FaultKind::SuResume { su: 5 }),
+            FaultEvent::new(
+                0.2,
+                FaultKind::PuRegimeShift {
+                    activity: PuActivity::Bernoulli { p_t: 0.6 },
+                },
+            ),
+            FaultEvent::new(
+                0.21,
+                FaultKind::PuRegimeShift {
+                    activity: PuActivity::Gilbert(GilbertParams {
+                        p_on: 0.1,
+                        p_off: 0.25,
+                    }),
+                },
+            ),
+            FaultEvent::new(0.25, FaultKind::LinkDegrade { su: 2, factor: 0.5 }),
+            FaultEvent::new(0.3, FaultKind::BrownoutStart),
+            FaultEvent::new(0.4, FaultKind::BrownoutEnd),
+        ])
+    }
+
+    #[test]
+    fn plan_round_trips_through_json_text() {
+        let plan = sample_plan();
+        let text = fault_plan_to_json(&plan).to_string();
+        let parsed: Json = text.parse().unwrap();
+        assert_eq!(fault_plan_from_json(&parsed).unwrap(), plan);
+    }
+
+    #[test]
+    fn wire_shape_matches_the_documented_format() {
+        let text = fault_plan_to_json(&FaultPlan::from_events(vec![FaultEvent::new(
+            0.05,
+            FaultKind::SuCrash { su: 3 },
+        )]))
+        .to_string();
+        assert_eq!(text, r#"{"events":[{"t":0.05,"kind":"crash","su":3}]}"#);
+    }
+
+    #[test]
+    fn empty_plan_round_trips() {
+        let v: Json = r#"{"events":[]}"#.parse().unwrap();
+        assert_eq!(fault_plan_from_json(&v).unwrap(), FaultPlan::empty());
+        assert_eq!(
+            fault_plan_to_json(&FaultPlan::empty()).to_string(),
+            r#"{"events":[]}"#
+        );
+    }
+
+    #[test]
+    fn decoding_is_syntactic_not_semantic() {
+        // An out-of-range factor decodes fine; compile() rejects it, so
+        // validation errors are uniform across entry points.
+        let v: Json = r#"{"events":[{"t":0.0,"kind":"link_degrade","su":1,"factor":7.0}]}"#
+            .parse()
+            .unwrap();
+        let plan = fault_plan_from_json(&v).unwrap();
+        assert!(plan.compile().is_err());
+    }
+
+    #[test]
+    fn bad_events_are_rejected_with_the_index() {
+        for (src, needle) in [
+            (r#"{"nope":[]}"#, "events"),
+            (r#"{"events":{}}"#, "array"),
+            (r#"{"events":[{"kind":"crash","su":1}]}"#, "events[0]"),
+            (r#"{"events":[{"t":0.0,"su":1}]}"#, "kind"),
+            (r#"{"events":[{"t":0.0,"kind":"meteor"}]}"#, "meteor"),
+            (r#"{"events":[{"t":0.0,"kind":"crash"}]}"#, "\"su\""),
+            (
+                r#"{"events":[{"t":0.0,"kind":"link_degrade","su":1}]}"#,
+                "factor",
+            ),
+            (r#"{"events":[{"t":0.0,"kind":"pu_regime_shift"}]}"#, "p_on"),
+            (
+                r#"{"events":[{"t":0.0,"kind":"crash","su":4294967296}]}"#,
+                "\"su\"",
+            ),
+        ] {
+            let v: Json = src.parse().unwrap();
+            let err = fault_plan_from_json(&v).unwrap_err();
+            assert!(err.contains(needle), "{src}: {err}");
+        }
+    }
+
+    #[test]
+    fn config_round_trips_all_three_shapes() {
+        let configs = [
+            FaultsConfig::None,
+            FaultsConfig::Plan(sample_plan()),
+            FaultsConfig::Churn(ChurnSpec::new(2.5).unwrap()),
+        ];
+        for cfg in configs {
+            let text = faults_config_to_json(&cfg).to_string();
+            let parsed: Json = text.parse().unwrap();
+            assert_eq!(faults_config_from_json(&parsed).unwrap(), cfg, "{text}");
+        }
+    }
+
+    #[test]
+    fn config_accepts_preset_strings() {
+        let v = Json::Str("churn:4".to_owned());
+        let cfg = faults_config_from_json(&v).unwrap();
+        assert_eq!(cfg, FaultsConfig::Churn(ChurnSpec::new(4.0).unwrap()));
+        assert_eq!(
+            faults_config_from_json(&Json::Str("none".into())).unwrap(),
+            FaultsConfig::None
+        );
+        assert!(faults_config_from_json(&Json::Str("meteor".into())).is_err());
+    }
+
+    #[test]
+    fn config_rejects_malformed_churn_objects() {
+        let v: Json =
+            r#"{"churn":{"rate_per_1k_slots":-1.0,"downtime_slots":50.0,"horizon_slots":4000.0}}"#
+                .parse()
+                .unwrap();
+        assert!(faults_config_from_json(&v).unwrap_err().contains("churn"));
+        let v: Json = r#"{"churn":{"rate_per_1k_slots":1.0}}"#.parse().unwrap();
+        assert!(faults_config_from_json(&v)
+            .unwrap_err()
+            .contains("downtime_slots"));
+        assert!(faults_config_from_json(&Json::UInt(3)).is_err());
+    }
+
+    #[test]
+    fn churn_object_preserves_non_default_fields() {
+        let mut spec = ChurnSpec::new(3.0).unwrap();
+        spec.downtime_slots = 120.0;
+        spec.horizon_slots = 900.0;
+        let cfg = FaultsConfig::Churn(spec);
+        let parsed: Json = faults_config_to_json(&cfg).to_string().parse().unwrap();
+        assert_eq!(faults_config_from_json(&parsed).unwrap(), cfg);
+    }
+}

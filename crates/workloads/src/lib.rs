@@ -14,6 +14,8 @@
 //! - [`aggregate`] — per-point mean/std across repetitions,
 //! - [`table`] — markdown / CSV rendering for `EXPERIMENTS.md`,
 //! - [`export`] — JSONL / CSV serialization of records and traces,
+//! - [`faults_wire`] — the JSON wire format fault plans travel in
+//!   (shared by `crn run --faults plan.json` and the serve protocol),
 //! - [`fig4`] — the closed-form PCR figure.
 //!
 //! # Example
@@ -34,6 +36,7 @@
 #![warn(missing_docs)]
 
 pub mod export;
+pub mod faults_wire;
 pub mod fig4;
 pub mod json;
 pub mod presets;

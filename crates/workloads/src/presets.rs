@@ -205,6 +205,25 @@ pub fn fig6_spec(kind: PresetKind, panel: Fig6Panel) -> SweepSpec {
     }
 }
 
+/// Builds the churn-robustness sweep at the given scale: delivery and
+/// delay under increasing crash rates (expected crashes per 1000 slots),
+/// ADDC against the Coolest baseline. Rate 0 is included as the
+/// fault-free anchor point.
+#[must_use]
+pub fn churn_spec(kind: PresetKind) -> SweepSpec {
+    let rates = match kind {
+        PresetKind::Paper | PresetKind::Scaled => vec![0.0, 2.0, 5.0, 10.0, 20.0],
+        PresetKind::Tiny => vec![0.0, 5.0, 20.0],
+    };
+    SweepSpec {
+        figure: "churn".to_owned(),
+        base: base_params(kind),
+        axis: Axis::new(AxisKind::ChurnRate, rates),
+        algorithms: vec![CollectionAlgorithm::Addc, CollectionAlgorithm::Coolest],
+        reps: default_reps(kind),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -285,6 +304,19 @@ mod tests {
             let spec = fig6_spec(PresetKind::Scaled, panel);
             assert_eq!(spec.axis.values[0], 10.0, "start at the default power");
             assert!(spec.axis.values.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn churn_specs_anchor_at_zero_and_scale_with_preset() {
+        for kind in [PresetKind::Paper, PresetKind::Scaled, PresetKind::Tiny] {
+            let spec = churn_spec(kind);
+            assert_eq!(spec.figure, "churn");
+            assert_eq!(spec.axis.kind, AxisKind::ChurnRate);
+            assert_eq!(spec.axis.values[0], 0.0, "fault-free anchor point");
+            assert!(spec.axis.values.windows(2).all(|w| w[0] < w[1]));
+            assert!(spec.base.faults.is_none(), "base itself is fault-free");
+            assert_eq!(spec.algorithms.len(), 2);
         }
     }
 

@@ -18,6 +18,11 @@ pub enum AxisKind {
     PuPower,
     /// Panel (f): SU transmit power `P_s`.
     SuPower,
+    /// Fault study: churn rate (expected crashes per 1000 slots). Sets
+    /// `params.faults` to a [`crn_sim::ChurnSpec`] with paper-scale
+    /// downtime/horizon defaults; the per-point master seed then resolves
+    /// it into a concrete crash/recover script at run time.
+    ChurnRate,
 }
 
 impl AxisKind {
@@ -31,6 +36,7 @@ impl AxisKind {
             AxisKind::Alpha => "alpha",
             AxisKind::PuPower => "P_p",
             AxisKind::SuPower => "P_s",
+            AxisKind::ChurnRate => "churn",
         }
     }
 }
@@ -63,7 +69,8 @@ impl Axis {
     /// # Panics
     ///
     /// Panics if `value` is invalid for the axis (negative counts,
-    /// `p_t ∉ [0,1]`, `α ≤ 2`, non-positive powers).
+    /// `p_t ∉ [0,1]`, `α ≤ 2`, non-positive powers, negative churn
+    /// rates).
     #[must_use]
     pub fn apply(&self, base: &ScenarioParams, value: f64) -> ScenarioParams {
         let mut params = base.clone();
@@ -94,6 +101,11 @@ impl Axis {
                 params.phy = rebuild_phy(&base.phy, |b| {
                     b.su_power(value);
                 });
+            }
+            AxisKind::ChurnRate => {
+                let spec = crn_sim::ChurnSpec::new(value)
+                    .unwrap_or_else(|e| panic!("bad churn rate on axis: {e}"));
+                params.faults = crn_sim::FaultsConfig::Churn(spec);
             }
         }
         params
@@ -285,15 +297,54 @@ mod tests {
     }
 
     #[test]
+    fn churn_axis_applies_and_leaves_the_base_faultless() {
+        let s = spec(AxisKind::ChurnRate, vec![2.5]);
+        assert!(s.base.faults.is_none());
+        let job = &s.jobs()[0];
+        match &job.params.faults {
+            crn_sim::FaultsConfig::Churn(c) => {
+                assert_eq!(c.rate_per_1k_slots, 2.5);
+                assert_eq!(c.downtime_slots, 50.0);
+                assert_eq!(c.horizon_slots, 4000.0);
+            }
+            other => panic!("expected churn faults, got {other:?}"),
+        }
+        // Everything else is untouched.
+        assert_eq!(job.params.num_sus, s.base.num_sus);
+        assert_eq!(job.params.phy, s.base.phy);
+    }
+
+    #[test]
+    fn churn_axis_pairs_algorithms_on_the_same_workload() {
+        // Paired jobs share a seed, and churn resolves from the master
+        // seed, so both algorithms at a (rate, rep) point face the same
+        // crash script.
+        let s = spec(AxisKind::ChurnRate, vec![4.0]);
+        let jobs = s.jobs();
+        let a = jobs.iter().find(|j| j.algorithm == Addc).unwrap();
+        let c = jobs.iter().find(|j| j.algorithm == Coolest).unwrap();
+        assert_eq!(a.params.faults, c.params.faults);
+        assert_eq!(a.params.seed, c.params.seed);
+    }
+
+    #[test]
     fn labels() {
         assert_eq!(AxisKind::NumPus.label(), "N");
         assert_eq!(AxisKind::Alpha.to_string(), "alpha");
+        assert_eq!(AxisKind::ChurnRate.label(), "churn");
     }
 
     #[test]
     #[should_panic(expected = "bad p_t")]
     fn invalid_p_t_panics() {
         let s = spec(AxisKind::Pt, vec![1.5]);
+        let _ = s.jobs();
+    }
+
+    #[test]
+    #[should_panic(expected = "bad churn rate")]
+    fn invalid_churn_rate_panics() {
+        let s = spec(AxisKind::ChurnRate, vec![-1.0]);
         let _ = s.jobs();
     }
 }

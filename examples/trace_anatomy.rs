@@ -95,7 +95,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // --- Act 2: where the attempts went. ------------------------------
-    let mut by_outcome = [0u64; 4];
+    let mut by_outcome = [0u64; 5];
     for e in trace.events() {
         if let TraceEventKind::TxEnd { outcome, .. } = e.kind {
             by_outcome[match outcome {
@@ -103,6 +103,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 TxOutcome::PuAbort => 1,
                 TxOutcome::SirLoss => 2,
                 TxOutcome::CaptureLoss => 3,
+                TxOutcome::FaultAbort => 4,
             }] += 1;
         }
     }
@@ -112,6 +113,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "pu_abort (spectrum handoff)",
         "sir_loss",
         "capture_loss",
+        "fault_abort (injected faults)",
     ]
     .iter()
     .zip(by_outcome)

@@ -12,6 +12,7 @@
 //! | [`topology`] | `crn-topology` | unit-disk graphs, BFS, MIS, CDS collection trees |
 //! | [`interference`] | `crn-interference` | physical SIR model, PCR/κ derivation |
 //! | [`spectrum`] | `crn-spectrum` | PU activity models, spectrum opportunities & temperature |
+//! | [`faults`] | `crn-faults` | seeded fault plans & churn: crashes, pauses, regime shifts, brownouts |
 //! | [`sim`] | `crn-sim` | asynchronous discrete-event CSMA simulator + trace probes |
 //! | [`core`] | `crn-core` | ADDC (Algorithm 1) and the Coolest-path baseline |
 //! | [`theory`] | `crn-theory` | Lemmas 4–8, Theorems 1–2 analytic bounds |
@@ -43,6 +44,7 @@
 #![forbid(unsafe_code)]
 
 pub use crn_core as core;
+pub use crn_faults as faults;
 pub use crn_geometry as geometry;
 pub use crn_interference as interference;
 pub use crn_serve as serve;

@@ -1,0 +1,200 @@
+//! Fault-injection fuzz suite: random fault plans and churn workloads run
+//! under the live [`InvariantChecker`] (via `Scenario::run_checked`), plus
+//! a pinned corpus of hand-written fault plans (`tests/corpus/fault_plans/`)
+//! replayed verbatim over the seeds in `tests/corpus/fault_seeds.txt` so CI
+//! audits a stable set of faulted runs. Pin the sampled cases too by
+//! exporting `PROPTEST_RNG_SEED`.
+//!
+//! The oracle's fault-aware conservation law — `generated = delivered +
+//! queued + lost_to_faults` across every crash, recovery, pause, regime
+//! shift, degradation, and brownout transition — is checked event by event
+//! inside the engine; this suite exercises it across the whole plan space.
+
+use crn::core::{CollectionAlgorithm, Scenario, ScenarioParams};
+use crn::sim::{ChurnSpec, FaultEvent, FaultKind, FaultPlan, FaultsConfig, SimReport};
+use crn::spectrum::{GilbertParams, PuActivity};
+use crn::workloads::faults_wire::fault_plan_from_json;
+use crn::workloads::json::Json;
+use proptest::prelude::*;
+
+const ALGORITHMS: [CollectionAlgorithm; 2] =
+    [CollectionAlgorithm::Addc, CollectionAlgorithm::Coolest];
+
+/// Every corpus plan targets SU ids `1..=CORPUS_SUS`.
+const CORPUS_SUS: usize = 40;
+
+fn params_for(seed: u64, faults: FaultsConfig) -> ScenarioParams {
+    let side = (CORPUS_SUS as f64 / 0.035).sqrt();
+    let mut params = ScenarioParams::builder()
+        .num_sus(CORPUS_SUS)
+        .num_pus(5)
+        .area_side(side)
+        .p_t(0.2)
+        .seed(seed)
+        .faults(faults)
+        .max_connectivity_attempts(3000)
+        .build();
+    // Fault storms can legitimately strand a run (e.g. every relay down);
+    // a modest cap keeps worst-case fuzz inputs cheap while the oracle
+    // still audits every event up to it.
+    params.mac.max_sim_time = 30.0;
+    params
+}
+
+/// Runs both algorithms under the oracle and asserts fault-aware packet
+/// accounting on the resulting reports.
+fn assert_clean_under_faults(params: &ScenarioParams) -> Vec<SimReport> {
+    let scenario = Scenario::generate(params).expect("scenario generates");
+    ALGORITHMS
+        .iter()
+        .map(|&algorithm| {
+            let (outcome, oracle) = scenario
+                .run_checked(algorithm)
+                .unwrap_or_else(|e| panic!("{algorithm}: {e}"));
+            assert!(oracle.events_checked() > 0, "{algorithm}: oracle idle");
+            let r = outcome.report;
+            let accounted = r.packets_delivered as u64 + r.packets_lost;
+            assert!(
+                accounted <= r.packets_expected as u64,
+                "{algorithm}: delivered {} + lost {} exceeds expected {}",
+                r.packets_delivered,
+                r.packets_lost,
+                r.packets_expected
+            );
+            assert!((0.0..=1.0).contains(&r.delivery_ratio()));
+            if r.finished {
+                assert_eq!(
+                    accounted, r.packets_expected as u64,
+                    "{algorithm}: finished run left packets unaccounted"
+                );
+            }
+            r
+        })
+        .collect()
+}
+
+fn arb_kind() -> impl Strategy<Value = FaultKind> {
+    // The vendored proptest has no union strategy; sample every field and
+    // let a discriminant pick the variant.
+    let su = 1u32..=CORPUS_SUS as u32;
+    (
+        0u8..9,
+        su,
+        0.0f64..=1.0,
+        0.0f64..=0.6,
+        (0.01f64..=0.5, 0.01f64..=0.5),
+    )
+        .prop_map(|(choice, su, factor, p_t, (p_on, p_off))| match choice {
+            0 => FaultKind::SuCrash { su },
+            1 => FaultKind::SuRecover { su },
+            2 => FaultKind::SuPause { su },
+            3 => FaultKind::SuResume { su },
+            4 => FaultKind::LinkDegrade { su, factor },
+            5 => FaultKind::PuRegimeShift {
+                activity: PuActivity::Bernoulli { p_t },
+            },
+            6 => FaultKind::PuRegimeShift {
+                activity: PuActivity::Gilbert(GilbertParams { p_on, p_off }),
+            },
+            7 => FaultKind::BrownoutStart,
+            _ => FaultKind::BrownoutEnd,
+        })
+}
+
+fn arb_plan() -> impl Strategy<Value = FaultPlan> {
+    collection::vec((0.0f64..1.5, arb_kind()), 0..20).prop_map(|events| {
+        FaultPlan::from_events(
+            events
+                .into_iter()
+                .map(|(t, kind)| FaultEvent::new(t, kind))
+                .collect(),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// 10 random plans × 2 algorithms, all oracle-audited. Arbitrary event
+    /// orders are legal by construction: recover-without-crash, double
+    /// pause, and unmatched brownout edges are engine no-ops.
+    #[test]
+    fn random_fault_plans_are_invariant_clean(plan in arb_plan(), seed in 0u64..500) {
+        let params = params_for(seed, FaultsConfig::Plan(plan));
+        assert_clean_under_faults(&params);
+    }
+
+    /// Seeded churn at random rates stays invariant-clean, and both
+    /// algorithms face the same resolved schedule (same master seed).
+    #[test]
+    fn random_churn_is_invariant_clean(rate in 0.0f64..30.0, seed in 0u64..500) {
+        let spec = ChurnSpec::new(rate).expect("non-negative rate");
+        let params = params_for(seed, FaultsConfig::Churn(spec));
+        assert_clean_under_faults(&params);
+    }
+}
+
+/// The pinned corpus: every plan in `tests/corpus/fault_plans/` decodes
+/// through the wire format and replays clean over every seed in
+/// `tests/corpus/fault_seeds.txt`, for both algorithms.
+#[test]
+fn fault_plan_corpus_replays_clean() {
+    let corpus: [(&str, &str); 5] = [
+        (
+            "crash_recover.json",
+            include_str!("corpus/fault_plans/crash_recover.json"),
+        ),
+        (
+            "pause_resume.json",
+            include_str!("corpus/fault_plans/pause_resume.json"),
+        ),
+        (
+            "regime_shift.json",
+            include_str!("corpus/fault_plans/regime_shift.json"),
+        ),
+        (
+            "brownout_link.json",
+            include_str!("corpus/fault_plans/brownout_link.json"),
+        ),
+        (
+            "mixed_storm.json",
+            include_str!("corpus/fault_plans/mixed_storm.json"),
+        ),
+    ];
+    let seeds: Vec<u64> = include_str!("corpus/fault_seeds.txt")
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(|l| l.parse().expect("corpus lines are u64 seeds"))
+        .collect();
+    assert!(seeds.len() >= 3, "seed corpus shrank to {}", seeds.len());
+
+    for (name, text) in corpus {
+        let json: Json = text.parse().unwrap_or_else(|e| panic!("{name}: {e}"));
+        let plan = fault_plan_from_json(&json).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(!plan.events().is_empty(), "{name}: corpus plan is empty");
+        for &seed in &seeds {
+            let params = params_for(seed, FaultsConfig::Plan(plan.clone()));
+            assert_clean_under_faults(&params);
+        }
+    }
+}
+
+/// The storm plan actually bites: across the seed corpus it must produce
+/// observable fault work (losses, aborted transmissions, or re-parents),
+/// otherwise the corpus has silently stopped exercising the subsystem.
+#[test]
+fn corpus_storm_produces_fault_activity() {
+    let json: Json = include_str!("corpus/fault_plans/mixed_storm.json")
+        .parse()
+        .unwrap();
+    let plan = fault_plan_from_json(&json).unwrap();
+    let mut activity = 0u64;
+    for seed in [7u64, 42, 1999] {
+        let params = params_for(seed, FaultsConfig::Plan(plan.clone()));
+        for r in assert_clean_under_faults(&params) {
+            activity += r.packets_lost + r.fault_aborts + u64::from(r.reparents);
+        }
+    }
+    assert!(activity > 0, "storm corpus caused no observable fault work");
+}

@@ -112,6 +112,7 @@ fn main() {
         // bench itself (rejection behaviour is covered by the e2e tests).
         queue_cap: points.max(64),
         cache_cap: points.max(64),
+        topo_cache_cap: 64,
     })
     .expect("start bench server");
     let addr = server.local_addr();

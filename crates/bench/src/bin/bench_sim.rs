@@ -1,21 +1,31 @@
 //! Emits `results/BENCH_sim.json`: dense-vs-sparse interference-engine
-//! scaling on the deterministic synthetic grid world.
+//! scaling on the deterministic synthetic grid world, plus the
+//! topology/radio phase split.
 //!
-//! For each size `n` the harness times world construction and measures
-//! event throughput of a short capped run under both interference models
-//! (`Exact` dense tables are skipped above `n = 5000`, where they would
-//! need gigabytes), and records the gain-table footprint plus a peak-RSS
-//! proxy (`VmHWM` from `/proc/self/status`).
+//! For each size `n` the harness times the structure phase (`Topology`
+//! build) once, then per interference model times radio customization
+//! (`SimWorld::new` on the shared topology), measures event throughput
+//! of a short capped run (`Exact` dense tables are skipped above
+//! `n = 5000`, where they would need gigabytes), and records the
+//! gain-table footprint plus a peak-RSS proxy (`VmHWM` from
+//! `/proc/self/status`).
+//!
+//! It also times the headline of the split API: a radio-only
+//! re-customization (an SU transmit-power bump) against a full
+//! from-scratch rebuild at the new parameters, asserting along the way
+//! that both worlds produce bit-identical reports.
 //!
 //! Flags: `--smoke` (tiny sizes, for CI PR runs), `--out FILE` (default
 //! `results/BENCH_sim.json`).
 //!
 //! Run with `cargo run -p crn-bench --release --bin bench_sim`.
 
-use crn_bench::synthetic::grid_world;
+use crn_bench::synthetic::{grid_radio, grid_topology};
 use crn_bench::take_flag;
-use crn_sim::{InterferenceModel, MacConfig, Simulator, TraceLog};
+use crn_interference::PhyParams;
+use crn_sim::{InterferenceModel, MacConfig, SimWorld, Simulator, Topology, TraceLog};
 use std::fmt::Write as _;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Truncation budget used throughout (the equivalence-tested default).
@@ -25,6 +35,10 @@ const DENSE_CAP: usize = 5_000;
 
 struct ModelStats {
     construct_ms: f64,
+    customize_s: f64,
+    recustomize_s: f64,
+    rebuild_s: f64,
+    recustomize_speedup: f64,
     gain_table_bytes: usize,
     events: u64,
     events_per_sec: f64,
@@ -32,22 +46,32 @@ struct ModelStats {
 
 struct SizeStats {
     n: usize,
+    topology_build_s: f64,
     dense: Option<ModelStats>,
     sparse: ModelStats,
     vm_hwm_kb: Option<u64>,
 }
 
-fn measure(n: usize, model: InterferenceModel, sim_seconds: f64) -> ModelStats {
-    let started = Instant::now();
-    let world = grid_world(n, model);
-    let construct_ms = started.elapsed().as_secs_f64() * 1e3;
-    let gain_table_bytes = world.gain_table_bytes();
+/// Copies `phy` with the SU transmit power raised by half — a pure radio
+/// value change the customization layer absorbs without rebuilding any
+/// structure.
+fn bump_su_power(phy: &PhyParams) -> PhyParams {
+    let mut b = PhyParams::builder();
+    b.alpha(phy.alpha())
+        .pu_power(phy.pu_power())
+        .su_power(phy.su_power() * 1.5)
+        .pu_radius(phy.pu_radius())
+        .su_radius(phy.su_radius())
+        .pu_sir_threshold(phy.pu_sir_threshold())
+        .su_sir_threshold(phy.su_sir_threshold());
+    b.build().expect("bumped phy stays valid")
+}
 
+fn capped_run(world: SimWorld, sim_seconds: f64) -> (crn_sim::SimReport, u64) {
     let mac = MacConfig {
         max_sim_time: sim_seconds,
         ..MacConfig::default()
     };
-    let started = Instant::now();
     let (report, trace) = Simulator::builder(world)
         .mac(mac)
         .seed(42)
@@ -55,11 +79,55 @@ fn measure(n: usize, model: InterferenceModel, sim_seconds: f64) -> ModelStats {
         .build()
         .unwrap()
         .run_with_probe();
+    let events = trace.len() as u64 + trace.dropped();
+    (report, events)
+}
+
+fn measure(
+    n: usize,
+    topology: &Arc<Topology>,
+    topology_build_s: f64,
+    model: InterferenceModel,
+    sim_seconds: f64,
+) -> ModelStats {
+    let params = grid_radio(model);
+    let started = Instant::now();
+    let world = SimWorld::new(topology.clone(), params).expect("grid radio params are valid");
+    let customize_s = started.elapsed().as_secs_f64();
+    let gain_table_bytes = world.gain_table_bytes();
+
+    // Radio-only re-customization vs a full from-scratch rebuild at the
+    // same new parameters.
+    let bumped = params.phy(bump_su_power(&params.phy));
+    let started = Instant::now();
+    let recustomized = world
+        .recustomize(bumped)
+        .expect("power-only recustomize succeeds");
+    let recustomize_s = started.elapsed().as_secs_f64();
+    let started = Instant::now();
+    let rebuilt =
+        SimWorld::new(Arc::new(grid_topology(n)), bumped).expect("rebuilt grid world is valid");
+    let rebuild_s = started.elapsed().as_secs_f64();
+
+    // Both paths must agree bit-for-bit before either timing counts.
+    let equiv_seconds = sim_seconds.min(0.05);
+    let (from_recustomize, _) = capped_run(recustomized, equiv_seconds);
+    let (from_rebuild, _) = capped_run(rebuilt, equiv_seconds);
+    assert_eq!(
+        from_recustomize, from_rebuild,
+        "recustomized world diverged from a fresh build at n = {n}"
+    );
+
+    let started = Instant::now();
+    let (report, events) = capped_run(world, sim_seconds);
     let wall = started.elapsed().as_secs_f64();
     assert!(report.attempts > 0, "capped run must make progress");
-    let events = trace.len() as u64 + trace.dropped();
     ModelStats {
-        construct_ms,
+        construct_ms: (topology_build_s + customize_s) * 1e3,
+        customize_s,
+        recustomize_s,
+        rebuild_s,
+        recustomize_speedup: rebuild_s / recustomize_s.max(1e-9),
         gain_table_bytes,
         events,
         events_per_sec: events as f64 / wall.max(1e-9),
@@ -75,8 +143,17 @@ fn vm_hwm_kb() -> Option<u64> {
 
 fn model_json(stats: &ModelStats) -> String {
     format!(
-        "{{\"construct_ms\": {:.3}, \"gain_table_bytes\": {}, \"events\": {}, \"events_per_sec\": {:.0}}}",
-        stats.construct_ms, stats.gain_table_bytes, stats.events, stats.events_per_sec
+        "{{\"construct_ms\": {:.3}, \"customize_s\": {:.6}, \"recustomize_s\": {:.6}, \
+         \"rebuild_s\": {:.6}, \"recustomize_speedup\": {:.1}, \"gain_table_bytes\": {}, \
+         \"events\": {}, \"events_per_sec\": {:.0}}}",
+        stats.construct_ms,
+        stats.customize_s,
+        stats.recustomize_s,
+        stats.rebuild_s,
+        stats.recustomize_speedup,
+        stats.gain_table_bytes,
+        stats.events,
+        stats.events_per_sec
     )
 }
 
@@ -90,6 +167,11 @@ fn render_json(mode: &str, sizes: &[SizeStats]) -> String {
     for (i, s) in sizes.iter().enumerate() {
         let _ = writeln!(out, "    {{");
         let _ = writeln!(out, "      \"n\": {},", s.n);
+        let _ = writeln!(
+            out,
+            "      \"topology_build_s\": {:.6},",
+            s.topology_build_s
+        );
         match &s.dense {
             Some(d) => {
                 let _ = writeln!(out, "      \"dense\": {},", model_json(d));
@@ -147,11 +229,23 @@ fn main() {
     let mut sizes = Vec::new();
     for &n in &ns {
         eprintln!("bench_sim: n = {n} ...");
+        let started = Instant::now();
+        let topology = Arc::new(grid_topology(n));
+        let topology_build_s = started.elapsed().as_secs_f64();
         let model = InterferenceModel::Truncated { epsilon: EPSILON };
-        let sparse = measure(n, model, sim_seconds);
-        let dense = (n <= DENSE_CAP).then(|| measure(n, InterferenceModel::Exact, sim_seconds));
+        let sparse = measure(n, &topology, topology_build_s, model, sim_seconds);
+        let dense = (n <= DENSE_CAP).then(|| {
+            measure(
+                n,
+                &topology,
+                topology_build_s,
+                InterferenceModel::Exact,
+                sim_seconds,
+            )
+        });
         sizes.push(SizeStats {
             n,
+            topology_build_s,
             dense,
             sparse,
             vm_hwm_kb: vm_hwm_kb(),

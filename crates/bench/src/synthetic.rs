@@ -8,7 +8,8 @@
 
 use crn_geometry::{Point, Region};
 use crn_interference::{pcr, PcrConstants, PhyParams};
-use crn_sim::{InterferenceModel, SimWorld};
+use crn_sim::{InterferenceModel, RadioParams, SimWorld, Topology};
+use std::sync::Arc;
 
 /// Spacing between adjacent grid SUs; comfortably inside the paper's
 /// transmission radius `r = 10` so every tree link is valid.
@@ -30,8 +31,20 @@ const MARGIN: f64 = 1.0;
 /// Panics if `n` is zero (a world needs at least one transmitter).
 #[must_use]
 pub fn grid_world(n: usize, model: InterferenceModel) -> SimWorld {
+    SimWorld::new(Arc::new(grid_topology(n)), grid_radio(model))
+        .expect("synthetic grid world is valid by construction")
+}
+
+/// The deterministic grid deployment as a bare [`Topology`] — the
+/// structure phase alone, for benches that time it separately from radio
+/// customization ([`grid_radio`]).
+///
+/// # Panics
+///
+/// Panics if `n` is zero (a world needs at least one transmitter).
+#[must_use]
+pub fn grid_topology(n: usize) -> Topology {
     assert!(n > 0, "grid world needs at least one SU");
-    let phy = PhyParams::paper_simulation_defaults();
     let total = n + 1;
     let cols = (total as f64).sqrt().ceil() as usize;
     let rows = total.div_ceil(cols);
@@ -69,16 +82,22 @@ pub fn grid_world(n: usize, model: InterferenceModel) -> SimWorld {
         })
         .collect();
 
-    let sense = pcr::carrier_sensing_range(&phy, PcrConstants::Paper);
-    SimWorld::builder(Region::square(side))
+    Topology::builder(Region::square(side))
         .su_positions(su_positions)
         .pu_positions(pu_positions)
         .parents(parents)
-        .phy(phy)
-        .sense_range(sense)
-        .interference(model)
         .build()
-        .expect("synthetic grid world is valid by construction")
+        .expect("synthetic grid deployment is valid by construction")
+}
+
+/// The paper-default radio customization for the grid deployment:
+/// Fig. 6 physical-layer parameters with both sensing ranges set to the
+/// derived PCR. Size-independent, so one call serves every [`grid_topology`].
+#[must_use]
+pub fn grid_radio(model: InterferenceModel) -> RadioParams {
+    let phy = PhyParams::paper_simulation_defaults();
+    let sense = pcr::carrier_sensing_range(&phy, PcrConstants::Paper);
+    RadioParams::new(phy).sense_range(sense).interference(model)
 }
 
 #[cfg(test)]

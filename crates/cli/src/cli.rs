@@ -27,7 +27,7 @@ usage:
   crn sweep  <a|b|c|d|e|f|all|churn> [--preset paper|scaled|tiny] [--reps R] [--threads T]
   crn pcr    [--alpha A] [--eta-db E] [--pp P] [--ps P] [--big-r R] [--r r]
   crn bounds [--sus N] [--pus N] [--side S] [--pt P]
-  crn serve  [--addr H:P] [--workers N] [--queue-cap Q] [--cache-cap C]
+  crn serve  [--addr H:P] [--workers N] [--queue-cap Q] [--cache-cap C] [--topo-cache-cap T]
   crn submit --addr H:P  [run flags] [--timeout-ms T] [--seed-count N [--seed-start K]]
              | --stats | --status | --shutdown | --raw JSON
 algorithms: addc (default), coolest, coolest-oracle, bfs
@@ -478,6 +478,7 @@ fn parse_serve_config(args: &mut Vec<String>) -> Result<ServeConfig, CliError> {
     let workers: usize = take(args, "--workers", 4)?;
     let queue_cap: usize = take(args, "--queue-cap", 64)?;
     let cache_cap: usize = take(args, "--cache-cap", 1024)?;
+    let topo_cache_cap: usize = take(args, "--topo-cache-cap", 64)?;
     if workers == 0 {
         return Err(CliError::usage("--workers must be at least 1"));
     }
@@ -486,6 +487,7 @@ fn parse_serve_config(args: &mut Vec<String>) -> Result<ServeConfig, CliError> {
         workers,
         queue_cap,
         cache_cap,
+        topo_cache_cap,
     })
 }
 
@@ -1036,6 +1038,7 @@ mod tests {
         let cfg = parse_serve_config(&mut args).unwrap();
         assert_eq!(cfg.addr, "127.0.0.1:0");
         assert_eq!((cfg.workers, cfg.queue_cap, cfg.cache_cap), (4, 64, 1024));
+        assert_eq!(cfg.topo_cache_cap, 64);
 
         let mut args: Vec<String> = [
             "--addr",
@@ -1046,6 +1049,8 @@ mod tests {
             "5",
             "--cache-cap",
             "10",
+            "--topo-cache-cap",
+            "3",
         ]
         .iter()
         .map(|s| (*s).to_owned())
@@ -1053,6 +1058,7 @@ mod tests {
         let cfg = parse_serve_config(&mut args).unwrap();
         assert_eq!(cfg.addr, "0.0.0.0:9000");
         assert_eq!((cfg.workers, cfg.queue_cap, cfg.cache_cap), (2, 5, 10));
+        assert_eq!(cfg.topo_cache_cap, 3);
         assert!(args.is_empty(), "all flags consumed");
 
         let mut args: Vec<String> = vec!["--workers".into(), "0".into()];

@@ -8,12 +8,23 @@
 //! (`crn-serve`) keys its result cache and single-flight dedup on this.
 //!
 //! Stability contract: the canonical form starts with a schema tag
-//! (`ck1`), floats are rendered from their IEEE-754 bit patterns (no
+//! (`ck2`), floats are rendered from their IEEE-754 bit patterns (no
 //! shortest-float ambiguity, `-0.0 ≠ 0.0`, NaN payloads preserved), and
 //! every field of every nested struct is spelled out. Adding a parameter
 //! field therefore *must* extend [`canonical_params_string`] — the
 //! field-sensitivity test below pins that each existing field feeds the
 //! hash.
+//!
+//! The canonical string is the concatenation of a **topology prefix**
+//! (the fields that determine the deployment, the connectivity graph,
+//! and the routing structure: counts, area, SU radius, seed, retry
+//! budget) and a **radio suffix** (everything a
+//! [`crn_sim::SimWorld::recustomize`] can change without rebuilding the
+//! structure). [`ScenarioParams::topology_key`] hashes only the prefix,
+//! [`ScenarioParams::radio_key`] only the suffix, and
+//! [`ScenarioParams::cache_key`] chains the two (FNV-1a composes by
+//! chaining), so two parameter sets share a `topology_key` exactly when
+//! a cached scenario can be re-customized instead of regenerated.
 
 use crate::ScenarioParams;
 use crn_interference::PcrConstants;
@@ -42,14 +53,31 @@ fn bits(out: &mut String, v: f64) {
     let _ = write!(out, "x{:016x}", v.to_bits());
 }
 
-/// The canonical, versioned, byte-stable serialization of `params` that
-/// [`ScenarioParams::cache_key`] hashes. Exposed for diagnostics (the
-/// serve layer logs it next to a cache key when asked for a repro).
+/// The topology prefix of the canonical form: the fields that determine
+/// the deployment positions, the `G_s` connectivity graph, and the
+/// routing structure — i.e. what [`crate::Scenario`] generation must
+/// redo from scratch when they change.
 #[must_use]
-pub fn canonical_params_string(p: &ScenarioParams) -> String {
-    let mut s = String::with_capacity(256);
-    let _ = write!(s, "ck1;sus={};pus={};side=", p.num_sus, p.num_pus);
+pub fn canonical_topology_string(p: &ScenarioParams) -> String {
+    let mut s = String::with_capacity(96);
+    let _ = write!(s, "ck2;sus={};pus={};side=", p.num_sus, p.num_pus);
     bits(&mut s, p.area_side);
+    s.push_str(";r=");
+    bits(&mut s, p.phy.su_radius());
+    let _ = write!(
+        s,
+        ";seed={};attempts={}",
+        p.seed, p.max_connectivity_attempts
+    );
+    s
+}
+
+/// The radio suffix of the canonical form: every field a
+/// [`crn_sim::SimWorld::recustomize`] (plus a re-derived sweep/MAC
+/// configuration) can absorb without touching the topology.
+#[must_use]
+pub fn canonical_radio_string(p: &ScenarioParams) -> String {
+    let mut s = String::with_capacity(192);
     s.push_str(";phy=");
     for v in [
         p.phy.alpha(),
@@ -106,11 +134,7 @@ pub fn canonical_params_string(p: &ScenarioParams) -> String {
             bits(&mut s, epsilon);
         }
     }
-    let _ = write!(
-        s,
-        ";seed={};attempts={};basef=",
-        p.seed, p.max_connectivity_attempts
-    );
+    s.push_str(";basef=");
     bits(&mut s, p.baseline_su_sense_factor);
     s.push_str(";faults=");
     match &p.faults {
@@ -164,6 +188,17 @@ pub fn canonical_params_string(p: &ScenarioParams) -> String {
     s
 }
 
+/// The canonical, versioned, byte-stable serialization of `params` that
+/// [`ScenarioParams::cache_key`] hashes: the topology prefix followed by
+/// the radio suffix. Exposed for diagnostics (the serve layer logs it
+/// next to a cache key when asked for a repro).
+#[must_use]
+pub fn canonical_params_string(p: &ScenarioParams) -> String {
+    let mut s = canonical_topology_string(p);
+    s.push_str(&canonical_radio_string(p));
+    s
+}
+
 impl ScenarioParams {
     /// A stable 64-bit content hash of this parameter set (FNV-1a over
     /// [`canonical_params_string`]).
@@ -171,10 +206,29 @@ impl ScenarioParams {
     /// Equal keys ⇒ equal params ⇒ identical deterministic runs, which is
     /// what makes this usable as a result-cache address. Any single field
     /// change — including the seed and a truncation epsilon — changes the
-    /// key (pinned by tests).
+    /// key (pinned by tests). Equals chaining [`fnv1a_64`] from
+    /// [`ScenarioParams::topology_key`]'s state over the radio suffix.
     #[must_use]
     pub fn cache_key(&self) -> u64 {
-        fnv1a_64(FNV_OFFSET, canonical_params_string(self).as_bytes())
+        fnv1a_64(self.topology_key(), canonical_radio_string(self).as_bytes())
+    }
+
+    /// Hash of only the topology-determining fields
+    /// ([`canonical_topology_string`]): two parameter sets with equal
+    /// `topology_key`s generate byte-identical deployments, graphs, and
+    /// structural trees, so a cached scenario for one can be
+    /// re-customized (not regenerated) for the other.
+    #[must_use]
+    pub fn topology_key(&self) -> u64 {
+        fnv1a_64(FNV_OFFSET, canonical_topology_string(self).as_bytes())
+    }
+
+    /// Hash of only the radio-layer fields ([`canonical_radio_string`]):
+    /// together with [`ScenarioParams::topology_key`] it determines
+    /// [`ScenarioParams::cache_key`].
+    #[must_use]
+    pub fn radio_key(&self) -> u64 {
+        fnv1a_64(FNV_OFFSET, canonical_radio_string(self).as_bytes())
     }
 }
 
@@ -202,8 +256,100 @@ mod tests {
     #[test]
     fn canonical_string_is_versioned_and_deterministic() {
         let s = canonical_params_string(&base());
-        assert!(s.starts_with("ck1;"), "{s}");
+        assert!(s.starts_with("ck2;"), "{s}");
         assert_eq!(s, canonical_params_string(&base()));
+    }
+
+    #[test]
+    fn cache_key_is_the_hash_of_the_full_canonical_string() {
+        let p = base();
+        assert_eq!(
+            p.cache_key(),
+            fnv1a_64(FNV_OFFSET, canonical_params_string(&p).as_bytes()),
+            "the split keys must chain back to the whole-string hash"
+        );
+    }
+
+    /// Radio-layer fields must leave the topology key alone (that is the
+    /// whole point of the split: a radio-only sweep point can reuse a
+    /// cached scenario) while still moving the radio and cache keys.
+    #[test]
+    fn radio_only_changes_preserve_the_topology_key() {
+        let b = base();
+        let mut variants: Vec<(&str, ScenarioParams)> = Vec::new();
+        let mut p = b.clone();
+        p.phy = crn_interference::PhyParams::builder()
+            .su_power(25.0)
+            .build()
+            .unwrap();
+        variants.push(("phy.su_power", p));
+        let mut p = b.clone();
+        p.activity = crn_spectrum::PuActivity::bernoulli(0.31).unwrap();
+        variants.push(("activity", p));
+        let mut p = b.clone();
+        p.pcr_constants = PcrConstants::Corrected;
+        variants.push(("pcr_constants", p));
+        let mut p = b.clone();
+        p.mac = MacConfig {
+            airtime: 0.4e-3,
+            ..p.mac
+        };
+        variants.push(("mac.airtime", p));
+        let mut p = b.clone();
+        p.interference = InterferenceModel::Truncated { epsilon: 0.1 };
+        variants.push(("interference", p));
+        let mut p = b.clone();
+        p.baseline_su_sense_factor = 1.5;
+        variants.push(("baseline_su_sense_factor", p));
+        let mut p = b.clone();
+        p.faults = FaultsConfig::Churn(crn_sim::ChurnSpec::new(2.0).unwrap());
+        variants.push(("faults", p));
+
+        for (field, p) in &variants {
+            assert_eq!(
+                p.topology_key(),
+                b.topology_key(),
+                "{field} is radio-layer and must not move the topology key"
+            );
+            assert_ne!(p.radio_key(), b.radio_key(), "{field} misses the radio key");
+            assert_ne!(p.cache_key(), b.cache_key(), "{field} misses the cache key");
+        }
+    }
+
+    #[test]
+    fn topology_changes_change_the_topology_key() {
+        let b = base();
+        let mut variants: Vec<(&str, ScenarioParams)> = Vec::new();
+        let mut p = b.clone();
+        p.num_sus += 1;
+        variants.push(("num_sus", p));
+        let mut p = b.clone();
+        p.num_pus += 1;
+        variants.push(("num_pus", p));
+        let mut p = b.clone();
+        p.area_side += 0.5;
+        variants.push(("area_side", p));
+        let mut p = b.clone();
+        p.seed ^= 1;
+        variants.push(("seed", p));
+        let mut p = b.clone();
+        p.max_connectivity_attempts += 1;
+        variants.push(("max_connectivity_attempts", p));
+        let mut p = b.clone();
+        p.phy = crn_interference::PhyParams::builder()
+            .su_radius(12.0)
+            .build()
+            .unwrap();
+        variants.push(("phy.su_radius", p));
+
+        for (field, p) in &variants {
+            assert_ne!(
+                p.topology_key(),
+                b.topology_key(),
+                "{field} shapes the deployment and must move the topology key"
+            );
+            assert_ne!(p.cache_key(), b.cache_key(), "{field} misses the cache key");
+        }
     }
 
     /// Every field — including nested phy/mac/activity fields, the seed,

@@ -41,7 +41,9 @@ mod coolest;
 mod params;
 mod scenario;
 
-pub use cache_key::{canonical_params_string, fnv1a_64};
+pub use cache_key::{
+    canonical_params_string, canonical_radio_string, canonical_topology_string, fnv1a_64,
+};
 pub use coolest::{coolest_tree, coolest_tree_with, CoolestStrategy};
 pub use params::{ScenarioParams, ScenarioParamsBuilder};
 pub use scenario::{CollectionAlgorithm, CollectionOutcome, Scenario, ScenarioError};

@@ -2,8 +2,8 @@ use crate::{coolest_tree, ScenarioParams};
 use crn_geometry::{Deployment, GridIndex, Point, Region};
 use crn_interference::pcr;
 use crn_sim::{
-    BuildError, InvariantChecker, Probe, SimReport, SimWorld, Simulator, TraceLog, Violation,
-    WorldError,
+    BuildError, InvariantChecker, Probe, RadioParams, SimReport, SimWorld, Simulator, TraceLog,
+    Violation, WorldError,
 };
 use crn_topology::{CollectionTree, TreeError, TreeKind, UnitDiskGraph};
 use rand::rngs::StdRng;
@@ -449,6 +449,87 @@ impl Scenario {
         Ok(run)
     }
 
+    /// Derives the scenario for `params` from this one, reusing the
+    /// deployment, connectivity graph, and — where the routing tree's
+    /// inputs are unchanged — the prepared per-algorithm worlds via
+    /// [`SimWorld::recustomize`]. The result is guaranteed bit-identical
+    /// to [`Scenario::generate`] on `params`: if the parameters differ in
+    /// any topology-determining field
+    /// ([`ScenarioParams::topology_key`]), this simply falls back to a
+    /// full `generate`.
+    ///
+    /// This is the cheap path behind radio-axis sweeps and the serve
+    /// layer's topology cache tier: a power/alpha/activity/interference
+    /// change skips deployment sampling, graph construction, and (for
+    /// structural trees) tree + gain-table rebuilds.
+    ///
+    /// # Errors
+    ///
+    /// Propagates generation or world-customization failures.
+    pub fn recustomized(&self, params: &ScenarioParams) -> Result<Self, ScenarioError> {
+        if params.topology_key() != self.params.topology_key() {
+            return Scenario::generate(params);
+        }
+        let pcr = pcr::carrier_sensing_range(&params.phy, params.pcr_constants);
+        let same_duty =
+            params.activity.duty_cycle().to_bits() == self.params.activity.duty_cycle().to_bits();
+        let heat_range = |p: &ScenarioParams| p.baseline_su_sense_factor * p.phy.su_radius();
+        let same_heat = heat_range(params).to_bits() == heat_range(&self.params).to_bits();
+        let same_pcr = pcr.to_bits() == self.pcr.to_bits();
+
+        let mut prepared = HashMap::new();
+        for (&alg, old) in self
+            .prepared
+            .lock()
+            .expect("prepared cache poisoned")
+            .iter()
+        {
+            // Carry a prepared world only when the algorithm's tree would
+            // come out identical; otherwise drop it and let `prepared()`
+            // lazily rebuild from the shared graph.
+            let tree_unchanged = match alg {
+                // Structural trees depend only on the graph.
+                CollectionAlgorithm::Addc | CollectionAlgorithm::BfsTree => true,
+                // Heat-based trees also read the sensing range and the PU
+                // duty cycle.
+                CollectionAlgorithm::Coolest => same_heat && same_duty,
+                CollectionAlgorithm::CoolestOracle => same_pcr && same_duty,
+            };
+            if !tree_unchanged {
+                continue;
+            }
+            let su_sense = match alg {
+                CollectionAlgorithm::Addc | CollectionAlgorithm::BfsTree => pcr,
+                CollectionAlgorithm::Coolest | CollectionAlgorithm::CoolestOracle => {
+                    heat_range(params).max(params.phy.su_radius())
+                }
+            };
+            let world = old.world.recustomize(RadioParams {
+                phy: params.phy,
+                pu_sense_range: pcr,
+                su_sense_range: su_sense,
+                interference: params.interference,
+            })?;
+            prepared.insert(
+                alg,
+                PreparedRun {
+                    world: Arc::new(world),
+                    ..old.clone()
+                },
+            );
+        }
+        Ok(Self {
+            params: params.clone(),
+            region: self.region,
+            su_deployment: self.su_deployment.clone(),
+            pu_deployment: self.pu_deployment.clone(),
+            graph: self.graph.clone(),
+            pu_index: self.pu_index.clone(),
+            pcr,
+            prepared: Mutex::new(prepared),
+        })
+    }
+
     /// Runs a full data collection task under `algorithm` with the live
     /// simulation oracle attached: an [`InvariantChecker`] audits packet
     /// conservation, the concurrent-set/SIR property, PU protection, and
@@ -777,6 +858,79 @@ mod tests {
                 assert_eq!(e, t, "seed {seed}, {alg}");
             }
         }
+    }
+
+    #[test]
+    fn recustomized_matches_fresh_generate_bitwise() {
+        use crn_sim::InterferenceModel;
+        for model in [
+            InterferenceModel::Exact,
+            InterferenceModel::Truncated { epsilon: 0.1 },
+        ] {
+            let mut base = small_params(9);
+            base.interference = model;
+            let s = Scenario::generate(&base).unwrap();
+            // Populate the prepared cache so recustomization has worlds to
+            // carry.
+            s.run(CollectionAlgorithm::Addc).unwrap();
+            s.run(CollectionAlgorithm::Coolest).unwrap();
+
+            // Radio-only delta: SU transmit power.
+            let mut next = base.clone();
+            next.phy = crn_interference::PhyParams::builder()
+                .su_power(25.0)
+                .build()
+                .unwrap();
+            assert_eq!(next.topology_key(), base.topology_key());
+            let cheap = s.recustomized(&next).unwrap();
+            let fresh = Scenario::generate(&next).unwrap();
+            assert_eq!(cheap.su_positions(), fresh.su_positions());
+            for alg in [CollectionAlgorithm::Addc, CollectionAlgorithm::Coolest] {
+                assert_eq!(
+                    cheap.run(alg).unwrap(),
+                    fresh.run(alg).unwrap(),
+                    "{alg}: recustomized run diverged from a fresh generate"
+                );
+            }
+            // The carried worlds share the original topology allocation.
+            let old_world = s.world(CollectionAlgorithm::Addc).unwrap();
+            let new_world = cheap.world(CollectionAlgorithm::Addc).unwrap();
+            assert!(Arc::ptr_eq(old_world.topology(), new_world.topology()));
+        }
+    }
+
+    #[test]
+    fn recustomized_rebuilds_heat_trees_when_their_inputs_move() {
+        // A duty-cycle change leaves structural trees alone but changes
+        // the Coolest heat field: the carried scenario must still match a
+        // fresh generate for every algorithm.
+        let base = small_params(10);
+        let s = Scenario::generate(&base).unwrap();
+        s.run(CollectionAlgorithm::Addc).unwrap();
+        s.run(CollectionAlgorithm::Coolest).unwrap();
+        let mut next = base.clone();
+        next.activity = crn_spectrum::PuActivity::bernoulli(0.45).unwrap();
+        let cheap = s.recustomized(&next).unwrap();
+        let fresh = Scenario::generate(&next).unwrap();
+        for alg in [CollectionAlgorithm::Addc, CollectionAlgorithm::Coolest] {
+            assert_eq!(cheap.run(alg).unwrap(), fresh.run(alg).unwrap(), "{alg}");
+        }
+    }
+
+    #[test]
+    fn recustomized_falls_back_to_generate_on_topology_change() {
+        let base = small_params(11);
+        let s = Scenario::generate(&base).unwrap();
+        let mut next = base.clone();
+        next.num_sus += 5;
+        assert_ne!(next.topology_key(), base.topology_key());
+        let rebuilt = s.recustomized(&next).unwrap();
+        let fresh = Scenario::generate(&next).unwrap();
+        assert_eq!(rebuilt.su_positions(), fresh.su_positions());
+        assert_eq!(
+            rebuilt.run(CollectionAlgorithm::Addc).unwrap(),
+            fresh.run(CollectionAlgorithm::Addc).unwrap()
+        );
     }
 
     #[test]

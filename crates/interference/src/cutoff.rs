@@ -64,6 +64,22 @@ impl FarFieldBound {
         }
     }
 
+    /// A unit-power bound for callers that work in normalized gain
+    /// space: with the budget divided by the transmit power up front,
+    /// `tail`/`cutoff_radius` certificates — and any cutoff radii
+    /// derived from them — become invariant under power sweeps, which is
+    /// what lets a radio re-customization keep its truncation structure
+    /// when only transmit powers change.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `alpha > 2` and `min_sep` is strictly positive and
+    /// finite (as [`FarFieldBound::new`]).
+    #[must_use]
+    pub fn normalized(alpha: f64, min_sep: f64) -> Self {
+        Self::new(alpha, 1.0, min_sep)
+    }
+
     /// The guaranteed pairwise separation of the transmitter set.
     #[must_use]
     pub fn min_sep(&self) -> f64 {

@@ -11,6 +11,7 @@
 //!   "interference":"exact"},"algo":"addc","check_invariants":false,"timeout_ms":30000}
 //! {"v":1,"cmd":"sweep","params":{...},"algo":"addc","seeds":[1,2,3]}
 //! {"v":1,"cmd":"sweep","params":{...},"seed_start":0,"seed_count":50}
+//! {"v":1,"cmd":"sweep","params":{...},"axis":{"kind":"pt","values":[0.1,0.2,0.3]}}
 //! {"v":1,"cmd":"status"}
 //! {"v":1,"cmd":"stats"}
 //! {"v":1,"cmd":"shutdown"}
@@ -26,6 +27,7 @@ use crn_core::{CollectionAlgorithm, CollectionOutcome, ScenarioParams};
 use crn_sim::{FaultsConfig, InterferenceModel};
 use crn_workloads::faults_wire;
 use crn_workloads::json::Json;
+use crn_workloads::{Axis, AxisKind};
 
 /// The protocol version this build speaks.
 pub const PROTOCOL_VERSION: u64 = 1;
@@ -55,9 +57,32 @@ pub struct RunSpec {
 impl RunSpec {
     /// The content address of this run's result: the params key chained
     /// with algorithm, oracle flag, and engine version.
+    ///
+    /// Equals the FNV chain of [`RunSpec::topology_key`] and the radio
+    /// half, so two specs with equal topology and radio keys share a
+    /// cache entry.
     #[must_use]
     pub fn cache_key(&self) -> u64 {
-        let mut h = self.params.cache_key();
+        self.chain_run_identity(self.params.cache_key())
+    }
+
+    /// The deployment-structure half of the identity: equal keys mean the
+    /// generated [`crn_core::Scenario`] topology can be shared between
+    /// the runs (the server's topology-tier cache keys on this).
+    #[must_use]
+    pub fn topology_key(&self) -> u64 {
+        self.params.topology_key()
+    }
+
+    /// The run half of the identity: the radio parameters chained with
+    /// algorithm, oracle flag, and engine version. Together with
+    /// [`RunSpec::topology_key`] this pins the full [`RunSpec::cache_key`].
+    #[must_use]
+    pub fn radio_key(&self) -> u64 {
+        self.chain_run_identity(self.params.radio_key())
+    }
+
+    fn chain_run_identity(&self, mut h: u64) -> u64 {
         h = crn_core::fnv1a_64(h, self.algorithm.to_string().as_bytes());
         h = crn_core::fnv1a_64(h, &[u8::from(self.check_invariants)]);
         crn_core::fnv1a_64(h, ENGINE_VERSION.as_bytes())
@@ -108,13 +133,19 @@ pub enum Request {
         /// Per-request deadline in milliseconds, if any.
         timeout_ms: Option<u64>,
     },
-    /// Execute a seed sweep over one parameter point.
+    /// Execute a sweep: seeds crossed with an optional parameter axis.
     Sweep {
-        /// Template spec; each seed derives its own [`RunSpec`].
+        /// Template spec; each point derives its own [`RunSpec`].
         spec: RunSpec,
-        /// Seeds to run.
+        /// Seeds to run (the template's own seed when only an axis is
+        /// given).
         seeds: Vec<u64>,
-        /// Per-seed deadline in milliseconds, if any.
+        /// Optional swept parameter: each seed runs once per value. A
+        /// radio axis (anything but the node counts) keeps the deployment
+        /// fixed, so the server re-customizes one cached topology per
+        /// seed instead of regenerating the world per point.
+        axis: Option<Axis>,
+        /// Per-point deadline in milliseconds, if any.
         timeout_ms: Option<u64>,
     },
     /// Liveness probe.
@@ -180,10 +211,20 @@ pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
         }
         "sweep" => {
             let spec = parse_spec(&v)?;
-            let seeds = parse_seeds(&v)?;
+            let axis = parse_axis(&v)?;
+            let seeds = parse_seeds(&v, axis.as_ref().map(|_| spec.params.seed))?;
+            let points = seeds
+                .len()
+                .saturating_mul(axis.as_ref().map_or(1, |a| a.values.len()));
+            if points > MAX_SWEEP_SEEDS {
+                return Err(ProtoError::bad(format!(
+                    "sweep of {points} points exceeds the per-request cap of {MAX_SWEEP_SEEDS}"
+                )));
+            }
             Ok(Request::Sweep {
                 spec,
                 seeds,
+                axis,
                 timeout_ms: opt_u64(&v, "timeout_ms")?,
             })
         }
@@ -200,7 +241,7 @@ fn opt_u64(v: &Json, key: &str) -> Result<Option<u64>, ProtoError> {
     }
 }
 
-fn parse_seeds(v: &Json) -> Result<Vec<u64>, ProtoError> {
+fn parse_seeds(v: &Json, implied: Option<u64>) -> Result<Vec<u64>, ProtoError> {
     let seeds: Vec<u64> = if let Some(arr) = v.get("seeds") {
         arr.as_arr()
             .ok_or_else(|| ProtoError::bad("'seeds' must be an array"))?
@@ -210,11 +251,18 @@ fn parse_seeds(v: &Json) -> Result<Vec<u64>, ProtoError> {
                     .ok_or_else(|| ProtoError::bad("'seeds' entries must be non-negative integers"))
             })
             .collect::<Result<_, _>>()?
-    } else {
+    } else if v.get("seed_start").is_some() || v.get("seed_count").is_some() {
         let start = opt_u64(v, "seed_start")?.unwrap_or(0);
         let count = opt_u64(v, "seed_count")?
-            .ok_or_else(|| ProtoError::bad("sweep needs 'seeds' or 'seed_start'/'seed_count'"))?;
+            .ok_or_else(|| ProtoError::bad("'seed_start' needs a 'seed_count'"))?;
         (0..count).map(|k| start.wrapping_add(k)).collect()
+    } else if let Some(seed) = implied {
+        // An axis-only sweep runs every value at the template's seed.
+        vec![seed]
+    } else {
+        return Err(ProtoError::bad(
+            "sweep needs 'seeds', 'seed_start'/'seed_count', or an 'axis'",
+        ));
     };
     if seeds.is_empty() {
         return Err(ProtoError::bad("sweep needs at least one seed"));
@@ -226,6 +274,48 @@ fn parse_seeds(v: &Json) -> Result<Vec<u64>, ProtoError> {
         )));
     }
     Ok(seeds)
+}
+
+/// Parses the optional sweep `axis` object:
+/// `{"kind":"su_power","values":[10,15,20]}`.
+fn parse_axis(v: &Json) -> Result<Option<Axis>, ProtoError> {
+    let axis = match v.get("axis") {
+        None | Some(Json::Null) => return Ok(None),
+        Some(obj @ Json::Obj(_)) => obj,
+        Some(_) => return Err(ProtoError::bad("'axis' must be an object")),
+    };
+    let kind = match axis.get("kind").and_then(Json::as_str) {
+        None => return Err(ProtoError::bad("axis.kind must be a string")),
+        Some("pus") => AxisKind::NumPus,
+        Some("sus") => AxisKind::NumSus,
+        Some("pt") => AxisKind::Pt,
+        Some("alpha") => AxisKind::Alpha,
+        Some("pu_power") => AxisKind::PuPower,
+        Some("su_power") => AxisKind::SuPower,
+        Some("churn") => AxisKind::ChurnRate,
+        Some(other) => {
+            return Err(ProtoError::bad(format!(
+                "unknown axis.kind '{other}' \
+                 (expected pus|sus|pt|alpha|pu_power|su_power|churn)"
+            )))
+        }
+    };
+    let values: Vec<f64> = axis
+        .get("values")
+        .ok_or_else(|| ProtoError::bad("axis needs a 'values' array"))?
+        .as_arr()
+        .ok_or_else(|| ProtoError::bad("axis.values must be an array"))?
+        .iter()
+        .map(|x| {
+            x.as_f64()
+                .filter(|x| x.is_finite())
+                .ok_or_else(|| ProtoError::bad("axis.values entries must be finite numbers"))
+        })
+        .collect::<Result<_, _>>()?;
+    if values.is_empty() {
+        return Err(ProtoError::bad("axis needs at least one value"));
+    }
+    Ok(Some(Axis::new(kind, values)))
 }
 
 /// Parses the `params` object (CLI-flag vocabulary, CLI defaults) plus
@@ -506,6 +596,91 @@ mod tests {
         assert_eq!(seeds, vec![10, 11, 12]);
         let e = parse_request(r#"{"v":1,"cmd":"sweep","seed_count":99999}"#).unwrap_err();
         assert!(e.message.contains("cap"), "{}", e.message);
+    }
+
+    #[test]
+    fn sweep_axis_parses_and_defaults_to_the_template_seed() {
+        let req = parse_request(
+            r#"{"v":1,"cmd":"sweep","params":{"seed":9},
+                "axis":{"kind":"su_power","values":[10.0,15.0,20.0]}}"#,
+        )
+        .unwrap();
+        let Request::Sweep { seeds, axis, .. } = req else {
+            panic!("not a sweep");
+        };
+        assert_eq!(seeds, vec![9], "axis-only sweep runs at the template seed");
+        let axis = axis.expect("axis present");
+        assert_eq!(axis.kind, AxisKind::SuPower);
+        assert_eq!(axis.values, vec![10.0, 15.0, 20.0]);
+
+        // Axis crossed with explicit seeds keeps both.
+        let req = parse_request(
+            r#"{"v":1,"cmd":"sweep","seeds":[1,2],"axis":{"kind":"pt","values":[0.2,0.4]}}"#,
+        )
+        .unwrap();
+        let Request::Sweep { seeds, axis, .. } = req else {
+            panic!("not a sweep");
+        };
+        assert_eq!(seeds, vec![1, 2]);
+        assert_eq!(axis.unwrap().kind, AxisKind::Pt);
+    }
+
+    #[test]
+    fn malformed_axes_are_typed_errors() {
+        for bad in [
+            r#"{"v":1,"cmd":"sweep","axis":7}"#,
+            r#"{"v":1,"cmd":"sweep","axis":{"values":[1.0]}}"#,
+            r#"{"v":1,"cmd":"sweep","axis":{"kind":"frequency","values":[1.0]}}"#,
+            r#"{"v":1,"cmd":"sweep","axis":{"kind":"pt"}}"#,
+            r#"{"v":1,"cmd":"sweep","axis":{"kind":"pt","values":[]}}"#,
+            r#"{"v":1,"cmd":"sweep","axis":{"kind":"pt","values":["x"]}}"#,
+        ] {
+            let e = parse_request(bad).unwrap_err();
+            assert_eq!(e.kind, ErrorKind::BadRequest, "{bad} → {}", e.message);
+            assert!(e.message.contains("axis"), "{bad} → {}", e.message);
+        }
+        // The point cap counts seeds × values, not just seeds.
+        let values: Vec<String> = (0..100).map(|i| format!("{}.0", i + 1)).collect();
+        let line = format!(
+            r#"{{"v":1,"cmd":"sweep","seed_start":0,"seed_count":100,
+                "axis":{{"kind":"su_power","values":[{}]}}}}"#,
+            values.join(",")
+        );
+        let e = parse_request(&line).unwrap_err();
+        assert!(e.message.contains("cap"), "{}", e.message);
+    }
+
+    #[test]
+    fn radio_changes_preserve_the_topology_key() {
+        let spec = |pt: f64, algo: &str| {
+            let Request::Run { spec, .. } = parse_request(&format!(
+                r#"{{"v":1,"cmd":"run","params":{{"pt":{pt}}},"algo":"{algo}"}}"#
+            ))
+            .unwrap() else {
+                panic!()
+            };
+            spec
+        };
+        let a = spec(0.2, "addc");
+        let b = spec(0.5, "addc");
+        let c = spec(0.2, "coolest");
+        // Activity and algorithm are radio-side: same deployment…
+        assert_eq!(a.topology_key(), b.topology_key());
+        assert_eq!(a.topology_key(), c.topology_key());
+        // …different runs.
+        assert_ne!(a.radio_key(), b.radio_key());
+        assert_ne!(a.radio_key(), c.radio_key());
+        assert_ne!(a.cache_key(), b.cache_key());
+        // Equal key pairs pin the full cache identity.
+        assert_eq!(a.radio_key(), spec(0.2, "addc").radio_key());
+        assert_eq!(a.cache_key(), spec(0.2, "addc").cache_key());
+        // A deployment change flips the topology side.
+        let Request::Run { spec: d, .. } =
+            parse_request(r#"{"v":1,"cmd":"run","params":{"sus":99}}"#).unwrap()
+        else {
+            panic!()
+        };
+        assert_ne!(a.topology_key(), d.topology_key());
     }
 
     #[test]

@@ -18,6 +18,18 @@
 //!    scenario fails that one request (`500 worker_panicked`), never the
 //!    server.
 //!
+//! ## The two-level cache
+//!
+//! The result cache keys on the full [`RunSpec::cache_key`]. Beneath it,
+//! a topology-tier cache keys generated scenarios on
+//! [`RunSpec::topology_key`] alone: a request whose deployment matches a
+//! cached scenario but whose radio parameters differ (power, activity,
+//! path loss, interference model, algorithm) re-customizes the cached
+//! world via [`Scenario::recustomized`] instead of regenerating it —
+//! bit-identical results at a fraction of the cost. Radio-axis sweeps
+//! are the designed consumer: one generation, then one cheap
+//! customization per point (`topology_hits` in `stats` counts these).
+//!
 //! `shutdown` flips the draining flag: the listener stops accepting,
 //! queued jobs drain, idle connections close, and [`Server::wait`]
 //! returns the final stats snapshot.
@@ -31,7 +43,7 @@ use crate::ErrorKind;
 use crn_core::{CollectionOutcome, Scenario, ScenarioError};
 use crn_workloads::export::record_jsonl;
 use crn_workloads::json::Json;
-use crn_workloads::RunRecord;
+use crn_workloads::{Axis, RunRecord};
 use std::collections::{HashMap, VecDeque};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -59,6 +71,11 @@ pub struct ServeConfig {
     pub queue_cap: usize,
     /// Result cache capacity in entries (0 disables caching).
     pub cache_cap: usize,
+    /// Topology-tier cache capacity in entries: generated scenarios
+    /// keyed by deployment structure ([`RunSpec::topology_key`]) and
+    /// re-customized in place for radio-only parameter changes
+    /// (0 disables the tier; every request then regenerates).
+    pub topo_cache_cap: usize,
 }
 
 impl Default for ServeConfig {
@@ -68,6 +85,7 @@ impl Default for ServeConfig {
             workers: 4,
             queue_cap: 64,
             cache_cap: 1024,
+            topo_cache_cap: 64,
         }
     }
 }
@@ -85,6 +103,10 @@ pub struct Counters {
     pub coalesced: u64,
     /// Simulations actually executed by the worker pool.
     pub computed: u64,
+    /// Computations that re-customized a cached topology (same
+    /// deployment, different radio parameters) instead of regenerating
+    /// the scenario from scratch.
+    pub topology_hits: u64,
     /// Requests rejected by admission control (queue full).
     pub rejected: u64,
     /// Requests whose deadline expired before the result was ready.
@@ -158,6 +180,7 @@ struct State {
     in_flight: HashMap<u64, Arc<Job>>,
     running: usize,
     cache: LruCache<u64, Arc<CollectionOutcome>>,
+    topologies: LruCache<u64, Arc<Scenario>>,
     counters: Counters,
     latency_hist: [u64; LATENCY_BUCKETS_MS.len() + 1],
     draining: bool,
@@ -211,6 +234,7 @@ impl Server {
                 in_flight: HashMap::new(),
                 running: 0,
                 cache: LruCache::new(cfg.cache_cap),
+                topologies: LruCache::new(cfg.topo_cache_cap),
                 counters: Counters::default(),
                 latency_hist: [0; LATENCY_BUCKETS_MS.len() + 1],
                 draining: false,
@@ -401,8 +425,12 @@ fn handle_line(line: &str, shared: &Arc<Shared>, addr: SocketAddr) -> (Json, boo
         Request::Sweep {
             spec,
             seeds,
+            axis,
             timeout_ms,
-        } => (handle_sweep(shared, &spec, &seeds, timeout_ms), false),
+        } => (
+            handle_sweep(shared, &spec, &seeds, axis.as_ref(), timeout_ms),
+            false,
+        ),
     }
 }
 
@@ -549,26 +577,64 @@ fn handle_run(shared: &Arc<Shared>, spec: RunSpec, timeout_ms: Option<u64>) -> J
     }
 }
 
-/// A sweep is a batch of run points sharing one parameter set: each seed
-/// goes through the same cache/coalesce/admission ladder, so a re-sent
-/// sweep is answered from cache point by point. Per-seed results reuse
-/// the `crn-workloads` record exporter shape (`RunRecord` JSONL objects),
-/// so sweep output splices directly into existing analysis tooling.
+/// A sweep is a batch of run points — the request's seeds crossed with
+/// its optional axis values. Each point goes through the same
+/// cache/coalesce/admission ladder, so a re-sent sweep is answered from
+/// cache point by point, and a radio-axis sweep re-customizes one cached
+/// topology per seed. Per-point results reuse the `crn-workloads` record
+/// exporter shape (`RunRecord` JSONL objects), so sweep output splices
+/// directly into existing analysis tooling.
 fn handle_sweep(
     shared: &Arc<Shared>,
     template: &RunSpec,
     seeds: &[u64],
+    axis: Option<&Axis>,
     timeout_ms: Option<u64>,
 ) -> Json {
     let started = Instant::now();
-    let mut results = Vec::with_capacity(seeds.len());
-    let mut ok_count: u64 = 0;
-    let mut cached_count: u64 = 0;
+    // Resolve every point up front: axis application validates values
+    // (counts, probabilities, powers), and a bad value fails the whole
+    // request before any work is admitted.
+    let mut points: Vec<(u64, Option<f64>, RunSpec)> = Vec::new();
     for &seed in seeds {
         let mut spec = template.clone();
         spec.params.seed = seed;
+        match axis {
+            None => points.push((seed, None, spec)),
+            Some(axis) => {
+                for &x in &axis.values {
+                    let base = spec.params.clone();
+                    match catch_unwind(AssertUnwindSafe(|| axis.apply(&base, x))) {
+                        Ok(params) => {
+                            let mut point = spec.clone();
+                            point.params = params;
+                            points.push((seed, Some(x), point));
+                        }
+                        Err(panic) => {
+                            return error_response(
+                                ErrorKind::BadRequest,
+                                &format!("axis value {x} rejected: {}", panic_message(&panic)),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let total = points.len();
+    let mut results = Vec::with_capacity(total);
+    let mut ok_count: u64 = 0;
+    let mut cached_count: u64 = 0;
+    for (seed, x, spec) in points {
         let mut entry = Json::obj();
         entry.set("seed", Json::UInt(seed));
+        if let Some(x) = x {
+            entry.set("x", Json::float(x));
+        }
+        let (x_name, x_value) = match (axis, x) {
+            (Some(a), Some(x)) => (a.kind.label(), x),
+            _ => ("seed", seed as f64),
+        };
         match run_point(shared, spec, timeout_ms) {
             PointResult::Ok {
                 outcome, cached, ..
@@ -577,7 +643,7 @@ fn handle_sweep(
                 cached_count += u64::from(cached);
                 entry
                     .set("cached", Json::Bool(cached))
-                    .set("record", outcome_record_json(seed, &outcome));
+                    .set("record", outcome_record_json(x_name, x_value, &outcome));
             }
             PointResult::Err(response) => {
                 entry.set(
@@ -589,7 +655,10 @@ fn handle_sweep(
         results.push(entry);
     }
     let mut o = response_base(true);
-    o.set("points", Json::UInt(seeds.len() as u64))
+    if let Some(a) = axis {
+        o.set("axis", Json::Str(a.kind.label().into()));
+    }
+    o.set("points", Json::UInt(total as u64))
         .set("ok_points", Json::UInt(ok_count))
         .set("cached_points", Json::UInt(cached_count))
         .set(
@@ -627,6 +696,7 @@ fn stats_json(shared: &Arc<Shared>) -> Json {
         .set("cache_hits", Json::UInt(c.cache_hits))
         .set("coalesced", Json::UInt(c.coalesced))
         .set("computed", Json::UInt(c.computed))
+        .set("topology_hits", Json::UInt(c.topology_hits))
         .set("rejected", Json::UInt(c.rejected))
         .set("timed_out", Json::UInt(c.timed_out))
         .set("failed", Json::UInt(c.failed))
@@ -639,6 +709,15 @@ fn stats_json(shared: &Arc<Shared>) -> Json {
         .set("misses", Json::UInt(cache.misses))
         .set("evictions", Json::UInt(cache.evictions))
         .set("insertions", Json::UInt(cache.insertions));
+    let topo = st.topologies.stats();
+    let mut topo_json = Json::obj();
+    topo_json
+        .set("capacity", Json::UInt(st.topologies.capacity() as u64))
+        .set("len", Json::UInt(st.topologies.len() as u64))
+        .set("hits", Json::UInt(topo.hits))
+        .set("misses", Json::UInt(topo.misses))
+        .set("evictions", Json::UInt(topo.evictions))
+        .set("insertions", Json::UInt(topo.insertions));
     let mut hist = Vec::with_capacity(st.latency_hist.len());
     for (i, &count) in st.latency_hist.iter().enumerate() {
         let mut bucket = Json::obj();
@@ -665,6 +744,7 @@ fn stats_json(shared: &Arc<Shared>) -> Json {
     .set("draining", Json::Bool(st.draining))
     .set("counters", counters)
     .set("cache", cache_json)
+    .set("topology_cache", topo_json)
     .set("latency_ms", Json::Arr(hist));
     let mut o = response_base(true);
     o.set("stats", s);
@@ -686,7 +766,7 @@ fn worker_loop(shared: &Arc<Shared>) {
                 st = shared.work_ready.wait(st).expect("state poisoned");
             }
         };
-        let result = catch_unwind(AssertUnwindSafe(|| execute(&job.spec)));
+        let result = catch_unwind(AssertUnwindSafe(|| execute(shared, &job.spec)));
         let outcome: JobOutcome = match result {
             Ok(Ok(o)) => Ok(Arc::new(o)),
             Ok(Err(e)) => Err(e),
@@ -725,15 +805,21 @@ fn panic_message(panic: &Box<dyn std::any::Any + Send>) -> String {
 }
 
 /// Runs one simulation (the worker body).
-fn execute(spec: &RunSpec) -> Result<CollectionOutcome, ExecError> {
+fn execute(shared: &Arc<Shared>, spec: &RunSpec) -> Result<CollectionOutcome, ExecError> {
     assert!(
         !spec.inject_panic,
         "injected panic (inject_panic=true): exercising worker panic isolation"
     );
-    let scenario = Scenario::generate(&spec.params).map_err(|e| ExecError {
-        kind: ErrorKind::SimFailed,
-        message: e.to_string(),
-    })?;
+    let scenario = obtain_scenario(shared, spec)?;
+    // Publish before running: the cache shares the allocation, so the
+    // per-algorithm world this run prepares is warm for the next
+    // re-customization of the same deployment.
+    shared
+        .state
+        .lock()
+        .expect("state poisoned")
+        .topologies
+        .insert(spec.topology_key(), scenario.clone());
     if spec.check_invariants {
         let (outcome, _oracle) = scenario.run_checked(spec.algorithm).map_err(|e| match e {
             ScenarioError::Invariant(_) => ExecError {
@@ -754,11 +840,46 @@ fn execute(spec: &RunSpec) -> Result<CollectionOutcome, ExecError> {
     }
 }
 
+/// The topology tier of the two-level cache: a request whose deployment
+/// matches a cached scenario re-customizes it ([`Scenario::recustomized`]
+/// — bit-identical to a fresh generation, per the `crn-core` equivalence
+/// suite); otherwise the scenario is generated from scratch.
+fn obtain_scenario(shared: &Arc<Shared>, spec: &RunSpec) -> Result<Arc<Scenario>, ExecError> {
+    let cached = shared
+        .state
+        .lock()
+        .expect("state poisoned")
+        .topologies
+        .get(&spec.topology_key());
+    if let Some(base) = cached {
+        if let Ok(derived) = base.recustomized(&spec.params) {
+            shared
+                .state
+                .lock()
+                .expect("state poisoned")
+                .counters
+                .topology_hits += 1;
+            return Ok(Arc::new(derived));
+        }
+        // A failed re-customization (e.g. radio parameters the cached
+        // deployment cannot satisfy) falls through to the canonical
+        // generate path and its error reporting.
+    }
+    Scenario::generate(&spec.params)
+        .map(Arc::new)
+        .map_err(|e| ExecError {
+            kind: ErrorKind::SimFailed,
+            message: e.to_string(),
+        })
+}
+
 /// Exporter-shape helper used by the sweep path; lives here so the serve
 /// crate has exactly one conversion from outcomes to record objects.
+/// Seed sweeps use `("seed", seed)` as the x coordinate, axis sweeps use
+/// the axis label and value.
 #[must_use]
-pub fn outcome_record_json(seed: u64, outcome: &CollectionOutcome) -> Json {
-    let record = RunRecord::from_outcome("serve", "seed", seed as f64, 0, outcome);
+pub fn outcome_record_json(x_name: &str, x: f64, outcome: &CollectionOutcome) -> Json {
+    let record = RunRecord::from_outcome("serve", x_name, x, 0, outcome);
     record_jsonl(&record)
         .parse()
         .expect("record exporter emits valid JSON")

@@ -18,6 +18,7 @@ fn start(workers: usize, queue_cap: usize, cache_cap: usize) -> Server {
         workers,
         queue_cap,
         cache_cap,
+        topo_cache_cap: 64,
     })
     .expect("bind ephemeral port")
 }
@@ -381,6 +382,9 @@ fn stats_shape_is_complete() {
     let cache = stats.get("cache").expect("cache block");
     assert_eq!(cache.get("capacity").and_then(Json::as_u64), Some(7));
     assert_eq!(cache.get("insertions").and_then(Json::as_u64), Some(1));
+    let topo = stats.get("topology_cache").expect("topology cache block");
+    assert_eq!(topo.get("capacity").and_then(Json::as_u64), Some(64));
+    assert_eq!(topo.get("insertions").and_then(Json::as_u64), Some(1));
     let hist = stats.get("latency_ms").and_then(Json::as_arr).unwrap();
     assert_eq!(hist.len(), 13, "12 finite buckets + overflow");
     let total: u64 = hist
@@ -389,6 +393,59 @@ fn stats_shape_is_complete() {
         .sum();
     assert_eq!(total, 1, "one served request, one histogram sample");
     assert!(hist[12].get("le_ms").unwrap().is_null(), "overflow bucket");
+    client.shutdown().unwrap();
+    server.wait();
+}
+
+/// The two-level-cache acceptance test: one cold point generates the
+/// deployment, then a 50-point radio-axis sweep over the same deployment
+/// re-customizes the cached topology for every computed point instead of
+/// regenerating the world.
+#[test]
+fn radio_axis_sweep_reuses_one_cached_topology() {
+    let server = start(2, 64, 256);
+    let mut client = connect(&server);
+
+    // Cold point: generates and publishes the topology.
+    let cold = client.request_line(&small_run(11)).unwrap();
+    assert!(ok(&cold), "cold run failed: {cold}");
+
+    // 50 activity values at the same deployment seed: pure radio-side
+    // changes, every point a distinct result-cache key.
+    let values: Vec<String> = (1..=50)
+        .map(|i| format!("{:.2}", 0.01 * f64::from(i)))
+        .collect();
+    let sweep = format!(
+        r#"{{"v":1,"cmd":"sweep","params":{{"sus":50,"pus":8,"side":42.0,"seed":11}},"axis":{{"kind":"pt","values":[{}]}}}}"#,
+        values.join(",")
+    );
+    let resp = client.request_line(&sweep).unwrap();
+    assert!(ok(&resp), "axis sweep failed: {resp}");
+    assert_eq!(resp.get("axis").and_then(Json::as_str), Some("p_t"));
+    assert_eq!(resp.get("points").and_then(Json::as_u64), Some(50));
+    assert_eq!(resp.get("ok_points").and_then(Json::as_u64), Some(50));
+    let results = resp.get("results").and_then(Json::as_arr).unwrap();
+    let record = results[0].get("record").expect("record");
+    assert_eq!(record.get("x_name").and_then(Json::as_str), Some("p_t"));
+    assert_eq!(record.get("x").and_then(Json::as_f64), Some(0.01));
+
+    // Every computed sweep point re-customized the cached deployment.
+    // (The point matching the cold run's own activity is a result-cache
+    // hit and never reaches a worker, hence >= 49 rather than 50.)
+    let stats = client.stats().unwrap();
+    let counters = stats.get("counters").expect("counters");
+    let hits = counters
+        .get("topology_hits")
+        .and_then(Json::as_u64)
+        .unwrap();
+    assert!(hits >= 49, "expected >= 49 topology hits, got {hits}");
+    let topo = stats.get("topology_cache").expect("topology cache block");
+    assert_eq!(
+        topo.get("len").and_then(Json::as_u64),
+        Some(1),
+        "one deployment shared by all 51 points"
+    );
+
     client.shutdown().unwrap();
     server.wait();
 }

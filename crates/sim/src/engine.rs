@@ -299,58 +299,6 @@ impl Simulator {
             probe: NoopProbe,
         }
     }
-
-    /// Creates a simulator over `world` with the given MAC configuration,
-    /// PU activity model, and RNG seed, running the paper's single
-    /// snapshot task.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `mac` fails [`MacConfig::validate`].
-    #[deprecated(since = "0.2.0", note = "use Simulator::builder(world) instead")]
-    #[must_use]
-    pub fn new(world: SimWorld, mac: MacConfig, activity: PuActivity, seed: u64) -> Self {
-        Self::construct(
-            world.into(),
-            mac,
-            activity,
-            seed,
-            Traffic::Snapshot,
-            FaultSchedule::empty(),
-            NoopProbe,
-        )
-        .unwrap_or_else(|e| panic!("{e}"))
-    }
-
-    /// Like `Simulator::new`, with an explicit [`Traffic`] model
-    /// (periodic traffic exercises continuous data collection capacity).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `mac` or `traffic` fail validation.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use Simulator::builder(world).traffic(..) instead"
-    )]
-    #[must_use]
-    pub fn with_traffic(
-        world: SimWorld,
-        mac: MacConfig,
-        activity: PuActivity,
-        seed: u64,
-        traffic: Traffic,
-    ) -> Self {
-        Self::construct(
-            world.into(),
-            mac,
-            activity,
-            seed,
-            traffic,
-            FaultSchedule::empty(),
-            NoopProbe,
-        )
-        .unwrap_or_else(|e| panic!("{e}"))
-    }
 }
 
 impl<P: Probe> Simulator<P> {
@@ -2043,50 +1991,6 @@ mod tests {
         for (i, p) in points.iter().enumerate() {
             assert_eq!(p.bucket, i as u64);
         }
-    }
-
-    /// Pinned compatibility test for the deprecated `Simulator::new`
-    /// shim: one per deprecated constructor, builders everywhere else.
-    #[test]
-    fn deprecated_simulator_new_shim_matches_builder() {
-        let world = chain_world(5, vec![Point::new(20.0, 10.0)]);
-        let activity = PuActivity::bernoulli(0.3).unwrap();
-        #[allow(deprecated)]
-        let old = Simulator::new(world.clone(), MacConfig::default(), activity, 11).run();
-        let new = Simulator::builder(world)
-            .activity(activity)
-            .seed(11)
-            .build()
-            .unwrap()
-            .run();
-        assert_eq!(old, new, "Simulator::new shim must match the builder");
-    }
-
-    /// Pinned compatibility test for the deprecated
-    /// `Simulator::with_traffic` shim.
-    #[test]
-    fn deprecated_with_traffic_shim_matches_builder() {
-        let world = chain_world(5, vec![Point::new(20.0, 10.0)]);
-        let activity = PuActivity::bernoulli(0.3).unwrap();
-        let traffic = Traffic::Periodic {
-            interval: 0.05,
-            snapshots: 2,
-        };
-        #[allow(deprecated)]
-        let old =
-            Simulator::with_traffic(world.clone(), MacConfig::default(), activity, 11, traffic)
-                .run();
-        let new = Simulator::builder(world)
-            .activity(activity)
-            .seed(11)
-            .traffic(traffic)
-            .build()
-            .unwrap()
-            .run();
-        assert_eq!(
-            old, new,
-            "Simulator::with_traffic shim must match the builder"
-        );
     }
 
     #[test]

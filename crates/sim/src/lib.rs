@@ -86,7 +86,9 @@ mod engine;
 mod event;
 mod oracle;
 mod probe;
+mod radio;
 mod report;
+mod topology;
 mod world;
 
 pub use config::{BuildError, InterferenceModel, MacConfig, Traffic};
@@ -98,5 +100,7 @@ pub use oracle::{InvariantChecker, InvariantKind, Violation};
 pub use probe::{
     NoopProbe, Probe, TimeSeries, TimeSeriesPoint, TraceEvent, TraceEventKind, TraceLog, TxOutcome,
 };
+pub use radio::{Radio, RadioParams};
 pub use report::SimReport;
+pub use topology::{Topology, TopologyBuilder};
 pub use world::{SimWorld, SimWorldBuilder, WorldError};

@@ -1,0 +1,976 @@
+//! The re-customizable radio half of a [`crate::SimWorld`].
+//!
+//! [`Radio::customize`] derives every radio-dependent table — sensing
+//! neighbor lists, path-gain storage, truncation cutoffs, near-field PU
+//! lists — from an immutable [`Topology`] and a [`RadioParams`]. Each
+//! table is a *stage* stamped with the bit-pattern of exactly the inputs
+//! it reads; [`Radio::recustomize`] re-derives only the stages whose
+//! fingerprints changed and `Arc`-shares the rest, which is what makes a
+//! radio-only sweep point cheap (the metric-customization phase of the
+//! CCH-style split, see `DESIGN.md` §9).
+//!
+//! Every stage is a pure function of `(Topology, fingerprinted inputs)`,
+//! so a reused stage is bit-identical to a freshly built one — the
+//! equivalence the customize-vs-rebuild suite pins.
+
+use crate::config::InterferenceModel;
+use crate::topology::Topology;
+use crate::world::WorldError;
+use crn_interference::cutoff::{CutoffTable, FarFieldBound};
+use crn_interference::{path_gain, path_gain_sq, PhyParams};
+use std::sync::Arc;
+
+/// The radio-layer inputs of [`Radio::customize`]: everything about a
+/// world that is *not* deployment structure.
+///
+/// The chainable setters make sweep deltas terse:
+///
+/// ```
+/// use crn_interference::PhyParams;
+/// use crn_sim::RadioParams;
+///
+/// let base = RadioParams::new(PhyParams::paper_simulation_defaults()).sense_range(25.0);
+/// let wider = base.su_sense_range(30.0);
+/// assert_eq!(wider.pu_sense_range, 25.0);
+/// assert_eq!(wider.su_sense_range, 30.0);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RadioParams {
+    /// Physical-layer parameters.
+    pub phy: PhyParams,
+    /// Range within which PU activity blocks or aborts an SU.
+    pub pu_sense_range: f64,
+    /// Range of SU↔SU carrier sensing.
+    pub su_sense_range: f64,
+    /// How path gains are materialized: dense `Exact` tables or sparse
+    /// `Truncated` near-field lists with a certified error bound.
+    pub interference: InterferenceModel,
+}
+
+impl RadioParams {
+    /// Radio parameters with both sensing ranges at the SU radius `r`
+    /// (the minimum customization accepts) and dense exact gains.
+    #[must_use]
+    pub fn new(phy: PhyParams) -> Self {
+        let r = phy.su_radius();
+        Self {
+            phy,
+            pu_sense_range: r,
+            su_sense_range: r,
+            interference: InterferenceModel::Exact,
+        }
+    }
+
+    /// Returns a copy with both sensing ranges set to `range`.
+    #[must_use]
+    pub fn sense_range(mut self, range: f64) -> Self {
+        self.pu_sense_range = range;
+        self.su_sense_range = range;
+        self
+    }
+
+    /// Returns a copy with the PU sensing range set.
+    #[must_use]
+    pub fn pu_sense_range(mut self, range: f64) -> Self {
+        self.pu_sense_range = range;
+        self
+    }
+
+    /// Returns a copy with the SU sensing range set.
+    #[must_use]
+    pub fn su_sense_range(mut self, range: f64) -> Self {
+        self.su_sense_range = range;
+        self
+    }
+
+    /// Returns a copy with the interference model set.
+    #[must_use]
+    pub fn interference(mut self, model: InterferenceModel) -> Self {
+        self.interference = model;
+        self
+    }
+
+    /// Returns a copy with the physical parameters replaced.
+    #[must_use]
+    pub fn phy(mut self, phy: PhyParams) -> Self {
+        self.phy = phy;
+        self
+    }
+}
+
+/// Carrier-sensing neighbor lists; inputs: both sensing ranges.
+#[derive(Debug)]
+struct SenseStage {
+    /// `(pu_sense_range, su_sense_range)` bit patterns.
+    key: (u64, u64),
+    /// For each SU, the other SUs within its SU sensing range (sorted).
+    su_hears_su: Vec<Vec<u32>>,
+    /// For each PU, the SUs whose PU sensing range contains it (sorted).
+    pu_fanout: Vec<Vec<u32>>,
+}
+
+/// Dense path-gain tables (`Exact` model); input: `alpha` only — the
+/// engine multiplies by transmit powers at run time, so a power-only
+/// re-customization reuses these wholesale.
+#[derive(Debug)]
+struct DenseStage {
+    /// `alpha` bit pattern.
+    key: u64,
+    slots: usize,
+    /// PU → receiver gains, `pu * slots + slot`.
+    pu_gain: Vec<f64>,
+    /// SU → receiver gains, `su * slots + slot`.
+    su_gain: Vec<f64>,
+}
+
+/// Per-slot weakest-link *gain* floor (no power factor, so the stage
+/// survives power sweeps); input: `alpha`.
+#[derive(Debug)]
+struct GminStage {
+    /// `alpha` bit pattern.
+    key: u64,
+    /// `min` over the slot's children of `path_gain(link, alpha)`.
+    g_min: Vec<f64>,
+}
+
+/// Fingerprint of everything the truncation *structure* (cutoff radii,
+/// and with them the near-field membership lists) reads. Transmit powers
+/// are deliberately absent: the cutoff budget is computed in normalized
+/// gain space (`0.5·ε·g_min/η_s`), so the SU-side cutoffs are
+/// power-invariant by construction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct StructureKey {
+    alpha: u64,
+    su_radius: u64,
+    su_sense: u64,
+    epsilon: u64,
+    eta_s: u64,
+}
+
+/// Per-slot truncation cutoff radii.
+#[derive(Debug)]
+struct CutoffStage {
+    key: StructureKey,
+    cutoff: Vec<f64>,
+}
+
+/// Transmitter-major SU→slot CSR of near-field gains.
+#[derive(Debug)]
+struct SuCsrStage {
+    key: StructureKey,
+    /// Row offsets, length `n + 1`.
+    su_off: Vec<u32>,
+    /// Receiver slots per SU row, ascending.
+    su_slot: Vec<u32>,
+    /// Gains aligned with `su_slot`.
+    su_gain: Vec<f64>,
+}
+
+/// The budget-independent part of the near-field PU lists, plus a pulled
+/// far-field prefix deep enough for the budgets it was built under.
+///
+/// Per slot: the PUs inside the cutoff (`base_*`, ids ascending), the
+/// nearest far-field PUs pulled to meet the PU-side budget (`ext_*`, in
+/// pull order), and the *exclusion levels* `level[k]` — the exact summed
+/// far-field gain left outside after pulling `k` PUs. A looser budget
+/// re-derives its pull count by a pure `partition_point` over the stored
+/// levels, bit-identical to a fresh build; a tighter budget that needs a
+/// deeper prefix rebuilds the structure.
+#[derive(Debug)]
+struct PuStructure {
+    key: StructureKey,
+    base_off: Vec<u32>,
+    base_id: Vec<u32>,
+    base_gain: Vec<f64>,
+    ext_off: Vec<u32>,
+    ext_id: Vec<u32>,
+    ext_gain: Vec<f64>,
+    /// Row offsets into `level`; row `s` has `ext` row length + 1 values.
+    lvl_off: Vec<u32>,
+    level: Vec<f64>,
+}
+
+impl PuStructure {
+    fn levels(&self, s: usize) -> &[f64] {
+        &self.level[self.lvl_off[s] as usize..self.lvl_off[s + 1] as usize]
+    }
+
+    fn base(&self, s: usize) -> (&[u32], &[f64]) {
+        let lo = self.base_off[s] as usize;
+        let hi = self.base_off[s + 1] as usize;
+        (&self.base_id[lo..hi], &self.base_gain[lo..hi])
+    }
+
+    fn ext(&self, s: usize) -> (&[u32], &[f64]) {
+        let lo = self.ext_off[s] as usize;
+        let hi = self.ext_off[s + 1] as usize;
+        (&self.ext_id[lo..hi], &self.ext_gain[lo..hi])
+    }
+
+    fn bytes(&self) -> usize {
+        (self.base_off.len() + self.base_id.len() + self.ext_off.len() + self.ext_id.len()) * 4
+            + (self.base_gain.len() + self.ext_gain.len() + self.level.len()) * 8
+            + self.lvl_off.len() * 4
+    }
+}
+
+/// The served near-field PU tables for one concrete budget vector:
+/// receiver-major CSR (ids ascending) plus the certified residual.
+#[derive(Debug)]
+struct PuView {
+    slot_pu_off: Vec<u32>,
+    slot_pu_id: Vec<u32>,
+    slot_pu_gain: Vec<f64>,
+    /// Per-slot exact received power if every excluded PU transmitted at
+    /// once (the certified PU-side truncation error).
+    pu_residual: Vec<f64>,
+}
+
+/// Sparse gain stages (`Truncated` model).
+#[derive(Clone, Debug)]
+struct SparseRadio {
+    gmin: Arc<GminStage>,
+    cutoff: Arc<CutoffStage>,
+    su: Arc<SuCsrStage>,
+    structure: Arc<PuStructure>,
+    view: Arc<PuView>,
+}
+
+#[derive(Clone, Debug)]
+enum RadioGains {
+    Dense(Arc<DenseStage>),
+    Sparse(SparseRadio),
+}
+
+/// The radio-dependent tables of a [`crate::SimWorld`], derived from an
+/// immutable [`Topology`] by [`Radio::customize`] and cheaply re-derived
+/// by [`Radio::recustomize`] when only some inputs change.
+#[derive(Clone, Debug)]
+pub struct Radio {
+    params: RadioParams,
+    sense: Arc<SenseStage>,
+    gains: RadioGains,
+}
+
+impl Radio {
+    /// Derives every radio-dependent table from scratch.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WorldError`] for an invalid truncation epsilon, a
+    /// sensing range below the SU radius, or a tree link longer than the
+    /// SU radius.
+    pub fn customize(topology: &Topology, params: &RadioParams) -> Result<Self, WorldError> {
+        Self::customize_from(topology, params, None)
+    }
+
+    /// Like [`Radio::customize`], but reuses (by `Arc` clone) every stage
+    /// of `self` whose fingerprinted inputs are bit-identical under the
+    /// new parameters. The result is guaranteed bit-identical to a fresh
+    /// [`Radio::customize`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Radio::customize`].
+    pub fn recustomize(
+        &self,
+        topology: &Topology,
+        params: &RadioParams,
+    ) -> Result<Self, WorldError> {
+        Self::customize_from(topology, params, Some(self))
+    }
+
+    fn customize_from(
+        topology: &Topology,
+        params: &RadioParams,
+        prev: Option<&Radio>,
+    ) -> Result<Self, WorldError> {
+        let phy = &params.phy;
+        let r = phy.su_radius();
+        if let InterferenceModel::Truncated { epsilon } = params.interference {
+            if !(epsilon > 0.0 && epsilon < 1.0) {
+                return Err(WorldError::BadEpsilon { epsilon });
+            }
+        }
+        if params.pu_sense_range < r {
+            return Err(WorldError::SenseRangeTooSmall {
+                which: "pu",
+                range: params.pu_sense_range,
+                r,
+            });
+        }
+        if params.su_sense_range < r {
+            return Err(WorldError::SenseRangeTooSmall {
+                which: "su",
+                range: params.su_sense_range,
+                r,
+            });
+        }
+        for (i, &d) in topology.link_dist().iter().enumerate().skip(1) {
+            if d > r + 1e-9 {
+                return Err(WorldError::LinkTooLong {
+                    child: i as u32,
+                    parent: topology.parents()[i].expect("non-root nodes have parents"),
+                    distance: d,
+                });
+            }
+        }
+
+        let sense_key = (
+            params.pu_sense_range.to_bits(),
+            params.su_sense_range.to_bits(),
+        );
+        let sense = match prev {
+            Some(p) if p.sense.key == sense_key => p.sense.clone(),
+            _ => Arc::new(build_sense(topology, params)),
+        };
+
+        let alpha_key = phy.alpha().to_bits();
+        let gains = match params.interference {
+            InterferenceModel::Exact => {
+                let dense = match prev.map(|p| &p.gains) {
+                    Some(RadioGains::Dense(d)) if d.key == alpha_key => d.clone(),
+                    _ => Arc::new(build_dense(topology, phy.alpha())),
+                };
+                RadioGains::Dense(dense)
+            }
+            InterferenceModel::Truncated { epsilon } => {
+                let prev_sparse = match prev.map(|p| &p.gains) {
+                    Some(RadioGains::Sparse(s)) => Some(s),
+                    _ => None,
+                };
+                let gmin = match prev_sparse {
+                    Some(p) if p.gmin.key == alpha_key => p.gmin.clone(),
+                    _ => Arc::new(build_gmin(topology, phy.alpha())),
+                };
+                let skey = StructureKey {
+                    alpha: alpha_key,
+                    su_radius: r.to_bits(),
+                    su_sense: params.su_sense_range.to_bits(),
+                    epsilon: epsilon.to_bits(),
+                    eta_s: phy.su_sir_threshold().to_bits(),
+                };
+                let cutoff = match prev_sparse {
+                    Some(p) if p.cutoff.key == skey => p.cutoff.clone(),
+                    _ => Arc::new(build_cutoffs(topology, params, epsilon, &gmin.g_min, skey)),
+                };
+                let su = match prev_sparse {
+                    Some(p) if p.su.key == skey => p.su.clone(),
+                    _ => Arc::new(build_su_csr(topology, phy.alpha(), &cutoff.cutoff, skey)),
+                };
+                // PU-side exclusion threshold per slot, in gain space:
+                // `p_p · excluded ≤ 0.5·ε·(p_s·g_min)/η_s` rearranged so
+                // the comparison against the stored levels is power-free.
+                let threshold: Vec<f64> = gmin
+                    .g_min
+                    .iter()
+                    .map(|&g| {
+                        0.5 * epsilon * phy.su_power() * g
+                            / (phy.su_sir_threshold() * phy.pu_power())
+                    })
+                    .collect();
+                let reusable = prev_sparse.filter(|p| p.structure.key == skey);
+                let (structure, view) = match reusable {
+                    Some(p) => match assemble_pu_view(&p.structure, phy.pu_power(), &threshold) {
+                        Some(view) => (p.structure.clone(), view),
+                        None => fresh_pu(topology, phy, &cutoff.cutoff, &threshold, skey),
+                    },
+                    None => fresh_pu(topology, phy, &cutoff.cutoff, &threshold, skey),
+                };
+                RadioGains::Sparse(SparseRadio {
+                    gmin,
+                    cutoff,
+                    su,
+                    structure,
+                    view: Arc::new(view),
+                })
+            }
+        };
+
+        Ok(Self {
+            params: *params,
+            sense,
+            gains,
+        })
+    }
+
+    /// The parameters this radio was customized with.
+    #[must_use]
+    pub fn params(&self) -> &RadioParams {
+        &self.params
+    }
+
+    pub(crate) fn su_hears_su(&self, su: u32) -> &[u32] {
+        &self.sense.su_hears_su[su as usize]
+    }
+
+    pub(crate) fn pu_fanout(&self, pu: usize) -> &[u32] {
+        &self.sense.pu_fanout[pu]
+    }
+
+    pub(crate) fn pu_gain(&self, pu: usize, slot: u32) -> f64 {
+        match &self.gains {
+            RadioGains::Dense(d) => d.pu_gain[pu * d.slots + slot as usize],
+            RadioGains::Sparse(s) => {
+                let v = &s.view;
+                let lo = v.slot_pu_off[slot as usize] as usize;
+                let hi = v.slot_pu_off[slot as usize + 1] as usize;
+                match v.slot_pu_id[lo..hi].binary_search(&(pu as u32)) {
+                    Ok(idx) => v.slot_pu_gain[lo + idx],
+                    Err(_) => 0.0,
+                }
+            }
+        }
+    }
+
+    pub(crate) fn su_gain(&self, su: u32, slot: u32) -> f64 {
+        match &self.gains {
+            RadioGains::Dense(d) => d.su_gain[su as usize * d.slots + slot as usize],
+            RadioGains::Sparse(s) => {
+                let csr = &s.su;
+                let lo = csr.su_off[su as usize] as usize;
+                let hi = csr.su_off[su as usize + 1] as usize;
+                match csr.su_slot[lo..hi].binary_search(&slot) {
+                    Ok(idx) => csr.su_gain[lo + idx],
+                    Err(_) => 0.0,
+                }
+            }
+        }
+    }
+
+    pub(crate) fn near_pus(&self, slot: u32) -> Option<(&[u32], &[f64])> {
+        match &self.gains {
+            RadioGains::Dense(_) => None,
+            RadioGains::Sparse(s) => {
+                let v = &s.view;
+                let lo = v.slot_pu_off[slot as usize] as usize;
+                let hi = v.slot_pu_off[slot as usize + 1] as usize;
+                Some((&v.slot_pu_id[lo..hi], &v.slot_pu_gain[lo..hi]))
+            }
+        }
+    }
+
+    pub(crate) fn truncation_stats(&self) -> Option<(&[f64], &[f64])> {
+        match &self.gains {
+            RadioGains::Dense(_) => None,
+            RadioGains::Sparse(s) => Some((&s.cutoff.cutoff, &s.view.pu_residual)),
+        }
+    }
+
+    pub(crate) fn gain_table_bytes(&self) -> usize {
+        match &self.gains {
+            RadioGains::Dense(d) => (d.pu_gain.len() + d.su_gain.len()) * 8,
+            RadioGains::Sparse(s) => {
+                (s.cutoff.cutoff.len() + s.view.pu_residual.len()) * 8
+                    + (s.su.su_off.len() + s.su.su_slot.len()) * 4
+                    + s.su.su_gain.len() * 8
+                    + (s.view.slot_pu_off.len() + s.view.slot_pu_id.len()) * 4
+                    + s.view.slot_pu_gain.len() * 8
+                    + s.structure.bytes()
+            }
+        }
+    }
+}
+
+fn build_sense(topology: &Topology, params: &RadioParams) -> SenseStage {
+    let sus = topology.su_positions();
+    let index = topology.su_index();
+    let mut su_hears_su = vec![Vec::new(); sus.len()];
+    for (i, &p) in sus.iter().enumerate() {
+        index.for_each_within(p, params.su_sense_range, |j| {
+            if j as usize != i {
+                su_hears_su[i].push(j);
+            }
+        });
+        su_hears_su[i].sort_unstable();
+    }
+    let mut pu_fanout = vec![Vec::new(); topology.num_pus()];
+    for (k, &pu) in topology.pu_positions().iter().enumerate() {
+        index.for_each_within(pu, params.pu_sense_range, |j| pu_fanout[k].push(j));
+        pu_fanout[k].sort_unstable();
+    }
+    SenseStage {
+        key: (
+            params.pu_sense_range.to_bits(),
+            params.su_sense_range.to_bits(),
+        ),
+        su_hears_su,
+        pu_fanout,
+    }
+}
+
+fn build_dense(topology: &Topology, alpha: f64) -> DenseStage {
+    // The original dense construction, kept verbatim so Exact worlds are
+    // bit-for-bit identical to the pre-split engine.
+    let sus = topology.su_positions();
+    let receivers = topology.receivers();
+    let gain =
+        |a: crn_geometry::Point, b: crn_geometry::Point| a.distance(b).max(1e-9).powf(-alpha);
+    let m = receivers.len();
+    let mut pu_gain = vec![0.0; topology.num_pus() * m];
+    for (k, &pu) in topology.pu_positions().iter().enumerate() {
+        for (s, &r) in receivers.iter().enumerate() {
+            pu_gain[k * m + s] = gain(pu, sus[r as usize]);
+        }
+    }
+    let mut su_gain = vec![0.0; sus.len() * m];
+    for (i, &su) in sus.iter().enumerate() {
+        for (s, &r) in receivers.iter().enumerate() {
+            su_gain[i * m + s] = gain(su, sus[r as usize]);
+        }
+    }
+    DenseStage {
+        key: alpha.to_bits(),
+        slots: m,
+        pu_gain,
+        su_gain,
+    }
+}
+
+fn build_gmin(topology: &Topology, alpha: f64) -> GminStage {
+    let slots = topology.receiver_slots();
+    let mut g_min = vec![f64::INFINITY; topology.num_receiver_slots()];
+    for (i, &p) in topology.parents().iter().enumerate() {
+        if let Some(p) = p {
+            let s = slots[p as usize].expect("parents are receivers") as usize;
+            g_min[s] = g_min[s].min(path_gain(topology.link_dist()[i], alpha));
+        }
+    }
+    GminStage {
+        key: alpha.to_bits(),
+        g_min,
+    }
+}
+
+fn build_cutoffs(
+    topology: &Topology,
+    params: &RadioParams,
+    epsilon: f64,
+    g_min: &[f64],
+    key: StructureKey,
+) -> CutoffStage {
+    let phy = &params.phy;
+    // Cutoffs must at least cover every tree link (validation allows
+    // d <= r + 1e-9) and need never exceed the deployment's diameter.
+    let r_floor = phy.su_radius() * (1.0 + 1e-6) + 1e-6;
+    let r_max = (r_floor * (1.0 + 1e-6)).max(topology.bbox_diag());
+    // The bound is normalized (unit power): the budget `0.5·ε·g_min/η_s`
+    // is the power-free rearrangement of `0.5·ε·(p_s·g_min)/η_s` against
+    // a `p_s`-scaled tail, so the resulting radii survive power sweeps.
+    let bound = FarFieldBound::normalized(phy.alpha(), params.su_sense_range);
+    let table = CutoffTable::new(&bound, r_floor, r_max, 512);
+    let eta_s = phy.su_sir_threshold();
+    let cutoff = g_min
+        .iter()
+        .map(|&g| table.radius_for(0.5 * epsilon * g / eta_s))
+        .collect();
+    CutoffStage { key, cutoff }
+}
+
+fn build_su_csr(topology: &Topology, alpha: f64, cutoff: &[f64], key: StructureKey) -> SuCsrStage {
+    // Generate (su, slot, gain) triples slot-major via the grid index,
+    // then scatter into transmitter-major CSR. The counting sort is
+    // stable, so each row stays slot-ascending.
+    let sus = topology.su_positions();
+    let n = sus.len();
+    let mut triples: Vec<(u32, u32, f64)> = Vec::new();
+    let mut row_counts = vec![0u32; n];
+    for (s, &rx) in topology.receivers().iter().enumerate() {
+        let q = sus[rx as usize];
+        topology.su_index().for_each_within(q, cutoff[s], |j| {
+            let g = path_gain_sq(sus[j as usize].distance_sq(q), alpha);
+            triples.push((j, s as u32, g));
+            row_counts[j as usize] += 1;
+        });
+    }
+    let mut su_off = vec![0u32; n + 1];
+    for i in 0..n {
+        su_off[i + 1] = su_off[i] + row_counts[i];
+    }
+    let nnz = su_off[n] as usize;
+    let mut su_slot = vec![0u32; nnz];
+    let mut su_gain = vec![0.0f64; nnz];
+    let mut cursor: Vec<u32> = su_off[..n].to_vec();
+    for &(su, slot, g) in &triples {
+        let c = cursor[su as usize] as usize;
+        su_slot[c] = slot;
+        su_gain[c] = g;
+        cursor[su as usize] += 1;
+    }
+    SuCsrStage {
+        key,
+        su_off,
+        su_slot,
+        su_gain,
+    }
+}
+
+/// Builds the PU structure deep enough for `threshold` and assembles its
+/// view (which cannot fail on a structure built for the same budgets).
+fn fresh_pu(
+    topology: &Topology,
+    phy: &PhyParams,
+    cutoff: &[f64],
+    threshold: &[f64],
+    key: StructureKey,
+) -> (Arc<PuStructure>, PuView) {
+    let structure = Arc::new(build_pu_structure(
+        topology,
+        phy.alpha(),
+        cutoff,
+        threshold,
+        key,
+    ));
+    let view = assemble_pu_view(&structure, phy.pu_power(), threshold)
+        .expect("a freshly built structure covers its own budgets");
+    (structure, view)
+}
+
+/// Partitions the PUs of every slot into within-cutoff (`base`) and
+/// far field, then pulls the nearest far-field PUs (`ext`) until the
+/// exact excluded gain sum fits the slot's threshold, recording the
+/// exclusion level after every pull.
+///
+/// Level 0 is the id-order sum of the whole far field (no sort needed on
+/// the common path where it already fits); levels `k ≥ 1` are fresh
+/// left-to-right folds over the distance-sorted remainder, so every
+/// stored level is a pure function of `(topology, alpha, cutoff)` —
+/// independent of which budget triggered its computation. PUs obey no
+/// packing bound, so exact certification (not an analytic tail) is the
+/// only sound option here.
+fn build_pu_structure(
+    topology: &Topology,
+    alpha: f64,
+    cutoff: &[f64],
+    threshold: &[f64],
+    key: StructureKey,
+) -> PuStructure {
+    let m = topology.num_receiver_slots();
+    let sus = topology.su_positions();
+    let pus = topology.pu_positions();
+    let receivers = topology.receivers();
+    let mut base_off = vec![0u32; m + 1];
+    let mut base_id = Vec::new();
+    let mut base_gain = Vec::new();
+    let mut ext_off = vec![0u32; m + 1];
+    let mut ext_id = Vec::new();
+    let mut ext_gain = Vec::new();
+    let mut lvl_off = vec![0u32; m + 1];
+    let mut level = Vec::new();
+    let mut far: Vec<(u64, u32, f64)> = Vec::new();
+    for s in 0..m {
+        far.clear();
+        let q = sus[receivers[s] as usize];
+        let cutoff_sq = cutoff[s] * cutoff[s];
+        for (k, &pu) in pus.iter().enumerate() {
+            let d2 = pu.distance_sq(q);
+            let g = path_gain_sq(d2, alpha);
+            if d2 <= cutoff_sq {
+                base_id.push(k as u32);
+                base_gain.push(g);
+            } else {
+                far.push((d2.to_bits(), k as u32, g));
+            }
+        }
+        base_off[s + 1] = base_id.len() as u32;
+        // Distances are non-negative finite, so their bit patterns order
+        // identically to the values; `far` starts in id order, so the
+        // stable sort breaks distance ties toward the lower PU id.
+        let lvl0: f64 = far.iter().map(|&(_, _, g)| g).sum();
+        level.push(lvl0);
+        if lvl0 > threshold[s] {
+            far.sort_by_key(|&(d2_bits, _, _)| d2_bits);
+            let mut pulled = 0usize;
+            while level.last().copied().expect("level 0 exists") > threshold[s]
+                && pulled < far.len()
+            {
+                let (_, id, g) = far[pulled];
+                ext_id.push(id);
+                ext_gain.push(g);
+                pulled += 1;
+                level.push(far[pulled..].iter().map(|&(_, _, g)| g).sum());
+            }
+        }
+        ext_off[s + 1] = ext_id.len() as u32;
+        lvl_off[s + 1] = level.len() as u32;
+    }
+    PuStructure {
+        key,
+        base_off,
+        base_id,
+        base_gain,
+        ext_off,
+        ext_id,
+        ext_gain,
+        lvl_off,
+        level,
+    }
+}
+
+/// Derives the served near-field PU tables for `threshold` from a stored
+/// structure, or `None` when some slot needs a deeper pulled prefix than
+/// the structure holds (the caller then rebuilds the structure).
+fn assemble_pu_view(structure: &PuStructure, p_p: f64, threshold: &[f64]) -> Option<PuView> {
+    let m = structure.base_off.len() - 1;
+    let mut slot_pu_off = vec![0u32; m + 1];
+    let mut slot_pu_id = Vec::new();
+    let mut slot_pu_gain = Vec::new();
+    let mut pu_residual = vec![0.0f64; m];
+    let mut near: Vec<(u32, f64)> = Vec::new();
+    for s in 0..m {
+        let levels = structure.levels(s);
+        // Levels are non-increasing, so the first one at or below the
+        // threshold is the canonical pull count.
+        let k = levels.partition_point(|&v| v > threshold[s]);
+        if k >= levels.len() {
+            return None;
+        }
+        pu_residual[s] = p_p * levels[k];
+        let (base_ids, base_gains) = structure.base(s);
+        let (ext_ids, ext_gains) = structure.ext(s);
+        near.clear();
+        near.extend(base_ids.iter().copied().zip(base_gains.iter().copied()));
+        near.extend(
+            ext_ids[..k]
+                .iter()
+                .copied()
+                .zip(ext_gains[..k].iter().copied()),
+        );
+        near.sort_unstable_by_key(|&(id, _)| id);
+        for &(id, g) in &near {
+            slot_pu_id.push(id);
+            slot_pu_gain.push(g);
+        }
+        slot_pu_off[s + 1] = slot_pu_id.len() as u32;
+    }
+    Some(PuView {
+        slot_pu_off,
+        slot_pu_id,
+        slot_pu_gain,
+        pu_residual,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crn_geometry::{Point, Region};
+
+    fn phy() -> PhyParams {
+        PhyParams::paper_simulation_defaults()
+    }
+
+    /// A 12×12 grid with PUs on a coarser lattice — small enough to be
+    /// fast, big enough that truncation actually drops far-field pairs.
+    fn grid() -> Topology {
+        let cols = 12usize;
+        let spacing = 7.0;
+        let mut sus = Vec::new();
+        let mut parents = Vec::new();
+        for i in 0..cols * cols {
+            let (row, col) = (i / cols, i % cols);
+            sus.push(Point::new(
+                col as f64 * spacing + 1.0,
+                row as f64 * spacing + 1.0,
+            ));
+            parents.push(if i == 0 {
+                None
+            } else if col > 0 {
+                Some((i - 1) as u32)
+            } else {
+                Some((i - cols) as u32)
+            });
+        }
+        let side = cols as f64 * spacing + 2.0;
+        let pus: Vec<Point> = (0..16)
+            .map(|k| {
+                Point::new(
+                    (k % 4) as f64 * side / 4.0 + 9.0,
+                    (k / 4) as f64 * side / 4.0 + 9.0,
+                )
+            })
+            .collect();
+        Topology::builder(Region::square(side))
+            .su_positions(sus)
+            .pu_positions(pus)
+            .parents(parents)
+            .build()
+            .unwrap()
+    }
+
+    fn sparse_params() -> RadioParams {
+        RadioParams::new(phy())
+            .sense_range(24.0)
+            .interference(InterferenceModel::Truncated { epsilon: 0.1 })
+    }
+
+    fn assert_same_tables(topo: &Topology, a: &Radio, b: &Radio) {
+        let m = topo.num_receiver_slots() as u32;
+        for su in 0..topo.num_sus() as u32 {
+            assert_eq!(a.su_hears_su(su), b.su_hears_su(su));
+            for s in 0..m {
+                assert_eq!(a.su_gain(su, s).to_bits(), b.su_gain(su, s).to_bits());
+            }
+        }
+        for pu in 0..topo.num_pus() {
+            assert_eq!(a.pu_fanout(pu), b.pu_fanout(pu));
+            for s in 0..m {
+                assert_eq!(
+                    a.pu_gain(pu, s).to_bits(),
+                    b.pu_gain(pu, s).to_bits(),
+                    "pu {pu} slot {s}"
+                );
+            }
+        }
+        for s in 0..m {
+            assert_eq!(a.near_pus(s), b.near_pus(s));
+        }
+        match (a.truncation_stats(), b.truncation_stats()) {
+            (Some((ca, ra)), Some((cb, rb))) => {
+                assert_eq!(ca, cb);
+                assert_eq!(ra, rb);
+            }
+            (None, None) => {}
+            other => panic!("truncation stats diverged: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn power_recustomize_reuses_every_sparse_stage() {
+        let topo = grid();
+        let base = sparse_params();
+        let radio = Radio::customize(&topo, &base).unwrap();
+        // Doubling P_s loosens the PU budget and leaves cutoffs (which
+        // are power-normalized) untouched.
+        let mut b = PhyParams::builder();
+        b.alpha(4.0)
+            .pu_power(10.0)
+            .su_power(20.0)
+            .pu_radius(10.0)
+            .su_radius(10.0)
+            .pu_sir_threshold(phy().pu_sir_threshold())
+            .su_sir_threshold(phy().su_sir_threshold());
+        let next = base.phy(b.build().unwrap());
+        let re = radio.recustomize(&topo, &next).unwrap();
+        assert!(Arc::ptr_eq(&radio.sense, &re.sense), "sense lists rebuilt");
+        let (RadioGains::Sparse(old), RadioGains::Sparse(new)) = (&radio.gains, &re.gains) else {
+            panic!("expected sparse gains");
+        };
+        assert!(Arc::ptr_eq(&old.gmin, &new.gmin));
+        assert!(Arc::ptr_eq(&old.cutoff, &new.cutoff), "cutoffs rebuilt");
+        assert!(Arc::ptr_eq(&old.su, &new.su), "SU CSR rebuilt");
+        assert!(
+            Arc::ptr_eq(&old.structure, &new.structure),
+            "PU structure rebuilt on a looser budget"
+        );
+        // And the reused stages still produce exactly a fresh build.
+        let fresh = Radio::customize(&topo, &next).unwrap();
+        assert_same_tables(&topo, &re, &fresh);
+    }
+
+    #[test]
+    fn tighter_budget_rebuilds_structure_bit_identically() {
+        let topo = grid();
+        let base = sparse_params();
+        let radio = Radio::customize(&topo, &base).unwrap();
+        // Halving P_s tightens the PU budget below what the stored
+        // prefix certifies for some slots.
+        let mut b = PhyParams::builder();
+        b.alpha(4.0)
+            .pu_power(10.0)
+            .su_power(5.0)
+            .pu_radius(10.0)
+            .su_radius(10.0)
+            .pu_sir_threshold(phy().pu_sir_threshold())
+            .su_sir_threshold(phy().su_sir_threshold());
+        let next = base.phy(b.build().unwrap());
+        let re = radio.recustomize(&topo, &next).unwrap();
+        let fresh = Radio::customize(&topo, &next).unwrap();
+        assert_same_tables(&topo, &re, &fresh);
+    }
+
+    #[test]
+    fn alpha_recustomize_matches_fresh_build() {
+        let topo = grid();
+        for model in [
+            InterferenceModel::Exact,
+            InterferenceModel::Truncated { epsilon: 0.1 },
+        ] {
+            let base = sparse_params().interference(model);
+            let radio = Radio::customize(&topo, &base).unwrap();
+            let mut b = PhyParams::builder();
+            b.alpha(3.5)
+                .pu_power(10.0)
+                .su_power(10.0)
+                .pu_radius(10.0)
+                .su_radius(10.0)
+                .pu_sir_threshold(phy().pu_sir_threshold())
+                .su_sir_threshold(phy().su_sir_threshold());
+            let next = base.phy(b.build().unwrap());
+            let re = radio.recustomize(&topo, &next).unwrap();
+            let fresh = Radio::customize(&topo, &next).unwrap();
+            assert_same_tables(&topo, &re, &fresh);
+        }
+    }
+
+    #[test]
+    fn dense_power_recustomize_reuses_gains() {
+        let topo = grid();
+        let base = RadioParams::new(phy()).sense_range(24.0);
+        let radio = Radio::customize(&topo, &base).unwrap();
+        let mut b = PhyParams::builder();
+        b.alpha(4.0)
+            .pu_power(30.0)
+            .su_power(15.0)
+            .pu_radius(10.0)
+            .su_radius(10.0)
+            .pu_sir_threshold(phy().pu_sir_threshold())
+            .su_sir_threshold(phy().su_sir_threshold());
+        let re = radio
+            .recustomize(&topo, &base.phy(b.build().unwrap()))
+            .unwrap();
+        let (RadioGains::Dense(old), RadioGains::Dense(new)) = (&radio.gains, &re.gains) else {
+            panic!("expected dense gains");
+        };
+        assert!(Arc::ptr_eq(old, new), "dense gains rebuilt on power change");
+        assert!(Arc::ptr_eq(&radio.sense, &re.sense));
+    }
+
+    #[test]
+    fn sense_range_change_rebuilds_only_sense_in_dense_mode() {
+        let topo = grid();
+        let base = RadioParams::new(phy()).sense_range(24.0);
+        let radio = Radio::customize(&topo, &base).unwrap();
+        let re = radio.recustomize(&topo, &base.sense_range(30.0)).unwrap();
+        assert!(!Arc::ptr_eq(&radio.sense, &re.sense));
+        let (RadioGains::Dense(old), RadioGains::Dense(new)) = (&radio.gains, &re.gains) else {
+            panic!("expected dense gains");
+        };
+        assert!(Arc::ptr_eq(old, new));
+        let fresh = Radio::customize(&topo, &base.sense_range(30.0)).unwrap();
+        assert_same_tables(&topo, &re, &fresh);
+    }
+
+    #[test]
+    fn model_switch_recustomizes_cleanly_both_ways() {
+        let topo = grid();
+        let dense = RadioParams::new(phy()).sense_range(24.0);
+        let sparse = sparse_params();
+        let d = Radio::customize(&topo, &dense).unwrap();
+        let s = d.recustomize(&topo, &sparse).unwrap();
+        assert_same_tables(&topo, &s, &Radio::customize(&topo, &sparse).unwrap());
+        let back = s.recustomize(&topo, &dense).unwrap();
+        assert_same_tables(&topo, &back, &d);
+    }
+
+    #[test]
+    fn rejects_link_longer_than_radius() {
+        let topo = Topology::builder(Region::square(40.0))
+            .su_positions(vec![Point::new(1.0, 1.0), Point::new(31.0, 1.0)])
+            .parents(vec![None, Some(0)])
+            .build()
+            .unwrap();
+        let e = Radio::customize(&topo, &RadioParams::new(phy()).sense_range(35.0)).unwrap_err();
+        assert!(matches!(e, WorldError::LinkTooLong { child: 1, .. }));
+    }
+}

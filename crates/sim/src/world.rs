@@ -1,12 +1,13 @@
 use crate::config::InterferenceModel;
-use crn_geometry::{GridIndex, Point, Region};
-use crn_interference::cutoff::{CutoffTable, FarFieldBound};
-use crn_interference::{path_gain, path_gain_sq, PhyParams};
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use crate::radio::{Radio, RadioParams};
+use crate::topology::Topology;
+use crn_geometry::{Point, Region};
+use crn_interference::PhyParams;
 use std::fmt;
+use std::sync::Arc;
 
-/// Errors from [`SimWorldBuilder::build`].
+/// Errors from [`SimWorldBuilder::build`], [`crate::Topology::builder`],
+/// and [`crate::Radio::customize`].
 #[derive(Clone, Debug, PartialEq)]
 pub enum WorldError {
     /// No secondary users were supplied (the base station is mandatory).
@@ -111,113 +112,40 @@ impl fmt::Display for WorldError {
 
 impl std::error::Error for WorldError {}
 
-/// The immutable world a [`crate::Simulator`] runs in: node positions,
-/// the routing tree, physical parameters, and the precomputed geometry
-/// tables that make the event loop fast:
+/// The world a [`crate::Simulator`] runs in: a thin view pairing an
+/// immutable, `Arc`-shared [`Topology`] (positions, routing tree,
+/// receiver slots, grid index) with a [`Radio`] customization (sensing
+/// neighbor lists, path-gain tables, truncation cutoffs) derived from it.
 ///
-/// - carrier-sensing neighbor lists (who hears whom within the sensing
-///   ranges),
-/// - path-gain tables from every PU/SU to every *receiver* (tree-internal
-///   node), so cumulative-SIR updates are table lookups instead of `powf`
-///   calls.
+/// The split follows the customizable-contraction-hierarchy recipe:
+/// structure is built once per deployment, while
+/// [`SimWorld::recustomize`] re-derives only the radio-dependent stages
+/// a new [`RadioParams`] actually invalidates — the operation that makes
+/// radio-only sweep points cheap.
 ///
 /// The two sensing ranges are independent: `pu_sense_range` governs when
 /// PU activity blocks/aborts an SU (ADDC and any legitimate CRN protocol
 /// use the PCR here — PU protection is non-negotiable), while
 /// `su_sense_range` governs SU↔SU carrier sensing (ADDC uses the PCR;
-/// the Coolest baseline uses a conventional CSMA range of `2r` and pays
-/// for it in SIR collisions — exactly the coordination gap Lemma 3's PCR
-/// closes).
+/// the Coolest baseline uses a conventional CSMA range and pays for it in
+/// SIR collisions — exactly the coordination gap Lemma 3's PCR closes).
 ///
 /// Node 0 is the base station: it has no parent and never transmits.
 #[derive(Clone, Debug)]
 pub struct SimWorld {
-    su_positions: Vec<Point>,
-    pu_positions: Vec<Point>,
-    parents: Vec<Option<u32>>,
-    phy: PhyParams,
-    pu_sense_range: f64,
-    su_sense_range: f64,
-    /// For each SU, the other SUs within its SU sensing range (sorted).
-    su_hears_su: Vec<Vec<u32>>,
-    /// For each PU, the SUs whose PU sensing range contains it (sorted).
-    pu_fanout: Vec<Vec<u32>>,
-    /// Dense receiver slots: `receiver_slot[su]` is `Some(slot)` iff `su`
-    /// is some node's parent.
-    receiver_slot: Vec<Option<u32>>,
-    /// Inverse of `receiver_slot`.
-    receivers: Vec<u32>,
-    /// Which interference model built the gain tables.
-    model: InterferenceModel,
-    /// Dense or sparse path-gain storage, per the interference model.
-    gains: GainTables,
+    topology: Arc<Topology>,
+    radio: Radio,
 }
 
-/// Path-gain storage behind [`SimWorld`]'s `su_gain`/`pu_gain` lookups.
-#[derive(Clone, Debug)]
-enum GainTables {
-    /// `*_gain[tx * receivers.len() + slot]` — the original O(n²) layout.
-    Dense {
-        /// PU → receiver gains.
-        pu_gain: Vec<f64>,
-        /// SU → receiver gains.
-        su_gain: Vec<f64>,
-    },
-    /// Near-field CSR lists with certified far-field truncation.
-    Sparse(SparseGains),
-}
-
-/// Near-field gain lists for [`InterferenceModel::Truncated`].
-///
-/// SU gains are transmitter-major CSR (row `su` holds the receiver slots
-/// within that slot's cutoff radius, ascending); PU gains are
-/// receiver-major (per slot, the PUs inside the cutoff, ascending by id).
-/// Everything beyond a slot's cutoff is certified: the analytic Lemma-2
-/// tail (SU side) plus the exact all-on far-PU sum (`pu_residual`) stay
-/// below `epsilon` of the slot's weakest-link SIR decision margin.
-#[derive(Clone, Debug)]
-struct SparseGains {
-    /// Per-slot cutoff radius `R_c`.
-    cutoff: Vec<f64>,
-    /// Per-slot exact received power if every *excluded* PU transmitted
-    /// at once (the certified PU-side truncation error).
-    pu_residual: Vec<f64>,
-    /// CSR row offsets into `su_slot`/`su_gain`, length `n + 1`.
-    su_off: Vec<u32>,
-    /// Receiver slots per SU row, ascending.
-    su_slot: Vec<u32>,
-    /// Gains aligned with `su_slot`.
-    su_gain: Vec<f64>,
-    /// Row offsets into `slot_pu_id`/`slot_pu_gain`, length `m + 1`.
-    slot_pu_off: Vec<u32>,
-    /// Near-field PU ids per slot, ascending.
-    slot_pu_id: Vec<u32>,
-    /// Gains aligned with `slot_pu_id`.
-    slot_pu_gain: Vec<f64>,
-}
-
-impl SparseGains {
-    fn bytes(&self) -> usize {
-        self.cutoff.len() * 8
-            + self.pu_residual.len() * 8
-            + self.su_off.len() * 4
-            + self.su_slot.len() * 4
-            + self.su_gain.len() * 8
-            + self.slot_pu_off.len() * 4
-            + self.slot_pu_id.len() * 4
-            + self.slot_pu_gain.len() * 8
-    }
-}
-
-/// Named-setter constructor for [`SimWorld`], replacing the positional
-/// `build(region, sus, pus, parents, phy, pcr)` call whose six arguments
-/// were easy to swap silently.
+/// Named-setter constructor for [`SimWorld`] assembling both phases in
+/// one call — the porcelain over [`Topology::builder`] plus
+/// [`Radio::customize`].
 ///
 /// Start from [`SimWorld::builder`]; only `su_positions` and `parents`
 /// are usually mandatory (validation rejects an empty network). Unset
 /// fields default to: no PUs, [`PhyParams::paper_simulation_defaults`],
 /// and carrier-sensing ranges equal to the SU transmission radius `r` —
-/// the minimum [`SimWorld::build`] would accept.
+/// the minimum customization accepts.
 ///
 /// ```
 /// use crn_geometry::{Point, Region};
@@ -304,7 +232,7 @@ impl SimWorldBuilder {
     }
 
     /// Range of SU↔SU carrier sensing (the Coolest baseline uses a
-    /// conventional `2r` here instead of the PCR).
+    /// conventional CSMA range here instead of the PCR).
     #[must_use]
     pub fn su_sense_range(mut self, range: f64) -> Self {
         self.su_sense_range = Some(range);
@@ -318,24 +246,28 @@ impl SimWorldBuilder {
         self
     }
 
-    /// Validates and assembles the world.
+    /// Validates both phases and assembles the world.
     ///
     /// # Errors
     ///
-    /// Returns a [`WorldError`] describing the first violated structural
-    /// requirement.
+    /// Returns a [`WorldError`] describing the first violated
+    /// requirement — structural ones from the topology phase, then
+    /// radio-dependent ones (epsilon, sensing ranges, link lengths) from
+    /// the customization phase.
     pub fn build(self) -> Result<SimWorld, WorldError> {
+        let topology = Topology::builder(self.region)
+            .su_positions(self.su_positions)
+            .pu_positions(self.pu_positions)
+            .parents(self.parents)
+            .build()?;
         let r = self.phy.su_radius();
-        SimWorld::assemble(
-            self.region,
-            self.su_positions,
-            self.pu_positions,
-            self.parents,
-            self.phy,
-            self.pu_sense_range.unwrap_or(r),
-            self.su_sense_range.or(self.pu_sense_range).unwrap_or(r),
-            self.interference,
-        )
+        let params = RadioParams {
+            phy: self.phy,
+            pu_sense_range: self.pu_sense_range.unwrap_or(r),
+            su_sense_range: self.su_sense_range.or(self.pu_sense_range).unwrap_or(r),
+            interference: self.interference,
+        };
+        SimWorld::new(Arc::new(topology), params)
     }
 }
 
@@ -346,451 +278,78 @@ impl SimWorld {
         SimWorldBuilder::new(region)
     }
 
-    /// Assembles and validates a world with one sensing range for both
-    /// PU and SU carrier sensing.
+    /// Pairs an existing topology with a fresh radio customization.
     ///
     /// # Errors
     ///
-    /// Same as [`SimWorldBuilder::build`].
-    #[deprecated(since = "0.2.0", note = "use SimWorld::builder(region) instead")]
-    pub fn build(
-        region: Region,
-        su_positions: Vec<Point>,
-        pu_positions: Vec<Point>,
-        parents: Vec<Option<u32>>,
-        phy: PhyParams,
-        pcr: f64,
-    ) -> Result<Self, WorldError> {
-        Self::assemble(
-            region,
-            su_positions,
-            pu_positions,
-            parents,
-            phy,
-            pcr,
-            pcr,
-            InterferenceModel::Exact,
-        )
+    /// Returns the [`WorldError`] of [`Radio::customize`].
+    pub fn new(topology: Arc<Topology>, params: RadioParams) -> Result<Self, WorldError> {
+        let radio = Radio::customize(&topology, &params)?;
+        Ok(Self { topology, radio })
     }
 
-    /// Assembles and validates a world with independent PU and SU
-    /// carrier-sensing ranges (see the type-level docs).
+    /// Re-derives the radio layer for `params` over the *same* shared
+    /// topology, reusing every stage the new parameters do not
+    /// invalidate. The result is guaranteed bit-identical to building a
+    /// fresh world from the same inputs.
     ///
     /// # Errors
     ///
-    /// Same as [`SimWorldBuilder::build`].
-    #[deprecated(
-        since = "0.2.0",
-        note = "use SimWorld::builder(region) with .pu_sense_range()/.su_sense_range() instead"
-    )]
-    #[allow(clippy::too_many_arguments)]
-    pub fn build_with_ranges(
-        region: Region,
-        su_positions: Vec<Point>,
-        pu_positions: Vec<Point>,
-        parents: Vec<Option<u32>>,
-        phy: PhyParams,
-        pu_sense_range: f64,
-        su_sense_range: f64,
-    ) -> Result<Self, WorldError> {
-        Self::assemble(
-            region,
-            su_positions,
-            pu_positions,
-            parents,
-            phy,
-            pu_sense_range,
-            su_sense_range,
-            InterferenceModel::Exact,
-        )
-    }
-
-    #[allow(clippy::too_many_arguments)]
-    fn assemble(
-        region: Region,
-        su_positions: Vec<Point>,
-        pu_positions: Vec<Point>,
-        parents: Vec<Option<u32>>,
-        phy: PhyParams,
-        pu_sense_range: f64,
-        su_sense_range: f64,
-        model: InterferenceModel,
-    ) -> Result<Self, WorldError> {
-        if let InterferenceModel::Truncated { epsilon } = model {
-            if !(epsilon > 0.0 && epsilon < 1.0) {
-                return Err(WorldError::BadEpsilon { epsilon });
-            }
-        }
-        let n = su_positions.len();
-        if n == 0 {
-            return Err(WorldError::NoSecondaryUsers);
-        }
-        if parents.len() != n {
-            return Err(WorldError::ParentLengthMismatch {
-                parents: parents.len(),
-                sus: n,
-            });
-        }
-        if pu_sense_range < phy.su_radius() {
-            return Err(WorldError::SenseRangeTooSmall {
-                which: "pu",
-                range: pu_sense_range,
-                r: phy.su_radius(),
-            });
-        }
-        if su_sense_range < phy.su_radius() {
-            return Err(WorldError::SenseRangeTooSmall {
-                which: "su",
-                range: su_sense_range,
-                r: phy.su_radius(),
-            });
-        }
-        for (i, &p) in parents.iter().enumerate() {
-            match p {
-                None => {
-                    if i != 0 {
-                        return Err(WorldError::BadRootStructure { node: i as u32 });
-                    }
-                }
-                Some(p) => {
-                    if i == 0 {
-                        return Err(WorldError::BadRootStructure { node: 0 });
-                    }
-                    if p as usize >= n || p as usize == i {
-                        return Err(WorldError::BadParent { child: i as u32 });
-                    }
-                    let d = su_positions[i].distance(su_positions[p as usize]);
-                    if d > phy.su_radius() + 1e-9 {
-                        return Err(WorldError::LinkTooLong {
-                            child: i as u32,
-                            parent: p,
-                            distance: d,
-                        });
-                    }
-                }
-            }
-        }
-        // Every parent chain must reach the base station at node 0: the
-        // simulator's snapshot generation (`1..n` with node 0 as sink)
-        // and delivery accounting assume a tree rooted there, and a
-        // cycle would pass the pointwise checks above while silently
-        // stranding its nodes' traffic. `reaches_root[i]` memoizes so
-        // the whole pass is O(n).
-        let mut reaches_root = vec![false; n];
-        reaches_root[0] = true;
-        let mut visited_at = vec![0usize; n];
-        for start in 1..n {
-            let mut chain = Vec::new();
-            let mut cur = start;
-            while !reaches_root[cur] {
-                if visited_at[cur] == start {
-                    return Err(WorldError::UnreachableRoot { node: start as u32 });
-                }
-                visited_at[cur] = start;
-                chain.push(cur);
-                cur = parents[cur].expect("non-root nodes have parents") as usize;
-            }
-            for c in chain {
-                reaches_root[c] = true;
-            }
-        }
-
-        // Carrier-sensing neighbor lists.
-        let cell = su_sense_range.max(pu_sense_range).max(1e-9);
-        let su_index = GridIndex::build(&su_positions, region, cell);
-        let mut su_hears_su = vec![Vec::new(); n];
-        for (i, &p) in su_positions.iter().enumerate() {
-            su_index.for_each_within(p, su_sense_range, |j| {
-                if j as usize != i {
-                    su_hears_su[i].push(j);
-                }
-            });
-            su_hears_su[i].sort_unstable();
-        }
-        let mut pu_fanout = vec![Vec::new(); pu_positions.len()];
-        for (k, &pu) in pu_positions.iter().enumerate() {
-            su_index.for_each_within(pu, pu_sense_range, |j| pu_fanout[k].push(j));
-            pu_fanout[k].sort_unstable();
-        }
-
-        // Receiver slots: every node that appears as a parent.
-        let mut receiver_slot: Vec<Option<u32>> = vec![None; n];
-        let mut receivers = Vec::new();
-        for &p in parents.iter().flatten() {
-            if receiver_slot[p as usize].is_none() {
-                receiver_slot[p as usize] = Some(receivers.len() as u32);
-                receivers.push(p);
-            }
-        }
-
-        // Path-gain tables.
-        let gains = match model {
-            InterferenceModel::Exact => {
-                // The original dense construction, kept verbatim so Exact
-                // worlds are bit-for-bit identical to the pre-sparse
-                // engine.
-                let alpha = phy.alpha();
-                let gain = |a: Point, b: Point| a.distance(b).max(1e-9).powf(-alpha);
-                let m = receivers.len();
-                let mut pu_gain = vec![0.0; pu_positions.len() * m];
-                for (k, &pu) in pu_positions.iter().enumerate() {
-                    for (s, &r) in receivers.iter().enumerate() {
-                        pu_gain[k * m + s] = gain(pu, su_positions[r as usize]);
-                    }
-                }
-                let mut su_gain = vec![0.0; n * m];
-                for (i, &su) in su_positions.iter().enumerate() {
-                    for (s, &r) in receivers.iter().enumerate() {
-                        su_gain[i * m + s] = gain(su, su_positions[r as usize]);
-                    }
-                }
-                GainTables::Dense { pu_gain, su_gain }
-            }
-            InterferenceModel::Truncated { epsilon } => GainTables::Sparse(Self::build_sparse(
-                &su_positions,
-                &pu_positions,
-                &parents,
-                &receivers,
-                &receiver_slot,
-                &phy,
-                su_sense_range,
-                &su_index,
-                epsilon,
-            )),
-        };
-
+    /// Returns the [`WorldError`] of [`Radio::customize`].
+    pub fn recustomize(&self, params: RadioParams) -> Result<Self, WorldError> {
+        let radio = self.radio.recustomize(&self.topology, &params)?;
         Ok(Self {
-            su_positions,
-            pu_positions,
-            parents,
-            phy,
-            pu_sense_range,
-            su_sense_range,
-            su_hears_su,
-            pu_fanout,
-            receiver_slot,
-            receivers,
-            model,
-            gains,
+            topology: self.topology.clone(),
+            radio,
         })
     }
 
-    /// Builds the sparse near-field gain lists of
-    /// [`InterferenceModel::Truncated`].
-    ///
-    /// Per receiver slot, the truncation budget is an `epsilon` fraction
-    /// of that slot's *weakest-link decision margin* `floor/η_s` (the
-    /// received power of the faintest child that must decode there,
-    /// divided by the SIR threshold), split evenly between the two
-    /// far-field sources:
-    ///
-    /// - **SU side** — concurrent SU transmitters keep pairwise distance
-    ///   ≥ `su_sense_range` (carrier sensing), so Lemma 2's hexagon-layer
-    ///   tail bound applies; the cutoff radius comes from a pre-tabulated
-    ///   [`CutoffTable`] inversion of that analytic tail.
-    /// - **PU side** — PUs obey no separation bound, so the excluded set
-    ///   is certified *exactly*: a slot keeps pulling its nearest
-    ///   far-field PUs into the near list until the summed all-on power
-    ///   of everything still excluded fits the budget.
-    #[allow(clippy::too_many_arguments)]
-    fn build_sparse(
-        su_positions: &[Point],
-        pu_positions: &[Point],
-        parents: &[Option<u32>],
-        receivers: &[u32],
-        receiver_slot: &[Option<u32>],
-        phy: &PhyParams,
-        su_sense_range: f64,
-        su_index: &GridIndex,
-        epsilon: f64,
-    ) -> SparseGains {
-        let n = su_positions.len();
-        let m = receivers.len();
-        let alpha = phy.alpha();
-        let p_s = phy.su_power();
-        let p_p = phy.pu_power();
-        let eta_s = phy.su_sir_threshold();
+    /// The shared deployment structure.
+    #[must_use]
+    pub fn topology(&self) -> &Arc<Topology> {
+        &self.topology
+    }
 
-        // Weakest-link signal floor per slot (every slot has >= 1 child
-        // by construction of the receiver set).
-        let mut floor = vec![f64::INFINITY; m];
-        for (i, &p) in parents.iter().enumerate() {
-            if let Some(p) = p {
-                let s = receiver_slot[p as usize].expect("parents are receivers") as usize;
-                let d = su_positions[i].distance(su_positions[p as usize]);
-                floor[s] = floor[s].min(p_s * path_gain(d, alpha));
-            }
-        }
+    /// The radio customization layer.
+    #[must_use]
+    pub fn radio(&self) -> &Radio {
+        &self.radio
+    }
 
-        // Cutoffs must at least cover every tree link (validation allows
-        // d <= r + 1e-9) and need never exceed the deployment's diameter.
-        let r_floor = phy.su_radius() * (1.0 + 1e-6) + 1e-6;
-        let mut r_max = r_floor * (1.0 + 1e-6);
-        if let Some(first) = su_positions.first() {
-            let (mut min_x, mut max_x) = (first.x, first.x);
-            let (mut min_y, mut max_y) = (first.y, first.y);
-            for p in su_positions.iter().chain(pu_positions) {
-                min_x = min_x.min(p.x);
-                max_x = max_x.max(p.x);
-                min_y = min_y.min(p.y);
-                max_y = max_y.max(p.y);
-            }
-            let diag = ((max_x - min_x).powi(2) + (max_y - min_y).powi(2)).sqrt();
-            r_max = r_max.max(diag);
-        }
-        let bound = FarFieldBound::new(alpha, p_s, su_sense_range);
-        let table = CutoffTable::new(&bound, r_floor, r_max, 512);
-        let cutoff: Vec<f64> = floor
-            .iter()
-            .map(|&fl| table.radius_for(0.5 * epsilon * fl / eta_s))
-            .collect();
-
-        // SU rows: generate (su, slot, gain) triples slot-major via the
-        // grid index, then scatter into transmitter-major CSR. The
-        // counting sort is stable, so each row stays slot-ascending.
-        let mut triples: Vec<(u32, u32, f64)> = Vec::new();
-        let mut row_counts = vec![0u32; n];
-        for (s, &rx) in receivers.iter().enumerate() {
-            let q = su_positions[rx as usize];
-            su_index.for_each_within(q, cutoff[s], |j| {
-                let g = path_gain_sq(su_positions[j as usize].distance_sq(q), alpha);
-                triples.push((j, s as u32, g));
-                row_counts[j as usize] += 1;
-            });
-        }
-        let mut su_off = vec![0u32; n + 1];
-        for i in 0..n {
-            su_off[i + 1] = su_off[i] + row_counts[i];
-        }
-        let nnz = su_off[n] as usize;
-        let mut su_slot = vec![0u32; nnz];
-        let mut su_gain = vec![0.0f64; nnz];
-        let mut cursor: Vec<u32> = su_off[..n].to_vec();
-        for &(su, slot, g) in &triples {
-            let c = cursor[su as usize] as usize;
-            su_slot[c] = slot;
-            su_gain[c] = g;
-            cursor[su as usize] += 1;
-        }
-
-        // PU rows: one O(P) partition per slot; when the exact all-on
-        // far-field power still exceeds the budget (PUs have no packing
-        // bound), pull the nearest excluded PUs in until it fits. A
-        // min-heap over distance beats a full sort: only a handful of
-        // pulls happen per slot.
-        let mut slot_pu_off = vec![0u32; m + 1];
-        let mut slot_pu_id = Vec::new();
-        let mut slot_pu_gain = Vec::new();
-        let mut pu_residual = vec![0.0f64; m];
-        let mut near: Vec<(u32, f64)> = Vec::new();
-        let mut far: Vec<(f64, u32, f64)> = Vec::new();
-        let mut heap_buf: Vec<Reverse<(u64, u32)>> = Vec::new();
-        let mut pulled: Vec<bool> = Vec::new();
-        for s in 0..m {
-            near.clear();
-            far.clear();
-            let q = su_positions[receivers[s] as usize];
-            let budget = 0.5 * epsilon * floor[s] / eta_s;
-            let cutoff_sq = cutoff[s] * cutoff[s];
-            let mut far_sum = 0.0;
-            for (k, &pu) in pu_positions.iter().enumerate() {
-                let d2 = pu.distance_sq(q);
-                let g = path_gain_sq(d2, alpha);
-                if d2 <= cutoff_sq {
-                    near.push((k as u32, g));
-                } else {
-                    far.push((d2, k as u32, g));
-                    far_sum += p_p * g;
-                }
-            }
-            if far_sum > budget {
-                // Distances are non-negative finite, so their bit patterns
-                // order identically to the values.
-                heap_buf.clear();
-                heap_buf.extend(
-                    far.iter()
-                        .enumerate()
-                        .map(|(j, &(d, _, _))| Reverse((d.to_bits(), j as u32))),
-                );
-                let mut heap = BinaryHeap::from(std::mem::take(&mut heap_buf));
-                pulled.clear();
-                pulled.resize(far.len(), false);
-                let mut rem = far_sum;
-                loop {
-                    while rem > budget {
-                        let Some(Reverse((_, j))) = heap.pop() else {
-                            break;
-                        };
-                        let (_, k, g) = far[j as usize];
-                        pulled[j as usize] = true;
-                        near.push((k, g));
-                        rem -= p_p * g;
-                    }
-                    // The running remainder drifts; certify with a fresh
-                    // exact sum of what stayed excluded.
-                    let exact: f64 = far
-                        .iter()
-                        .zip(&pulled)
-                        .filter(|&(_, &p)| !p)
-                        .map(|(&(_, _, g), _)| p_p * g)
-                        .sum();
-                    if exact <= budget || heap.is_empty() {
-                        far_sum = exact;
-                        break;
-                    }
-                    rem = exact;
-                }
-                heap_buf = heap.into_vec();
-            }
-            near.sort_unstable_by_key(|&(k, _)| k);
-            pu_residual[s] = far_sum;
-            for &(k, g) in &near {
-                slot_pu_id.push(k);
-                slot_pu_gain.push(g);
-            }
-            slot_pu_off[s + 1] = slot_pu_id.len() as u32;
-        }
-
-        SparseGains {
-            cutoff,
-            pu_residual,
-            su_off,
-            su_slot,
-            su_gain,
-            slot_pu_off,
-            slot_pu_id,
-            slot_pu_gain,
-        }
+    /// The radio parameters this world was customized with.
+    #[must_use]
+    pub fn radio_params(&self) -> &RadioParams {
+        self.radio.params()
     }
 
     /// Number of SUs including the base station.
     #[must_use]
     pub fn num_sus(&self) -> usize {
-        self.su_positions.len()
+        self.topology.num_sus()
     }
 
     /// Number of PUs.
     #[must_use]
     pub fn num_pus(&self) -> usize {
-        self.pu_positions.len()
+        self.topology.num_pus()
     }
 
     /// Physical parameters.
     #[must_use]
     pub fn phy(&self) -> &PhyParams {
-        &self.phy
+        &self.radio.params().phy
     }
 
     /// Range within which PU activity blocks or aborts an SU.
     #[must_use]
     pub fn pu_sense_range(&self) -> f64 {
-        self.pu_sense_range
+        self.radio.params().pu_sense_range
     }
 
     /// Range of SU↔SU carrier sensing.
     #[must_use]
     pub fn su_sense_range(&self) -> f64 {
-        self.su_sense_range
+        self.radio.params().su_sense_range
     }
 
     /// Parent of `su` in the routing tree. Production code reads the
@@ -799,91 +358,62 @@ impl SimWorld {
     #[cfg(test)]
     #[must_use]
     pub(crate) fn parent(&self, su: u32) -> Option<u32> {
-        self.parents[su as usize]
+        self.topology.parents()[su as usize]
     }
 
     /// Routing-tree parent pointers.
     #[must_use]
     pub fn parents(&self) -> &[Option<u32>] {
-        &self.parents
+        self.topology.parents()
     }
 
     /// SU positions.
     #[must_use]
     pub fn su_positions(&self) -> &[Point] {
-        &self.su_positions
+        self.topology.su_positions()
     }
 
     /// PU positions.
     #[must_use]
     pub fn pu_positions(&self) -> &[Point] {
-        &self.pu_positions
+        self.topology.pu_positions()
     }
 
     pub(crate) fn su_hears_su(&self, su: u32) -> &[u32] {
-        &self.su_hears_su[su as usize]
+        self.radio.su_hears_su(su)
     }
 
     pub(crate) fn pu_fanout(&self, pu: usize) -> &[u32] {
-        &self.pu_fanout[pu]
+        self.radio.pu_fanout(pu)
     }
 
     pub(crate) fn receiver_slot(&self, su: u32) -> Option<u32> {
-        self.receiver_slot[su as usize]
+        self.topology.receiver_slot(su)
     }
 
     pub(crate) fn num_receiver_slots(&self) -> usize {
-        self.receivers.len()
+        self.topology.num_receiver_slots()
     }
 
     pub(crate) fn pu_gain(&self, pu: usize, slot: u32) -> f64 {
-        match &self.gains {
-            GainTables::Dense { pu_gain, .. } => pu_gain[pu * self.receivers.len() + slot as usize],
-            GainTables::Sparse(sg) => {
-                let lo = sg.slot_pu_off[slot as usize] as usize;
-                let hi = sg.slot_pu_off[slot as usize + 1] as usize;
-                match sg.slot_pu_id[lo..hi].binary_search(&(pu as u32)) {
-                    Ok(idx) => sg.slot_pu_gain[lo + idx],
-                    Err(_) => 0.0,
-                }
-            }
-        }
+        self.radio.pu_gain(pu, slot)
     }
 
     pub(crate) fn su_gain(&self, su: u32, slot: u32) -> f64 {
-        match &self.gains {
-            GainTables::Dense { su_gain, .. } => {
-                su_gain[su as usize * self.receivers.len() + slot as usize]
-            }
-            GainTables::Sparse(sg) => {
-                let lo = sg.su_off[su as usize] as usize;
-                let hi = sg.su_off[su as usize + 1] as usize;
-                match sg.su_slot[lo..hi].binary_search(&slot) {
-                    Ok(idx) => sg.su_gain[lo + idx],
-                    Err(_) => 0.0,
-                }
-            }
-        }
+        self.radio.su_gain(su, slot)
     }
 
     /// The near-field PU list of a receiver slot — `(pu ids, gains)`,
     /// ascending by id — or `None` in dense (exact) mode, where callers
     /// must sum over every PU.
     pub(crate) fn near_pus(&self, slot: u32) -> Option<(&[u32], &[f64])> {
-        match &self.gains {
-            GainTables::Dense { .. } => None,
-            GainTables::Sparse(sg) => {
-                let lo = sg.slot_pu_off[slot as usize] as usize;
-                let hi = sg.slot_pu_off[slot as usize + 1] as usize;
-                Some((&sg.slot_pu_id[lo..hi], &sg.slot_pu_gain[lo..hi]))
-            }
-        }
+        self.radio.near_pus(slot)
     }
 
-    /// The interference model this world was built with.
+    /// The interference model this world was customized with.
     #[must_use]
     pub fn interference_model(&self) -> InterferenceModel {
-        self.model
+        self.radio.params().interference
     }
 
     /// Bytes held by the path-gain storage (dense tables or sparse
@@ -891,26 +421,20 @@ impl SimWorld {
     /// shrink.
     #[must_use]
     pub fn gain_table_bytes(&self) -> usize {
-        match &self.gains {
-            GainTables::Dense { pu_gain, su_gain } => (pu_gain.len() + su_gain.len()) * 8,
-            GainTables::Sparse(sg) => sg.bytes(),
-        }
+        self.radio.gain_table_bytes()
     }
 
     /// Truncation diagnostics: per-slot `(cutoff radii, certified
     /// excluded-PU residual powers)`. `None` in exact mode.
     #[must_use]
     pub fn truncation_stats(&self) -> Option<(&[f64], &[f64])> {
-        match &self.gains {
-            GainTables::Dense { .. } => None,
-            GainTables::Sparse(sg) => Some((&sg.cutoff, &sg.pu_residual)),
-        }
+        self.radio.truncation_stats()
     }
 
     /// Receiver SUs in slot order (the slot of `receivers()[s]` is `s`).
     #[must_use]
     pub fn receivers(&self) -> &[u32] {
-        &self.receivers
+        self.topology.receivers()
     }
 
     /// Signal power of `su` at its own parent. Like [`SimWorld::parent`],
@@ -918,15 +442,19 @@ impl SimWorld {
     /// for tests pinning the gain tables.
     #[cfg(test)]
     pub(crate) fn link_signal(&self, su: u32) -> f64 {
-        let parent = self.parents[su as usize].expect("non-root");
-        let slot = self.receiver_slot[parent as usize].expect("parents are receivers");
-        self.phy.su_power() * self.su_gain(su, slot)
+        let parent = self.topology.parents()[su as usize].expect("non-root");
+        let slot = self
+            .topology
+            .receiver_slot(parent)
+            .expect("parents are receivers");
+        self.phy().su_power() * self.su_gain(su, slot)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crn_interference::path_gain;
 
     fn phy() -> PhyParams {
         PhyParams::paper_simulation_defaults()
@@ -1106,66 +634,49 @@ mod tests {
         assert!((w.su_sense_range() - w.phy().su_radius()).abs() < 1e-12);
     }
 
-    /// Pinned compatibility test for the deprecated `SimWorld::build`
-    /// positional constructor: one per deprecated constructor, builders
-    /// everywhere else.
     #[test]
-    fn builder_matches_deprecated_positional_constructor() {
-        #[allow(deprecated)]
-        let old = SimWorld::build(
-            Region::square(60.0),
-            vec![Point::new(5.0, 5.0), Point::new(12.0, 5.0)],
-            vec![Point::new(50.0, 5.0)],
-            vec![None, Some(0)],
-            phy(),
-            25.0,
-        )
-        .unwrap();
-        let new = SimWorld::builder(Region::square(60.0))
-            .su_positions(vec![Point::new(5.0, 5.0), Point::new(12.0, 5.0)])
-            .pu_positions(vec![Point::new(50.0, 5.0)])
-            .parents(vec![None, Some(0)])
-            .phy(phy())
-            .sense_range(25.0)
-            .build()
+    fn worlds_share_one_topology_across_recustomizations() {
+        let w = chain_world();
+        let re = w
+            .recustomize(w.radio_params().su_sense_range(30.0))
             .unwrap();
-        assert_eq!(old.num_sus(), new.num_sus());
-        assert_eq!(old.parents(), new.parents());
-        assert_eq!(old.pu_sense_range(), new.pu_sense_range());
-        for i in 0..new.num_sus() as u32 {
-            assert_eq!(old.su_hears_su(i), new.su_hears_su(i));
-        }
+        assert!(Arc::ptr_eq(w.topology(), re.topology()));
+        assert_eq!(re.su_sense_range(), 30.0);
+        assert_eq!(re.pu_sense_range(), 25.0);
+        // The original is untouched.
+        assert_eq!(w.su_sense_range(), 25.0);
     }
 
-    /// Pinned compatibility test for the deprecated
-    /// `SimWorld::build_with_ranges` positional constructor.
     #[test]
-    fn builder_matches_deprecated_split_range_constructor() {
-        #[allow(deprecated)]
-        let old = SimWorld::build_with_ranges(
-            Region::square(60.0),
-            vec![Point::new(5.0, 5.0), Point::new(12.0, 5.0)],
-            vec![Point::new(50.0, 5.0)],
-            vec![None, Some(0)],
-            phy(),
-            25.0,
-            18.0,
-        )
-        .unwrap();
-        let new = SimWorld::builder(Region::square(60.0))
-            .su_positions(vec![Point::new(5.0, 5.0), Point::new(12.0, 5.0)])
-            .pu_positions(vec![Point::new(50.0, 5.0)])
-            .parents(vec![None, Some(0)])
-            .phy(phy())
-            .pu_sense_range(25.0)
-            .su_sense_range(18.0)
-            .build()
-            .unwrap();
-        assert_eq!(old.num_sus(), new.num_sus());
-        assert_eq!(old.pu_sense_range(), new.pu_sense_range());
-        assert_eq!(old.su_sense_range(), new.su_sense_range());
-        for i in 0..new.num_sus() as u32 {
-            assert_eq!(old.su_hears_su(i), new.su_hears_su(i));
+    fn recustomized_world_matches_fresh_build() {
+        for model in [
+            InterferenceModel::Exact,
+            InterferenceModel::Truncated { epsilon: 0.1 },
+        ] {
+            let base = grid_world(model);
+            let mut b = PhyParams::builder();
+            b.alpha(4.0)
+                .pu_power(10.0)
+                .su_power(20.0)
+                .pu_radius(10.0)
+                .su_radius(10.0)
+                .pu_sir_threshold(phy().pu_sir_threshold())
+                .su_sir_threshold(phy().su_sir_threshold());
+            let new_phy = b.build().unwrap();
+            let re = base.recustomize(base.radio_params().phy(new_phy)).unwrap();
+            let fresh = grid_world_with_phy(model, new_phy);
+            for su in 0..fresh.num_sus() as u32 {
+                assert_eq!(re.su_hears_su(su), fresh.su_hears_su(su));
+                for s in 0..fresh.num_receiver_slots() as u32 {
+                    assert_eq!(re.su_gain(su, s).to_bits(), fresh.su_gain(su, s).to_bits());
+                }
+            }
+            for pu in 0..fresh.num_pus() {
+                for s in 0..fresh.num_receiver_slots() as u32 {
+                    assert_eq!(re.pu_gain(pu, s).to_bits(), fresh.pu_gain(pu, s).to_bits());
+                }
+            }
+            assert_eq!(re.truncation_stats(), fresh.truncation_stats());
         }
     }
 
@@ -1196,7 +707,7 @@ mod tests {
     /// A 20×20 grid deployment (spacing 7, chain-to-corner parents) with
     /// PUs sprinkled on a coarser grid — big enough that truncation
     /// actually drops far-field pairs.
-    fn grid_world(model: InterferenceModel) -> SimWorld {
+    fn grid_world_with_phy(model: InterferenceModel, phy: PhyParams) -> SimWorld {
         let cols = 20usize;
         let spacing = 7.0;
         let mut sus = Vec::new();
@@ -1228,11 +739,15 @@ mod tests {
             .su_positions(sus)
             .pu_positions(pus)
             .parents(parents)
-            .phy(phy())
+            .phy(phy)
             .sense_range(24.0)
             .interference(model)
             .build()
             .unwrap()
+    }
+
+    fn grid_world(model: InterferenceModel) -> SimWorld {
+        grid_world_with_phy(model, phy())
     }
 
     #[test]
@@ -1254,6 +769,7 @@ mod tests {
         let sparse = grid_world(InterferenceModel::Truncated { epsilon: 0.1 });
         let (cutoffs, _) = sparse.truncation_stats().unwrap();
         assert_eq!(cutoffs.len(), sparse.num_receiver_slots());
+        let cutoffs = cutoffs.to_vec();
         for s in 0..sparse.num_receiver_slots() as u32 {
             let rx = sparse.receivers()[s as usize];
             let q = sparse.su_positions()[rx as usize];
@@ -1305,6 +821,7 @@ mod tests {
         let w = grid_world(InterferenceModel::Truncated { epsilon });
         let phy = *w.phy();
         let (cutoffs, residuals) = w.truncation_stats().unwrap();
+        let (cutoffs, residuals) = (cutoffs.to_vec(), residuals.to_vec());
         let eta = phy.su_sir_threshold();
         for s in 0..w.num_receiver_slots() as u32 {
             let rx = w.receivers()[s as usize];
@@ -1381,7 +898,8 @@ mod tests {
             let (ids, gains) = w.near_pus(s).unwrap();
             assert_eq!(ids.len(), gains.len());
             assert!(ids.windows(2).all(|w| w[0] < w[1]), "slot {s} ids unsorted");
-            for (&k, &g) in ids.iter().zip(gains) {
+            let (ids, gains) = (ids.to_vec(), gains.to_vec());
+            for (&k, &g) in ids.iter().zip(&gains) {
                 assert_eq!(w.pu_gain(k as usize, s), g);
             }
         }

@@ -1,0 +1,185 @@
+//! Customization-equivalence suite: re-deriving the radio layer in place
+//! ([`SimWorld::recustomize`]) must be indistinguishable — bit for bit —
+//! from rebuilding the whole world from raw inputs. The property test
+//! walks a random sequence of [`RadioParams`] deltas so stage reuse is
+//! exercised along *chains* (power-only hops, alpha hops, model
+//! switches), not just single steps from a fresh build.
+
+use crn_geometry::{Point, Region};
+use crn_interference::PhyParams;
+use crn_sim::{
+    InterferenceModel, InvariantChecker, MacConfig, RadioParams, SimReport, SimWorld, Simulator,
+};
+use crn_spectrum::PuActivity;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+const COLS: usize = 7;
+const SPACING: f64 = 7.0;
+
+fn grid_inputs() -> (Region, Vec<Point>, Vec<Point>, Vec<Option<u32>>) {
+    let mut sus = Vec::new();
+    let mut parents = Vec::new();
+    for i in 0..COLS * COLS {
+        let (row, col) = (i / COLS, i % COLS);
+        sus.push(Point::new(
+            col as f64 * SPACING + 1.0,
+            row as f64 * SPACING + 1.0,
+        ));
+        parents.push(if i == 0 {
+            None
+        } else if col > 0 {
+            Some((i - 1) as u32)
+        } else {
+            Some((i - COLS) as u32)
+        });
+    }
+    let side = COLS as f64 * SPACING + 2.0;
+    let pus: Vec<Point> = (0..9)
+        .map(|k| {
+            Point::new(
+                (k % 3) as f64 * side / 3.0 + 6.0,
+                (k / 3) as f64 * side / 3.0 + 6.0,
+            )
+        })
+        .collect();
+    (Region::square(side), sus, pus, parents)
+}
+
+fn phy_with(alpha: f64, pu_power: f64, su_power: f64) -> PhyParams {
+    let defaults = PhyParams::paper_simulation_defaults();
+    let mut b = PhyParams::builder();
+    b.alpha(alpha)
+        .pu_power(pu_power)
+        .su_power(su_power)
+        .pu_radius(defaults.pu_radius())
+        .su_radius(defaults.su_radius())
+        .pu_sir_threshold(defaults.pu_sir_threshold())
+        .su_sir_threshold(defaults.su_sir_threshold());
+    b.build().expect("valid phy")
+}
+
+fn fresh_world(params: RadioParams) -> SimWorld {
+    let (region, sus, pus, parents) = grid_inputs();
+    SimWorld::builder(region)
+        .su_positions(sus)
+        .pu_positions(pus)
+        .parents(parents)
+        .phy(params.phy)
+        .pu_sense_range(params.pu_sense_range)
+        .su_sense_range(params.su_sense_range)
+        .interference(params.interference)
+        .build()
+        .expect("valid grid world")
+}
+
+fn run(world: SimWorld, seed: u64) -> SimReport {
+    Simulator::builder(world)
+        .activity(PuActivity::bernoulli(0.3).unwrap())
+        .seed(seed)
+        .build()
+        .unwrap()
+        .run()
+}
+
+/// One radio-layer change a sweep might make between points.
+#[derive(Clone, Debug)]
+enum Delta {
+    SuPower(f64),
+    PuPower(f64),
+    Alpha(f64),
+    SenseRange(f64),
+    Model(InterferenceModel),
+}
+
+fn apply(params: RadioParams, delta: &Delta) -> RadioParams {
+    match *delta {
+        Delta::SuPower(p) => params.phy(phy_with(params.phy.alpha(), params.phy.pu_power(), p)),
+        Delta::PuPower(p) => params.phy(phy_with(params.phy.alpha(), p, params.phy.su_power())),
+        Delta::Alpha(a) => params.phy(phy_with(a, params.phy.pu_power(), params.phy.su_power())),
+        Delta::SenseRange(s) => params.sense_range(s),
+        Delta::Model(m) => params.interference(m),
+    }
+}
+
+fn delta_strategy() -> impl Strategy<Value = Delta> {
+    // The vendored proptest has no `prop_oneof!`: draw a variant tag and
+    // a unit sample, then scale the sample into the variant's range.
+    (0u32..6, 0.0f64..1.0).prop_map(|(tag, u)| match tag {
+        0 => Delta::SuPower(5.0 + 35.0 * u),
+        1 => Delta::PuPower(5.0 + 35.0 * u),
+        2 => Delta::Alpha(3.0 + 2.0 * u),
+        3 => Delta::SenseRange(22.0 + 8.0 * u),
+        4 => Delta::Model(InterferenceModel::Exact),
+        _ => Delta::Model(InterferenceModel::Truncated {
+            epsilon: 0.02 + 0.48 * u,
+        }),
+    })
+}
+
+fn base_params(model: InterferenceModel) -> RadioParams {
+    RadioParams::new(phy_with(4.0, 10.0, 10.0))
+        .sense_range(24.0)
+        .interference(model)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Along any chain of radio deltas, the in-place recustomization and
+    /// a from-scratch rebuild must produce bit-identical reports — for
+    /// chains starting in either interference model.
+    #[test]
+    fn recustomize_chain_matches_fresh_builds(
+        start_truncated in (0u32..2).prop_map(|b| b == 1),
+        deltas in collection::vec(delta_strategy(), 1..5),
+        seed in 0u64..1000,
+    ) {
+        let model = if start_truncated {
+            InterferenceModel::Truncated { epsilon: 0.1 }
+        } else {
+            InterferenceModel::Exact
+        };
+        let mut params = base_params(model);
+        let mut world = fresh_world(params);
+        for delta in &deltas {
+            params = apply(params, delta);
+            world = world.recustomize(params).expect("valid delta");
+            let fresh = fresh_world(params);
+            let (re, full) = (run(world.clone(), seed), run(fresh, seed));
+            prop_assert!(re == full, "delta {delta:?} diverged from a fresh build");
+        }
+    }
+}
+
+/// A customized world is a first-class citizen of the oracle: a full
+/// invariant-checked run on a twice-recustomized truncated world stays
+/// clean and matches the fresh build's report.
+#[test]
+fn oracle_checked_run_on_a_customized_world() {
+    let base = base_params(InterferenceModel::Truncated { epsilon: 0.1 });
+    let world = fresh_world(base);
+    // Power hop (pure reuse) then alpha hop (gain rebuild).
+    let step1 = base.phy(phy_with(4.0, 10.0, 25.0));
+    let step2 = step1.phy(phy_with(3.5, 10.0, 25.0));
+    let customized = Arc::new(
+        world
+            .recustomize(step1)
+            .unwrap()
+            .recustomize(step2)
+            .unwrap(),
+    );
+    let seed = 17;
+    let checker = InvariantChecker::new(customized.clone(), MacConfig::default())
+        .with_repro(seed, "recustomize-equiv");
+    let (report, oracle) = Simulator::builder(customized)
+        .activity(PuActivity::bernoulli(0.3).unwrap())
+        .seed(seed)
+        .probe(checker)
+        .build()
+        .unwrap()
+        .run_with_probe();
+    assert!(oracle.is_clean(), "{}", oracle.first_violation().unwrap());
+    assert!(report.finished);
+    assert_eq!(report, run(fresh_world(step2), seed));
+}

@@ -115,14 +115,19 @@ impl std::error::Error for SweepError {
 /// The sweep is embarrassingly parallel; [`SweepOptions::threads`] picks
 /// the worker count (0 = auto). Workers claim one **group** of consecutive
 /// jobs at a time — [`SweepSpec::jobs`] puts algorithms innermost, so the
-/// jobs of a group differ only in algorithm and share one generated
+/// jobs of a chunk differ only in algorithm and share one generated
 /// [`Scenario`] (deployment sampling, connectivity retries, and the
-/// per-algorithm simulator worlds are built once per group instead of once
-/// per job). A scenario that fails to generate (e.g. a disconnected
-/// deployment beyond the retry budget) or to run aborts the sweep —
-/// remaining jobs are cancelled at the next boundary — and is reported as
-/// a [`SweepError`] carrying the failing job's identity, so a sweep whose
-/// points silently vanish cannot misreport a figure.
+/// per-algorithm simulator worlds are built once per chunk instead of once
+/// per job). For **radio axes** ([`crate::AxisKind::varies_topology`] is
+/// false) the claimed group widens to a whole repetition — every axis
+/// value over one shared deployment — and each value's scenario derives
+/// from the previous one via [`Scenario::recustomized`], so the expensive
+/// topology phase runs once per repetition, not once per point. A
+/// scenario that fails to generate (e.g. a disconnected deployment beyond
+/// the retry budget) or to run aborts the sweep — remaining jobs are
+/// cancelled at the next boundary — and is reported as a [`SweepError`]
+/// carrying the failing job's identity, so a sweep whose points silently
+/// vanish cannot misreport a figure.
 ///
 /// # Errors
 ///
@@ -130,7 +135,14 @@ impl std::error::Error for SweepError {
 pub fn run_sweep(spec: &SweepSpec, options: SweepOptions) -> Result<Vec<RunRecord>, SweepError> {
     let jobs = spec.jobs();
     let total = jobs.len();
-    let stride = spec.algorithms.len().max(1);
+    let chunk_len = spec.algorithms.len().max(1);
+    // Radio axes share one topology per repetition, so a worker claims the
+    // repetition's whole contiguous run of jobs and re-customizes along it.
+    let stride = if spec.axis.kind.varies_topology() {
+        chunk_len
+    } else {
+        chunk_len * spec.axis.values.len().max(1)
+    };
     let threads = options.effective_threads();
     let progress = options.progress.as_deref();
     let check_invariants = options.check_invariants;
@@ -152,30 +164,42 @@ pub fn run_sweep(spec: &SweepSpec, options: SweepOptions) -> Result<Vec<RunRecor
         }
     };
 
-    let worker = |jobs: &[Job]| loop {
+    let worker = |jobs: &[Job]| 'claims: loop {
         let start = next.fetch_add(1, Ordering::Relaxed) * stride;
         if start >= jobs.len() || failed.load(Ordering::Relaxed) {
             break;
         }
         let group = &jobs[start..(start + stride).min(jobs.len())];
-        debug_assert!(
-            group.iter().all(|j| j.params == group[0].params),
-            "a job group must share one parameter set"
-        );
-        let scenario = match Scenario::generate(&group[0].params) {
-            Ok(scenario) => scenario,
-            Err(source) => {
-                record(start, Err(fail_for(&group[0], source)));
-                continue;
+        let mut scenario: Option<Scenario> = None;
+        for (chunk_idx, chunk) in group.chunks(chunk_len).enumerate() {
+            debug_assert!(
+                chunk.iter().all(|j| j.params == chunk[0].params),
+                "a job chunk must share one parameter set"
+            );
+            let slot0 = start + chunk_idx * chunk_len;
+            // `recustomized` is bit-identical to `generate` (and falls
+            // back to it when the topology differs), so later chunks reuse
+            // the previous chunk's deployment and worlds for free.
+            let derived = match &scenario {
+                None => Scenario::generate(&chunk[0].params),
+                Some(prev) => prev.recustomized(&chunk[0].params),
+            };
+            let current = match derived {
+                Ok(current) => current,
+                Err(source) => {
+                    record(slot0, Err(fail_for(&chunk[0], source)));
+                    continue 'claims;
+                }
+            };
+            for (offset, job) in chunk.iter().enumerate() {
+                let outcome = run_group_job(&current, job, check_invariants);
+                let stop = outcome.is_err();
+                record(slot0 + offset, outcome);
+                if stop {
+                    continue 'claims;
+                }
             }
-        };
-        for (offset, job) in group.iter().enumerate() {
-            let outcome = run_group_job(&scenario, job, check_invariants);
-            let stop = outcome.is_err();
-            record(start + offset, outcome);
-            if stop {
-                break;
-            }
+            scenario = Some(current);
         }
     };
 
@@ -333,6 +357,43 @@ mod tests {
         let checked = run_sweep(&spec, SweepOptions::sequential().check_invariants(true))
             .expect("tiny sweep is invariant-clean");
         assert_eq!(plain, checked, "the oracle must not perturb results");
+    }
+
+    #[test]
+    fn radio_axis_sweep_matches_per_point_fresh_generation() {
+        // The runner serves a radio axis from one scenario per rep via
+        // recustomization; every record must still be bit-identical to
+        // generating that point's scenario from scratch.
+        let spec = tiny_spec();
+        let records = run_sweep(&spec, SweepOptions::sequential()).unwrap();
+        let jobs = spec.jobs();
+        assert_eq!(records.len(), jobs.len());
+        for (job, rec) in jobs.iter().zip(&records) {
+            let fresh = Scenario::generate(&job.params)
+                .unwrap()
+                .run(job.algorithm)
+                .unwrap();
+            let expect = RunRecord::from_outcome(&job.figure, job.x_name, job.x, job.rep, &fresh);
+            assert_eq!(
+                rec, &expect,
+                "{}={} rep {} {}: recustomized sweep diverged",
+                job.x_name, job.x, job.rep, job.algorithm
+            );
+        }
+    }
+
+    #[test]
+    fn topology_axis_sweep_still_groups_per_point() {
+        // Node-count axes cannot share a deployment; the sweep must still
+        // produce one record per job with per-point worlds.
+        let spec = SweepSpec {
+            axis: Axis::new(AxisKind::NumPus, vec![4.0, 8.0]),
+            ..tiny_spec()
+        };
+        let records = run_sweep(&spec, SweepOptions::sequential()).unwrap();
+        assert_eq!(records.len(), 8);
+        let par = run_sweep(&spec, SweepOptions::with_threads(3)).unwrap();
+        assert_eq!(records, par);
     }
 
     #[test]

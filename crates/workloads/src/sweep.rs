@@ -39,6 +39,24 @@ impl AxisKind {
             AxisKind::ChurnRate => "churn",
         }
     }
+
+    /// Whether moving along this axis changes the deployment structure
+    /// ([`ScenarioParams::topology_key`]). Node-count axes resample the
+    /// world; everything else — activity, path loss, powers, churn — only
+    /// re-customizes the radio layer, so a sweep can share one generated
+    /// [`crn_core::Scenario`] per repetition across every value
+    /// (`Scenario::recustomized`).
+    #[must_use]
+    pub fn varies_topology(self) -> bool {
+        match self {
+            AxisKind::NumPus | AxisKind::NumSus => true,
+            AxisKind::Pt
+            | AxisKind::Alpha
+            | AxisKind::PuPower
+            | AxisKind::SuPower
+            | AxisKind::ChurnRate => false,
+        }
+    }
 }
 
 impl fmt::Display for AxisKind {
@@ -168,26 +186,53 @@ impl SweepSpec {
     /// Expands the spec into concrete jobs: `values × reps × algorithms`,
     /// with the two algorithms of a `(value, rep)` pair sharing a
     /// deployment seed so comparisons are paired (as in the paper).
+    ///
+    /// Ordering and seeding follow the axis's relationship to the
+    /// topology ([`AxisKind::varies_topology`]):
+    ///
+    /// - **Topology axes** (`N`, `n`) mix the value into the deployment
+    ///   seed (each point samples its own world) and iterate values
+    ///   outermost.
+    /// - **Radio axes** (everything else) use `base.seed + rep` — every
+    ///   value of a repetition shares one deployment, making comparisons
+    ///   along the axis paired as well — and iterate repetitions
+    ///   outermost, so the jobs of one repetition form a contiguous run
+    ///   of `values × algorithms` entries that [`crate::run_sweep`] can
+    ///   serve from a single generated scenario via
+    ///   [`crn_core::Scenario::recustomized`].
     #[must_use]
     pub fn jobs(&self) -> Vec<Job> {
         let mut out = Vec::new();
-        for &x in &self.axis.values {
+        let mut push = |x: f64, rep: u32, params: &ScenarioParams| {
+            for &algorithm in &self.algorithms {
+                out.push(Job {
+                    figure: self.figure.clone(),
+                    x_name: self.axis.kind.label(),
+                    x,
+                    params: params.clone(),
+                    algorithm,
+                    rep,
+                });
+            }
+        };
+        if self.axis.kind.varies_topology() {
+            for &x in &self.axis.values {
+                for rep in 0..self.reps {
+                    let mut params = self.axis.apply(&self.base, x);
+                    params.seed = self
+                        .base
+                        .seed
+                        .wrapping_add(u64::from(rep))
+                        .wrapping_add((x.to_bits() >> 17) ^ x.to_bits());
+                    push(x, rep, &params);
+                }
+            }
+        } else {
             for rep in 0..self.reps {
-                let mut params = self.axis.apply(&self.base, x);
-                params.seed = self
-                    .base
-                    .seed
-                    .wrapping_add(u64::from(rep))
-                    .wrapping_add((x.to_bits() >> 17) ^ x.to_bits());
-                for &algorithm in &self.algorithms {
-                    out.push(Job {
-                        figure: self.figure.clone(),
-                        x_name: self.axis.kind.label(),
-                        x,
-                        params: params.clone(),
-                        algorithm,
-                        rep,
-                    });
+                for &x in &self.axis.values {
+                    let mut params = self.axis.apply(&self.base, x);
+                    params.seed = self.base.seed.wrapping_add(u64::from(rep));
+                    push(x, rep, &params);
                 }
             }
         }
@@ -250,15 +295,40 @@ mod tests {
     }
 
     #[test]
-    fn different_x_values_have_different_seeds() {
-        let s = spec(AxisKind::Pt, vec![0.2, 0.3]);
+    fn topology_axes_resample_the_deployment_per_x() {
+        let s = spec(AxisKind::NumPus, vec![5.0, 10.0]);
         let seeds: std::collections::HashSet<u64> = s
             .jobs()
             .iter()
             .filter(|j| j.rep == 0 && j.algorithm == Addc)
             .map(|j| j.params.seed)
             .collect();
-        assert_eq!(seeds.len(), 2);
+        assert_eq!(seeds.len(), 2, "each N samples its own world");
+    }
+
+    #[test]
+    fn radio_axes_share_one_topology_per_rep() {
+        let s = spec(AxisKind::Pt, vec![0.2, 0.3]);
+        let jobs = s.jobs();
+        for rep in 0..s.reps {
+            let keys: std::collections::HashSet<u64> = jobs
+                .iter()
+                .filter(|j| j.rep == rep)
+                .map(|j| j.params.topology_key())
+                .collect();
+            assert_eq!(keys.len(), 1, "rep {rep} must share one deployment");
+        }
+        // Reps still differ from each other.
+        let rep_keys: std::collections::HashSet<u64> =
+            jobs.iter().map(|j| j.params.topology_key()).collect();
+        assert_eq!(rep_keys.len(), s.reps as usize);
+        // And radio-axis repetitions are contiguous: one run of
+        // values × algorithms jobs per rep (what the runner's super-group
+        // claiming relies on).
+        let group = s.axis.values.len() * s.algorithms.len();
+        for (i, j) in jobs.iter().enumerate() {
+            assert_eq!(j.rep, (i / group) as u32, "job {i} out of rep order");
+        }
     }
 
     #[test]

@@ -45,12 +45,11 @@ struct Packet {
     origin: u32,
 }
 
+/// The cold per-SU state — fields only the SU's own round logic touches
+/// (its MAC phase, generation counter, and carrier-sense counters live in
+/// the dense [`SuHot`] array instead).
 #[derive(Clone, Debug)]
 struct SuState {
-    phase: Phase,
-    /// Generation counter: every (re)scheduling of a timer event for this
-    /// SU bumps it; events carrying an older generation are stale.
-    gen: u32,
     queue: VecDeque<Packet>,
     /// Backoff drawn for the current round (`t_i`).
     t_i: f64,
@@ -60,24 +59,172 @@ struct SuState {
     cw_exp: u32,
     /// When the current head-of-queue packet started being served.
     head_since: f64,
+}
+
+/// The per-SU state the hot paths touch at random — carrier-sense
+/// counters, the MAC phase, and the timer generation — packed into one
+/// 24-byte row of a dense parallel array. Every PU toggle and SU tx
+/// start/end bumps the counters of each neighbor in sensing range and
+/// often freezes or resumes that neighbor's backoff; at scale those
+/// random touches into the wide [`SuState`] rows were cache misses, so
+/// the fields they need live together here, one cache line per ~2.7 SUs.
+#[derive(Clone, Copy, Debug)]
+struct SuHot {
+    phase: Phase,
+    /// Generation counter: every (re)scheduling of a timer event for this
+    /// SU bumps it; events carrying an older generation are stale.
+    gen: u32,
     /// Active PUs within this SU's PCR.
     pu_busy: u32,
     /// Transmitting SUs within this SU's PCR.
     su_busy: u32,
 }
 
-#[derive(Clone, Debug)]
-struct ActiveTx {
-    su: u32,
+impl SuHot {
+    const IDLE: SuHot = SuHot {
+        phase: Phase::Idle,
+        gen: 0,
+        pu_busy: 0,
+        su_busy: 0,
+    };
+
+    fn free(self) -> bool {
+        self.pu_busy == 0 && self.su_busy == 0
+    }
+}
+
+/// How per-reception interference is maintained across events.
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum SirPath {
+    /// Every interference change scans the whole active list — the
+    /// retained reference implementation (always used in dense mode,
+    /// forceable elsewhere via [`SimulatorBuilder::full_scan`]).
+    Scan,
+    /// Transmitter-indexed delta updates over the radio's reverse CSR
+    /// rows: each TxStart/TxEnd/PuOn/PuOff walks one precomputed
+    /// `(slot, gain)` row into per-slot accumulators and re-checks only
+    /// the receivers whose interference actually changed.
+    Delta,
+}
+
+/// Struct-of-arrays layout for the in-flight receptions, positioned by
+/// `active_pos`. Splitting the columns keeps the full-scan loops
+/// cache-dense and lets each path touch only the fields it maintains.
+#[derive(Debug, Default)]
+struct ActiveSet {
+    su: Vec<u32>,
+    rx: Vec<u32>,
+    rx_slot: Vec<u32>,
+    /// Received signal power at the intended receiver (includes any
+    /// fault-injected link degradation).
+    signal: Vec<f64>,
+    /// Undegraded own contribution `p_s · g(su, rx_slot)` at the
+    /// receiver — what the delta path subtracts from the slot
+    /// accumulator to evaluate this reception's interference
+    /// (degradation affects the intended link only, never the field).
+    own: Vec<f64>,
+    /// Scan path: cumulative interference power at the receiver
+    /// (maintained incrementally as transmitters and PUs come and go).
+    interference: Vec<f64>,
+    /// Scan path: live contributors to `interference` with a nonzero
+    /// gain. The sum snaps to exactly 0.0 when this returns to zero —
+    /// subtract-then-clamp alone leaves cancellation residue behind.
+    contributors: Vec<u32>,
+    failed_sir: Vec<bool>,
+    failed_capture: Vec<bool>,
+}
+
+/// What `finish_tx` needs from the reception it just retired.
+#[derive(Clone, Copy, Debug)]
+struct FinishedTx {
     rx: u32,
     rx_slot: u32,
-    /// Received signal power at the intended receiver.
-    signal: f64,
-    /// Cumulative interference power at the receiver (maintained
-    /// incrementally as transmitters come and go).
-    interference: f64,
     failed_sir: bool,
     failed_capture: bool,
+}
+
+impl ActiveSet {
+    fn len(&self) -> usize {
+        self.su.len()
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn push(
+        &mut self,
+        su: u32,
+        rx: u32,
+        rx_slot: u32,
+        signal: f64,
+        own: f64,
+        interference: f64,
+        contributors: u32,
+        failed_sir: bool,
+        failed_capture: bool,
+    ) {
+        self.su.push(su);
+        self.rx.push(rx);
+        self.rx_slot.push(rx_slot);
+        self.signal.push(signal);
+        self.own.push(own);
+        self.interference.push(interference);
+        self.contributors.push(contributors);
+        self.failed_sir.push(failed_sir);
+        self.failed_capture.push(failed_capture);
+    }
+
+    fn swap_remove(&mut self, pos: usize) -> FinishedTx {
+        let out = FinishedTx {
+            rx: self.rx[pos],
+            rx_slot: self.rx_slot[pos],
+            failed_sir: self.failed_sir[pos],
+            failed_capture: self.failed_capture[pos],
+        };
+        self.su.swap_remove(pos);
+        self.rx.swap_remove(pos);
+        self.rx_slot.swap_remove(pos);
+        self.signal.swap_remove(pos);
+        self.own.swap_remove(pos);
+        self.interference.swap_remove(pos);
+        self.contributors.swap_remove(pos);
+        self.failed_sir.swap_remove(pos);
+        self.failed_capture.swap_remove(pos);
+        out
+    }
+}
+
+/// Sentinel for the intrusive per-slot chains ([`SlotAcc::head`],
+/// `next_at_slot`).
+const NO_SU: u32 = u32::MAX;
+
+/// Delta path: the per-receiver-slot interference accumulator. These
+/// three fields are read and written together on every reverse-row walk,
+/// so they are packed into one 16-byte struct — each of the several
+/// hundred random slot touches per TxStart/TxEnd then costs a single
+/// cache line (four slots per line) instead of hitting parallel arrays.
+/// The rarely-touched self-jamming term lives in the separate
+/// `slot_self` array to keep this struct at 16 bytes.
+#[derive(Clone, Copy, Debug)]
+struct SlotAcc {
+    /// Total live interference-relevant power summed at this receiver
+    /// slot — every active SU's contribution (including its own intended
+    /// signal, undegraded) plus every on-PU's contribution. A reception's
+    /// interference is `intf - own`.
+    intf: f64,
+    /// Live contributors to `intf` (nonzero-gain terms only). When it
+    /// returns to zero the sum snaps to exactly 0.0, discarding
+    /// floating-point cancellation residue.
+    cnt: u32,
+    /// Head of the intrusive chain of transmitters whose *receiver* is
+    /// this slot ([`NO_SU`] when empty) — the set a slot re-check walks.
+    head: u32,
+}
+
+impl SlotAcc {
+    const EMPTY: SlotAcc = SlotAcc {
+        intf: 0.0,
+        cnt: 0,
+        head: NO_SU,
+    };
 }
 
 /// The asynchronous discrete-event simulator of Algorithm 1's MAC over a
@@ -109,6 +256,8 @@ pub struct Simulator<P: Probe = NoopProbe> {
     queue: EventQueue,
     now: f64,
     su: Vec<SuState>,
+    /// Hot per-SU state, parallel to `su` (see [`SuHot`]).
+    hot: Vec<SuHot>,
 
     // Fault-injection state. All of it stays at its fault-free fixpoint
     // (everything up, factors 1, `cur_parent` = the world's tree) when the
@@ -139,12 +288,33 @@ pub struct Simulator<P: Probe = NoopProbe> {
     /// Position of each PU in `on_pus` (`usize::MAX` when off).
     on_pos: Vec<usize>,
 
-    active: Vec<ActiveTx>,
+    active: ActiveSet,
     /// Position of each SU's transmission in `active` (`usize::MAX` when
     /// not transmitting).
     active_pos: Vec<usize>,
     /// Which transmitter each receiver slot is locked onto.
     rx_lock: Vec<Option<u32>>,
+
+    /// Which interference-maintenance strategy this run uses (fixed at
+    /// construction; see [`SirPath`]).
+    path: SirPath,
+    /// Delta path: per-receiver-slot accumulator, one [`SlotAcc`] per
+    /// slot. Packed so the several-hundred-entry reverse-row walks touch
+    /// one random cache line per slot instead of four parallel arrays.
+    slot: Vec<SlotAcc>,
+    /// Delta path: the slot *owner's* self-jamming term while the owner
+    /// is itself transmitting (0.0 otherwise), parallel to `slot`. The
+    /// self-gain is computed over a distance clamp, so it dwarfs every
+    /// real contribution by tens of orders of magnitude — running it
+    /// through [`SlotAcc::intf`] would absorb them all and leave
+    /// ulp-scale garbage behind on removal. Keeping the one monster term
+    /// out of the accumulator and adding it at evaluation time makes its
+    /// removal exact; it is touched at most once per row walk, so it
+    /// stays out of the hot 16-byte accumulator.
+    slot_self: Vec<f64>,
+    /// Delta path: next link of the per-slot transmitter chain
+    /// ([`SlotAcc::head`]), indexed by transmitter.
+    next_at_slot: Vec<u32>,
 
     // Outcome accumulators.
     delivered: usize,
@@ -205,6 +375,7 @@ pub struct SimulatorBuilder<P: Probe = NoopProbe> {
     seed: u64,
     traffic: Traffic,
     faults: FaultSchedule,
+    full_scan: bool,
     probe: P,
 }
 
@@ -247,6 +418,16 @@ impl<P: Probe> SimulatorBuilder<P> {
         self
     }
 
+    /// Forces the full-scan reference path for interference updates even
+    /// when the world's radio carries a reverse index (defaults to
+    /// `false`). The two paths produce bit-identical reports; this knob
+    /// exists so equivalence tests and benchmarks can pin the reference.
+    #[must_use]
+    pub fn full_scan(mut self, full_scan: bool) -> Self {
+        self.full_scan = full_scan;
+        self
+    }
+
     /// Attaches `probe`, replacing any previously attached one (the
     /// builder's probe type parameter changes with it).
     #[must_use]
@@ -258,6 +439,7 @@ impl<P: Probe> SimulatorBuilder<P> {
             seed: self.seed,
             traffic: self.traffic,
             faults: self.faults,
+            full_scan: self.full_scan,
             probe,
         }
     }
@@ -279,6 +461,7 @@ impl<P: Probe> SimulatorBuilder<P> {
             self.seed,
             self.traffic,
             self.faults,
+            self.full_scan,
             self.probe,
         )
     }
@@ -296,12 +479,14 @@ impl Simulator {
             seed: 0,
             traffic: Traffic::Snapshot,
             faults: FaultSchedule::empty(),
+            full_scan: false,
             probe: NoopProbe,
         }
     }
 }
 
 impl<P: Probe> Simulator<P> {
+    #[allow(clippy::too_many_arguments)]
     fn construct(
         world: Arc<SimWorld>,
         mac: MacConfig,
@@ -309,6 +494,7 @@ impl<P: Probe> Simulator<P> {
         seed: u64,
         traffic: Traffic,
         faults: FaultSchedule,
+        full_scan: bool,
         probe: P,
     ) -> Result<Self, BuildError> {
         mac.validated()?;
@@ -331,25 +517,32 @@ impl<P: Probe> Simulator<P> {
             now: 0.0,
             su: vec![
                 SuState {
-                    phase: Phase::Idle,
-                    gen: 0,
                     queue: VecDeque::new(),
                     t_i: 0.0,
                     cw: mac.contention_window,
                     cw_exp: 0,
                     head_since: 0.0,
-                    pu_busy: 0,
-                    su_busy: 0,
                 };
                 n
             ],
+            hot: vec![SuHot::IDLE; n],
             pu_on: vec![false; num_pus],
             pu_scratch: vec![false; num_pus],
             on_pus: Vec::with_capacity(num_pus),
             on_pos: vec![usize::MAX; num_pus],
-            active: Vec::new(),
+            active: ActiveSet::default(),
             active_pos: vec![usize::MAX; n],
             rx_lock: vec![None; slots],
+            // Dense radios carry no reverse index, so they always take the
+            // reference scan path (it doubles as the bit-exact oracle).
+            path: if !full_scan && world.has_reverse_index() {
+                SirPath::Delta
+            } else {
+                SirPath::Scan
+            },
+            slot: vec![SlotAcc::EMPTY; slots],
+            slot_self: vec![0.0; slots],
+            next_at_slot: vec![NO_SU; n],
             delivered: 0,
             packets_expected: n.saturating_sub(1) * traffic.snapshots() as usize,
             delivery_times: vec![None; n],
@@ -494,7 +687,7 @@ impl<P: Probe> Simulator<P> {
                 su,
                 depth: qlen as u32,
             });
-            if self.su[su as usize].phase == Phase::Idle {
+            if self.hot[su as usize].phase == Phase::Idle {
                 self.start_round(su);
             }
         }
@@ -520,26 +713,25 @@ impl<P: Probe> Simulator<P> {
     // Channel sensing bookkeeping.
 
     fn channel_free(&self, su: u32) -> bool {
-        let s = &self.su[su as usize];
-        s.pu_busy == 0 && s.su_busy == 0
+        self.hot[su as usize].free()
     }
 
     fn busy_changed(&mut self, su: u32, became_busy: bool) {
         if became_busy {
             // 0 -> 1 transition: freeze a running countdown.
-            if let Phase::CountingDown { expiry } = self.su[su as usize].phase {
+            if let Phase::CountingDown { expiry } = self.hot[su as usize].phase {
                 let remaining = (expiry - self.now).max(0.0);
-                self.su[su as usize].gen += 1;
-                self.su[su as usize].phase = Phase::Frozen { remaining };
+                self.hot[su as usize].gen += 1;
+                self.hot[su as usize].phase = Phase::Frozen { remaining };
                 self.emit(TraceEventKind::BackoffFreeze { su, remaining });
             }
-        } else if let Phase::Frozen { remaining } = self.su[su as usize].phase {
+        } else if let Phase::Frozen { remaining } = self.hot[su as usize].phase {
             // Channel cleared: resume the countdown.
-            let s = &mut self.su[su as usize];
-            s.gen += 1;
+            let h = &mut self.hot[su as usize];
+            h.gen += 1;
             let expiry = self.now + remaining;
-            s.phase = Phase::CountingDown { expiry };
-            let gen = s.gen;
+            h.phase = Phase::CountingDown { expiry };
+            let gen = h.gen;
             self.queue
                 .push(expiry, EventKind::BackoffExpire { su, gen });
             self.emit(TraceEventKind::BackoffResume { su, remaining });
@@ -547,35 +739,37 @@ impl<P: Probe> Simulator<P> {
     }
 
     fn pu_busy_inc(&mut self, su: u32) {
-        let was_free = self.channel_free(su);
-        self.su[su as usize].pu_busy += 1;
+        let b = &mut self.hot[su as usize];
+        let was_free = b.free();
+        b.pu_busy += 1;
         if was_free {
             self.busy_changed(su, true);
         }
     }
 
     fn pu_busy_dec(&mut self, su: u32) {
-        let s = &mut self.su[su as usize];
-        debug_assert!(s.pu_busy > 0, "pu_busy underflow at {su}");
-        s.pu_busy -= 1;
-        if self.channel_free(su) {
+        let b = &mut self.hot[su as usize];
+        debug_assert!(b.pu_busy > 0, "pu_busy underflow at {su}");
+        b.pu_busy -= 1;
+        if b.free() {
             self.busy_changed(su, false);
         }
     }
 
     fn su_busy_inc(&mut self, su: u32) {
-        let was_free = self.channel_free(su);
-        self.su[su as usize].su_busy += 1;
+        let b = &mut self.hot[su as usize];
+        let was_free = b.free();
+        b.su_busy += 1;
         if was_free {
             self.busy_changed(su, true);
         }
     }
 
     fn su_busy_dec(&mut self, su: u32) {
-        let s = &mut self.su[su as usize];
-        debug_assert!(s.su_busy > 0, "su_busy underflow at {su}");
-        s.su_busy -= 1;
-        if self.channel_free(su) {
+        let b = &mut self.hot[su as usize];
+        debug_assert!(b.su_busy > 0, "su_busy underflow at {su}");
+        b.su_busy -= 1;
+        if b.free() {
             self.busy_changed(su, false);
         }
     }
@@ -598,27 +792,27 @@ impl<P: Probe> Simulator<P> {
         let s = &mut self.su[su as usize];
         s.t_i = t_i;
         s.cw = cw;
-        s.gen += 1;
+        self.hot[su as usize].gen += 1;
         self.emit(TraceEventKind::BackoffStart { su, t_i, cw });
         if self.channel_free(su) {
             let expiry = self.now + t_i;
-            let s = &mut self.su[su as usize];
-            s.phase = Phase::CountingDown { expiry };
-            let gen = s.gen;
+            let h = &mut self.hot[su as usize];
+            h.phase = Phase::CountingDown { expiry };
+            let gen = h.gen;
             self.queue
                 .push(expiry, EventKind::BackoffExpire { su, gen });
         } else {
-            self.su[su as usize].phase = Phase::Frozen { remaining: t_i };
+            self.hot[su as usize].phase = Phase::Frozen { remaining: t_i };
             self.emit(TraceEventKind::BackoffFreeze { su, remaining: t_i });
         }
     }
 
     fn on_backoff_expire(&mut self, su: u32, gen: u32) {
-        if self.su[su as usize].gen != gen {
+        if self.hot[su as usize].gen != gen {
             return; // stale (frozen/cancelled since scheduling)
         }
         debug_assert!(matches!(
-            self.su[su as usize].phase,
+            self.hot[su as usize].phase,
             Phase::CountingDown { .. }
         ));
         debug_assert!(self.channel_free(su), "expiry while channel busy at {su}");
@@ -635,48 +829,118 @@ impl<P: Probe> Simulator<P> {
         let rx_slot = self.world.receiver_slot(rx).expect("parents are receivers");
         let p_s = self.world.phy().su_power();
         let p_p = self.world.phy().pu_power();
+        // A local handle lets us iterate the world's slices while mutating
+        // engine state (one atomic increment per event).
+        let world = Arc::clone(&self.world);
 
-        // This transmitter now interferes with every ongoing reception.
-        for a in &mut self.active {
-            a.interference += p_s * self.world.su_gain(su, a.rx_slot);
-        }
-        self.check_all_sir();
-
-        // Cumulative interference the new reception starts with. In
-        // truncated mode only the receiver's near-field PU list is
-        // scanned; exact mode sums every active PU as before.
+        // This transmitter's contribution enters every receiver that can
+        // hear it, and the affected ongoing receptions are re-verdicted.
+        // `own` is the (undegraded) contribution at our own receiver.
+        let mut own = 0.0;
         let mut interference = 0.0;
-        match self.world.near_pus(rx_slot) {
-            Some((ids, gains)) => {
-                for (&k, &g) in ids.iter().zip(gains) {
-                    if self.pu_on[k as usize] {
-                        interference += p_p * g;
+        let mut contributors = 0u32;
+        match self.path {
+            SirPath::Scan => {
+                for pos in 0..self.active.len() {
+                    let g = world.su_gain(su, self.active.rx_slot[pos]);
+                    // Gate on `g != 0.0` so the contributor count is
+                    // meaningful; adding 0.0 is an exact no-op, so the sums
+                    // keep their previous bits.
+                    if g != 0.0 {
+                        self.active.interference[pos] += p_s * g;
+                        self.active.contributors[pos] += 1;
                     }
                 }
-            }
-            None => {
-                for &k in &self.on_pus {
-                    interference += p_p * self.world.pu_gain(k as usize, rx_slot);
+                self.check_all_sir();
+
+                // Cumulative interference the new reception starts with.
+                // In truncated mode only the receiver's near-field PU list
+                // is scanned; exact mode sums every active PU as before.
+                match world.near_pus(rx_slot) {
+                    Some((ids, gains)) => {
+                        for (&k, &g) in ids.iter().zip(gains) {
+                            if self.pu_on[k as usize] {
+                                interference += p_p * g;
+                                contributors += 1;
+                            }
+                        }
+                    }
+                    None => {
+                        for &k in &self.on_pus {
+                            let g = world.pu_gain(k as usize, rx_slot);
+                            interference += p_p * g;
+                            if g != 0.0 {
+                                contributors += 1;
+                            }
+                        }
+                    }
                 }
+                for pos in 0..self.active.len() {
+                    let g = world.su_gain(self.active.su[pos], rx_slot);
+                    interference += p_s * g;
+                    if g != 0.0 {
+                        contributors += 1;
+                    }
+                }
+                own = p_s * world.su_gain(su, rx_slot);
+            }
+            SirPath::Delta => {
+                // One pass over the precomputed reverse row: accumulate
+                // into each touched slot and re-verdict just that slot's
+                // receptions. Each slot appears at most once in the row,
+                // so per-slot re-checks see the fully updated sum. The
+                // entry for our *own* receiver slot (if we are a
+                // receiver) is the clamped self-jamming monster — it
+                // bypasses the accumulator (see `slot_self`).
+                let my_slot = world.receiver_slot(su).unwrap_or(NO_SU);
+                let (slots, gains) = world
+                    .who_hears_su(su)
+                    .expect("delta path implies a reverse index");
+                for (&s, &g) in slots.iter().zip(gains) {
+                    if s == my_slot {
+                        self.slot_self[s as usize] = p_s * g;
+                        if self.slot[s as usize].head != NO_SU {
+                            self.recheck_slot(s);
+                        }
+                        continue;
+                    }
+                    let acc = &mut self.slot[s as usize];
+                    acc.intf += p_s * g;
+                    acc.cnt += 1;
+                    if s == rx_slot {
+                        own = p_s * g;
+                    }
+                    // The chain head lives on the cache line just
+                    // written, so skipping slots with no in-flight
+                    // reception (the vast majority) is free.
+                    if acc.head != NO_SU {
+                        self.recheck_slot(s);
+                    }
+                }
+                // Our own term is in the slot sum (we are not chained yet,
+                // so the re-check above never sees us); interference is
+                // everything there except it, plus the receiver's
+                // self-jamming term if it is mid-transmission.
+                let acc = &self.slot[rx_slot as usize];
+                let cnt = acc.cnt;
+                debug_assert!(cnt >= 1, "own contribution missing from slot");
+                contributors = cnt - 1;
+                let rest = if cnt <= 1 {
+                    0.0
+                } else {
+                    (acc.intf - own).max(0.0)
+                };
+                interference = rest + self.slot_self[rx_slot as usize];
             }
         }
-        for a in &self.active {
-            interference += p_s * self.world.su_gain(a.su, rx_slot);
-        }
+        debug_assert!(own > 0.0, "transmitter inaudible at its own receiver");
 
         // Intended-link signal through the overlay parent, scaled by any
         // injected degradation (`× 1.0` is exact, so fault-free runs are
         // bit-identical to `SimWorld::link_signal`).
-        let signal = p_s * self.world.su_gain(su, rx_slot) * self.link_factor[su as usize];
-        let mut tx = ActiveTx {
-            su,
-            rx,
-            rx_slot,
-            signal,
-            interference,
-            failed_sir: false,
-            failed_capture: false,
-        };
+        let signal = own * self.link_factor[su as usize];
+        let mut failed_capture = false;
+        let mut failed_sir = false;
 
         // RS-mode capture at the receiver.
         match self.rx_lock[rx_slot as usize] {
@@ -684,54 +948,67 @@ impl<P: Probe> Simulator<P> {
             Some(holder) => {
                 let holder_pos = self.active_pos[holder as usize];
                 debug_assert_ne!(holder_pos, usize::MAX);
-                if signal > self.active[holder_pos].signal {
+                if signal > self.active.signal[holder_pos] {
                     // Stronger signal: the receiver re-starts onto us.
-                    self.active[holder_pos].failed_capture = true;
+                    self.active.failed_capture[holder_pos] = true;
                     self.rx_lock[rx_slot as usize] = Some(su);
                 } else {
-                    tx.failed_capture = true;
+                    failed_capture = true;
                 }
             }
         }
 
         if self.mac.check_sir
-            && tx.interference > 0.0
-            && tx.signal < self.world.phy().su_sir_threshold() * tx.interference
+            && interference > 0.0
+            && signal < self.world.phy().su_sir_threshold() * interference
         {
-            tx.failed_sir = true;
+            failed_sir = true;
         }
 
         self.active_pos[su as usize] = self.active.len();
-        self.active.push(tx);
+        self.active.push(
+            su,
+            rx,
+            rx_slot,
+            signal,
+            own,
+            interference,
+            contributors,
+            failed_sir,
+            failed_capture,
+        );
+        if self.path == SirPath::Delta {
+            // Join the receiver slot's chain of in-flight receptions.
+            let head = &mut self.slot[rx_slot as usize].head;
+            self.next_at_slot[su as usize] = *head;
+            *head = su;
+        }
         self.attempts += 1;
         self.node_stats[su as usize].attempts += 1;
         self.emit(TraceEventKind::TxStart { su, rx });
 
         // Neighbors now sense a busy channel.
-        let hears: &[u32] = self.world.su_hears_su(su);
-        // (clone-free iteration: indices are copied up front)
-        for idx in 0..hears.len() {
-            let v = self.world.su_hears_su(su)[idx];
+        for &v in world.su_hears_su(su) {
             self.su_busy_inc(v);
         }
 
-        let s = &mut self.su[su as usize];
-        s.phase = Phase::Transmitting;
-        s.gen += 1;
-        let gen = s.gen;
+        let h = &mut self.hot[su as usize];
+        h.phase = Phase::Transmitting;
+        h.gen += 1;
+        let gen = h.gen;
         self.queue
             .push(self.now + self.mac.airtime, EventKind::TxEnd { su, gen });
     }
 
     fn on_tx_end(&mut self, su: u32, gen: u32) {
-        if self.su[su as usize].gen != gen {
+        if self.hot[su as usize].gen != gen {
             return; // aborted earlier
         }
         // A reception whose receiver died mid-air (or whose base station
         // browned out) is voided by the fault, whatever else happened.
         let pos = self.active_pos[su as usize];
         debug_assert_ne!(pos, usize::MAX);
-        let rx = self.active[pos].rx;
+        let rx = self.active.rx[pos];
         let cause = if self.down[rx as usize] || (rx == 0 && self.brownout) {
             FinishCause::Fault
         } else {
@@ -742,8 +1019,8 @@ impl<P: Probe> Simulator<P> {
 
     /// Aborts an in-flight transmission (spectrum handoff).
     fn abort_tx(&mut self, su: u32) {
-        debug_assert!(matches!(self.su[su as usize].phase, Phase::Transmitting));
-        self.su[su as usize].gen += 1; // cancels the pending TxEnd
+        debug_assert!(matches!(self.hot[su as usize].phase, Phase::Transmitting));
+        self.hot[su as usize].gen += 1; // cancels the pending TxEnd
         self.finish_tx(su, FinishCause::PuAbort);
     }
 
@@ -753,14 +1030,69 @@ impl<P: Probe> Simulator<P> {
         debug_assert_ne!(pos, usize::MAX, "finish_tx without active tx");
         let tx = self.active.swap_remove(pos);
         if pos < self.active.len() {
-            self.active_pos[self.active[pos].su as usize] = pos;
+            self.active_pos[self.active.su[pos] as usize] = pos;
         }
         self.active_pos[su as usize] = usize::MAX;
 
-        // Stop interfering with the remaining receptions.
+        // Stop interfering with the remaining receptions. When the last
+        // nonzero contributor leaves, the sum snaps to exactly 0.0 —
+        // subtract-then-clamp alone can leave cancellation residue behind,
+        // which a persistent accumulator would feed to every later SIR
+        // verdict at that receiver. Decreases never need a re-check: a
+        // shrinking sum cannot newly violate the (sticky) SIR condition.
         let p_s = self.world.phy().su_power();
-        for a in &mut self.active {
-            a.interference = (a.interference - p_s * self.world.su_gain(su, a.rx_slot)).max(0.0);
+        let world = Arc::clone(&self.world);
+        match self.path {
+            SirPath::Scan => {
+                for p in 0..self.active.len() {
+                    let g = world.su_gain(su, self.active.rx_slot[p]);
+                    if g != 0.0 {
+                        debug_assert!(self.active.contributors[p] > 0, "contributor underflow");
+                        self.active.contributors[p] -= 1;
+                        self.active.interference[p] = if self.active.contributors[p] == 0 {
+                            0.0
+                        } else {
+                            (self.active.interference[p] - p_s * g).max(0.0)
+                        };
+                    }
+                }
+            }
+            SirPath::Delta => {
+                // Leave the receiver slot's chain...
+                let slot = tx.rx_slot as usize;
+                let mut cur = self.slot[slot].head;
+                if cur == su {
+                    self.slot[slot].head = self.next_at_slot[su as usize];
+                } else {
+                    while self.next_at_slot[cur as usize] != su {
+                        cur = self.next_at_slot[cur as usize];
+                        debug_assert_ne!(cur, NO_SU, "active tx missing from slot chain");
+                    }
+                    self.next_at_slot[cur as usize] = self.next_at_slot[su as usize];
+                }
+                self.next_at_slot[su as usize] = NO_SU;
+                // ...and withdraw our contribution (own term included)
+                // from every slot that heard us. Our self-jamming term
+                // lives outside the accumulator, so clearing it is exact.
+                let my_slot = world.receiver_slot(su).unwrap_or(NO_SU);
+                let (slots, gains) = world
+                    .who_hears_su(su)
+                    .expect("delta path implies a reverse index");
+                for (&s, &g) in slots.iter().zip(gains) {
+                    if s == my_slot {
+                        self.slot_self[s as usize] = 0.0;
+                        continue;
+                    }
+                    let acc = &mut self.slot[s as usize];
+                    debug_assert!(acc.cnt > 0, "slot contributor underflow");
+                    acc.cnt -= 1;
+                    acc.intf = if acc.cnt == 0 {
+                        0.0
+                    } else {
+                        (acc.intf - p_s * g).max(0.0)
+                    };
+                }
+            }
         }
 
         // Release the receiver lock if we still hold it.
@@ -770,9 +1102,7 @@ impl<P: Probe> Simulator<P> {
         }
 
         // Neighbors stop sensing us.
-        let hears_len = self.world.su_hears_su(su).len();
-        for idx in 0..hears_len {
-            let v = self.world.su_hears_su(su)[idx];
+        for &v in world.su_hears_su(su) {
             self.su_busy_dec(v);
         }
 
@@ -852,7 +1182,7 @@ impl<P: Probe> Simulator<P> {
                 if was_empty {
                     self.su[tx.rx as usize].head_since = self.now;
                 }
-                if self.su[tx.rx as usize].phase == Phase::Idle {
+                if self.hot[tx.rx as usize].phase == Phase::Idle {
                     self.start_round(tx.rx);
                 }
             }
@@ -861,28 +1191,29 @@ impl<P: Probe> Simulator<P> {
         // Fairness wait, then the next round (Algorithm 1 line 12); the
         // wait completes the round's contention window.
         if self.mac.fairness_wait {
-            let s = &mut self.su[su as usize];
-            s.phase = Phase::Waiting;
-            s.gen += 1;
-            let gen = s.gen;
+            let h = &mut self.hot[su as usize];
+            h.phase = Phase::Waiting;
+            h.gen += 1;
+            let gen = h.gen;
+            let s = &self.su[su as usize];
             let wait = (s.cw - s.t_i).max(0.0);
             self.queue
                 .push(self.now + wait, EventKind::WaitEnd { su, gen });
             self.emit(TraceEventKind::FairnessWait { su, wait });
         } else if self.su[su as usize].queue.is_empty() {
-            self.su[su as usize].phase = Phase::Idle;
+            self.hot[su as usize].phase = Phase::Idle;
         } else {
             self.start_round(su);
         }
     }
 
     fn on_wait_end(&mut self, su: u32, gen: u32) {
-        if self.su[su as usize].gen != gen {
+        if self.hot[su as usize].gen != gen {
             return;
         }
-        debug_assert_eq!(self.su[su as usize].phase, Phase::Waiting);
+        debug_assert_eq!(self.hot[su as usize].phase, Phase::Waiting);
         if self.su[su as usize].queue.is_empty() {
-            self.su[su as usize].phase = Phase::Idle;
+            self.hot[su as usize].phase = Phase::Idle;
         } else {
             self.start_round(su);
         }
@@ -961,12 +1292,12 @@ impl<P: Probe> Simulator<P> {
         self.crashed[i] = crash;
         // A transmission in flight dies with the node.
         if self.active_pos[i] != usize::MAX {
-            self.su[i].gen += 1; // cancels the pending TxEnd
+            self.hot[i].gen += 1; // cancels the pending TxEnd
             self.finish_tx(su, FinishCause::Fault);
         }
         // Cancel whatever timer finish_tx (or the prior phase) left armed.
-        self.su[i].gen += 1;
-        self.su[i].phase = Phase::Down;
+        self.hot[i].gen += 1;
+        self.hot[i].phase = Phase::Down;
         if crash {
             self.emit(TraceEventKind::SuCrashed { su });
             self.drop_queue(su);
@@ -985,8 +1316,8 @@ impl<P: Probe> Simulator<P> {
         }
         self.down[i] = false;
         self.crashed[i] = false;
-        self.su[i].gen += 1;
-        self.su[i].phase = Phase::Idle;
+        self.hot[i].gen += 1;
+        self.hot[i].phase = Phase::Idle;
         self.emit(if recover {
             TraceEventKind::SuRecovered { su }
         } else {
@@ -1073,7 +1404,7 @@ impl<P: Probe> Simulator<P> {
                 self.emit(TraceEventKind::Reparented { su, to, latency });
                 // Defensive: an idle node with data starts contending at
                 // its new parent (normally it never stopped).
-                if self.su[i].phase == Phase::Idle && !self.su[i].queue.is_empty() {
+                if self.hot[i].phase == Phase::Idle && !self.su[i].queue.is_empty() {
                     self.start_round(su);
                 }
             }
@@ -1161,16 +1492,36 @@ impl<P: Probe> Simulator<P> {
 
         // New interference for every ongoing reception.
         let p_p = self.world.phy().pu_power();
-        for a in &mut self.active {
-            a.interference += p_p * self.world.pu_gain(k, a.rx_slot);
+        let world = Arc::clone(&self.world);
+        match self.path {
+            SirPath::Scan => {
+                for pos in 0..self.active.len() {
+                    let g = world.pu_gain(k, self.active.rx_slot[pos]);
+                    if g != 0.0 {
+                        self.active.interference[pos] += p_p * g;
+                        self.active.contributors[pos] += 1;
+                    }
+                }
+                self.check_all_sir();
+            }
+            SirPath::Delta => {
+                let (slots, gains) = world
+                    .who_hears_pu(k)
+                    .expect("delta path implies a reverse index");
+                for (&s, &g) in slots.iter().zip(gains) {
+                    let acc = &mut self.slot[s as usize];
+                    acc.intf += p_p * g;
+                    acc.cnt += 1;
+                    if acc.head != NO_SU {
+                        self.recheck_slot(s);
+                    }
+                }
+            }
         }
-        self.check_all_sir();
 
         // SUs overhearing this PU: freeze backoffs; transmitters hand off.
-        let fanout_len = self.world.pu_fanout(k).len();
         let mut aborts: Vec<u32> = Vec::new();
-        for idx in 0..fanout_len {
-            let v = self.world.pu_fanout(k)[idx];
+        for &v in world.pu_fanout(k) {
             self.pu_busy_inc(v);
             if self.active_pos[v as usize] != usize::MAX {
                 aborts.push(v);
@@ -1192,27 +1543,98 @@ impl<P: Probe> Simulator<P> {
         }
         self.on_pos[k] = usize::MAX;
 
+        // Same snap-to-zero rule as `finish_tx`; no re-checks on decrease.
         let p_p = self.world.phy().pu_power();
-        for a in &mut self.active {
-            a.interference = (a.interference - p_p * self.world.pu_gain(k, a.rx_slot)).max(0.0);
+        let world = Arc::clone(&self.world);
+        match self.path {
+            SirPath::Scan => {
+                for pos in 0..self.active.len() {
+                    let g = world.pu_gain(k, self.active.rx_slot[pos]);
+                    if g != 0.0 {
+                        debug_assert!(self.active.contributors[pos] > 0, "contributor underflow");
+                        self.active.contributors[pos] -= 1;
+                        self.active.interference[pos] = if self.active.contributors[pos] == 0 {
+                            0.0
+                        } else {
+                            (self.active.interference[pos] - p_p * g).max(0.0)
+                        };
+                    }
+                }
+            }
+            SirPath::Delta => {
+                let (slots, gains) = world
+                    .who_hears_pu(k)
+                    .expect("delta path implies a reverse index");
+                for (&s, &g) in slots.iter().zip(gains) {
+                    let acc = &mut self.slot[s as usize];
+                    debug_assert!(acc.cnt > 0, "slot contributor underflow");
+                    acc.cnt -= 1;
+                    acc.intf = if acc.cnt == 0 {
+                        0.0
+                    } else {
+                        (acc.intf - p_p * g).max(0.0)
+                    };
+                }
+            }
         }
 
-        let fanout_len = self.world.pu_fanout(k).len();
-        for idx in 0..fanout_len {
-            let v = self.world.pu_fanout(k)[idx];
+        for &v in world.pu_fanout(k) {
             self.pu_busy_dec(v);
         }
     }
 
+    /// Scan path: re-verdicts every unfailed reception after an
+    /// interference increase (the full O(actives) sweep).
     fn check_all_sir(&mut self) {
         if !self.mac.check_sir {
             return;
         }
         let eta = self.world.phy().su_sir_threshold();
-        for a in &mut self.active {
-            if !a.failed_sir && a.interference > 0.0 && a.signal < eta * a.interference {
-                a.failed_sir = true;
+        for pos in 0..self.active.len() {
+            if !self.active.failed_sir[pos]
+                && self.active.interference[pos] > 0.0
+                && self.active.signal[pos] < eta * self.active.interference[pos]
+            {
+                self.active.failed_sir[pos] = true;
             }
+        }
+    }
+
+    /// Delta path: re-verdicts the receptions chained at `slot` after its
+    /// accumulator increased — the only receptions whose interference
+    /// changed. A reception's interference is everything at its slot
+    /// except its own term; with no other contributor it is exactly 0.0.
+    /// Decreases never call this: a shrinking sum cannot newly violate
+    /// the (sticky) SIR condition. Callers pre-filter on a non-empty
+    /// chain (`SlotAcc::head`), keeping this out of the row-walk fast
+    /// path.
+    fn recheck_slot(&mut self, slot: u32) {
+        if !self.mac.check_sir {
+            return;
+        }
+        let eta = self.world.phy().su_sir_threshold();
+        let acc = self.slot[slot as usize];
+        let total = acc.intf;
+        let cnt = acc.cnt;
+        // `x + 0.0` preserves the bits of every finite `x >= 0.0`, so
+        // adding an absent self term is exact.
+        let self_term = self.slot_self[slot as usize];
+        let mut cur = acc.head;
+        while cur != NO_SU {
+            let pos = self.active_pos[cur as usize];
+            debug_assert_ne!(pos, usize::MAX, "chained tx not active");
+            if !self.active.failed_sir[pos] {
+                let rest = if cnt <= 1 {
+                    0.0
+                } else {
+                    (total - self.active.own[pos]).max(0.0)
+                };
+                let intf = rest + self_term;
+                if intf > 0.0 && self.active.signal[pos] < eta * intf {
+                    self.active.failed_sir[pos] = true;
+                }
+            }
+            cur = self.next_at_slot[cur as usize];
         }
     }
 
@@ -2057,5 +2479,121 @@ mod tests {
                 .run();
             assert_eq!(a, b, "seed {seed}: truncated run diverged from exact");
         }
+    }
+
+    /// The pre-change removal rule — subtract then clamp — cannot restore
+    /// an interference sum to exact zero once a large contribution has
+    /// absorbed part of a small one: the rounding residue survives the
+    /// clamp and reads as phantom interference. The counted rule snaps to
+    /// 0.0 when the last contributor leaves.
+    #[test]
+    fn contributor_snap_restores_exact_zero() {
+        // A near-field PU contribution (p_p · d⁻⁴ at d = 0.5 mm) whose
+        // ulp dwarfs far-field contributions.
+        let big = 10.0 * (5e-4_f64).powi(4).recip();
+        let ulp = f64::from_bits(big.to_bits() + 1) - big;
+        let small = 0.6 * ulp; // in (ulp/2, ulp): partially absorbed
+
+        // Old rule: fold both in, fold both out, clamp each step.
+        let mut acc = 0.0;
+        acc += big;
+        acc += small;
+        acc = (acc - big).max(0.0);
+        acc = (acc - small).max(0.0);
+        assert!(
+            acc > 0.0,
+            "expected cancellation residue from subtract-then-clamp"
+        );
+
+        // Counted rule: the last contributor's departure snaps the sum.
+        let mut sum = 0.0;
+        let mut cnt = 0u32;
+        for c in [big, small] {
+            sum += c;
+            cnt += 1;
+        }
+        for c in [big, small] {
+            cnt -= 1;
+            sum = if cnt == 0 { 0.0 } else { (sum - c).max(0.0) };
+        }
+        assert_eq!(sum.to_bits(), 0.0f64.to_bits());
+    }
+
+    /// End-to-end drift regression: a monster PU contribution (on top of
+    /// the base station) partially absorbs a small PU contribution; both
+    /// leave before the next packet. A delta engine whose persistent slot
+    /// accumulator kept the subtract-then-clamp rule would be left with
+    /// residue ≈ 0.014 — the follow-up packet (signal 1e-3 < η·residue)
+    /// would then fail SIR on every retry and the run would never finish.
+    /// The counted snap restores exact zero, and delta must agree with
+    /// the full-scan reference, which recomputes each reception fresh.
+    #[test]
+    fn interference_residue_does_not_poison_later_receptions() {
+        use crn_faults::{FaultEvent, FaultPlan};
+
+        let run = |full_scan: bool| -> SimReport {
+            let world = SimWorld::builder(Region::square(50.0))
+                .su_positions(vec![Point::new(20.0, 20.0), Point::new(30.0, 20.0)])
+                // PU 0 sits 0.5 mm from the base station: contribution
+                // 1.6e14, ulp 2⁻⁵. PU 1 at 4.9 m contributes 0.0173 ∈
+                // (2⁻⁶, 2⁻⁵) — partially absorbed. Both are outside the
+                // transmitter's 10 m PU sense range (10.0005 and 14.9),
+                // so node 1 transmits obliviously.
+                .pu_positions(vec![Point::new(19.9995, 20.0), Point::new(15.1, 20.0)])
+                .parents(vec![None, Some(0)])
+                .phy(phy())
+                .pu_sense_range(10.0)
+                .su_sense_range(10.0)
+                .interference(crate::InterferenceModel::Truncated { epsilon: 0.1 })
+                .build()
+                .unwrap();
+            // Silent PU process, pulsed on for exactly one slot between
+            // the two packets: on at t = 3 ms, off at t = 4 ms (PU 0
+            // first, maximizing residue), with no reception in flight.
+            let plan = FaultPlan::from_events(vec![
+                FaultEvent::new(
+                    2.5e-3,
+                    crn_faults::FaultKind::PuRegimeShift {
+                        activity: PuActivity::bernoulli(1.0).unwrap(),
+                    },
+                ),
+                FaultEvent::new(
+                    3.5e-3,
+                    crn_faults::FaultKind::PuRegimeShift {
+                        activity: PuActivity::bernoulli(0.0).unwrap(),
+                    },
+                ),
+            ])
+            .compile()
+            .unwrap();
+            Simulator::builder(world)
+                .mac(MacConfig {
+                    max_sim_time: 1.0,
+                    ..MacConfig::default()
+                })
+                .traffic(Traffic::Periodic {
+                    interval: 6e-3,
+                    snapshots: 2,
+                })
+                .faults(plan)
+                .seed(1)
+                .full_scan(full_scan)
+                .build()
+                .unwrap()
+                .run()
+        };
+
+        let delta = run(false);
+        let scan = run(true);
+        assert_eq!(delta, scan, "delta engine diverged from full scan");
+        assert!(
+            delta.finished,
+            "post-pulse packet starved: phantom interference residue"
+        );
+        assert_eq!(delta.packets_delivered, 2);
+        assert_eq!(
+            delta.sir_failures, 0,
+            "no real interference ever overlapped a reception"
+        );
     }
 }

@@ -59,7 +59,10 @@ use std::sync::Arc;
 /// Absolute slack for timer arithmetic re-derived from emitted floats.
 const TIME_TOL: f64 = 1e-9;
 /// Relative slack between the engine's incrementally maintained SIR state
-/// and the oracle's from-scratch recomputation.
+/// and the oracle's from-scratch recomputation. The engine arrives at that
+/// state either by full active-set scans or by the transmitter-indexed
+/// delta walk (`SirPath` in the engine); the oracle deliberately uses
+/// neither, so one tolerance audits both paths.
 const SIR_TOL: f64 = 1e-9;
 /// Stored-violation cap; later violations only bump the suppressed count.
 const MAX_VIOLATIONS: usize = 32;
@@ -339,7 +342,10 @@ impl InvariantChecker {
     /// model, the SIR of every active reception, latching the sticky
     /// bad-SIR flags the engine's incremental bookkeeping claims to
     /// maintain. Called after every interference *addition* (`TxStart`,
-    /// `PuOn`) — removals only improve SIR, matching the engine.
+    /// `PuOn`) — removals only improve SIR, matching the engine's
+    /// monotone-fail verdicts on both the full-scan and delta SIR paths
+    /// (neither re-verdicts on interference decrease, so auditing
+    /// additions covers every latch site).
     fn recheck_exact_sir(&mut self) {
         if !self.mac.check_sir {
             return;

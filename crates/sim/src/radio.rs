@@ -226,6 +226,39 @@ struct PuView {
     pu_residual: Vec<f64>,
 }
 
+/// Transmitter-major transpose of the served near-field PU view: for
+/// each PU, the receiver slots whose near lists keep it, with the same
+/// precomputed gains (slots ascending per row).
+///
+/// Together with the transmitter-major rows of [`SuCsrStage`] this is
+/// the reverse index the engine's delta path walks: turning a PU on or
+/// off (or starting/ending an SU transmission) touches exactly one row
+/// instead of scanning every active reception, and the row carries the
+/// gains so the event loop never calls `pu_gain`/`su_gain`.
+#[derive(Debug)]
+struct PuRevStage {
+    pu_off: Vec<u32>,
+    pu_slot: Vec<u32>,
+    pu_gain: Vec<f64>,
+}
+
+impl PuRevStage {
+    /// Transposes a receiver-major [`PuView`] (O(nnz) counting scatter).
+    fn from_view(num_pus: usize, view: &PuView) -> Self {
+        let (pu_off, pu_slot, pu_gain) = crate::topology::transpose_csr(
+            num_pus,
+            &view.slot_pu_off,
+            &view.slot_pu_id,
+            &view.slot_pu_gain,
+        );
+        Self {
+            pu_off,
+            pu_slot,
+            pu_gain,
+        }
+    }
+}
+
 /// Sparse gain stages (`Truncated` model).
 #[derive(Clone, Debug)]
 struct SparseRadio {
@@ -234,6 +267,8 @@ struct SparseRadio {
     su: Arc<SuCsrStage>,
     structure: Arc<PuStructure>,
     view: Arc<PuView>,
+    /// Reverse (PU-major) index over `view`, rebuilt alongside it.
+    rev: Arc<PuRevStage>,
 }
 
 #[derive(Clone, Debug)]
@@ -377,12 +412,14 @@ impl Radio {
                     },
                     None => fresh_pu(topology, phy, &cutoff.cutoff, &threshold, skey),
                 };
+                let rev = Arc::new(PuRevStage::from_view(topology.num_pus(), &view));
                 RadioGains::Sparse(SparseRadio {
                     gmin,
                     cutoff,
                     su,
                     structure,
                     view: Arc::new(view),
+                    rev,
                 })
             }
         };
@@ -450,6 +487,42 @@ impl Radio {
         }
     }
 
+    /// Whether this radio carries the transmitter-indexed reverse rows
+    /// (`who_hears_su`/`who_hears_pu`) the delta engine needs.
+    pub(crate) fn has_reverse_index(&self) -> bool {
+        matches!(self.gains, RadioGains::Sparse(_))
+    }
+
+    /// The receiver slots that hear `su` in the sparse near-field
+    /// tables, with precomputed gains (slots ascending) — row `su` of
+    /// the transmitter-major SU CSR. `None` in dense mode.
+    pub(crate) fn who_hears_su(&self, su: u32) -> Option<(&[u32], &[f64])> {
+        match &self.gains {
+            RadioGains::Dense(_) => None,
+            RadioGains::Sparse(s) => {
+                let csr = &s.su;
+                let lo = csr.su_off[su as usize] as usize;
+                let hi = csr.su_off[su as usize + 1] as usize;
+                Some((&csr.su_slot[lo..hi], &csr.su_gain[lo..hi]))
+            }
+        }
+    }
+
+    /// The receiver slots whose near lists keep PU `pu`, with
+    /// precomputed gains (slots ascending) — row `pu` of the reverse
+    /// PU index. `None` in dense mode.
+    pub(crate) fn who_hears_pu(&self, pu: usize) -> Option<(&[u32], &[f64])> {
+        match &self.gains {
+            RadioGains::Dense(_) => None,
+            RadioGains::Sparse(s) => {
+                let rev = &s.rev;
+                let lo = rev.pu_off[pu] as usize;
+                let hi = rev.pu_off[pu + 1] as usize;
+                Some((&rev.pu_slot[lo..hi], &rev.pu_gain[lo..hi]))
+            }
+        }
+    }
+
     pub(crate) fn truncation_stats(&self) -> Option<(&[f64], &[f64])> {
         match &self.gains {
             RadioGains::Dense(_) => None,
@@ -466,6 +539,8 @@ impl Radio {
                     + s.su.su_gain.len() * 8
                     + (s.view.slot_pu_off.len() + s.view.slot_pu_id.len()) * 4
                     + s.view.slot_pu_gain.len() * 8
+                    + (s.rev.pu_off.len() + s.rev.pu_slot.len()) * 4
+                    + s.rev.pu_gain.len() * 8
                     + s.structure.bytes()
             }
         }
@@ -825,6 +900,12 @@ mod tests {
         for s in 0..m {
             assert_eq!(a.near_pus(s), b.near_pus(s));
         }
+        for su in 0..topo.num_sus() as u32 {
+            assert_eq!(a.who_hears_su(su), b.who_hears_su(su));
+        }
+        for pu in 0..topo.num_pus() {
+            assert_eq!(a.who_hears_pu(pu), b.who_hears_pu(pu));
+        }
         match (a.truncation_stats(), b.truncation_stats()) {
             (Some((ca, ra)), Some((cb, rb))) => {
                 assert_eq!(ca, cb);
@@ -961,6 +1042,56 @@ mod tests {
         assert_same_tables(&topo, &s, &Radio::customize(&topo, &sparse).unwrap());
         let back = s.recustomize(&topo, &dense).unwrap();
         assert_same_tables(&topo, &back, &d);
+    }
+
+    #[test]
+    fn reverse_index_mirrors_forward_tables_exactly() {
+        let topo = grid();
+        let radio = Radio::customize(&topo, &sparse_params()).unwrap();
+        assert!(radio.has_reverse_index());
+        let m = topo.num_receiver_slots() as u32;
+        // Every reverse-row entry carries the forward gain bit-for-bit,
+        // rows are slot-ascending, and nothing is missing: the nonzero
+        // counts agree in both orientations.
+        let mut su_nnz = 0usize;
+        for su in 0..topo.num_sus() as u32 {
+            let (slots, gains) = radio.who_hears_su(su).unwrap();
+            assert_eq!(slots.len(), gains.len());
+            assert!(slots.windows(2).all(|w| w[0] < w[1]), "su {su} unsorted");
+            for (&s, &g) in slots.iter().zip(gains) {
+                assert_eq!(radio.su_gain(su, s).to_bits(), g.to_bits());
+                assert!(g > 0.0);
+            }
+            su_nnz += slots.len();
+        }
+        let forward_su_nnz: usize = (0..m)
+            .map(|s| {
+                (0..topo.num_sus() as u32)
+                    .filter(|&su| radio.su_gain(su, s) != 0.0)
+                    .count()
+            })
+            .sum();
+        assert_eq!(su_nnz, forward_su_nnz);
+        let mut pu_nnz = 0usize;
+        for pu in 0..topo.num_pus() {
+            let (slots, gains) = radio.who_hears_pu(pu).unwrap();
+            assert!(slots.windows(2).all(|w| w[0] < w[1]), "pu {pu} unsorted");
+            for (&s, &g) in slots.iter().zip(gains) {
+                assert_eq!(radio.pu_gain(pu, s).to_bits(), g.to_bits());
+            }
+            pu_nnz += slots.len();
+        }
+        let forward_pu_nnz: usize = (0..m).map(|s| radio.near_pus(s).unwrap().0.len()).sum();
+        assert_eq!(pu_nnz, forward_pu_nnz);
+    }
+
+    #[test]
+    fn dense_mode_has_no_reverse_index() {
+        let topo = grid();
+        let radio = Radio::customize(&topo, &RadioParams::new(phy()).sense_range(24.0)).unwrap();
+        assert!(!radio.has_reverse_index());
+        assert!(radio.who_hears_su(0).is_none());
+        assert!(radio.who_hears_pu(0).is_none());
     }
 
     #[test]

@@ -207,6 +207,49 @@ impl TopologyBuilder {
     }
 }
 
+/// Transposes a CSR adjacency — row offsets `off` (length `rows + 1`),
+/// column indices `col`, and values `val` aligned with `col` — into a
+/// CSR over the `num_cols` columns.
+///
+/// The scatter walks the input rows in ascending order and the counting
+/// sort is stable, so each output row lists its entries in ascending
+/// input-row order. This is how the radio layer turns the
+/// receiver-major near-field lists (slot → transmitters) into the
+/// transmitter-major reverse index (`who_hears`) the delta engine walks
+/// per event, with every gain carried along so the event loop never
+/// re-derives one.
+pub(crate) fn transpose_csr(
+    num_cols: usize,
+    off: &[u32],
+    col: &[u32],
+    val: &[f64],
+) -> (Vec<u32>, Vec<u32>, Vec<f64>) {
+    debug_assert!(!off.is_empty());
+    debug_assert_eq!(col.len(), val.len());
+    let rows = off.len() - 1;
+    let mut t_off = vec![0u32; num_cols + 1];
+    for &c in col {
+        t_off[c as usize + 1] += 1;
+    }
+    for c in 0..num_cols {
+        t_off[c + 1] += t_off[c];
+    }
+    let nnz = col.len();
+    let mut t_row = vec![0u32; nnz];
+    let mut t_val = vec![0.0f64; nnz];
+    let mut cursor: Vec<u32> = t_off[..num_cols].to_vec();
+    for r in 0..rows {
+        for i in off[r] as usize..off[r + 1] as usize {
+            let c = col[i] as usize;
+            let k = cursor[c] as usize;
+            t_row[k] = r as u32;
+            t_val[k] = val[i];
+            cursor[c] += 1;
+        }
+    }
+    (t_off, t_row, t_val)
+}
+
 impl Topology {
     /// Starts a [`TopologyBuilder`] over `region`.
     #[must_use]
@@ -351,6 +394,39 @@ mod tests {
             .build()
             .unwrap_err();
         assert!(matches!(e, WorldError::UnreachableRoot { .. }));
+    }
+
+    #[test]
+    fn transpose_csr_round_trips_and_keeps_rows_ascending() {
+        // 3 rows over 4 columns:
+        //   row 0: (col 1, 1.0) (col 3, 2.0)
+        //   row 1: (col 0, 3.0)
+        //   row 2: (col 1, 4.0) (col 2, 5.0)
+        let off = [0u32, 2, 3, 5];
+        let col = [1u32, 3, 0, 1, 2];
+        let val = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let (t_off, t_row, t_val) = transpose_csr(4, &off, &col, &val);
+        assert_eq!(t_off, vec![0, 1, 3, 4, 5]);
+        assert_eq!(t_row, vec![1, 0, 2, 2, 0]);
+        assert_eq!(t_val, vec![3.0, 1.0, 4.0, 5.0, 2.0]);
+        // Each output row lists input rows ascending (stable scatter).
+        for c in 0..4 {
+            let rows = &t_row[t_off[c] as usize..t_off[c + 1] as usize];
+            assert!(rows.windows(2).all(|w| w[0] < w[1]), "col {c} unsorted");
+        }
+        // Transposing back restores the original matrix.
+        let (b_off, b_col, b_val) = transpose_csr(3, &t_off, &t_row, &t_val);
+        assert_eq!(b_off.as_slice(), off.as_slice());
+        assert_eq!(b_col.as_slice(), col.as_slice());
+        assert_eq!(b_val.as_slice(), val.as_slice());
+    }
+
+    #[test]
+    fn transpose_csr_handles_empty_rows_and_cols() {
+        let (t_off, t_row, t_val) = transpose_csr(3, &[0u32, 0, 0], &[], &[]);
+        assert_eq!(t_off, vec![0, 0, 0, 0]);
+        assert!(t_row.is_empty());
+        assert!(t_val.is_empty());
     }
 
     #[test]

@@ -9,7 +9,11 @@
 //! scheduling noise only ever biases the figure *down* (`Exact` dense
 //! tables are skipped above `n = 5000`, where they would need
 //! gigabytes), and records the gain-table footprint plus a peak-RSS
-//! proxy (`VmHWM` from `/proc/self/status`).
+//! proxy (`VmHWM` from `/proc/self/status`). Sparse worlds are measured
+//! a second time on the sharded SIR plane (`crn-shard`), with the report
+//! asserted bit-identical to the sequential run; the top-level `cores`
+//! field says whether that figure is a speedup (multi-core) or an
+//! overhead measurement (single-core).
 //!
 //! It also times the headline of the split API: a radio-only
 //! re-customization (an SU transmit-power bump) against a full
@@ -33,6 +37,7 @@
 use crn_bench::synthetic::{grid_radio, grid_topology};
 use crn_bench::take_flag;
 use crn_interference::PhyParams;
+use crn_shard::{build_plane, ShardConfig, ShardMode};
 use crn_sim::{
     InterferenceModel, InvariantChecker, MacConfig, SimWorld, Simulator, Topology, TraceLog,
 };
@@ -44,6 +49,29 @@ use std::time::Instant;
 const EPSILON: f64 = 0.1;
 /// Dense tables above this size would need gigabytes; sparse-only beyond.
 const DENSE_CAP: usize = 5_000;
+/// Above this size the throughput cap shrinks (see [`sim_seconds_for`]):
+/// the point of the 100k+ rows is memory footprint and events/s, not a
+/// long simulated horizon.
+const BIG_SIZE: usize = 50_000;
+
+fn cores() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Simulated-seconds cap for the throughput runs at size `n`. Derived
+/// from `n` (not passed between parent and child) so `--one-size`
+/// children and the stitched report always agree.
+fn sim_seconds_for(n: usize, smoke: bool) -> f64 {
+    if smoke {
+        0.02
+    } else if n >= BIG_SIZE {
+        0.05
+    } else {
+        0.2
+    }
+}
 
 struct ModelStats {
     construct_ms: f64,
@@ -56,11 +84,18 @@ struct ModelStats {
     events_per_sec: f64,
 }
 
+struct ShardedStats {
+    shards: u32,
+    events: u64,
+    events_per_sec: f64,
+}
+
 struct SizeStats {
     n: usize,
     topology_build_s: f64,
     dense: Option<ModelStats>,
     sparse: ModelStats,
+    sharded: Option<ShardedStats>,
     vm_hwm_kb: Option<u64>,
 }
 
@@ -124,7 +159,7 @@ fn measure(
     model: InterferenceModel,
     sim_seconds: f64,
     check_invariants: bool,
-) -> ModelStats {
+) -> (ModelStats, Arc<SimWorld>, crn_sim::SimReport) {
     let params = grid_radio(model);
     let started = Instant::now();
     let world =
@@ -180,7 +215,7 @@ fn measure(
     }
     let report = report.expect("five runs happened");
     assert!(report.attempts > 0, "capped run must make progress");
-    ModelStats {
+    let stats = ModelStats {
         construct_ms: (topology_build_s + customize_s) * 1e3,
         customize_s,
         recustomize_s,
@@ -189,7 +224,57 @@ fn measure(
         gain_table_bytes,
         events,
         events_per_sec: best_eps,
+    };
+    (stats, world, report)
+}
+
+/// Throughput of the same capped run on the sharded SIR plane (best of
+/// five, like the sequential figure; the timed region includes the
+/// per-run partition build, which is a real per-run cost). The shard
+/// count is `max(cores, 4)` so the partition machinery is exercised even
+/// on small hosts — on a single-core box this honestly measures the
+/// plane's *overhead*, and the top-level `cores` field says which is
+/// which. Every sharded report is asserted bit-identical to the
+/// sequential one before its timing counts. `None` when the world
+/// cannot shard (no sparse reverse index).
+fn measure_sharded(
+    world: &Arc<SimWorld>,
+    sequential: &crn_sim::SimReport,
+    sim_seconds: f64,
+) -> Option<ShardedStats> {
+    let shards = u32::try_from(cores()).unwrap_or(u32::MAX).max(4);
+    let mac = MacConfig {
+        max_sim_time: sim_seconds,
+        ..MacConfig::default()
+    };
+    let cfg = ShardConfig::with_mode(ShardMode::Fixed(shards));
+    build_plane(world, &mac, &cfg)?;
+    let mut events = 0u64;
+    let mut best_eps = 0.0f64;
+    for _ in 0..5 {
+        let started = Instant::now();
+        let plane = build_plane(world, &mac, &cfg).expect("shardability checked above");
+        let (report, trace) = Simulator::builder(world.clone())
+            .mac(mac)
+            .seed(42)
+            .sir_plane(plane)
+            .probe(TraceLog::bounded(64))
+            .build()
+            .unwrap()
+            .run_with_probe();
+        let wall = started.elapsed().as_secs_f64();
+        assert_eq!(
+            &report, sequential,
+            "sharded run diverged from the sequential report"
+        );
+        events = trace.len() as u64 + trace.dropped();
+        best_eps = best_eps.max(events as f64 / wall.max(1e-9));
     }
+    Some(ShardedStats {
+        shards,
+        events,
+        events_per_sec: best_eps,
+    })
 }
 
 /// Peak resident set size in kB (`VmHWM`), where procfs exists.
@@ -247,6 +332,19 @@ fn size_json(s: &SizeStats) -> String {
         }
     }
     let _ = writeln!(out, "      \"sparse\": {},", model_json(&s.sparse));
+    match &s.sharded {
+        Some(sh) => {
+            let _ = writeln!(
+                out,
+                "      \"sharded\": {{\"shards\": {}, \"events\": {}, \
+                 \"events_per_sec\": {:.0}}},",
+                sh.shards, sh.events, sh.events_per_sec
+            );
+        }
+        None => {
+            let _ = writeln!(out, "      \"sharded\": null,");
+        }
+    }
     match s.vm_hwm_kb {
         Some(kb) => {
             let _ = writeln!(out, "      \"vm_hwm_kb\": {kb}");
@@ -264,6 +362,7 @@ fn render_json(mode: &str, size_objects: &[String]) -> String {
     let _ = writeln!(out, "{{");
     let _ = writeln!(out, "  \"bench\": \"sim_interference_scaling\",");
     let _ = writeln!(out, "  \"mode\": \"{mode}\",");
+    let _ = writeln!(out, "  \"cores\": {},", cores());
     let _ = writeln!(out, "  \"epsilon\": {EPSILON},");
     let _ = writeln!(out, "  \"sizes\": [");
     let _ = writeln!(out, "{}", size_objects.join(",\n"));
@@ -280,7 +379,7 @@ fn measure_size(n: usize, sim_seconds: f64, check_invariants: bool) -> SizeStats
     let topology = Arc::new(grid_topology(n));
     let topology_build_s = started.elapsed().as_secs_f64();
     let model = InterferenceModel::Truncated { epsilon: EPSILON };
-    let sparse = measure(
+    let (sparse, sparse_world, sparse_report) = measure(
         n,
         &topology,
         topology_build_s,
@@ -288,6 +387,8 @@ fn measure_size(n: usize, sim_seconds: f64, check_invariants: bool) -> SizeStats
         sim_seconds,
         check_invariants,
     );
+    let sharded = measure_sharded(&sparse_world, &sparse_report, sim_seconds);
+    drop(sparse_world);
     let dense = (n <= DENSE_CAP).then(|| {
         measure(
             n,
@@ -297,12 +398,14 @@ fn measure_size(n: usize, sim_seconds: f64, check_invariants: bool) -> SizeStats
             sim_seconds,
             check_invariants,
         )
+        .0
     });
     SizeStats {
         n,
         topology_build_s,
         dense,
         sparse,
+        sharded,
         vm_hwm_kb: vm_hwm_kb(),
     }
 }
@@ -324,15 +427,18 @@ fn main() {
     let out_path = take_flag(&mut args, "--out").unwrap_or_else(|| "results/BENCH_sim.json".into());
     assert!(args.is_empty(), "unrecognized arguments: {args:?}");
 
-    let (mode, ns, sim_seconds) = if smoke {
-        ("smoke", vec![200usize, 500], 0.02)
+    let (mode, ns) = if smoke {
+        ("smoke", vec![200usize, 500])
     } else {
-        ("full", vec![500usize, 2_000, 5_000, 10_000], 0.2)
+        (
+            "full",
+            vec![500usize, 2_000, 5_000, 10_000, 100_000, 250_000],
+        )
     };
 
     // Child mode: measure the one size and print its JSON object.
     if let Some(n) = one_size {
-        let stats = measure_size(n, sim_seconds, check_invariants);
+        let stats = measure_size(n, sim_seconds_for(n, smoke), check_invariants);
         print!("{}", size_json(&stats));
         return;
     }

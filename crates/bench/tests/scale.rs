@@ -5,6 +5,7 @@
 //! `cargo test --release -p crn-bench -- --ignored`.
 
 use crn_bench::synthetic::grid_world;
+use crn_shard::{build_plane, ShardConfig, ShardMode};
 use crn_sim::{InterferenceModel, MacConfig, Simulator, TraceLog};
 use std::sync::Arc;
 use std::time::Instant;
@@ -87,6 +88,90 @@ fn delta_engine_holds_five_x_floor_at_five_thousand_sus() {
         delta >= REQUIRED_SPEEDUP * SEED_EVENTS_PER_SEC_N5000,
         "throughput regression: delta engine ran {delta:.0} events/s, below {REQUIRED_SPEEDUP}x \
          the committed seed baseline of {SEED_EVENTS_PER_SEC_N5000:.0} events/s"
+    );
+}
+
+/// Release gate for the sharded SIR plane: at `n = 100_000` with one
+/// shard per core, threaded execution must clear 3× the sequential
+/// engine's event throughput. Only meaningful on a real multi-core
+/// host, so it self-skips (loudly) below four cores — single-core CI
+/// still covers correctness via the determinism suites; this gate is
+/// about *speed*.
+#[test]
+#[ignore = "release-mode sharded speedup gate (CI scale job; needs ≥4 cores)"]
+fn sharded_plane_holds_three_x_at_hundred_thousand_sus() {
+    let cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    if cores < 4 {
+        eprintln!("skipping sharded speedup gate: {cores} core(s) < 4");
+        return;
+    }
+    let world = Arc::new(grid_world(
+        100_000,
+        InterferenceModel::Truncated { epsilon: 0.1 },
+    ));
+    let mac = MacConfig {
+        max_sim_time: 0.05,
+        ..MacConfig::default()
+    };
+    let cfg = ShardConfig {
+        mode: ShardMode::Fixed(u32::try_from(cores).unwrap_or(u32::MAX)),
+        threaded: Some(true),
+        telemetry: None,
+    };
+    // Best of three (builds are expensive at this size); the timed
+    // region includes the per-run partition build, which is a real
+    // per-run cost of the sharded path.
+    let mut sequential = 0.0f64;
+    let mut sharded = 0.0f64;
+    let mut baseline = None;
+    for _ in 0..3 {
+        let started = Instant::now();
+        let (report, trace) = Simulator::builder(world.clone())
+            .mac(mac)
+            .seed(42)
+            .probe(TraceLog::bounded(64))
+            .build()
+            .unwrap()
+            .run_with_probe();
+        let wall = started.elapsed().as_secs_f64();
+        let events = trace.len() as u64 + trace.dropped();
+        sequential = sequential.max(events as f64 / wall.max(1e-9));
+        match &baseline {
+            Some(first) => assert_eq!(first, &report, "deterministic rerun diverged"),
+            None => baseline = Some(report),
+        }
+    }
+    let baseline = baseline.expect("three sequential runs happened");
+    for _ in 0..3 {
+        let started = Instant::now();
+        let plane = build_plane(&world, &mac, &cfg).expect("sparse 100k world shards");
+        let (report, trace) = Simulator::builder(world.clone())
+            .mac(mac)
+            .seed(42)
+            .sir_plane(plane)
+            .probe(TraceLog::bounded(64))
+            .build()
+            .unwrap()
+            .run_with_probe();
+        let wall = started.elapsed().as_secs_f64();
+        assert_eq!(
+            baseline, report,
+            "sharded run diverged from the sequential report"
+        );
+        let events = trace.len() as u64 + trace.dropped();
+        sharded = sharded.max(events as f64 / wall.max(1e-9));
+    }
+    eprintln!(
+        "n=100000 sparse: sequential {sequential:.0} events/s, sharded {sharded:.0} events/s \
+         ({:.1}x on {cores} cores)",
+        sharded / sequential.max(1e-9)
+    );
+    assert!(
+        sharded >= 3.0 * sequential,
+        "sharded plane ran {sharded:.0} events/s on {cores} cores, below 3x the sequential \
+         {sequential:.0} events/s"
     );
 }
 

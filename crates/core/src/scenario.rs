@@ -1,6 +1,7 @@
 use crate::{coolest_tree, ScenarioParams};
 use crn_geometry::{Deployment, GridIndex, Point, Region};
 use crn_interference::pcr;
+use crn_shard::ShardConfig;
 use crn_sim::{
     BuildError, InvariantChecker, Probe, RadioParams, SimReport, SimWorld, Simulator, TraceLog,
     Violation, WorldError,
@@ -316,6 +317,33 @@ impl Scenario {
         )
     }
 
+    /// Like [`Scenario::run`], with the SIR plane spread across spatial
+    /// shards per `shards` (see `crn_shard`). Sharded runs are
+    /// **bit-identical** to sequential ones — same outcome, same report —
+    /// so this only changes how the work is executed. Falls back to the
+    /// sequential engine when `shards` resolves to no plane (sequential
+    /// mode, single core on `auto`, or an exact-model world without the
+    /// sparse reverse index).
+    ///
+    /// # Errors
+    ///
+    /// Propagates tree or world assembly failures.
+    pub fn run_sharded(
+        &self,
+        algorithm: CollectionAlgorithm,
+        shards: &ShardConfig,
+    ) -> Result<CollectionOutcome, ScenarioError> {
+        let sim_seed = self.params.seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let (outcome, _noop) = self.run_probed_sharded(
+            algorithm,
+            sim_seed,
+            crn_sim::Traffic::Snapshot,
+            crn_sim::NoopProbe,
+            shards,
+        )?;
+        Ok(outcome)
+    }
+
     /// Runs **continuous data collection**: `snapshots` rounds of one
     /// packet per SU, generated every `interval_slots` slots. The
     /// steady-state [`SimReport::capacity_fraction`] of such a run
@@ -548,6 +576,21 @@ impl Scenario {
         &self,
         algorithm: CollectionAlgorithm,
     ) -> Result<(CollectionOutcome, InvariantChecker), ScenarioError> {
+        self.run_checked_sharded(algorithm, &ShardConfig::default())
+    }
+
+    /// [`Scenario::run_checked`] over the sharded SIR plane (see
+    /// [`Scenario::run_sharded`]): the trace-level oracle holds sharded
+    /// execution to the same invariants as sequential runs.
+    ///
+    /// # Errors
+    ///
+    /// As [`Scenario::run_checked`].
+    pub fn run_checked_sharded(
+        &self,
+        algorithm: CollectionAlgorithm,
+        shards: &ShardConfig,
+    ) -> Result<(CollectionOutcome, InvariantChecker), ScenarioError> {
         let sim_seed = self.params.seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
         let checker = InvariantChecker::new(self.world(algorithm)?, self.params.mac).with_repro(
             self.params.seed,
@@ -556,8 +599,13 @@ impl Scenario {
                 self.params.num_sus, self.params.num_pus, self.params.area_side
             ),
         );
-        let (outcome, oracle) =
-            self.run_probed(algorithm, sim_seed, crn_sim::Traffic::Snapshot, checker)?;
+        let (outcome, oracle) = self.run_probed_sharded(
+            algorithm,
+            sim_seed,
+            crn_sim::Traffic::Snapshot,
+            checker,
+            shards,
+        )?;
         match oracle.first_violation() {
             Some(v) => Err(ScenarioError::Invariant(Box::new(v.clone()))),
             None => Ok((outcome, oracle)),
@@ -580,6 +628,24 @@ impl Scenario {
         traffic: crn_sim::Traffic,
         probe: P,
     ) -> Result<(CollectionOutcome, P), ScenarioError> {
+        self.run_probed_sharded(algorithm, sim_seed, traffic, probe, &ShardConfig::default())
+    }
+
+    /// [`Scenario::run_probed`] over the sharded SIR plane (see
+    /// [`Scenario::run_sharded`]). The generic backbone under every other
+    /// run method.
+    ///
+    /// # Errors
+    ///
+    /// Propagates tree, world, or simulator assembly failures.
+    pub fn run_probed_sharded<P: Probe>(
+        &self,
+        algorithm: CollectionAlgorithm,
+        sim_seed: u64,
+        traffic: crn_sim::Traffic,
+        probe: P,
+        shards: &ShardConfig,
+    ) -> Result<(CollectionOutcome, P), ScenarioError> {
         let prepared = self.prepared(algorithm)?;
         // Fault schedules resolve against the *master* seed, not the sim
         // seed, so algorithm comparisons and repetition sweeps face the
@@ -589,15 +655,16 @@ impl Scenario {
             self.params.mac.slot,
             self.params.seed,
         )?;
-        let (report, probe): (SimReport, P) = Simulator::builder(prepared.world)
+        let mut builder = Simulator::builder(Arc::clone(&prepared.world))
             .mac(self.params.mac)
             .activity(self.params.activity)
             .seed(sim_seed)
             .traffic(traffic)
-            .faults(faults)
-            .probe(probe)
-            .build()?
-            .run_with_probe();
+            .faults(faults);
+        if let Some(plane) = crn_shard::build_plane(&prepared.world, &self.params.mac, shards) {
+            builder = builder.sir_plane(plane);
+        }
+        let (report, probe): (SimReport, P) = builder.probe(probe).build()?.run_with_probe();
         Ok((
             CollectionOutcome {
                 algorithm,
@@ -671,6 +738,38 @@ mod tests {
             .run(CollectionAlgorithm::Addc)
             .unwrap();
         assert_eq!(baseline, planned);
+    }
+
+    #[test]
+    fn run_sharded_is_bit_identical_at_every_mode() {
+        // The exact path the CLI (`--shards`) and serve layer take:
+        // whatever the shard mode, the outcome must equal `run`'s
+        // bit-for-bit (report PartialEq compares floats exactly) —
+        // which is also what licenses serve to cache across modes.
+        let mut p = small_params(6);
+        p.interference = crn_sim::InterferenceModel::Truncated { epsilon: 0.1 };
+        let s = Scenario::generate(&p).unwrap();
+        let baseline = s.run(CollectionAlgorithm::Addc).unwrap();
+        for mode in [
+            crn_shard::ShardMode::Sequential,
+            crn_shard::ShardMode::Auto,
+            crn_shard::ShardMode::Fixed(1),
+            crn_shard::ShardMode::Fixed(2),
+            crn_shard::ShardMode::Fixed(4),
+        ] {
+            let sharded = s
+                .run_sharded(CollectionAlgorithm::Addc, &ShardConfig::with_mode(mode))
+                .unwrap();
+            assert_eq!(baseline, sharded, "shards={mode} diverged from run()");
+        }
+        let (checked, oracle) = s
+            .run_checked_sharded(
+                CollectionAlgorithm::Addc,
+                &ShardConfig::with_mode(crn_shard::ShardMode::Fixed(3)),
+            )
+            .unwrap();
+        assert!(oracle.is_clean());
+        assert_eq!(baseline, checked);
     }
 
     #[test]

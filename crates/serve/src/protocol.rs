@@ -24,6 +24,7 @@
 
 use crate::ErrorKind;
 use crn_core::{CollectionAlgorithm, CollectionOutcome, ScenarioParams};
+use crn_shard::ShardMode;
 use crn_sim::{FaultsConfig, InterferenceModel};
 use crn_workloads::faults_wire;
 use crn_workloads::json::Json;
@@ -52,6 +53,12 @@ pub struct RunSpec {
     /// Testing aid: makes the worker panic instead of simulating, so the
     /// panic-isolation path is exercisable end-to-end. Never cached.
     pub inject_panic: bool,
+    /// SIR-plane sharding for the execution (see `crn_shard`).
+    /// Deliberately **excluded** from [`RunSpec::cache_key`]: sharded
+    /// runs are bit-identical to sequential ones, so a result computed
+    /// at any shard count serves every other — execution strategy is
+    /// not identity.
+    pub shards: ShardMode,
 }
 
 impl RunSpec {
@@ -83,6 +90,8 @@ impl RunSpec {
     }
 
     fn chain_run_identity(&self, mut h: u64) -> u64 {
+        // `self.shards` is intentionally absent: execution strategy must
+        // never split the cache (see the field docs).
         h = crn_core::fnv1a_64(h, self.algorithm.to_string().as_bytes());
         h = crn_core::fnv1a_64(h, &[u8::from(self.check_invariants)]);
         crn_core::fnv1a_64(h, ENGINE_VERSION.as_bytes())
@@ -428,6 +437,24 @@ fn parse_spec(v: &Json) -> Result<RunSpec, ProtoError> {
         .get("inject_panic")
         .and_then(Json::as_bool)
         .unwrap_or(false);
+    // Execution strategy, not identity: accepted as a count or "auto",
+    // never folded into the cache key.
+    let shards = match v.get("shards") {
+        None => ShardMode::Sequential,
+        Some(field) => {
+            if let Some(s) = field.as_str() {
+                s.parse::<ShardMode>().map_err(ProtoError::bad)?
+            } else if let Some(n) = field.as_u64() {
+                match u32::try_from(n) {
+                    Ok(0) => ShardMode::Sequential,
+                    Ok(k) => ShardMode::Fixed(k),
+                    Err(_) => return Err(ProtoError::bad("'shards' out of range")),
+                }
+            } else {
+                return Err(ProtoError::bad("'shards' must be a count or \"auto\""));
+            }
+        }
+    };
     let params = ScenarioParams::builder()
         .num_sus(sus)
         .num_pus(pus)
@@ -444,6 +471,7 @@ fn parse_spec(v: &Json) -> Result<RunSpec, ProtoError> {
         algorithm,
         check_invariants,
         inject_panic,
+        shards,
     })
 }
 
@@ -697,6 +725,31 @@ mod tests {
             parse_request(r#"{"v":1,"cmd":"shutdown"}"#).unwrap(),
             Request::Shutdown
         );
+    }
+
+    #[test]
+    fn shards_parse_but_never_touch_the_cache_key() {
+        let spec = |shards: &str| {
+            let Request::Run { spec, .. } = parse_request(&format!(
+                r#"{{"v":1,"cmd":"run","params":{{"seed":7}},"shards":{shards}}}"#
+            ))
+            .unwrap() else {
+                panic!()
+            };
+            spec
+        };
+        let seq = spec("0");
+        let auto = spec("\"auto\"");
+        let four = spec("4");
+        assert_eq!(seq.shards, crn_shard::ShardMode::Sequential);
+        assert_eq!(auto.shards, crn_shard::ShardMode::Auto);
+        assert_eq!(four.shards, crn_shard::ShardMode::Fixed(4));
+        // Execution strategy is not identity: a result computed at any
+        // shard count must serve every other shard count.
+        assert_eq!(seq.cache_key(), auto.cache_key());
+        assert_eq!(seq.cache_key(), four.cache_key());
+        let e = parse_request(r#"{"v":1,"cmd":"run","shards":true}"#).unwrap_err();
+        assert!(e.message.contains("shards"), "{}", e.message);
     }
 
     #[test]

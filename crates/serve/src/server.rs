@@ -41,6 +41,7 @@ use crate::protocol::{
 };
 use crate::ErrorKind;
 use crn_core::{CollectionOutcome, Scenario, ScenarioError};
+use crn_shard::{ShardConfig, ShardTelemetry};
 use crn_workloads::export::record_jsonl;
 use crn_workloads::json::Json;
 use crn_workloads::{Axis, RunRecord};
@@ -191,6 +192,9 @@ struct Shared {
     started: Instant,
     state: Mutex<State>,
     work_ready: Condvar,
+    /// Shard pool counters across every sharded execution (lock-free sink
+    /// shared with the planes; reported by `stats`).
+    shard_telemetry: Arc<ShardTelemetry>,
 }
 
 impl Shared {
@@ -242,6 +246,7 @@ impl Server {
             work_ready: Condvar::new(),
             started: Instant::now(),
             cfg,
+            shard_telemetry: Arc::new(ShardTelemetry::default()),
         });
         let worker_handles: Vec<JoinHandle<()>> = (0..workers)
             .map(|i| {
@@ -730,6 +735,17 @@ fn stats_json(shared: &Arc<Shared>) -> Json {
         bucket.set("count", Json::UInt(count));
         hist.push(bucket);
     }
+    let sh = shared.shard_telemetry.snapshot();
+    let mut shards_json = Json::obj();
+    shards_json
+        .set("runs", Json::UInt(sh.runs))
+        .set("shards_last", Json::UInt(sh.shards_last))
+        .set("windows_committed", Json::UInt(sh.windows_committed))
+        .set(
+            "boundary_events_mirrored",
+            Json::UInt(sh.boundary_events_mirrored),
+        )
+        .set("max_window_skew", Json::UInt(sh.max_window_skew));
     let mut s = Json::obj();
     s.set(
         "uptime_s",
@@ -745,6 +761,7 @@ fn stats_json(shared: &Arc<Shared>) -> Json {
     .set("counters", counters)
     .set("cache", cache_json)
     .set("topology_cache", topo_json)
+    .set("shards", shards_json)
     .set("latency_ms", Json::Arr(hist));
     let mut o = response_base(true);
     o.set("stats", s);
@@ -820,23 +837,35 @@ fn execute(shared: &Arc<Shared>, spec: &RunSpec) -> Result<CollectionOutcome, Ex
         .expect("state poisoned")
         .topologies
         .insert(spec.topology_key(), scenario.clone());
+    // Sharded execution is bit-identical to sequential, which is what
+    // lets `shards` stay out of the cache key: whichever strategy
+    // computes a result first serves every later request for it.
+    let shards = ShardConfig {
+        mode: spec.shards,
+        threaded: None,
+        telemetry: Some(Arc::clone(&shared.shard_telemetry)),
+    };
     if spec.check_invariants {
-        let (outcome, _oracle) = scenario.run_checked(spec.algorithm).map_err(|e| match e {
-            ScenarioError::Invariant(_) => ExecError {
-                kind: ErrorKind::InvariantViolation,
-                message: e.to_string(),
-            },
-            other => ExecError {
-                kind: ErrorKind::SimFailed,
-                message: other.to_string(),
-            },
-        })?;
+        let (outcome, _oracle) = scenario
+            .run_checked_sharded(spec.algorithm, &shards)
+            .map_err(|e| match e {
+                ScenarioError::Invariant(_) => ExecError {
+                    kind: ErrorKind::InvariantViolation,
+                    message: e.to_string(),
+                },
+                other => ExecError {
+                    kind: ErrorKind::SimFailed,
+                    message: other.to_string(),
+                },
+            })?;
         Ok(outcome)
     } else {
-        scenario.run(spec.algorithm).map_err(|e| ExecError {
-            kind: ErrorKind::SimFailed,
-            message: e.to_string(),
-        })
+        scenario
+            .run_sharded(spec.algorithm, &shards)
+            .map_err(|e| ExecError {
+                kind: ErrorKind::SimFailed,
+                message: e.to_string(),
+            })
     }
 }
 

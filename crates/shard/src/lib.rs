@@ -1,0 +1,223 @@
+//! Conservative spatially-sharded parallel SIR plane for the ADDC
+//! simulator.
+//!
+//! The sequential engine in `crn-sim` consumes one seeded RNG in global
+//! event order, so its *control* plane (backoff clocks, MAC phases,
+//! capture locks, packet queues, faults) cannot be partitioned without
+//! changing the random stream. What can be partitioned — and what
+//! dominates the per-event cost at 100k+ nodes — is the SIR *data*
+//! plane: replaying reverse-CSR interference rows into per-receiver-slot
+//! accumulators and re-verdicting the receptions chained there.
+//!
+//! This crate implements [`crn_sim::SirPlane`] as a set of spatial
+//! shards. Receiver slots are assigned to shards by partitioning the
+//! occupied cells of a [`crn_geometry::GridIndex`] whose cell size is at
+//! least the certified Lemma-2 interference cutoff
+//! ([`crn_interference::conservative_lookahead`] over the world's
+//! per-slot truncation cutoffs). Because every reverse row reaches at
+//! most that far, a transmitter's row only ever touches its own cell's
+//! shard and the ring of neighboring cells — the exact per-transmitter
+//! routing masks computed at build time stay small, and most events are
+//! delivered to a single shard.
+//!
+//! Each shard applies the *same* per-slot floating-point operations, in
+//! the *same* order, as the sequential delta path (per-slot streams are
+//! totally ordered by the global event order, and each slot is owned by
+//! exactly one shard), so the resulting [`crn_sim::SimReport`]s are
+//! **bit-identical** to sequential runs — for any shard count, threaded
+//! or inline. The equivalence suites in `tests/` and
+//! `crn-sim/tests/engine_equiv.rs` pin this down.
+//!
+//! Synchronization is conservative and windowed: within one MAC slot
+//! (`MacConfig::slot`, the engine's natural lookahead), events are
+//! fire-and-forget; the control thread blocks only when a naturally
+//! finishing transmission needs its sticky SIR verdict (drains just the
+//! owner shard) and at window commits (drains all shards).
+//!
+//! # Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use crn_geometry::{Point, Region};
+//! use crn_sim::{InterferenceModel, MacConfig, Simulator, SimWorld};
+//! use crn_shard::{build_plane, ShardConfig, ShardMode};
+//!
+//! let world = Arc::new(
+//!     SimWorld::builder(Region::square(30.0))
+//!         .su_positions(vec![
+//!             Point::new(5.0, 5.0),
+//!             Point::new(12.0, 5.0),
+//!             Point::new(19.0, 5.0),
+//!         ])
+//!         .parents(vec![None, Some(0), Some(1)])
+//!         .sense_range(25.0)
+//!         .interference(InterferenceModel::Truncated { epsilon: 1e-3 })
+//!         .build()
+//!         .unwrap(),
+//! );
+//! let mac = MacConfig::default();
+//! let cfg = ShardConfig { mode: ShardMode::Fixed(2), ..ShardConfig::default() };
+//! let plane = build_plane(&world, &mac, &cfg).expect("truncated world shards");
+//! let report = Simulator::builder(Arc::clone(&world))
+//!     .mac(mac)
+//!     .seed(7)
+//!     .sir_plane(plane)
+//!     .build()
+//!     .unwrap()
+//!     .run();
+//! // Bit-identical to the sequential run of the same (world, seed).
+//! let sequential = Simulator::builder(world).seed(7).build().unwrap().run();
+//! assert_eq!(format!("{report:?}"), format!("{sequential:?}"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod partition;
+mod plane;
+mod state;
+mod telemetry;
+
+use std::fmt;
+use std::str::FromStr;
+use std::sync::Arc;
+
+use crn_sim::{MacConfig, SimWorld, SirPlane};
+
+pub use partition::{Partition, MAX_SHARDS};
+pub use plane::ShardedPlane;
+pub use telemetry::{ShardStats, ShardTelemetry};
+
+/// How many shards to run the SIR plane across.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum ShardMode {
+    /// No external plane: the engine's built-in sequential delta path.
+    #[default]
+    Sequential,
+    /// One shard per available core (sequential when fewer than two).
+    Auto,
+    /// Exactly this many shards (clamped to `1..=`[`MAX_SHARDS`]). Unlike
+    /// `Auto` this builds a plane even on a single-core host — the
+    /// determinism suites rely on that to exercise sharded execution
+    /// anywhere.
+    Fixed(u32),
+}
+
+impl fmt::Display for ShardMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShardMode::Sequential => f.write_str("sequential"),
+            ShardMode::Auto => f.write_str("auto"),
+            ShardMode::Fixed(n) => write!(f, "{n}"),
+        }
+    }
+}
+
+impl FromStr for ShardMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "sequential" | "seq" => Ok(ShardMode::Sequential),
+            "auto" => Ok(ShardMode::Auto),
+            _ => match s.parse::<u32>() {
+                Ok(0) => Ok(ShardMode::Sequential),
+                Ok(n) => Ok(ShardMode::Fixed(n)),
+                Err(_) => Err(format!(
+                    "invalid shard mode {s:?} (expected `sequential`, `auto`, or a count)"
+                )),
+            },
+        }
+    }
+}
+
+/// Configuration for [`build_plane`].
+#[derive(Clone, Debug, Default)]
+pub struct ShardConfig {
+    /// Shard count policy. Defaults to [`ShardMode::Sequential`].
+    pub mode: ShardMode,
+    /// Force worker threads on (`Some(true)`) or off (`Some(false)`,
+    /// inline execution on the control thread). `None` picks threads
+    /// when the host has more than one core. Reports are bit-identical
+    /// either way; `Some(true)` lets single-core CI still exercise the
+    /// cross-thread machinery.
+    pub threaded: Option<bool>,
+    /// Optional shared sink for pool counters (windows committed,
+    /// boundary events mirrored, max window skew). Kept out of
+    /// [`crn_sim::SimReport`] on purpose: skew is timing-dependent in
+    /// threaded mode, and reports must stay bit-identical.
+    pub telemetry: Option<Arc<ShardTelemetry>>,
+}
+
+impl ShardConfig {
+    /// A config with the given mode and everything else defaulted.
+    #[must_use]
+    pub fn with_mode(mode: ShardMode) -> Self {
+        ShardConfig {
+            mode,
+            ..ShardConfig::default()
+        }
+    }
+}
+
+/// Builds a sharded SIR plane for `world`, or `None` when the run should
+/// stay on the engine's sequential path: [`ShardMode::Sequential`],
+/// [`ShardMode::Auto`] on a single-core host, or a world without the
+/// sparse reverse index (exact-mode interference has unbounded rows, so
+/// there is no spatial cutoff to shard on).
+///
+/// Attach the result via [`crn_sim::SimulatorBuilder::sir_plane`],
+/// passing the *same* `Arc<SimWorld>` to both.
+#[must_use]
+pub fn build_plane(
+    world: &Arc<SimWorld>,
+    mac: &MacConfig,
+    cfg: &ShardConfig,
+) -> Option<Box<dyn SirPlane>> {
+    let cores = || {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    };
+    let requested = match cfg.mode {
+        ShardMode::Sequential => return None,
+        ShardMode::Auto => {
+            let n = cores();
+            if n < 2 {
+                return None;
+            }
+            u32::try_from(n).unwrap_or(u32::MAX)
+        }
+        ShardMode::Fixed(k) => k.max(1),
+    };
+    if !world.has_reverse_index() {
+        return None;
+    }
+    let threaded = cfg.threaded.unwrap_or_else(|| cores() >= 2);
+    Some(Box::new(ShardedPlane::new(
+        Arc::clone(world),
+        mac,
+        requested,
+        threaded,
+        cfg.telemetry.clone(),
+    )))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_mode_parses_and_displays() {
+        assert_eq!("sequential".parse::<ShardMode>(), Ok(ShardMode::Sequential));
+        assert_eq!("seq".parse::<ShardMode>(), Ok(ShardMode::Sequential));
+        assert_eq!("0".parse::<ShardMode>(), Ok(ShardMode::Sequential));
+        assert_eq!("auto".parse::<ShardMode>(), Ok(ShardMode::Auto));
+        assert_eq!("4".parse::<ShardMode>(), Ok(ShardMode::Fixed(4)));
+        assert!("four".parse::<ShardMode>().is_err());
+        assert!("-1".parse::<ShardMode>().is_err());
+        for mode in [ShardMode::Sequential, ShardMode::Auto, ShardMode::Fixed(7)] {
+            assert_eq!(mode.to_string().parse::<ShardMode>(), Ok(mode));
+        }
+    }
+}

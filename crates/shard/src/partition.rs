@@ -1,0 +1,315 @@
+//! Spatial owner-map partitioning of receiver slots.
+//!
+//! Shards own *receiver slots* (the per-slot accumulators are the only
+//! mutable SIR state), assigned by cell of a [`GridIndex`] over the
+//! receiver positions. The cell size is at least the certified Lemma-2
+//! cutoff ([`conservative_lookahead`] over the world's per-slot
+//! truncation radii), so a reverse row fans out to few shards; but note
+//! that *any* assignment is bitwise-correct — cell size only controls
+//! routing fanout and load balance, never results. The exact per-
+//! transmitter routing masks come from one walk over each reverse row;
+//! the geometric halo ([`Partition::halo_mask`], via
+//! [`GridIndex::cells_within`]) is a conservative superset used to
+//! cross-check them.
+
+use std::sync::Arc;
+
+use crn_geometry::{GridIndex, Point};
+use crn_interference::conservative_lookahead;
+use crn_sim::SimWorld;
+
+/// Hard cap on the shard count: routing masks are single `u64`
+/// bitmasks, which keeps per-event dispatch branch-free.
+pub const MAX_SHARDS: u32 = 64;
+
+/// `cell_owner` marker for grid cells containing no receiver.
+const UNOWNED: u16 = u16::MAX;
+
+/// A built owner map: which shard owns each receiver slot, plus the
+/// per-transmitter routing masks derived from the reverse rows.
+#[derive(Debug)]
+pub struct Partition {
+    shards: u32,
+    lookahead: f64,
+    /// Shard owning each receiver slot (indexed by slot id).
+    slot_owner: Arc<Vec<u16>>,
+    /// Shard owning each grid cell, [`UNOWNED`] where empty.
+    cell_owner: Vec<u16>,
+    /// Shards (bitmask) whose owned slots appear in each SU's reverse row.
+    su_mask: Vec<u64>,
+    /// Shards (bitmask) whose owned slots appear in each PU's reverse row.
+    pu_mask: Vec<u64>,
+    grid: GridIndex,
+}
+
+impl Partition {
+    /// Partitions `world`'s receiver slots into (at most) `shards`
+    /// shards. Requires the sparse reverse index (the caller,
+    /// [`crate::build_plane`], guarantees it). The result is fully
+    /// deterministic in `(world, shards)`.
+    #[must_use]
+    pub fn build(world: &SimWorld, shards: u32) -> Partition {
+        let shards = shards.clamp(1, MAX_SHARDS);
+        debug_assert!(
+            world.has_reverse_index(),
+            "partitioning needs the truncated reverse index"
+        );
+        let region = world.topology().region();
+        let positions = world.su_positions();
+        let rx_points: Vec<Point> = world
+            .receivers()
+            .iter()
+            .map(|&su| positions[su as usize])
+            .collect();
+
+        // Cell size: the certified lookahead when the world has one
+        // (truncated mode always does), else a coarse fraction of the
+        // region so the grid stays small.
+        let lookahead = world
+            .truncation_stats()
+            .map(|(cutoffs, _)| conservative_lookahead(cutoffs))
+            .unwrap_or(0.0);
+        let fallback = (region.width().max(region.height()) / 16.0).max(1e-9);
+        let cell = if lookahead > 0.0 { lookahead } else { fallback };
+        let grid = GridIndex::build(&rx_points, region, cell);
+        let (cols, rows) = grid.dims();
+
+        // Receiver count per cell, in the grid's row-major order.
+        let mut count = vec![0u32; cols * rows];
+        let mut slot_cell = Vec::with_capacity(rx_points.len());
+        for &p in &rx_points {
+            let c = grid.cell_of(p);
+            slot_cell.push(c);
+            count[c] += 1;
+        }
+
+        // Split the occupied cells, in row-major order, into contiguous
+        // chunks balanced by receiver count: close a shard once it holds
+        // its fair share (ceiling) of what remained when it opened.
+        let total = rx_points.len() as u64;
+        let mut cell_owner = vec![UNOWNED; cols * rows];
+        let mut shard = 0u16;
+        let mut taken = 0u64;
+        let mut done = 0u64;
+        for (c, &n) in count.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            cell_owner[c] = shard;
+            taken += u64::from(n);
+            let remaining_shards = u64::from(shards) - u64::from(shard);
+            if u32::from(shard) + 1 < shards && taken * remaining_shards >= total - done {
+                done += taken;
+                taken = 0;
+                shard += 1;
+            }
+        }
+        // If the fair-share close fired on the final occupied cell, the
+        // freshly opened shard owns nothing — don't count it.
+        let shards_used = if taken == 0 && done > 0 {
+            u32::from(shard)
+        } else {
+            u32::from(shard) + 1
+        };
+
+        let slot_owner: Vec<u16> = slot_cell.iter().map(|&c| cell_owner[c]).collect();
+        debug_assert!(slot_owner.iter().all(|&o| u32::from(o) < shards_used));
+
+        // Exact routing masks from one walk per reverse row.
+        let mask_of = |row: Option<(&[u32], &[f64])>| -> u64 {
+            let mut m = 0u64;
+            if let Some((slots, _)) = row {
+                for &s in slots {
+                    m |= 1u64 << slot_owner[s as usize];
+                }
+            }
+            m
+        };
+        let su_mask: Vec<u64> = (0..world.num_sus())
+            .map(|su| mask_of(world.who_hears_su(su as u32)))
+            .collect();
+        let pu_mask: Vec<u64> = (0..world.num_pus())
+            .map(|pu| mask_of(world.who_hears_pu(pu)))
+            .collect();
+
+        Partition {
+            shards: shards_used,
+            lookahead,
+            slot_owner: Arc::new(slot_owner),
+            cell_owner,
+            su_mask,
+            pu_mask,
+            grid,
+        }
+    }
+
+    /// Number of shards actually used (≤ the requested count when there
+    /// are fewer occupied cells than shards).
+    #[must_use]
+    pub fn shards(&self) -> u32 {
+        self.shards
+    }
+
+    /// The certified lookahead radius the cell size was derived from
+    /// (`0.0` when the world had no truncation cutoffs).
+    #[must_use]
+    pub fn lookahead(&self) -> f64 {
+        self.lookahead
+    }
+
+    /// Shard owning each receiver slot, shared with the shard workers.
+    #[must_use]
+    pub(crate) fn slot_owner_arc(&self) -> Arc<Vec<u16>> {
+        Arc::clone(&self.slot_owner)
+    }
+
+    /// Shard owning receiver slot `slot`.
+    #[must_use]
+    pub fn owner_of_slot(&self, slot: u32) -> u16 {
+        self.slot_owner[slot as usize]
+    }
+
+    /// Shards reached by SU `su`'s reverse row.
+    #[must_use]
+    pub fn su_mask(&self, su: u32) -> u64 {
+        self.su_mask[su as usize]
+    }
+
+    /// Shards reached by PU `pu`'s reverse row.
+    #[must_use]
+    pub fn pu_mask(&self, pu: u32) -> u64 {
+        self.pu_mask[pu as usize]
+    }
+
+    /// Conservative geometric superset of the shards any interferer at
+    /// `p` with reach `radius` can touch: every shard owning a grid cell
+    /// that intersects the disk. The exact masks must be subsets of this
+    /// (validated by the partition tests).
+    #[must_use]
+    pub fn halo_mask(&self, p: Point, radius: f64) -> u64 {
+        let mut m = 0u64;
+        for c in self.grid.cells_within(p, radius) {
+            let o = self.cell_owner[c];
+            if o != UNOWNED {
+                m |= 1u64 << o;
+            }
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crn_geometry::Region;
+    use crn_sim::InterferenceModel;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Jittered grid with chain-to-corner parents (the `engine_equiv`
+    /// deployment shape): jitter ≤ ±1.0 keeps every tree link audible.
+    fn random_world(n: usize, seed: u64) -> SimWorld {
+        let cols = (n as f64).sqrt().ceil() as usize;
+        let spacing = 7.0;
+        let side = cols as f64 * spacing + 10.0;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut sus = Vec::with_capacity(cols * cols);
+        let mut parents = Vec::with_capacity(cols * cols);
+        for i in 0..cols * cols {
+            let (row, col) = (i / cols, i % cols);
+            let dx: f64 = rng.gen_range(-1.0..1.0);
+            let dy: f64 = rng.gen_range(-1.0..1.0);
+            sus.push(Point::new(
+                col as f64 * spacing + 5.0 + dx,
+                row as f64 * spacing + 5.0 + dy,
+            ));
+            parents.push(if i == 0 {
+                None
+            } else if col > 0 {
+                Some((i - 1) as u32)
+            } else {
+                Some((i - cols) as u32)
+            });
+        }
+        let pus = (0..cols)
+            .map(|_| {
+                let x: f64 = rng.gen_range(0.0..side);
+                let y: f64 = rng.gen_range(0.0..side);
+                Point::new(x, y)
+            })
+            .collect();
+        SimWorld::builder(Region::square(side))
+            .su_positions(sus)
+            .pu_positions(pus)
+            .parents(parents)
+            .sense_range(25.0)
+            .interference(InterferenceModel::Truncated { epsilon: 1e-3 })
+            .build()
+            .expect("world builds")
+    }
+
+    #[test]
+    fn partition_is_deterministic_and_covers_every_slot() {
+        let world = random_world(80, 11);
+        let a = Partition::build(&world, 4);
+        let b = Partition::build(&world, 4);
+        assert_eq!(a.slot_owner, b.slot_owner);
+        assert_eq!(a.su_mask, b.su_mask);
+        assert_eq!(a.pu_mask, b.pu_mask);
+        assert!(a.shards() >= 1 && a.shards() <= 4);
+        for s in 0..world.num_receiver_slots() as u32 {
+            assert!(u32::from(a.owner_of_slot(s)) < a.shards());
+        }
+    }
+
+    #[test]
+    fn single_shard_masks_are_trivial() {
+        let world = random_world(40, 3);
+        let p = Partition::build(&world, 1);
+        assert_eq!(p.shards(), 1);
+        for su in 0..world.num_sus() as u32 {
+            let nonempty = world.who_hears_su(su).is_some_and(|(s, _)| !s.is_empty());
+            assert_eq!(p.su_mask(su), u64::from(nonempty));
+        }
+    }
+
+    #[test]
+    fn exact_masks_are_subsets_of_the_geometric_halo() {
+        let world = random_world(120, 29);
+        for shards in [2, 3, 8, 64] {
+            let p = Partition::build(&world, shards);
+            let halo_r = p.lookahead().max(world.phy().su_radius());
+            for su in 0..world.num_sus() {
+                let halo = p.halo_mask(world.su_positions()[su], halo_r);
+                let exact = p.su_mask(su as u32);
+                assert_eq!(
+                    exact & !halo,
+                    0,
+                    "su {su}: exact mask {exact:#b} escapes halo {halo:#b} at {shards} shards"
+                );
+            }
+            for pu in 0..world.num_pus() {
+                let halo = p.halo_mask(world.pu_positions()[pu], halo_r);
+                let exact = p.pu_mask(pu as u32);
+                assert_eq!(exact & !halo, 0, "pu {pu} escapes halo at {shards} shards");
+            }
+        }
+    }
+
+    #[test]
+    fn receiver_load_is_roughly_balanced() {
+        let world = random_world(200, 7);
+        let p = Partition::build(&world, 4);
+        let mut per_shard = vec![0u32; p.shards() as usize];
+        for s in 0..world.num_receiver_slots() as u32 {
+            per_shard[p.owner_of_slot(s) as usize] += 1;
+        }
+        let total: u32 = per_shard.iter().sum();
+        assert_eq!(total as usize, world.num_receiver_slots());
+        // Cells are coarse (lookahead-sized), so exact balance is out of
+        // reach — but every *used* shard must own at least one receiver.
+        for (i, &n) in per_shard.iter().enumerate() {
+            assert!(n > 0, "shard {i} of {} owns no receivers", p.shards());
+        }
+    }
+}

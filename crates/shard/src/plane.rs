@@ -1,0 +1,289 @@
+//! The sharded [`SirPlane`]: routing, windowed synchronization, and the
+//! inline/threaded executors.
+//!
+//! The control thread (the sequential engine) calls the plane in global
+//! event order. Each call is routed — via the partition's exact
+//! per-transmitter masks — to every shard whose owned slots its reverse
+//! row touches. Two execution modes, bit-identical by construction:
+//!
+//! - **Inline**: items are applied synchronously to each shard state in
+//!   shard-index order on the control thread. Zero synchronization;
+//!   this is the single-core fallback and the reference the threaded
+//!   mode is tested against.
+//! - **Threaded**: one worker thread per shard behind a bounded
+//!   [`std::sync::mpsc::sync_channel`] (send blocks when full, so the
+//!   control thread can never run unboundedly ahead). Each worker bumps
+//!   an `AtomicU64` processed counter with `Release` after every item;
+//!   the control thread drains a worker by spinning (with yields) until
+//!   `processed == enqueued` with `Acquire`, which also publishes the
+//!   worker's writes to the shared verdict board.
+//!
+//! Synchronization points are conservative: a window commit (every
+//! [`MacConfig::slot`] of simulation time — the engine's natural
+//! lookahead) drains *all* workers; a natural transmission finish
+//! drains *only* the owner of the receiver slot before reading the
+//! sticky verdict. Everything else is fire-and-forget.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::SyncSender;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crn_sim::{MacConfig, SimWorld, SirPlane};
+
+use crate::partition::Partition;
+use crate::state::{Item, ShardSirState};
+use crate::telemetry::ShardTelemetry;
+
+/// Bounded depth of each worker's item queue. Full queues apply
+/// backpressure to the control thread; commits drain every window, so
+/// in practice sends rarely block.
+const WORKER_QUEUE_DEPTH: usize = 4096;
+
+/// One worker thread's handle on the control side.
+#[derive(Debug)]
+struct Worker {
+    /// `None` after `finish` (dropping it is what stops the thread).
+    sender: Option<SyncSender<Item>>,
+    /// Items the worker has fully applied (`Release` on bump).
+    processed: Arc<AtomicU64>,
+    /// Items the control thread has sent it.
+    enqueued: u64,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl Worker {
+    /// Spin (with yields) until the worker has applied everything sent
+    /// so far. The `Acquire` load pairs with the worker's `Release`
+    /// bump, publishing its verdict-board writes.
+    fn drain(&self) {
+        let mut spins = 0u32;
+        while self.processed.load(Ordering::Acquire) < self.enqueued {
+            spins = spins.wrapping_add(1);
+            if spins.is_multiple_of(64) {
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+    }
+
+    fn backlog(&self) -> u64 {
+        self.enqueued - self.processed.load(Ordering::Acquire)
+    }
+}
+
+#[derive(Debug)]
+enum Exec {
+    Inline(Vec<ShardSirState>),
+    Threaded(Vec<Worker>),
+}
+
+/// The sharded SIR plane (see the module docs). Build one with
+/// [`crate::build_plane`] and attach it via
+/// [`crn_sim::SimulatorBuilder::sir_plane`].
+#[derive(Debug)]
+pub struct ShardedPlane {
+    part: Partition,
+    exec: Exec,
+    /// Sticky per-SU `failed_sir` bits, written by the owner shard.
+    failed: Arc<Vec<AtomicBool>>,
+    window_len: f64,
+    next_window: f64,
+    windows_committed: u64,
+    mirrored: u64,
+    max_skew: u64,
+    telemetry: Option<Arc<ShardTelemetry>>,
+}
+
+impl ShardedPlane {
+    pub(crate) fn new(
+        world: Arc<SimWorld>,
+        mac: &MacConfig,
+        shards: u32,
+        threaded: bool,
+        telemetry: Option<Arc<ShardTelemetry>>,
+    ) -> ShardedPlane {
+        let part = Partition::build(&world, shards);
+        let failed: Arc<Vec<AtomicBool>> = Arc::new(
+            (0..world.num_sus())
+                .map(|_| AtomicBool::new(false))
+                .collect(),
+        );
+        let owners = part.slot_owner_arc();
+        let make_state = |i: u32| {
+            ShardSirState::new(
+                i as u16,
+                Arc::clone(&world),
+                Arc::clone(&owners),
+                mac.check_sir,
+                Arc::clone(&failed),
+            )
+        };
+        let exec = if threaded && part.shards() > 1 {
+            let workers = (0..part.shards())
+                .map(|i| {
+                    let mut state = make_state(i);
+                    let (sender, receiver) =
+                        std::sync::mpsc::sync_channel::<Item>(WORKER_QUEUE_DEPTH);
+                    let processed = Arc::new(AtomicU64::new(0));
+                    let counter = Arc::clone(&processed);
+                    let handle = std::thread::Builder::new()
+                        .name(format!("crn-shard-{i}"))
+                        .spawn(move || {
+                            while let Ok(item) = receiver.recv() {
+                                state.apply(item);
+                                counter.fetch_add(1, Ordering::Release);
+                            }
+                        })
+                        .expect("spawn shard worker");
+                    Worker {
+                        sender: Some(sender),
+                        processed,
+                        enqueued: 0,
+                        handle: Some(handle),
+                    }
+                })
+                .collect();
+            Exec::Threaded(workers)
+        } else {
+            Exec::Inline((0..part.shards()).map(make_state).collect())
+        };
+        ShardedPlane {
+            part,
+            exec,
+            failed,
+            window_len: mac.slot,
+            next_window: mac.slot,
+            windows_committed: 0,
+            mirrored: 0,
+            max_skew: 0,
+            telemetry,
+        }
+    }
+
+    /// Number of shards in use.
+    #[must_use]
+    pub fn shards(&self) -> u32 {
+        self.part.shards()
+    }
+
+    /// Routes `item` to every shard in `mask`. Inline shards apply it
+    /// immediately (in shard-index order — any order is bit-identical,
+    /// since each slot has one owner); threaded shards enqueue.
+    fn dispatch(&mut self, mask: u64, item: Item) {
+        let fan = u64::from(mask.count_ones());
+        if fan == 0 {
+            return;
+        }
+        self.mirrored += fan - 1;
+        let mut m = mask;
+        match &mut self.exec {
+            Exec::Inline(states) => {
+                while m != 0 {
+                    let i = m.trailing_zeros() as usize;
+                    m &= m - 1;
+                    states[i].apply(item);
+                }
+            }
+            Exec::Threaded(workers) => {
+                while m != 0 {
+                    let i = m.trailing_zeros() as usize;
+                    m &= m - 1;
+                    let w = &mut workers[i];
+                    w.sender
+                        .as_ref()
+                        .expect("plane used after finish")
+                        .send(item)
+                        .expect("shard worker died");
+                    w.enqueued += 1;
+                }
+            }
+        }
+    }
+
+    /// Samples the deepest worker backlog, then blocks until every
+    /// worker has caught up (no-op for inline execution).
+    fn commit_barrier(&mut self) {
+        if let Exec::Threaded(workers) = &self.exec {
+            let skew = workers.iter().map(Worker::backlog).max().unwrap_or(0);
+            self.max_skew = self.max_skew.max(skew);
+            for w in workers {
+                w.drain();
+            }
+        }
+    }
+}
+
+impl SirPlane for ShardedPlane {
+    fn advance_to(&mut self, now: f64) {
+        if now < self.next_window {
+            return;
+        }
+        // One barrier per crossing, however many windows were skipped
+        // over (idle windows still count as committed).
+        let crossed = ((now - self.next_window) / self.window_len).floor() as u64 + 1;
+        self.commit_barrier();
+        self.windows_committed += crossed;
+        self.next_window += crossed as f64 * self.window_len;
+    }
+
+    fn tx_start(&mut self, su: u32, rx_slot: u32, signal: f64) {
+        debug_assert_eq!(
+            self.part.su_mask(su) & (1 << self.part.owner_of_slot(rx_slot)),
+            1 << self.part.owner_of_slot(rx_slot),
+            "receiver slot's owner missing from the transmitter's mask"
+        );
+        self.dispatch(
+            self.part.su_mask(su),
+            Item::TxStart {
+                su,
+                rx_slot,
+                signal,
+            },
+        );
+    }
+
+    fn tx_finish(&mut self, su: u32, rx_slot: u32, need_verdict: bool) -> bool {
+        self.dispatch(self.part.su_mask(su), Item::TxFinish { su, rx_slot });
+        if !need_verdict {
+            return false;
+        }
+        // Only the receiver slot's owner writes this SU's verdict; its
+        // queue holds everything that can still flip the bit (items are
+        // enqueued in global event order). Draining it publishes the
+        // board writes; other shards can lag freely.
+        if let Exec::Threaded(workers) = &self.exec {
+            workers[self.part.owner_of_slot(rx_slot) as usize].drain();
+        }
+        self.failed[su as usize].load(Ordering::Relaxed)
+    }
+
+    fn pu_on(&mut self, pu: u32) {
+        self.dispatch(self.part.pu_mask(pu), Item::PuOn { pu });
+    }
+
+    fn pu_off(&mut self, pu: u32) {
+        self.dispatch(self.part.pu_mask(pu), Item::PuOff { pu });
+    }
+
+    fn finish(&mut self) {
+        self.commit_barrier();
+        if let Exec::Threaded(workers) = &mut self.exec {
+            for w in workers {
+                drop(w.sender.take());
+                if let Some(h) = w.handle.take() {
+                    h.join().expect("shard worker panicked");
+                }
+            }
+        }
+        if let Some(t) = &self.telemetry {
+            t.record(
+                self.part.shards(),
+                self.windows_committed,
+                self.mirrored,
+                self.max_skew,
+            );
+        }
+    }
+}

@@ -1,0 +1,295 @@
+//! Per-shard SIR state: an owner-filtered replica of the sequential
+//! engine's delta path.
+//!
+//! **Bit-identity contract.** Every arithmetic statement here mirrors,
+//! operation for operation, the `SirPath::Delta` arms in
+//! `crn-sim/src/engine.rs` (`begin_tx`, `finish_tx`, `set_pu_on`,
+//! `set_pu_off`, `recheck_slot`) — if one side changes, the other must
+//! change identically, and the paired-seed equivalence suites will
+//! catch a drift. The *only* difference is the owner filter: a shard
+//! skips row entries whose receiver slot it does not own. Because each
+//! slot has exactly one owner and items are applied in the global event
+//! order, the per-slot sequence of floating-point operations is
+//! identical to the sequential engine's, hence so is every accumulator
+//! bit and every sticky verdict.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use crn_sim::SimWorld;
+
+/// Sentinel for "no SU" in slot chains (mirrors the engine's).
+pub(crate) const NO_SU: u32 = u32::MAX;
+
+/// Per-receiver-slot accumulator (mirrors the engine's `SlotAcc`).
+#[derive(Clone, Copy, Debug)]
+struct SlotAcc {
+    /// Running sum of all contributions (own terms included).
+    intf: f64,
+    /// Live contributor count; `intf` snaps to exactly 0.0 at zero.
+    cnt: u32,
+    /// Head of the intrusive chain of in-flight receptions.
+    head: u32,
+}
+
+impl SlotAcc {
+    const EMPTY: SlotAcc = SlotAcc {
+        intf: 0.0,
+        cnt: 0,
+        head: NO_SU,
+    };
+}
+
+/// One mirrored engine call, routed to every shard in the
+/// transmitter's mask.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum Item {
+    /// Mirrors `SirPlane::tx_start`.
+    TxStart { su: u32, rx_slot: u32, signal: f64 },
+    /// Mirrors `SirPlane::tx_finish` (the verdict is read from the
+    /// shared board after draining the owner, not returned here).
+    TxFinish { su: u32, rx_slot: u32 },
+    /// Mirrors `SirPlane::pu_on`.
+    PuOn { pu: u32 },
+    /// Mirrors `SirPlane::pu_off`.
+    PuOff { pu: u32 },
+}
+
+/// The mutable SIR state of one shard. Arrays are full-length (indexed
+/// by global slot/SU ids) but each entry is touched only by its owner
+/// shard — except the `failed` board, which the control thread reads
+/// after draining the owner.
+#[derive(Debug)]
+pub(crate) struct ShardSirState {
+    shard: u16,
+    world: Arc<SimWorld>,
+    /// Slot → owning shard (shared, immutable).
+    owners: Arc<Vec<u16>>,
+    check_sir: bool,
+    p_s: f64,
+    eta: f64,
+    slot: Vec<SlotAcc>,
+    /// Clamped self-jamming term per slot, outside the accumulator.
+    slot_self: Vec<f64>,
+    /// Intrusive chain links per SU.
+    next_at_slot: Vec<u32>,
+    /// Own (undegraded) contribution at the SU's receiver, valid while
+    /// chained.
+    own: Vec<f64>,
+    /// Degraded intended-link signal, valid while chained.
+    signal: Vec<f64>,
+    /// Sticky per-SU `failed_sir` bits, shared with the control thread.
+    /// Relaxed is enough: cross-thread ordering rides on the worker's
+    /// processed counter (Release on bump, Acquire on drain).
+    failed: Arc<Vec<AtomicBool>>,
+}
+
+impl ShardSirState {
+    pub(crate) fn new(
+        shard: u16,
+        world: Arc<SimWorld>,
+        owners: Arc<Vec<u16>>,
+        check_sir: bool,
+        failed: Arc<Vec<AtomicBool>>,
+    ) -> ShardSirState {
+        let slots = world.num_receiver_slots();
+        let sus = world.num_sus();
+        let p_s = world.phy().su_power();
+        let eta = world.phy().su_sir_threshold();
+        ShardSirState {
+            shard,
+            world,
+            owners,
+            check_sir,
+            p_s,
+            eta,
+            slot: vec![SlotAcc::EMPTY; slots],
+            slot_self: vec![0.0; slots],
+            next_at_slot: vec![NO_SU; sus],
+            own: vec![0.0; sus],
+            signal: vec![0.0; sus],
+            failed,
+        }
+    }
+
+    pub(crate) fn apply(&mut self, item: Item) {
+        match item {
+            Item::TxStart {
+                su,
+                rx_slot,
+                signal,
+            } => self.tx_start(su, rx_slot, signal),
+            Item::TxFinish { su, rx_slot } => self.tx_finish(su, rx_slot),
+            Item::PuOn { pu } => self.pu_on(pu),
+            Item::PuOff { pu } => self.pu_off(pu),
+        }
+    }
+
+    /// Mirrors `begin_tx`'s delta arm: accumulate the reverse row into
+    /// owned slots (re-verdicting on increase), then — iff this shard
+    /// owns the receiver — compute the initial verdict from the fully
+    /// updated accumulator and join the slot's chain. The chain join
+    /// happens *after* the row walk, so the walk's re-checks never see
+    /// the new reception (same ordering as the engine).
+    fn tx_start(&mut self, su: u32, rx_slot: u32, signal: f64) {
+        let world = Arc::clone(&self.world);
+        let my_slot = world.receiver_slot(su).unwrap_or(NO_SU);
+        let (slots, gains) = world
+            .who_hears_su(su)
+            .expect("sharded plane requires the reverse index");
+        let mut own = 0.0;
+        for (&s, &g) in slots.iter().zip(gains) {
+            if self.owners[s as usize] != self.shard {
+                continue;
+            }
+            if s == my_slot {
+                self.slot_self[s as usize] = self.p_s * g;
+                if self.slot[s as usize].head != NO_SU {
+                    self.recheck_slot(s);
+                }
+                continue;
+            }
+            let acc = &mut self.slot[s as usize];
+            acc.intf += self.p_s * g;
+            acc.cnt += 1;
+            if s == rx_slot {
+                own = self.p_s * g;
+            }
+            if acc.head != NO_SU {
+                self.recheck_slot(s);
+            }
+        }
+
+        if self.owners[rx_slot as usize] == self.shard {
+            let acc = &self.slot[rx_slot as usize];
+            let cnt = acc.cnt;
+            debug_assert!(cnt >= 1, "own contribution missing from slot");
+            let rest = if cnt <= 1 {
+                0.0
+            } else {
+                (acc.intf - own).max(0.0)
+            };
+            let interference = rest + self.slot_self[rx_slot as usize];
+            let failed = self.check_sir && interference > 0.0 && signal < self.eta * interference;
+            self.failed[su as usize].store(failed, Ordering::Relaxed);
+            self.own[su as usize] = own;
+            self.signal[su as usize] = signal;
+            let head = &mut self.slot[rx_slot as usize].head;
+            self.next_at_slot[su as usize] = *head;
+            *head = su;
+        }
+    }
+
+    /// Mirrors `finish_tx`'s delta arm: unchain at the receiver (owner
+    /// only), then withdraw the row from owned slots with the same
+    /// snap-to-zero rule. Decreases never re-check.
+    fn tx_finish(&mut self, su: u32, rx_slot: u32) {
+        if self.owners[rx_slot as usize] == self.shard {
+            let slot = rx_slot as usize;
+            let mut cur = self.slot[slot].head;
+            if cur == su {
+                self.slot[slot].head = self.next_at_slot[su as usize];
+            } else {
+                while self.next_at_slot[cur as usize] != su {
+                    cur = self.next_at_slot[cur as usize];
+                    debug_assert_ne!(cur, NO_SU, "active tx missing from slot chain");
+                }
+                self.next_at_slot[cur as usize] = self.next_at_slot[su as usize];
+            }
+            self.next_at_slot[su as usize] = NO_SU;
+        }
+
+        let world = Arc::clone(&self.world);
+        let my_slot = world.receiver_slot(su).unwrap_or(NO_SU);
+        let (slots, gains) = world
+            .who_hears_su(su)
+            .expect("sharded plane requires the reverse index");
+        for (&s, &g) in slots.iter().zip(gains) {
+            if self.owners[s as usize] != self.shard {
+                continue;
+            }
+            if s == my_slot {
+                self.slot_self[s as usize] = 0.0;
+                continue;
+            }
+            let acc = &mut self.slot[s as usize];
+            debug_assert!(acc.cnt > 0, "slot contributor underflow");
+            acc.cnt -= 1;
+            acc.intf = if acc.cnt == 0 {
+                0.0
+            } else {
+                (acc.intf - self.p_s * g).max(0.0)
+            };
+        }
+    }
+
+    /// Mirrors `set_pu_on`'s delta arm over owned slots.
+    fn pu_on(&mut self, pu: u32) {
+        let world = Arc::clone(&self.world);
+        let p_p = world.phy().pu_power();
+        let (slots, gains) = world
+            .who_hears_pu(pu as usize)
+            .expect("sharded plane requires the reverse index");
+        for (&s, &g) in slots.iter().zip(gains) {
+            if self.owners[s as usize] != self.shard {
+                continue;
+            }
+            let acc = &mut self.slot[s as usize];
+            acc.intf += p_p * g;
+            acc.cnt += 1;
+            if acc.head != NO_SU {
+                self.recheck_slot(s);
+            }
+        }
+    }
+
+    /// Mirrors `set_pu_off`'s delta arm over owned slots.
+    fn pu_off(&mut self, pu: u32) {
+        let world = Arc::clone(&self.world);
+        let p_p = world.phy().pu_power();
+        let (slots, gains) = world
+            .who_hears_pu(pu as usize)
+            .expect("sharded plane requires the reverse index");
+        for (&s, &g) in slots.iter().zip(gains) {
+            if self.owners[s as usize] != self.shard {
+                continue;
+            }
+            let acc = &mut self.slot[s as usize];
+            debug_assert!(acc.cnt > 0, "slot contributor underflow");
+            acc.cnt -= 1;
+            acc.intf = if acc.cnt == 0 {
+                0.0
+            } else {
+                (acc.intf - p_p * g).max(0.0)
+            };
+        }
+    }
+
+    /// Mirrors the engine's `recheck_slot`: re-verdict the receptions
+    /// chained at an owned slot after its accumulator increased. Sticky:
+    /// a set bit is never cleared until the SU's next `tx_start`.
+    fn recheck_slot(&mut self, slot: u32) {
+        if !self.check_sir {
+            return;
+        }
+        let acc = self.slot[slot as usize];
+        let total = acc.intf;
+        let cnt = acc.cnt;
+        let self_term = self.slot_self[slot as usize];
+        let mut cur = acc.head;
+        while cur != NO_SU {
+            if !self.failed[cur as usize].load(Ordering::Relaxed) {
+                let rest = if cnt <= 1 {
+                    0.0
+                } else {
+                    (total - self.own[cur as usize]).max(0.0)
+                };
+                let intf = rest + self_term;
+                if intf > 0.0 && self.signal[cur as usize] < self.eta * intf {
+                    self.failed[cur as usize].store(true, Ordering::Relaxed);
+                }
+            }
+            cur = self.next_at_slot[cur as usize];
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! Shard pool counters, kept **out** of [`crn_sim::SimReport`].
+//!
+//! Reports must stay bit-identical across shard counts and execution
+//! modes, and `max_window_skew` is inherently timing-dependent in
+//! threaded mode — so telemetry flows through this shared atomic sink
+//! instead (the serve daemon's `stats` endpoint aggregates one across
+//! runs).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Shared sink for shard pool counters; clone the `Arc` into
+/// [`crate::ShardConfig::telemetry`] and read [`snapshot`] afterwards.
+///
+/// [`snapshot`]: ShardTelemetry::snapshot
+#[derive(Debug, Default)]
+pub struct ShardTelemetry {
+    runs: AtomicU64,
+    shards_last: AtomicU64,
+    windows_committed: AtomicU64,
+    boundary_events_mirrored: AtomicU64,
+    max_window_skew: AtomicU64,
+}
+
+impl ShardTelemetry {
+    /// Folds one finished run's counters in (called by the plane's
+    /// `finish`).
+    pub(crate) fn record(&self, shards: u32, windows: u64, mirrored: u64, max_skew: u64) {
+        self.runs.fetch_add(1, Ordering::Relaxed);
+        self.shards_last.store(u64::from(shards), Ordering::Relaxed);
+        self.windows_committed.fetch_add(windows, Ordering::Relaxed);
+        self.boundary_events_mirrored
+            .fetch_add(mirrored, Ordering::Relaxed);
+        self.max_window_skew.fetch_max(max_skew, Ordering::Relaxed);
+    }
+
+    /// A consistent-enough copy of the counters (individually atomic).
+    #[must_use]
+    pub fn snapshot(&self) -> ShardStats {
+        ShardStats {
+            runs: self.runs.load(Ordering::Relaxed),
+            shards_last: self.shards_last.load(Ordering::Relaxed),
+            windows_committed: self.windows_committed.load(Ordering::Relaxed),
+            boundary_events_mirrored: self.boundary_events_mirrored.load(Ordering::Relaxed),
+            max_window_skew: self.max_window_skew.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of [`ShardTelemetry`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Sharded runs recorded.
+    pub runs: u64,
+    /// Shard count of the most recent run.
+    pub shards_last: u64,
+    /// Conservative windows committed (all-shard barriers), summed.
+    pub windows_committed: u64,
+    /// Event deliveries beyond the first per mirrored item (an item
+    /// routed to `k` shards counts `k - 1`), summed.
+    pub boundary_events_mirrored: u64,
+    /// Deepest per-worker backlog observed at any commit (0 for inline
+    /// execution; timing-dependent in threaded mode).
+    pub max_window_skew: u64,
+}

@@ -1,0 +1,284 @@
+//! Cross-shard / cross-thread determinism suite.
+//!
+//! The whole value proposition of `crn-shard` is that sharding is an
+//! *execution strategy*, not a model change: for any shard count,
+//! inline or threaded, with or without fault plans, the
+//! [`crn_sim::SimReport`] must be bit-identical to the sequential
+//! engine's. Every test here compares `{:?}` renderings, which
+//! round-trip every `f64` exactly.
+
+use crn_geometry::{Point, Region};
+use crn_interference::PhyParams;
+use crn_shard::{build_plane, ShardConfig, ShardMode, ShardTelemetry};
+use crn_sim::{
+    ChurnSpec, FaultEvent, FaultKind, FaultPlan, FaultSchedule, InterferenceModel,
+    InvariantChecker, MacConfig, SimReport, SimWorld, Simulator,
+};
+use crn_spectrum::PuActivity;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// A jittered grid deployment with chain-to-corner parents and randomly
+/// scattered PUs — deterministic in `(cols, seed)`. Jitter is capped at
+/// ±1.0 so every tree link stays inside the SU radius (`r = 10`).
+fn jitter_world(cols: usize, seed: u64, model: InterferenceModel) -> Arc<SimWorld> {
+    let spacing = 7.0;
+    let side = cols as f64 * spacing + 10.0;
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+    let mut sus = Vec::with_capacity(cols * cols);
+    let mut parents = Vec::with_capacity(cols * cols);
+    for i in 0..cols * cols {
+        let (row, col) = (i / cols, i % cols);
+        let dx: f64 = rng.gen_range(-1.0..1.0);
+        let dy: f64 = rng.gen_range(-1.0..1.0);
+        sus.push(Point::new(
+            col as f64 * spacing + 5.0 + dx,
+            row as f64 * spacing + 5.0 + dy,
+        ));
+        parents.push(if i == 0 {
+            None
+        } else if col > 0 {
+            Some((i - 1) as u32)
+        } else {
+            Some((i - cols) as u32)
+        });
+    }
+    let pus: Vec<Point> = (0..cols)
+        .map(|_| {
+            let x: f64 = rng.gen_range(0.0..side);
+            let y: f64 = rng.gen_range(0.0..side);
+            Point::new(x, y)
+        })
+        .collect();
+    Arc::new(
+        SimWorld::builder(Region::square(side))
+            .su_positions(sus)
+            .pu_positions(pus)
+            .parents(parents)
+            .phy(PhyParams::paper_simulation_defaults())
+            .pu_sense_range(25.0)
+            .su_sense_range(25.0)
+            .interference(model)
+            .build()
+            .expect("jitter world is valid"),
+    )
+}
+
+fn run(
+    world: &Arc<SimWorld>,
+    seed: u64,
+    faults: &FaultSchedule,
+    cfg: Option<&ShardConfig>,
+) -> SimReport {
+    let mac = MacConfig::default();
+    let mut builder = Simulator::builder(Arc::clone(world))
+        .mac(mac)
+        .activity(PuActivity::bernoulli(0.3).expect("valid p_t"))
+        .seed(seed)
+        .faults(faults.clone());
+    if let Some(cfg) = cfg {
+        if let Some(plane) = build_plane(world, &mac, cfg) {
+            builder = builder.sir_plane(plane);
+        }
+    }
+    builder.build().expect("case builds").run()
+}
+
+fn inline(mode: ShardMode) -> ShardConfig {
+    ShardConfig {
+        mode,
+        threaded: Some(false),
+        telemetry: None,
+    }
+}
+
+fn threaded(mode: ShardMode) -> ShardConfig {
+    ShardConfig {
+        mode,
+        threaded: Some(true),
+        telemetry: None,
+    }
+}
+
+/// The headline claim: `--shards 1|2|4|auto` all reproduce the
+/// sequential report bit-for-bit, on the same seeds.
+#[test]
+fn every_shard_count_matches_sequential() {
+    let sparse = InterferenceModel::Truncated { epsilon: 1e-3 };
+    for seed in [1u64, 42, 0xdead_beef] {
+        let world = jitter_world(6, seed, sparse);
+        let want = format!("{:?}", run(&world, seed, &FaultSchedule::empty(), None));
+        for mode in [
+            ShardMode::Fixed(1),
+            ShardMode::Fixed(2),
+            ShardMode::Fixed(4),
+            ShardMode::Fixed(64),
+            ShardMode::Auto,
+        ] {
+            let got = run(&world, seed, &FaultSchedule::empty(), Some(&inline(mode)));
+            assert_eq!(
+                format!("{got:?}"),
+                want,
+                "seed {seed:#x}: shards={mode} diverged from sequential"
+            );
+        }
+    }
+}
+
+/// Worker threads change nothing: forced-threaded execution (even on a
+/// single-core host) equals inline execution equals sequential.
+#[test]
+fn forced_threads_match_inline_and_sequential() {
+    let sparse = InterferenceModel::Truncated { epsilon: 1e-3 };
+    for seed in [3u64, 7] {
+        let world = jitter_world(6, seed, sparse);
+        let want = format!("{:?}", run(&world, seed, &FaultSchedule::empty(), None));
+        for shards in [2u32, 4] {
+            let tele = Arc::new(ShardTelemetry::default());
+            let cfg = ShardConfig {
+                mode: ShardMode::Fixed(shards),
+                threaded: Some(true),
+                telemetry: Some(Arc::clone(&tele)),
+            };
+            let got = run(&world, seed, &FaultSchedule::empty(), Some(&cfg));
+            assert_eq!(
+                format!("{got:?}"),
+                want,
+                "seed {seed:#x}: threaded shards={shards} diverged"
+            );
+            let stats = tele.snapshot();
+            assert_eq!(stats.runs, 1);
+            // The partition may collapse to fewer shards than requested
+            // when the lookahead-sized grid has few occupied cells.
+            assert!(
+                stats.shards_last >= 1 && stats.shards_last <= u64::from(shards),
+                "shards_last {} out of range for request {shards}",
+                stats.shards_last
+            );
+            assert!(
+                stats.windows_committed > 0,
+                "a full run must commit at least one window"
+            );
+        }
+    }
+}
+
+/// Fault plans ride the control plane (sequential by construction), so
+/// sharded runs must stay bit-identical under crash/recover churn and
+/// an explicit mixed-storm schedule.
+#[test]
+fn fault_plans_stay_bit_identical() {
+    let sparse = InterferenceModel::Truncated { epsilon: 1e-3 };
+    for seed in [7u64, 42, 1999] {
+        let world = jitter_world(6, seed, sparse);
+        let churn = ChurnSpec::new(400.0)
+            .expect("valid churn rate")
+            .generate(world.num_sus() - 1, 1e-3, seed)
+            .expect("churn generates")
+            .compile()
+            .expect("churn compiles");
+        let storm = FaultPlan::from_events(vec![
+            FaultEvent::new(0.005, FaultKind::SuPause { su: 2 }),
+            FaultEvent::new(0.01, FaultKind::LinkDegrade { su: 4, factor: 0.3 }),
+            FaultEvent::new(0.015, FaultKind::BrownoutStart),
+            FaultEvent::new(0.02, FaultKind::SuResume { su: 2 }),
+            FaultEvent::new(0.025, FaultKind::SuCrash { su: 7 }),
+            FaultEvent::new(0.03, FaultKind::BrownoutEnd),
+            FaultEvent::new(0.06, FaultKind::SuRecover { su: 7 }),
+        ])
+        .compile()
+        .expect("valid plan");
+        for faults in [churn, storm] {
+            let want = format!("{:?}", run(&world, seed, &faults, None));
+            for cfg in [inline(ShardMode::Fixed(3)), threaded(ShardMode::Fixed(3))] {
+                let got = run(&world, seed, &faults, Some(&cfg));
+                assert_eq!(
+                    format!("{got:?}"),
+                    want,
+                    "seed {seed:#x}: sharded run diverged under faults"
+                );
+            }
+        }
+    }
+}
+
+/// Randomized deployments under the fault-aware oracle: the sharded
+/// plane must come back invariant-clean, and its report must equal the
+/// sequential report on every draw. Deterministic in the lane seed.
+#[test]
+fn fuzz_lane_is_oracle_clean_and_sequential_equal() {
+    let mut rng = StdRng::seed_from_u64(0x5aad_f00d);
+    for draw in 0..8 {
+        let cols = rng.gen_range(4..8usize);
+        let wseed: u64 = rng.gen_range(0..u64::MAX);
+        let shards = rng.gen_range(2..=6u32);
+        let use_threads = rng.gen_bool(0.5);
+        let world = jitter_world(cols, wseed, InterferenceModel::Truncated { epsilon: 0.1 });
+        let faults = if rng.gen_bool(0.5) {
+            ChurnSpec::new(400.0)
+                .expect("valid churn rate")
+                .generate(world.num_sus() - 1, 1e-3, wseed)
+                .expect("churn generates")
+                .compile()
+                .expect("churn compiles")
+        } else {
+            FaultSchedule::empty()
+        };
+        let mac = MacConfig {
+            max_sim_time: 0.1,
+            ..MacConfig::default()
+        };
+        let cfg = ShardConfig {
+            mode: ShardMode::Fixed(shards),
+            threaded: Some(use_threads),
+            telemetry: None,
+        };
+        let checker =
+            InvariantChecker::new(world.clone(), mac).with_repro(wseed, "shard determinism fuzz");
+        let plane = build_plane(&world, &mac, &cfg).expect("truncated world shards");
+        let (sharded, oracle) = Simulator::builder(world.clone())
+            .mac(mac)
+            .activity(PuActivity::bernoulli(0.3).expect("valid p_t"))
+            .seed(wseed)
+            .faults(faults.clone())
+            .sir_plane(plane)
+            .probe(checker)
+            .build()
+            .expect("fuzz case builds")
+            .run_with_probe();
+        assert!(
+            oracle.is_clean(),
+            "draw {draw} (cols {cols}, seed {wseed:#x}, shards {shards}): {:?}",
+            oracle.first_violation()
+        );
+        let sequential = Simulator::builder(world.clone())
+            .mac(mac)
+            .activity(PuActivity::bernoulli(0.3).expect("valid p_t"))
+            .seed(wseed)
+            .faults(faults)
+            .build()
+            .expect("fuzz case builds")
+            .run();
+        assert_eq!(
+            format!("{sharded:?}"),
+            format!("{sequential:?}"),
+            "draw {draw} (cols {cols}, seed {wseed:#x}, shards {shards}, threaded {use_threads}): diverged"
+        );
+    }
+}
+
+/// Exact-model worlds have unbounded interference rows — no spatial
+/// cutoff to shard on — so `build_plane` must decline and the engine
+/// must fall back to its sequential path.
+#[test]
+fn exact_model_declines_to_shard() {
+    let world = jitter_world(4, 11, InterferenceModel::Exact);
+    assert!(!world.has_reverse_index());
+    let cfg = inline(ShardMode::Fixed(4));
+    assert!(build_plane(&world, &MacConfig::default(), &cfg).is_none());
+    // And the wrapper run helper still produces the sequential report.
+    let want = format!("{:?}", run(&world, 11, &FaultSchedule::empty(), None));
+    let got = run(&world, 11, &FaultSchedule::empty(), Some(&cfg));
+    assert_eq!(format!("{got:?}"), want);
+}

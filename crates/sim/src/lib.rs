@@ -85,6 +85,7 @@ mod config;
 mod engine;
 mod event;
 mod oracle;
+mod plane;
 mod probe;
 mod radio;
 mod report;
@@ -97,6 +98,7 @@ pub use crn_faults::{
 };
 pub use engine::{Simulator, SimulatorBuilder};
 pub use oracle::{InvariantChecker, InvariantKind, Violation};
+pub use plane::SirPlane;
 pub use probe::{
     NoopProbe, Probe, TimeSeries, TimeSeriesPoint, TraceEvent, TraceEventKind, TraceLog, TxOutcome,
 };

@@ -1,0 +1,71 @@
+//! External SIR plane: the seam that lets interference accounting run
+//! outside the sequential engine.
+//!
+//! The engine's control flow — the event queue, the single seeded RNG,
+//! MAC phases, capture locks, packet queues, fault handling — is
+//! inherently sequential: every random draw is consumed in global event
+//! order, so partitioning control would change the stream and break the
+//! bit-for-bit determinism contract. What *can* be partitioned is the
+//! SIR data plane: per-receiver-slot interference accumulation and the
+//! sticky SIR verdicts, which touch disjoint slots independently and
+//! feed back into control at exactly one point (the verdict read when a
+//! transmission finishes naturally).
+//!
+//! A [`SirPlane`] implementation owns that data plane. The engine calls
+//! it in global event order; the only value that ever flows back is the
+//! per-transmission `failed_sir` bit returned by [`SirPlane::tx_finish`].
+//! Everything else is fire-and-forget, which is what allows an
+//! implementation (see the `crn-shard` crate) to mirror the calls into
+//! spatially sharded workers and defer the work until a verdict — or a
+//! window commit — forces synchronization.
+//!
+//! Contract (mirrors the engine's delta path exactly; the equivalence
+//! tests hold implementations to bit-identical [`crate::SimReport`]s):
+//!
+//! - Calls arrive in global event order from one thread.
+//! - `tx_start(su, rx_slot, signal)` replays `su`'s reverse row into the
+//!   per-slot accumulators, re-verdicts receptions at slots whose
+//!   interference increased, computes the *initial* verdict for the new
+//!   reception from the fully updated accumulator, and chains it at
+//!   `rx_slot`.
+//! - `tx_finish(su, rx_slot, need_verdict)` unchains the reception,
+//!   withdraws the row (snap-to-zero on the last contributor), and — iff
+//!   `need_verdict` — returns the sticky `failed_sir` bit accumulated
+//!   since `tx_start`. With `need_verdict == false` (aborted
+//!   transmissions, whose verdict the engine never reads) the return
+//!   value is meaningless and implementations need not synchronize.
+//! - `pu_on` / `pu_off` replay the PU's reverse row (re-verdicting on
+//!   increase only).
+//! - `advance_to(now)` announces simulation-time progress before each
+//!   event is processed; windowed implementations commit here.
+//! - `finish` is called once, after the last event; implementations
+//!   flush workers and publish telemetry.
+
+use std::fmt::Debug;
+
+/// An externally owned SIR data plane (see the module docs for the exact
+/// calling contract). `Send` because implementations typically carry
+/// worker handles; `Debug` because the [`crate::Simulator`] that embeds
+/// one is `Debug`.
+pub trait SirPlane: Send + Debug {
+    /// Simulation time is about to advance to `now` (non-decreasing).
+    fn advance_to(&mut self, now: f64);
+
+    /// Transmitter `su` starts a reception at `rx_slot` with
+    /// intended-link power `signal` (degradation included).
+    fn tx_start(&mut self, su: u32, rx_slot: u32, signal: f64);
+
+    /// Transmitter `su`'s reception at `rx_slot` ends. Returns the sticky
+    /// `failed_sir` verdict when `need_verdict` is set; the return value
+    /// is unspecified otherwise.
+    fn tx_finish(&mut self, su: u32, rx_slot: u32, need_verdict: bool) -> bool;
+
+    /// PU `pu` turned on.
+    fn pu_on(&mut self, pu: u32);
+
+    /// PU `pu` turned off.
+    fn pu_off(&mut self, pu: u32);
+
+    /// The run is over; flush and publish telemetry.
+    fn finish(&mut self);
+}

@@ -3,28 +3,41 @@
 //! result cache end to end.
 //!
 //! The harness starts an in-process server on an ephemeral loopback
-//! port, then drives a 50-point seed sweep through real TCP clients
-//! twice: a **cold** pass (every point computed by the worker pool) and
-//! a **warm** pass (every point answered from cache). The headline
-//! number is the wall-clock speedup of the warm pass; it also reports a
+//! port, then drives a seed sweep through real TCP clients twice: a
+//! **cold** pass (every point computed by the worker pool) and a
+//! **warm** pass (every point answered from cache). The headline number
+//! is the wall-clock speedup of the warm pass; it also reports a
 //! coalescing measurement (identical requests raced concurrently) and
 //! the server's own counters for cross-checking.
 //!
+//! With `--cluster` it additionally measures the `crn-cluster` fleet in
+//! genuine multi-process mode: this same binary is re-executed as
+//! worker processes that join a coordinator over loopback TCP. It
+//! records the 1-worker vs 2-worker cold sweep walls (asserting the
+//! ≥1.5× fleet speedup only on hosts with ≥4 cores — single-core hosts
+//! record honest overhead figures instead), the coordinator
+//! restart-then-resweep from the persistent store (asserted ≥10×
+//! faster than cold and ≥90% store-served), and checks the sweep rows
+//! are byte-identical across the single process and both fleet sizes.
+//!
 //! Flags: `--smoke` (small network + fewer points, for CI PR runs),
-//! `--points N`, `--clients C`, `--workers W`, `--out FILE` (default
-//! `results/BENCH_serve.json`).
+//! `--points N`, `--clients C`, `--workers W`, `--cluster`,
+//! `--out FILE` (default `results/BENCH_serve.json`).
 //!
 //! Run with `cargo run -p crn-bench --release --bin bench_serve`.
 
 use crn_bench::take_flag;
+use crn_cluster::{ClusterConfig, Coordinator, WorkerConfig, WorkerNode};
 use crn_serve::client::Client;
 use crn_serve::server::{ServeConfig, Server};
+use crn_serve::store::StoreConfig;
 use crn_workloads::json::Json;
 use std::fmt::Write as _;
 use std::net::SocketAddr;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// One pass over the seed list: `clients` threads pull seeds from a
 /// shared queue and submit them as `run` requests. Returns (wall seconds,
@@ -81,10 +94,136 @@ fn drive_pass(
     (wall, latency_sum_ms / served as f64, cached)
 }
 
+/// Connects and runs one buffered sweep, returning (wall seconds,
+/// record strings, cached point count).
+fn drive_sweep_pass(addr: SocketAddr, sweep: &str) -> (f64, Vec<String>, u64) {
+    let mut client = Client::connect(addr).expect("connect for sweep");
+    client
+        .set_read_timeout(Some(Duration::from_secs(600)))
+        .expect("read timeout");
+    let started = Instant::now();
+    let response = client.request_line(sweep).expect("sweep response");
+    let wall = started.elapsed().as_secs_f64();
+    assert_eq!(
+        response.get("ok").and_then(Json::as_bool),
+        Some(true),
+        "bench sweep failed: {response}"
+    );
+    let records: Vec<String> = response
+        .get("results")
+        .and_then(Json::as_arr)
+        .expect("results array")
+        .iter()
+        .map(|e| e.get("record").expect("record").to_string())
+        .collect();
+    let cached = response
+        .get("cached_points")
+        .and_then(Json::as_u64)
+        .unwrap_or(0);
+    (wall, records, cached)
+}
+
+/// A coordinator plus its spawned worker *processes* (this same binary,
+/// re-executed with `--worker-process`).
+struct Fleet {
+    coordinator: Coordinator,
+    children: Vec<std::process::Child>,
+}
+
+impl Fleet {
+    fn start(workers: usize, store_root: Option<&Path>) -> Fleet {
+        let coordinator = Coordinator::start(ClusterConfig {
+            store: store_root.map(|root| StoreConfig {
+                dir: root.join("coordinator"),
+                max_bytes: 0,
+            }),
+            ..ClusterConfig::default()
+        })
+        .expect("start coordinator");
+        let addr = coordinator.local_addr();
+        let exe = std::env::current_exe().expect("own binary path");
+        let children: Vec<std::process::Child> = (0..workers)
+            .map(|i| {
+                let name = format!("bench-worker-{i}");
+                let mut cmd = std::process::Command::new(&exe);
+                cmd.arg("--worker-process")
+                    .arg(addr.to_string())
+                    .arg("--worker-name")
+                    .arg(&name);
+                if let Some(root) = store_root {
+                    cmd.arg("--worker-store").arg(root.join(&name));
+                }
+                cmd.spawn().expect("spawn worker process")
+            })
+            .collect();
+        // Wait until every worker has joined before measuring.
+        let mut client = Client::connect(addr).expect("connect");
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            let status = client
+                .request_line(r#"{"v":1,"cmd":"status"}"#)
+                .expect("status");
+            if status.get("workers").and_then(Json::as_u64) == Some(workers as u64) {
+                break;
+            }
+            assert!(Instant::now() < deadline, "workers never joined: {status}");
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        Fleet {
+            coordinator,
+            children,
+        }
+    }
+
+    fn addr(&self) -> SocketAddr {
+        self.coordinator.local_addr()
+    }
+
+    fn stats(&self) -> Json {
+        let mut client = Client::connect(self.addr()).expect("connect");
+        client.stats().expect("stats")
+    }
+
+    fn shutdown(self) {
+        let mut client = Client::connect(self.addr()).expect("connect");
+        client.shutdown().expect("shutdown");
+        self.coordinator.wait();
+        for mut child in self.children {
+            let _ = child.wait();
+        }
+    }
+}
+
+/// The `--worker-process` entry: this binary re-executed as one fleet
+/// worker. Blocks until the coordinator hangs up.
+fn run_worker_process(coordinator: String, mut args: Vec<String>) {
+    let name = take_flag(&mut args, "--worker-name").unwrap_or_else(|| "bench-worker".into());
+    let store = take_flag(&mut args, "--worker-store").map(|dir| StoreConfig {
+        dir: PathBuf::from(dir),
+        max_bytes: 0,
+    });
+    assert!(args.is_empty(), "unrecognized worker arguments: {args:?}");
+    WorkerNode::run(WorkerConfig {
+        coordinator,
+        name,
+        threads: 2,
+        store,
+        ..WorkerConfig::default()
+    })
+    .expect("worker process");
+}
+
+#[allow(clippy::too_many_lines)]
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(addr) = take_flag(&mut args, "--worker-process") {
+        run_worker_process(addr, args);
+        return;
+    }
     let smoke = args.iter().any(|a| a == "--smoke");
     args.retain(|a| a != "--smoke");
+    let cluster = args.iter().any(|a| a == "--cluster");
+    args.retain(|a| a != "--cluster");
     let out_path =
         take_flag(&mut args, "--out").unwrap_or_else(|| "results/BENCH_serve.json".into());
     let points: usize = take_flag(&mut args, "--points").map_or(if smoke { 10 } else { 50 }, |v| {
@@ -104,6 +243,9 @@ fn main() {
             r#"{{"v":1,"cmd":"run","params":{{"sus":{sus},"pus":{pus},"side":{side},"seed":{seed}}}}}"#
         )
     };
+    let sweep_request = format!(
+        r#"{{"v":1,"cmd":"sweep","params":{{"sus":{sus},"pus":{pus},"side":{side}}},"seed_start":0,"seed_count":{points}}}"#
+    );
 
     let server = Server::start(ServeConfig {
         addr: "127.0.0.1:0".into(),
@@ -113,6 +255,7 @@ fn main() {
         queue_cap: points.max(64),
         cache_cap: points.max(64),
         topo_cache_cap: 64,
+        store: None,
     })
     .expect("start bench server");
     let addr = server.local_addr();
@@ -149,6 +292,10 @@ fn main() {
         r.join().expect("racer thread");
     }
 
+    // Reference sweep rows for the cluster bit-identity check (served
+    // from this server's cache — contents identical to a cold compute).
+    let (_, reference_records, _) = drive_sweep_pass(addr, &sweep_request);
+
     let mut control = Client::connect(addr).expect("connect control");
     let stats = control.stats().expect("stats");
     let counters = stats.get("counters").expect("counters block");
@@ -162,6 +309,12 @@ fn main() {
     );
     control.shutdown().expect("shutdown");
     server.wait();
+
+    let cluster_json = if cluster {
+        Some(bench_cluster(&sweep_request, &reference_records, points))
+    } else {
+        None
+    };
 
     let mut json = String::new();
     let _ = writeln!(json, "{{");
@@ -188,10 +341,19 @@ fn main() {
         "  \"warm\": {{\"wall_s\": {warm_wall:.4}, \"mean_latency_ms\": {warm_latency_ms:.3}, \"cached\": {warm_cached}}},"
     );
     let _ = writeln!(json, "  \"speedup\": {speedup:.1},");
-    let _ = writeln!(
+    let _ = write!(
         json,
         "  \"counters\": {{\"computed\": {computed}, \"cache_hits\": {cache_hits}, \"coalesced\": {coalesced}}}"
     );
+    match &cluster_json {
+        None => {
+            let _ = writeln!(json);
+        }
+        Some(cluster) => {
+            let _ = writeln!(json, ",");
+            let _ = writeln!(json, "  \"cluster\": {cluster}");
+        }
+    }
     let _ = writeln!(json, "}}");
 
     if let Some(dir) = std::path::Path::new(&out_path).parent() {
@@ -203,4 +365,91 @@ fn main() {
         speedup >= 2.0,
         "fully-cached pass must be at least 2x faster, got {speedup:.2}x"
     );
+}
+
+/// The multi-process fleet measurements; returns the JSON block.
+fn bench_cluster(sweep_request: &str, reference_records: &[String], points: usize) -> String {
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+
+    // Cold sweep, 1 worker process.
+    let fleet = Fleet::start(1, None);
+    let (wall_1w, records_1w, _) = drive_sweep_pass(fleet.addr(), sweep_request);
+    fleet.shutdown();
+    eprintln!("  cluster cold, 1 worker: {wall_1w:.3}s");
+    assert_eq!(
+        records_1w, reference_records,
+        "1-worker fleet rows differ from the single-process server"
+    );
+
+    // Cold sweep, 2 worker processes.
+    let fleet = Fleet::start(2, None);
+    let (wall_2w, records_2w, _) = drive_sweep_pass(fleet.addr(), sweep_request);
+    fleet.shutdown();
+    eprintln!("  cluster cold, 2 workers: {wall_2w:.3}s");
+    assert_eq!(
+        records_2w, reference_records,
+        "2-worker fleet rows differ from the single-process server"
+    );
+    let fleet_speedup = wall_1w / wall_2w.max(1e-9);
+    if cores >= 4 {
+        assert!(
+            fleet_speedup >= 1.5,
+            "2 workers must be >=1.5x faster than 1 on a {cores}-core host, got {fleet_speedup:.2}x"
+        );
+    } else {
+        eprintln!(
+            "  ({cores}-core host: recording the honest {fleet_speedup:.2}x, not asserting the >=1.5x floor)"
+        );
+    }
+
+    // Persistent store: cold sweep into the store, full coordinator
+    // restart, re-sweep served from disk.
+    let store_root = std::env::temp_dir().join(format!("crn-bench-cluster-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store_root);
+    let fleet = Fleet::start(2, Some(&store_root));
+    let (store_cold_wall, store_records, _) = drive_sweep_pass(fleet.addr(), sweep_request);
+    assert_eq!(store_records, reference_records);
+    fleet.shutdown();
+    eprintln!("  store cold (2 workers): {store_cold_wall:.3}s");
+
+    let fleet = Fleet::start(2, Some(&store_root));
+    let (restart_wall, restart_records, restart_cached) =
+        drive_sweep_pass(fleet.addr(), sweep_request);
+    assert_eq!(
+        restart_records, reference_records,
+        "restart re-sweep rows differ"
+    );
+    let stats = fleet.stats();
+    let store_hits = stats
+        .get("store")
+        .and_then(|s| s.get("store_hits"))
+        .and_then(Json::as_u64)
+        .unwrap_or(0);
+    fleet.shutdown();
+    let _ = std::fs::remove_dir_all(&store_root);
+    let restart_speedup = store_cold_wall / restart_wall.max(1e-9);
+    eprintln!(
+        "  restart re-sweep: {restart_wall:.4}s ({restart_speedup:.1}x, {store_hits}/{points} from store)"
+    );
+    assert!(
+        restart_cached as usize == points,
+        "every restart point must be served without recompute, got {restart_cached}/{points}"
+    );
+    assert!(
+        store_hits as f64 >= 0.9 * points as f64,
+        "restart must serve >=90% from the persistent store, got {store_hits}/{points}"
+    );
+    assert!(
+        restart_speedup >= 10.0,
+        "restart-from-store must be >=10x faster than cold, got {restart_speedup:.2}x"
+    );
+
+    format!(
+        "{{\"cores\": {cores}, \"cold_1w_wall_s\": {wall_1w:.3}, \"cold_2w_wall_s\": {wall_2w:.3}, \
+         \"fleet_speedup\": {fleet_speedup:.2}, \"fleet_speedup_asserted\": {}, \
+         \"store_cold_wall_s\": {store_cold_wall:.3}, \"restart_wall_s\": {restart_wall:.4}, \
+         \"restart_speedup\": {restart_speedup:.1}, \"restart_store_hits\": {store_hits}, \
+         \"rows_identical\": true}}",
+        cores >= 4
+    )
 }

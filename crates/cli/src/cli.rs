@@ -4,10 +4,12 @@
 //! socket and blocks) and `submit` (talks to a server); their argument
 //! parsing is still pure and unit-tested.
 
+use crn_cluster::{ClusterConfig, Coordinator, WorkerConfig, WorkerNode};
 use crn_core::{CollectionAlgorithm, Scenario, ScenarioParams};
 use crn_interference::{pcr, PcrConstants, PhyParams};
 use crn_serve::client::Client;
 use crn_serve::server::{ServeConfig, Server};
+use crn_serve::store::StoreConfig;
 use crn_shard::{ShardConfig, ShardMode};
 use crn_sim::{FaultsConfig, InterferenceModel, InvariantChecker, Traffic};
 use crn_theory::DelayBounds;
@@ -30,7 +32,12 @@ usage:
   crn pcr    [--alpha A] [--eta-db E] [--pp P] [--ps P] [--big-r R] [--r r]
   crn bounds [--sus N] [--pus N] [--side S] [--pt P]
   crn serve  [--addr H:P] [--workers N] [--queue-cap Q] [--cache-cap C] [--topo-cache-cap T]
-  crn submit --addr H:P  [run flags] [--timeout-ms T] [--seed-count N [--seed-start K]]
+             [--store DIR [--store-max-mb M]]
+  crn serve  --coordinator [--addr H:P] [--workers N] [--queue-cap Q] [--cache-cap C]
+             [--store DIR [--store-max-mb M]] [--job-timeout-ms T]
+  crn serve  --join H:P [--name NAME] [--threads T] [--cache-cap C]
+             [--store DIR [--store-max-mb M]]
+  crn submit --addr H:P  [run flags] [--timeout-ms T] [--seed-count N [--seed-start K] [--stream]]
              | --stats | --status | --shutdown | --raw JSON
 algorithms: addc (default), coolest, coolest-oracle, bfs
 exit codes: 0 ok, 1 runtime failure (violation, server error, timeout), 2 usage";
@@ -499,6 +506,24 @@ fn cmd_bounds(mut args: Vec<String>) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// Parses the shared persistent-store flags: `--store DIR` enables the
+/// on-disk result store there; `--store-max-mb M` (default 0 = no limit)
+/// caps it with LRU eviction. Pure, unit-tested.
+fn parse_store_flags(args: &mut Vec<String>) -> Result<Option<StoreConfig>, CliError> {
+    let dir: String = take(args, "--store", String::new())?;
+    let max_mb: u64 = take(args, "--store-max-mb", 0)?;
+    if dir.is_empty() {
+        if max_mb > 0 {
+            return Err(CliError::usage("--store-max-mb requires --store DIR"));
+        }
+        return Ok(None);
+    }
+    Ok(Some(StoreConfig {
+        dir: dir.into(),
+        max_bytes: max_mb * 1024 * 1024,
+    }))
+}
+
 /// Parses `crn serve` flags into a [`ServeConfig`] (pure, unit-tested).
 fn parse_serve_config(args: &mut Vec<String>) -> Result<ServeConfig, CliError> {
     let addr: String = take(args, "--addr", "127.0.0.1:0".to_owned())?;
@@ -506,6 +531,7 @@ fn parse_serve_config(args: &mut Vec<String>) -> Result<ServeConfig, CliError> {
     let queue_cap: usize = take(args, "--queue-cap", 64)?;
     let cache_cap: usize = take(args, "--cache-cap", 1024)?;
     let topo_cache_cap: usize = take(args, "--topo-cache-cap", 64)?;
+    let store = parse_store_flags(args)?;
     if workers == 0 {
         return Err(CliError::usage("--workers must be at least 1"));
     }
@@ -515,31 +541,194 @@ fn parse_serve_config(args: &mut Vec<String>) -> Result<ServeConfig, CliError> {
         queue_cap,
         cache_cap,
         topo_cache_cap,
+        store,
+    })
+}
+
+/// Parses `crn serve --coordinator` flags (pure, unit-tested). The
+/// returned worker count is the number of worker *processes* to spawn
+/// (0 = none; external workers join with `crn serve --join`).
+fn parse_cluster_config(args: &mut Vec<String>) -> Result<(ClusterConfig, usize), CliError> {
+    let addr: String = take(args, "--addr", "127.0.0.1:0".to_owned())?;
+    let workers: usize = take(args, "--workers", 2)?;
+    let queue_cap: usize = take(args, "--queue-cap", 256)?;
+    let cache_cap: usize = take(args, "--cache-cap", 1024)?;
+    let topo_cache_cap: usize = take(args, "--topo-cache-cap", 64)?;
+    let job_timeout_ms: u64 = take(args, "--job-timeout-ms", 30_000)?;
+    let store = parse_store_flags(args)?;
+    Ok((
+        ClusterConfig {
+            addr,
+            queue_cap,
+            cache_cap,
+            topo_cache_cap,
+            // The coordinator's own store lives in a subdirectory so
+            // spawned workers can share the parent --store DIR.
+            store: store.map(|s| StoreConfig {
+                dir: s.dir.join("coordinator"),
+                max_bytes: s.max_bytes,
+            }),
+            job_timeout_ms,
+            ..ClusterConfig::default()
+        },
+        workers,
+    ))
+}
+
+/// Parses `crn serve --join` flags into a [`WorkerConfig`] (pure,
+/// unit-tested). `coordinator` is the already-extracted `--join` value.
+fn parse_worker_config(
+    coordinator: String,
+    args: &mut Vec<String>,
+) -> Result<WorkerConfig, CliError> {
+    let name: String = take(args, "--name", format!("worker-{}", std::process::id()))?;
+    let threads: usize = take(args, "--threads", 2)?;
+    let cache_cap: usize = take(args, "--cache-cap", 1024)?;
+    let topo_cache_cap: usize = take(args, "--topo-cache-cap", 64)?;
+    let store = parse_store_flags(args)?;
+    if threads == 0 {
+        return Err(CliError::usage("--threads must be at least 1"));
+    }
+    Ok(WorkerConfig {
+        coordinator,
+        name,
+        threads,
+        cache_cap,
+        topo_cache_cap,
+        store,
     })
 }
 
 /// `crn serve`: bind, print the bound address immediately (so scripts can
 /// parse the ephemeral port), then block until a `shutdown` request
 /// drains the service; the final counter summary becomes the output.
+///
+/// Three modes share the verb: the classic single process (default), a
+/// fleet coordinator (`--coordinator`, optionally spawning `--workers N`
+/// worker processes of this same binary), and a worker (`--join H:P`).
 fn cmd_serve(mut args: Vec<String>) -> Result<String, CliError> {
+    let join_addr: String = take(&mut args, "--join", String::new())?;
+    let coordinator = presence(&mut args, "--coordinator");
+    if coordinator && !join_addr.is_empty() {
+        return Err(CliError::usage(
+            "--coordinator and --join are mutually exclusive",
+        ));
+    }
+    if !join_addr.is_empty() {
+        return cmd_serve_worker(join_addr, args);
+    }
+    if coordinator {
+        return cmd_serve_coordinator(args);
+    }
     let cfg = parse_serve_config(&mut args)?;
     ensure_consumed(&args)?;
     let server =
         Server::start(cfg).map_err(|e| CliError::runtime(format!("cannot bind listener: {e}")))?;
-    {
-        use std::io::Write as _;
-        let mut stdout = std::io::stdout();
-        let _ = writeln!(stdout, "crn-serve listening on {}", server.local_addr());
-        let _ = stdout.flush();
-    }
+    announce(&format!("crn-serve listening on {}", server.local_addr()));
     let c = server.wait();
     Ok(format!(
-        "served {} ok ({} cache hits, {} coalesced, {} computed); \
+        "served {} ok ({} cache hits, {} store hits, {} coalesced, {} computed); \
          rejected {}, timed out {}, failed {}, bad requests {}\n",
         c.served,
         c.cache_hits,
+        c.store_hits,
         c.coalesced,
         c.computed,
+        c.rejected,
+        c.timed_out,
+        c.failed,
+        c.bad_requests,
+    ))
+}
+
+/// Prints a line to stdout immediately (before the blocking wait), so
+/// scripts can parse ephemeral ports and readiness.
+fn announce(line: &str) {
+    use std::io::Write as _;
+    let mut stdout = std::io::stdout();
+    let _ = writeln!(stdout, "{line}");
+    let _ = stdout.flush();
+}
+
+/// `crn serve --join`: run one worker until the coordinator hangs up.
+fn cmd_serve_worker(coordinator: String, mut args: Vec<String>) -> Result<String, CliError> {
+    let cfg = parse_worker_config(coordinator, &mut args)?;
+    ensure_consumed(&args)?;
+    let name = cfg.name.clone();
+    let addr = cfg.coordinator.clone();
+    announce(&format!("crn-serve worker '{name}' joined {addr}"));
+    WorkerNode::run(cfg)
+        .map_err(|e| CliError::runtime(format!("worker cannot join {addr}: {e}")))?;
+    Ok(format!("worker '{name}' released by {addr}\n"))
+}
+
+/// `crn serve --coordinator`: bind the fleet endpoint, spawn `--workers N`
+/// worker processes of this same binary (each with its own store
+/// subdirectory when `--store` is given), and block until shutdown.
+fn cmd_serve_coordinator(mut args: Vec<String>) -> Result<String, CliError> {
+    // Remember the parent store dir before parsing consumes the flags.
+    let store_dir: String = {
+        let probe = args.iter().position(|a| a == "--store");
+        probe
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+            .unwrap_or_default()
+    };
+    let (cfg, worker_count) = parse_cluster_config(&mut args)?;
+    ensure_consumed(&args)?;
+    let coordinator = Coordinator::start(cfg)
+        .map_err(|e| CliError::runtime(format!("cannot start coordinator: {e}")))?;
+    let addr = coordinator.local_addr();
+    announce(&format!("crn-serve coordinator listening on {addr}"));
+    let exe = std::env::current_exe()
+        .map_err(|e| CliError::runtime(format!("cannot locate own binary: {e}")))?;
+    let mut children = Vec::new();
+    for i in 0..worker_count {
+        let name = format!("worker-{i}");
+        let mut cmd = std::process::Command::new(&exe);
+        cmd.arg("serve")
+            .arg("--join")
+            .arg(addr.to_string())
+            .arg("--name")
+            .arg(&name)
+            .stdout(std::process::Stdio::null())
+            .stderr(std::process::Stdio::inherit());
+        if !store_dir.is_empty() {
+            let dir = std::path::Path::new(&store_dir).join(&name);
+            cmd.arg("--store").arg(dir);
+        }
+        match cmd.spawn() {
+            Ok(child) => children.push(child),
+            Err(e) => {
+                coordinator.shutdown();
+                coordinator.wait();
+                return Err(CliError::runtime(format!(
+                    "cannot spawn worker process '{name}': {e}"
+                )));
+            }
+        }
+    }
+    let c = coordinator.wait();
+    // Reaped workers see EOF and exit on their own; collect them so no
+    // zombies outlive the coordinator.
+    for mut child in children {
+        let _ = child.wait();
+    }
+    Ok(format!(
+        "served {} ok ({} cache hits, {} store hits, {} coalesced; \
+         {} remote, {} local fallbacks); \
+         {} joined / {} lost workers, {} redispatches, {} late duplicates; \
+         rejected {}, timed out {}, failed {}, bad requests {}\n",
+        c.served,
+        c.cache_hits,
+        c.store_hits,
+        c.coalesced,
+        c.completed_remote,
+        c.local_fallbacks,
+        c.workers_joined,
+        c.workers_lost,
+        c.redispatches,
+        c.late_duplicates,
         c.rejected,
         c.timed_out,
         c.failed,
@@ -565,6 +754,7 @@ fn build_submit_request(args: &mut Vec<String>) -> Result<String, CliError> {
     let algo: String = take(args, "--algo", "addc".to_owned())?;
     parse_algo(&algo)?; // reject bad algorithms locally, before shipping
     let check_invariants = presence(args, "--check-invariants");
+    let stream = presence(args, "--stream");
     let sus: u64 = take(args, "--sus", 150)?;
     let pus: u64 = take(args, "--pus", 16)?;
     let side: f64 = take(args, "--side", 70.0)?;
@@ -574,6 +764,9 @@ fn build_submit_request(args: &mut Vec<String>) -> Result<String, CliError> {
     let timeout_ms: u64 = take(args, "--timeout-ms", 0)?;
     let seed_count: u64 = take(args, "--seed-count", 0)?;
     let seed_start: u64 = take(args, "--seed-start", 0)?;
+    if stream && seed_count == 0 {
+        return Err(CliError::usage("--stream requires a sweep (--seed-count)"));
+    }
     let mut params = Json::obj();
     params
         .set("sus", Json::UInt(sus))
@@ -593,6 +786,9 @@ fn build_submit_request(args: &mut Vec<String>) -> Result<String, CliError> {
     if seed_count > 0 {
         req.set("seed_start", Json::UInt(seed_start))
             .set("seed_count", Json::UInt(seed_count));
+        if stream {
+            req.set("stream", Json::Bool(true));
+        }
     }
     if timeout_ms > 0 {
         req.set("timeout_ms", Json::UInt(timeout_ms));
@@ -656,6 +852,64 @@ fn stats_latency_summary(response: &Json) -> Option<String> {
     Some(line)
 }
 
+/// Renders the `submit --stats` persistent-store summary. `None` when no
+/// store block is present or no store is configured (nothing to say).
+fn stats_store_summary(response: &Json) -> Option<String> {
+    let store = response.get("stats")?.get("store")?;
+    if store.get("configured").and_then(Json::as_bool) != Some(true) {
+        return None;
+    }
+    Some(format!(
+        "store: {} results, {} bytes; {} hits, {} evictions\n",
+        store.get("len").and_then(Json::as_u64).unwrap_or(0),
+        store.get("store_bytes").and_then(Json::as_u64).unwrap_or(0),
+        store.get("store_hits").and_then(Json::as_u64).unwrap_or(0),
+        store
+            .get("store_evictions")
+            .and_then(Json::as_u64)
+            .unwrap_or(0),
+    ))
+}
+
+/// Renders the `submit --stats` per-worker rows when the server is a
+/// cluster coordinator. `None` against a single-process server.
+fn stats_cluster_summary(response: &Json) -> Option<String> {
+    let cluster = response.get("stats")?.get("cluster")?;
+    let rows = cluster.get("workers").and_then(Json::as_arr)?;
+    let mut out = format!(
+        "cluster: {} workers ({} lost), {} redispatches, {} local fallbacks\n",
+        rows.len(),
+        cluster
+            .get("workers_lost")
+            .and_then(Json::as_u64)
+            .unwrap_or(0),
+        cluster
+            .get("redispatches")
+            .and_then(Json::as_u64)
+            .unwrap_or(0),
+        cluster
+            .get("local_fallbacks")
+            .and_then(Json::as_u64)
+            .unwrap_or(0),
+    );
+    for row in rows {
+        let _ = writeln!(
+            out,
+            "  {} [{}]: dispatched {}, completed {}, failed {}",
+            row.get("name").and_then(Json::as_str).unwrap_or("?"),
+            if row.get("alive").and_then(Json::as_bool) == Some(true) {
+                "alive"
+            } else {
+                "lost"
+            },
+            row.get("dispatched").and_then(Json::as_u64).unwrap_or(0),
+            row.get("completed").and_then(Json::as_u64).unwrap_or(0),
+            row.get("failed").and_then(Json::as_u64).unwrap_or(0),
+        );
+    }
+    Some(out)
+}
+
 /// `crn submit`: send one request to a running `crn serve` and print the
 /// response line. Exit code 0 for an `ok` response, 1 for a server-side
 /// error (overloaded, timed out, failed run), 2 for bad flags. `--stats`
@@ -667,18 +921,36 @@ fn cmd_submit(mut args: Vec<String>) -> Result<String, CliError> {
         return Err(CliError::usage("submit requires --addr HOST:PORT"));
     }
     let want_stats = args.iter().any(|a| a == "--stats");
+    let want_stream = args.iter().any(|a| a == "--stream");
     let request = build_submit_request(&mut args)?;
     ensure_consumed(&args)?;
     let mut client = Client::connect(addr.as_str())
         .map_err(|e| CliError::runtime(format!("cannot connect to {addr}: {e}")))?;
-    let response = client
-        .request_line(&request)
-        .map_err(|e| CliError::runtime(format!("request to {addr} failed: {e}")))?;
+    let response = if want_stream {
+        // Streamed sweep: rows go to stdout as they arrive (JSONL), the
+        // summary line is the command output.
+        client
+            .request_stream(&request, |row| announce(&row.to_string()))
+            .map_err(|e| CliError::runtime(format!("request to {addr} failed: {e}")))?
+    } else {
+        client
+            .request_line(&request)
+            .map_err(|e| CliError::runtime(format!("request to {addr} failed: {e}")))?
+    };
     if response.get("ok").and_then(Json::as_bool) == Some(true) {
         if want_stats {
-            if let Some(summary) = stats_latency_summary(&response) {
-                return Ok(format!("{response}\n{summary}"));
+            let mut out = format!("{response}\n");
+            for extra in [
+                stats_latency_summary(&response),
+                stats_store_summary(&response),
+                stats_cluster_summary(&response),
+            ]
+            .into_iter()
+            .flatten()
+            {
+                out.push_str(&extra);
             }
+            return Ok(out);
         }
         return Ok(format!("{response}\n"));
     }
@@ -1060,12 +1332,62 @@ mod tests {
     }
 
     #[test]
+    fn stats_summary_renders_store_counters() {
+        let response: Json = r#"{"v":1,"ok":true,"stats":{"store":{
+            "configured":true,"len":12,"store_bytes":3456,
+            "store_hits":7,"store_evictions":2,"misses":5,"writes":12,"repaired":0
+        }}}"#
+            .parse()
+            .unwrap();
+        assert_eq!(
+            stats_store_summary(&response).unwrap(),
+            "store: 12 results, 3456 bytes; 7 hits, 2 evictions\n"
+        );
+        let off: Json = r#"{"v":1,"ok":true,"stats":{"store":{"configured":false}}}"#
+            .parse()
+            .unwrap();
+        assert!(stats_store_summary(&off).is_none());
+        let absent: Json = r#"{"v":1,"ok":true,"stats":{}}"#.parse().unwrap();
+        assert!(stats_store_summary(&absent).is_none());
+    }
+
+    #[test]
+    fn stats_summary_renders_per_worker_rows() {
+        let response: Json = r#"{"v":1,"ok":true,"stats":{"cluster":{
+            "workers":[
+                {"name":"w0","alive":true,"dispatched":9,"completed":9,"failed":0},
+                {"name":"w1","alive":false,"dispatched":4,"completed":3,"failed":0}
+            ],
+            "workers_lost":1,"redispatches":1,"local_fallbacks":0
+        }}}"#
+            .parse()
+            .unwrap();
+        let summary = stats_cluster_summary(&response).unwrap();
+        assert!(
+            summary.starts_with("cluster: 2 workers (1 lost), 1 redispatches, 0 local fallbacks\n"),
+            "{summary}"
+        );
+        assert!(
+            summary.contains("w0 [alive]: dispatched 9, completed 9, failed 0"),
+            "{summary}"
+        );
+        assert!(
+            summary.contains("w1 [lost]: dispatched 4, completed 3, failed 0"),
+            "{summary}"
+        );
+        let plain: Json = r#"{"v":1,"ok":true,"stats":{}}"#.parse().unwrap();
+        assert!(stats_cluster_summary(&plain).is_none());
+    }
+
+    #[test]
     fn serve_config_parses_with_defaults_and_flags() {
         let mut args = Vec::new();
         let cfg = parse_serve_config(&mut args).unwrap();
         assert_eq!(cfg.addr, "127.0.0.1:0");
         assert_eq!((cfg.workers, cfg.queue_cap, cfg.cache_cap), (4, 64, 1024));
         assert_eq!(cfg.topo_cache_cap, 64);
+
+        assert!(cfg.store.is_none(), "no store unless --store is given");
 
         let mut args: Vec<String> = [
             "--addr",
@@ -1078,6 +1400,10 @@ mod tests {
             "10",
             "--topo-cache-cap",
             "3",
+            "--store",
+            "/tmp/crn-store",
+            "--store-max-mb",
+            "7",
         ]
         .iter()
         .map(|s| (*s).to_owned())
@@ -1086,10 +1412,82 @@ mod tests {
         assert_eq!(cfg.addr, "0.0.0.0:9000");
         assert_eq!((cfg.workers, cfg.queue_cap, cfg.cache_cap), (2, 5, 10));
         assert_eq!(cfg.topo_cache_cap, 3);
+        let store = cfg.store.expect("store configured");
+        assert_eq!(store.dir, std::path::PathBuf::from("/tmp/crn-store"));
+        assert_eq!(store.max_bytes, 7 * 1024 * 1024);
         assert!(args.is_empty(), "all flags consumed");
 
         let mut args: Vec<String> = vec!["--workers".into(), "0".into()];
         assert!(parse_serve_config(&mut args).is_err());
+
+        // --store-max-mb without --store is a usage error.
+        let mut args: Vec<String> = vec!["--store-max-mb".into(), "5".into()];
+        assert!(parse_serve_config(&mut args).is_err());
+    }
+
+    #[test]
+    fn cluster_config_parses_with_defaults_and_flags() {
+        let mut args = Vec::new();
+        let (cfg, workers) = parse_cluster_config(&mut args).unwrap();
+        assert_eq!(cfg.addr, "127.0.0.1:0");
+        assert_eq!((cfg.queue_cap, cfg.cache_cap), (256, 1024));
+        assert_eq!(cfg.job_timeout_ms, 30_000);
+        assert!(cfg.store.is_none());
+        assert_eq!(workers, 2, "default fleet size");
+
+        let mut args: Vec<String> = [
+            "--workers",
+            "3",
+            "--job-timeout-ms",
+            "500",
+            "--store",
+            "/tmp/fleet",
+        ]
+        .iter()
+        .map(|s| (*s).to_owned())
+        .collect();
+        let (cfg, workers) = parse_cluster_config(&mut args).unwrap();
+        assert_eq!(workers, 3);
+        assert_eq!(cfg.job_timeout_ms, 500);
+        // The coordinator gets its own store subdirectory so worker
+        // processes can share the parent --store DIR.
+        assert_eq!(
+            cfg.store.expect("store").dir,
+            std::path::PathBuf::from("/tmp/fleet/coordinator")
+        );
+        assert!(args.is_empty(), "all flags consumed");
+    }
+
+    #[test]
+    fn worker_config_parses_with_defaults_and_flags() {
+        let mut args = Vec::new();
+        let cfg = parse_worker_config("127.0.0.1:9000".into(), &mut args).unwrap();
+        assert_eq!(cfg.coordinator, "127.0.0.1:9000");
+        assert!(cfg.name.starts_with("worker-"), "pid-derived name");
+        assert_eq!(cfg.threads, 2);
+
+        let mut args: Vec<String> = ["--name", "w7", "--threads", "1", "--store", "/tmp/w7"]
+            .iter()
+            .map(|s| (*s).to_owned())
+            .collect();
+        let cfg = parse_worker_config("h:1".into(), &mut args).unwrap();
+        assert_eq!(cfg.name, "w7");
+        assert_eq!(cfg.threads, 1);
+        assert_eq!(
+            cfg.store.expect("store").dir,
+            std::path::PathBuf::from("/tmp/w7")
+        );
+        assert!(args.is_empty(), "all flags consumed");
+
+        let mut args: Vec<String> = vec!["--threads".into(), "0".into()];
+        assert!(parse_worker_config("h:1".into(), &mut args).is_err());
+    }
+
+    #[test]
+    fn serve_mode_flags_are_mutually_exclusive() {
+        let e = run(&["serve", "--coordinator", "--join", "127.0.0.1:1"]).unwrap_err();
+        assert_eq!(e.code, 2);
+        assert!(e.message.contains("mutually exclusive"), "{e}");
     }
 
     #[test]
@@ -1125,10 +1523,21 @@ mod tests {
         // Sweep form.
         let line = build(&["--seed-count", "3", "--seed-start", "5"]);
         let req = crn_serve::protocol::parse_request(&line).unwrap();
-        let crn_serve::protocol::Request::Sweep { seeds, .. } = req else {
+        let crn_serve::protocol::Request::Sweep { seeds, stream, .. } = req else {
             panic!("expected sweep request: {line}");
         };
         assert_eq!(seeds, vec![5, 6, 7]);
+        assert!(!stream, "streaming is opt-in");
+        // Streamed sweep form.
+        let line = build(&["--seed-count", "2", "--stream"]);
+        let req = crn_serve::protocol::parse_request(&line).unwrap();
+        let crn_serve::protocol::Request::Sweep { stream, .. } = req else {
+            panic!("expected sweep request: {line}");
+        };
+        assert!(stream, "--stream sets the protocol flag");
+        // --stream without a sweep is a usage error.
+        let mut args: Vec<String> = vec!["--stream".into()];
+        assert!(build_submit_request(&mut args).is_err());
         // --raw passes through verbatim.
         let mut args: Vec<String> = vec!["--raw".into(), r#"{"v":1,"cmd":"status"}"#.into()];
         assert_eq!(

@@ -1,0 +1,34 @@
+//! # crn-cluster — a distributed serve fleet
+//!
+//! Turns the single-process [`crn-serve`](crn_serve) daemon into a
+//! fleet: one [`Coordinator`] owns the public socket and speaks the
+//! JSON-lines protocol **unchanged**, while N [`WorkerNode`] processes
+//! dial in, join, and execute the work the coordinator routes to them.
+//!
+//! The three layers:
+//!
+//! - [`ring`] — consistent hashing over result cache keys. Routing is
+//!   by *content*, so a given spec always lands on the same worker and
+//!   the fleet partitions the cache instead of replicating it.
+//! - [`worker`] — the execution half: an in-memory LRU and optional
+//!   persistent [`ResultStore`](crn_serve::ResultStore) in front of the
+//!   shared [`Executor`](crn_serve::exec::Executor).
+//! - [`coordinator`] — admission, routing, crash/timeout re-dispatch,
+//!   and the at-most-once result commit that keeps every client seeing
+//!   exactly one answer per request no matter how many workers raced.
+//!
+//! Everything is std-only (TCP + threads), like the rest of the
+//! workspace, and results are bit-identical to single-process
+//! `crn serve` because every process executes through the same engine
+//! and ships outcomes with the exact-float codec.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod coordinator;
+pub mod ring;
+pub mod worker;
+
+pub use coordinator::{ClusterConfig, ClusterCounters, Coordinator};
+pub use ring::HashRing;
+pub use worker::{WorkerConfig, WorkerNode};

@@ -1,0 +1,161 @@
+//! Consistent hashing over result cache keys.
+//!
+//! The coordinator routes each job to a worker by its
+//! [`RunSpec::cache_key`](crn_serve::RunSpec::cache_key): the ring maps
+//! the key to the first virtual node clockwise from it. Because cache
+//! keys are already 64-bit FNV digests they are uniformly spread, and
+//! because routing is *by content*, the same spec always lands on the
+//! same worker — that worker's local result cache and topology cache
+//! then do the deduplication work, and the fleet as a whole partitions
+//! the key space instead of replicating every cache entry everywhere.
+//!
+//! Virtual nodes (`replicas` hash points per worker) smooth the
+//! partition: removing a worker re-routes only the keys that mapped to
+//! its arcs, which is what makes crash re-dispatch cheap.
+
+use std::collections::BTreeMap;
+
+/// A consistent-hash ring mapping `u64` keys to worker slots.
+#[derive(Debug, Default)]
+pub struct HashRing {
+    /// Hash point → worker slot. BTreeMap gives the clockwise scan.
+    points: BTreeMap<u64, usize>,
+    /// Vnode count per inserted worker.
+    replicas: usize,
+}
+
+impl HashRing {
+    /// A ring placing `replicas` virtual nodes per worker (min 1).
+    #[must_use]
+    pub fn new(replicas: usize) -> Self {
+        Self {
+            points: BTreeMap::new(),
+            replicas: replicas.max(1),
+        }
+    }
+
+    /// Adds a worker under `slot`, hashing its vnode points from `name`
+    /// (stable across rejoins of the same name).
+    pub fn insert(&mut self, slot: usize, name: &str) {
+        for r in 0..self.replicas {
+            let mut h = crn_core::fnv1a_64(0xcbf2_9ce4_8422_2325, name.as_bytes());
+            h = crn_core::fnv1a_64(h, &(r as u64).to_le_bytes());
+            self.points.insert(h, slot);
+        }
+    }
+
+    /// Removes every vnode of `slot`.
+    pub fn remove(&mut self, slot: usize) {
+        self.points.retain(|_, s| *s != slot);
+    }
+
+    /// Whether the ring has no workers.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The first worker clockwise from `key` whose slot satisfies
+    /// `eligible` (wrapping at the top of the key space). Duplicate
+    /// consecutive vnodes of one worker are skipped for free by the
+    /// predicate; `None` when no eligible worker exists.
+    #[must_use]
+    pub fn route_when(&self, key: u64, mut eligible: impl FnMut(usize) -> bool) -> Option<usize> {
+        self.points
+            .range(key..)
+            .chain(self.points.range(..key))
+            .map(|(_, &slot)| slot)
+            .find(|&slot| eligible(slot))
+    }
+
+    /// The first worker clockwise from `key` (no eligibility filter).
+    #[must_use]
+    pub fn route(&self, key: u64) -> Option<usize> {
+        self.route_when(key, |_| true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keys() -> Vec<u64> {
+        // FNV-spread sample keys, like real cache keys.
+        (0u64..512)
+            .map(|i| crn_core::fnv1a_64(0xcbf2_9ce4_8422_2325, &i.to_le_bytes()))
+            .collect()
+    }
+
+    #[test]
+    fn routing_is_deterministic_and_total() {
+        let mut ring = HashRing::new(64);
+        ring.insert(0, "alpha");
+        ring.insert(1, "beta");
+        ring.insert(2, "gamma");
+        for &k in &keys() {
+            let a = ring.route(k).unwrap();
+            let b = ring.route(k).unwrap();
+            assert_eq!(a, b);
+            assert!(a <= 2);
+        }
+    }
+
+    #[test]
+    fn every_worker_owns_a_share() {
+        let mut ring = HashRing::new(64);
+        ring.insert(0, "alpha");
+        ring.insert(1, "beta");
+        ring.insert(2, "gamma");
+        let mut counts = [0usize; 3];
+        for &k in &keys() {
+            counts[ring.route(k).unwrap()] += 1;
+        }
+        for (slot, &c) in counts.iter().enumerate() {
+            assert!(c > 0, "slot {slot} owns no keys: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn removal_only_remaps_the_dead_workers_keys() {
+        let mut ring = HashRing::new(64);
+        ring.insert(0, "alpha");
+        ring.insert(1, "beta");
+        ring.insert(2, "gamma");
+        let before: Vec<usize> = keys().iter().map(|&k| ring.route(k).unwrap()).collect();
+        ring.remove(1);
+        for (&k, &owner) in keys().iter().zip(&before) {
+            let now = ring.route(k).unwrap();
+            if owner != 1 {
+                assert_eq!(now, owner, "surviving key remapped");
+            } else {
+                assert_ne!(now, 1, "dead worker still routed");
+            }
+        }
+    }
+
+    #[test]
+    fn route_when_skips_ineligible_workers() {
+        let mut ring = HashRing::new(64);
+        ring.insert(0, "alpha");
+        ring.insert(1, "beta");
+        for &k in &keys() {
+            assert_eq!(ring.route_when(k, |s| s != 0), Some(1));
+        }
+        assert_eq!(ring.route_when(7, |_| false), None);
+        assert_eq!(HashRing::new(8).route(7), None);
+    }
+
+    #[test]
+    fn rejoining_the_same_name_restores_the_same_arcs() {
+        let mut ring = HashRing::new(64);
+        ring.insert(0, "alpha");
+        ring.insert(1, "beta");
+        let before: Vec<usize> = keys().iter().map(|&k| ring.route(k).unwrap()).collect();
+        ring.remove(1);
+        ring.insert(5, "beta"); // same name, new slot after a restart
+        for (&k, &owner) in keys().iter().zip(&before) {
+            let now = ring.route(k).unwrap();
+            assert_eq!(now, if owner == 1 { 5 } else { owner });
+        }
+    }
+}

@@ -101,6 +101,46 @@ impl Client {
         self.request_line(&req.to_string())
     }
 
+    /// Sends one request line and consumes a streamed response: every
+    /// interim line carrying a `row` field is handed to `on_row` (the
+    /// `row` value itself, not the envelope), and the first line without
+    /// one is returned as the final response.
+    ///
+    /// Works against non-streaming responses too — the single reply has
+    /// no `row`, so it is returned directly and `on_row` never fires.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Io`] on transport failure or EOF before the final
+    /// response, [`ClientError::Protocol`] if any line is not JSON.
+    pub fn request_stream(
+        &mut self,
+        line: &str,
+        mut on_row: impl FnMut(Json),
+    ) -> Result<Json, ClientError> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        loop {
+            let mut response = String::new();
+            let n = self.reader.read_line(&mut response)?;
+            if n == 0 {
+                return Err(ClientError::Io(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "server closed the connection mid-stream",
+                )));
+            }
+            let parsed: Json = response
+                .trim()
+                .parse()
+                .map_err(|e| ClientError::Protocol(format!("unparseable response: {e}")))?;
+            match parsed.get("row") {
+                Some(row) => on_row(row.clone()),
+                None => return Ok(parsed),
+            }
+        }
+    }
+
     /// Convenience: requests the server's `stats` object.
     ///
     /// # Errors

@@ -29,13 +29,18 @@
 
 pub mod cache;
 pub mod client;
+pub mod exec;
+pub mod outcome_codec;
 pub mod protocol;
 pub mod server;
+pub mod store;
+pub mod sweep;
 
 pub use cache::{CacheStats, LruCache};
 pub use client::{Client, ClientError};
 pub use protocol::{RunSpec, PROTOCOL_VERSION};
 pub use server::{Counters, ServeConfig, Server};
+pub use store::{ResultStore, StoreConfig, StoreCounters};
 
 /// Protocol-visible error taxonomy. Every error response carries the
 /// snake_case kind plus an HTTP-flavoured numeric code so clients can
@@ -60,6 +65,8 @@ pub enum ErrorKind {
     /// The simulation panicked; the worker caught it and the server
     /// kept running.
     WorkerPanicked,
+    /// The request line exceeded the server's accepted length bound.
+    RequestTooLarge,
 }
 
 impl ErrorKind {
@@ -75,6 +82,7 @@ impl ErrorKind {
             ErrorKind::SimFailed => "sim_failed",
             ErrorKind::InvariantViolation => "invariant_violation",
             ErrorKind::WorkerPanicked => "worker_panicked",
+            ErrorKind::RequestTooLarge => "request_too_large",
         }
     }
 
@@ -82,7 +90,9 @@ impl ErrorKind {
     #[must_use]
     pub fn code(self) -> u64 {
         match self {
-            ErrorKind::BadRequest | ErrorKind::UnsupportedVersion => 400,
+            ErrorKind::BadRequest | ErrorKind::UnsupportedVersion | ErrorKind::RequestTooLarge => {
+                400
+            }
             ErrorKind::TimedOut => 408,
             ErrorKind::Overloaded => 429,
             ErrorKind::Draining => 503,
@@ -94,6 +104,28 @@ impl ErrorKind {
 impl std::fmt::Display for ErrorKind {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(self.as_str())
+    }
+}
+
+impl std::str::FromStr for ErrorKind {
+    type Err = String;
+
+    /// Parses the wire names emitted by [`ErrorKind::as_str`] (used by
+    /// the cluster's internal `result` messages to ship typed failures
+    /// across processes).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "bad_request" => Ok(ErrorKind::BadRequest),
+            "unsupported_version" => Ok(ErrorKind::UnsupportedVersion),
+            "overloaded" => Ok(ErrorKind::Overloaded),
+            "timed_out" => Ok(ErrorKind::TimedOut),
+            "draining" => Ok(ErrorKind::Draining),
+            "sim_failed" => Ok(ErrorKind::SimFailed),
+            "invariant_violation" => Ok(ErrorKind::InvariantViolation),
+            "worker_panicked" => Ok(ErrorKind::WorkerPanicked),
+            "request_too_large" => Ok(ErrorKind::RequestTooLarge),
+            other => Err(format!("unknown error kind '{other}'")),
+        }
     }
 }
 
@@ -112,6 +144,7 @@ mod tests {
             ErrorKind::SimFailed,
             ErrorKind::InvariantViolation,
             ErrorKind::WorkerPanicked,
+            ErrorKind::RequestTooLarge,
         ];
         let names: std::collections::HashSet<&str> = kinds.iter().map(|k| k.as_str()).collect();
         assert_eq!(names.len(), kinds.len());

@@ -156,6 +156,10 @@ pub enum Request {
         axis: Option<Axis>,
         /// Per-point deadline in milliseconds, if any.
         timeout_ms: Option<u64>,
+        /// Stream each point as its own `{"v":1,"row":{...}}` line (in
+        /// point order) instead of buffering one response; a final
+        /// summary response line still follows the rows.
+        stream: bool,
     },
     /// Liveness probe.
     Status,
@@ -230,11 +234,18 @@ pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
                     "sweep of {points} points exceeds the per-request cap of {MAX_SWEEP_SEEDS}"
                 )));
             }
+            let stream = match v.get("stream") {
+                None | Some(Json::Null) => false,
+                Some(field) => field
+                    .as_bool()
+                    .ok_or_else(|| ProtoError::bad("'stream' must be a bool"))?,
+            };
             Ok(Request::Sweep {
                 spec,
                 seeds,
                 axis,
                 timeout_ms: opt_u64(&v, "timeout_ms")?,
+                stream,
             })
         }
         other => Err(ProtoError::bad(format!("unknown cmd '{other}'"))),
@@ -534,6 +545,219 @@ pub fn error_response(kind: ErrorKind, message: &str) -> Json {
     let mut o = response_base(false);
     o.set("error", e);
     o
+}
+
+/// Serializes a [`RunSpec`] back into the request vocabulary, such that
+/// [`parse_request`] on a `run` carrying these fields yields an equal
+/// spec (the round trip is property-tested below). This is how a
+/// coordinator ships work to cluster workers: the spec crosses the wire
+/// in the same shape a client would have sent, so there is exactly one
+/// parser on the receiving end.
+#[must_use]
+pub fn spec_to_json(spec: &RunSpec) -> Json {
+    let mut p = Json::obj();
+    p.set("sus", Json::UInt(spec.params.num_sus as u64))
+        .set("pus", Json::UInt(spec.params.num_pus as u64))
+        .set("side", Json::float(spec.params.area_side))
+        .set("pt", Json::float(spec.params.activity.duty_cycle()))
+        .set("seed", Json::UInt(spec.params.seed))
+        .set(
+            "interference",
+            Json::Str(spec.params.interference.to_string()),
+        )
+        .set(
+            "max_connectivity_attempts",
+            Json::UInt(spec.params.max_connectivity_attempts as u64),
+        )
+        .set(
+            "baseline_su_sense_factor",
+            Json::float(spec.params.baseline_su_sense_factor),
+        );
+    if !spec.params.faults.is_none() {
+        p.set(
+            "faults",
+            faults_wire::faults_config_to_json(&spec.params.faults),
+        );
+    }
+    let mut o = Json::obj();
+    o.set("params", p)
+        .set("algo", Json::Str(spec.algorithm.to_string()))
+        .set("check_invariants", Json::Bool(spec.check_invariants))
+        .set("inject_panic", Json::Bool(spec.inject_panic))
+        .set(
+            "shards",
+            match spec.shards {
+                ShardMode::Sequential => Json::UInt(0),
+                ShardMode::Auto => Json::Str("auto".into()),
+                ShardMode::Fixed(k) => Json::UInt(u64::from(k)),
+            },
+        );
+    o
+}
+
+/// One internal cluster message: the coordinator↔worker vocabulary that
+/// rides the same JSON-lines transport as the public protocol.
+///
+/// A worker dials the coordinator's public port and sends `join`; from
+/// then on that connection is the worker channel — the coordinator pushes
+/// `work` down it and the worker answers with `result`. Result payloads
+/// use the full-fidelity [`crate::outcome_codec`] (not the summarized
+/// [`report_json`]), because the coordinator re-serves them as if it had
+/// computed them itself — bit-identical or nothing.
+#[derive(Clone, Debug)]
+pub enum ClusterMsg {
+    /// A worker announcing itself on a fresh connection.
+    Join {
+        /// Operator-visible worker name (per-worker stats rows key on it).
+        worker: String,
+    },
+    /// One simulation for the worker to run.
+    Work {
+        /// Coordinator-assigned job id; echoed in the result.
+        id: u64,
+        /// What to run.
+        spec: RunSpec,
+    },
+    /// The worker's answer to a `work` message.
+    Result {
+        /// The `work` id this answers.
+        id: u64,
+        /// The outcome, or a typed failure.
+        result: Result<CollectionOutcome, (ErrorKind, String)>,
+    },
+}
+
+impl ClusterMsg {
+    /// Serializes the message as one line-ready JSON object.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a result outcome carries a non-finite float (cannot
+    /// happen for outcomes produced by the engine; see
+    /// [`crate::outcome_codec::outcome_to_json`]).
+    #[must_use]
+    pub fn encode(&self) -> Json {
+        let mut o = Json::obj();
+        o.set("v", Json::UInt(PROTOCOL_VERSION));
+        match self {
+            ClusterMsg::Join { worker } => {
+                o.set("cmd", Json::Str("join".into()))
+                    .set("worker", Json::Str(worker.clone()));
+            }
+            ClusterMsg::Work { id, spec } => {
+                o.set("cmd", Json::Str("work".into()))
+                    .set("id", Json::UInt(*id))
+                    .set("spec", spec_to_json(spec));
+            }
+            ClusterMsg::Result { id, result } => {
+                o.set("cmd", Json::Str("result".into()))
+                    .set("id", Json::UInt(*id));
+                match result {
+                    Ok(outcome) => {
+                        o.set("ok", Json::Bool(true)).set(
+                            "outcome",
+                            crate::outcome_codec::outcome_to_json(outcome)
+                                .expect("engine outcomes have finite floats"),
+                        );
+                    }
+                    Err((kind, message)) => {
+                        let mut e = Json::obj();
+                        e.set("kind", Json::Str(kind.as_str().into()))
+                            .set("message", Json::Str(message.clone()));
+                        o.set("ok", Json::Bool(false)).set("error", e);
+                    }
+                }
+            }
+        }
+        o
+    }
+
+    /// Parses one internal message line. Lines whose `cmd` is not a
+    /// cluster command fail with a `bad_request` — callers on a mixed
+    /// listener try this first and fall back to [`parse_request`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtoError`] for invalid JSON, a missing/unsupported
+    /// version, a non-cluster command, or malformed fields.
+    pub fn parse(line: &str) -> Result<ClusterMsg, ProtoError> {
+        let v: Json = line.parse().map_err(|e| ProtoError::bad(format!("{e}")))?;
+        let version = v
+            .get("v")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| ProtoError::bad("missing protocol version field 'v'"))?;
+        if version != PROTOCOL_VERSION {
+            return Err(ProtoError {
+                kind: ErrorKind::UnsupportedVersion,
+                message: format!(
+                    "unsupported protocol version {version} (this node speaks v{PROTOCOL_VERSION})"
+                ),
+            });
+        }
+        let cmd = v
+            .get("cmd")
+            .and_then(Json::as_str)
+            .ok_or_else(|| ProtoError::bad("missing string field 'cmd'"))?;
+        match cmd {
+            "join" => {
+                let worker = v
+                    .get("worker")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| ProtoError::bad("join needs a string 'worker' name"))?;
+                Ok(ClusterMsg::Join {
+                    worker: worker.to_owned(),
+                })
+            }
+            "work" => {
+                let id = v
+                    .get("id")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| ProtoError::bad("work needs an integer 'id'"))?;
+                let spec_obj = v
+                    .get("spec")
+                    .ok_or_else(|| ProtoError::bad("work needs a 'spec' object"))?;
+                let spec = parse_spec(spec_obj)?;
+                Ok(ClusterMsg::Work { id, spec })
+            }
+            "result" => {
+                let id = v
+                    .get("id")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| ProtoError::bad("result needs an integer 'id'"))?;
+                let ok = v
+                    .get("ok")
+                    .and_then(Json::as_bool)
+                    .ok_or_else(|| ProtoError::bad("result needs a bool 'ok'"))?;
+                let result = if ok {
+                    let outcome = v
+                        .get("outcome")
+                        .ok_or_else(|| ProtoError::bad("ok result needs an 'outcome'"))?;
+                    Ok(crate::outcome_codec::outcome_from_json(outcome)
+                        .map_err(|e| ProtoError::bad(e.to_string()))?)
+                } else {
+                    let e = v
+                        .get("error")
+                        .ok_or_else(|| ProtoError::bad("failed result needs an 'error'"))?;
+                    let kind = e
+                        .get("kind")
+                        .and_then(Json::as_str)
+                        .ok_or_else(|| ProtoError::bad("error needs a string 'kind'"))?
+                        .parse::<ErrorKind>()
+                        .map_err(ProtoError::bad)?;
+                    let message = e
+                        .get("message")
+                        .and_then(Json::as_str)
+                        .unwrap_or("")
+                        .to_owned();
+                    Err((kind, message))
+                };
+                Ok(ClusterMsg::Result { id, result })
+            }
+            other => Err(ProtoError::bad(format!(
+                "not a cluster message: cmd '{other}'"
+            ))),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -848,6 +1072,129 @@ mod tests {
             churn.repro()
         );
         assert!(plan.repro().contains("1 events"), "{}", plan.repro());
+    }
+
+    #[test]
+    fn sweep_stream_flag_parses() {
+        let Request::Sweep { stream, .. } =
+            parse_request(r#"{"v":1,"cmd":"sweep","seeds":[1],"stream":true}"#).unwrap()
+        else {
+            panic!("not a sweep");
+        };
+        assert!(stream);
+        let Request::Sweep { stream, .. } =
+            parse_request(r#"{"v":1,"cmd":"sweep","seeds":[1]}"#).unwrap()
+        else {
+            panic!("not a sweep");
+        };
+        assert!(!stream, "stream defaults to off");
+        let e = parse_request(r#"{"v":1,"cmd":"sweep","seeds":[1],"stream":7}"#).unwrap_err();
+        assert!(e.message.contains("stream"), "{}", e.message);
+    }
+
+    #[test]
+    fn spec_round_trips_through_its_wire_shape() {
+        // Every wire-expressible knob at a non-default value.
+        let line = r#"{"v":1,"cmd":"run","params":{"sus":61,"pus":9,"side":41.5,"pt":0.35,
+            "seed":1234,"interference":"truncated:0.07","max_connectivity_attempts":500,
+            "baseline_su_sense_factor":1.5,"faults":"churn:2.5"},"algo":"coolest",
+            "check_invariants":true,"shards":3}"#;
+        let Request::Run { spec, .. } = parse_request(line).unwrap() else {
+            panic!("not a run");
+        };
+        let encoded = spec_to_json(&spec).to_string();
+        // Re-parse via the run-request parser (same object shape).
+        let mut wrapped: Json = encoded.parse().unwrap();
+        wrapped
+            .set("v", Json::UInt(1))
+            .set("cmd", Json::Str("run".into()));
+        let Request::Run { spec: back, .. } = parse_request(&wrapped.to_string()).unwrap() else {
+            panic!("not a run");
+        };
+        assert_eq!(spec, back);
+        assert_eq!(spec.cache_key(), back.cache_key());
+    }
+
+    #[test]
+    fn cluster_join_and_work_round_trip() {
+        let msg = ClusterMsg::Join {
+            worker: "worker-3".into(),
+        };
+        let ClusterMsg::Join { worker } = ClusterMsg::parse(&msg.encode().to_string()).unwrap()
+        else {
+            panic!("not a join");
+        };
+        assert_eq!(worker, "worker-3");
+
+        let Request::Run { spec, .. } =
+            parse_request(r#"{"v":1,"cmd":"run","params":{"sus":40,"seed":5}}"#).unwrap()
+        else {
+            panic!()
+        };
+        let msg = ClusterMsg::Work {
+            id: 42,
+            spec: spec.clone(),
+        };
+        let ClusterMsg::Work { id, spec: back } =
+            ClusterMsg::parse(&msg.encode().to_string()).unwrap()
+        else {
+            panic!("not a work");
+        };
+        assert_eq!(id, 42);
+        assert_eq!(spec.cache_key(), back.cache_key());
+        assert_eq!(spec, back);
+    }
+
+    #[test]
+    fn cluster_result_round_trips_both_arms() {
+        let params = crn_core::ScenarioParams::builder()
+            .num_sus(30)
+            .num_pus(3)
+            .area_side(32.0)
+            .seed(2)
+            .build();
+        let outcome = crn_core::Scenario::generate(&params)
+            .unwrap()
+            .run(CollectionAlgorithm::Addc)
+            .unwrap();
+        let msg = ClusterMsg::Result {
+            id: 7,
+            result: Ok(outcome.clone()),
+        };
+        let ClusterMsg::Result { id, result } =
+            ClusterMsg::parse(&msg.encode().to_string()).unwrap()
+        else {
+            panic!("not a result");
+        };
+        assert_eq!(id, 7);
+        assert_eq!(result.unwrap().report, outcome.report);
+
+        let msg = ClusterMsg::Result {
+            id: 9,
+            result: Err((ErrorKind::SimFailed, "boom".into())),
+        };
+        let ClusterMsg::Result { id, result } =
+            ClusterMsg::parse(&msg.encode().to_string()).unwrap()
+        else {
+            panic!("not a result");
+        };
+        assert_eq!(id, 9);
+        let (kind, message) = result.unwrap_err();
+        assert_eq!(kind, ErrorKind::SimFailed);
+        assert_eq!(message, "boom");
+    }
+
+    #[test]
+    fn public_requests_are_not_cluster_messages() {
+        for line in [
+            r#"{"v":1,"cmd":"run"}"#,
+            r#"{"v":1,"cmd":"stats"}"#,
+            r#"{"v":1,"cmd":"frobnicate"}"#,
+        ] {
+            assert!(ClusterMsg::parse(line).is_err(), "{line}");
+        }
+        // And a join is not a public request.
+        assert!(parse_request(r#"{"v":1,"cmd":"join","worker":"w"}"#).is_err());
     }
 
     #[test]

@@ -1,0 +1,476 @@
+//! Crash-safe on-disk content-addressed result store.
+//!
+//! One file per `cache_key`, named `<key:016x>.crnr`, holding exactly two
+//! lines:
+//!
+//! ```text
+//! crn-store v1 engine=<ENGINE_VERSION> key=<key:016x>
+//! {"algorithm":...}            # outcome_codec payload
+//! ```
+//!
+//! Durability is the classic temp-file dance: write to `<name>.tmp`,
+//! `fsync` the file, atomically `rename` over the final name, `fsync` the
+//! directory. A crash at any point leaves either the old content, the new
+//! content, or a stray `.tmp` — never a torn `.crnr` visible under its
+//! final name (POSIX rename is atomic). [`ResultStore::open`] scans the
+//! directory on startup and repairs it: stray temp files are removed, and
+//! any `.crnr` whose header version/engine mismatches, whose payload
+//! fails the codec, or whose name disagrees with its header key is
+//! deleted — a stale engine's results must never be served as current
+//! (`ENGINE_VERSION` is part of [`cache_key`]'s identity for exactly this
+//! reason, and the header check is the disk-side enforcement of it).
+//!
+//! Capacity is bounded by **bytes**, LRU over store accesses: each
+//! `get`/`put` bumps the key's recency; inserting past `max_bytes`
+//! evicts coldest-first. Recency survives restarts approximately via file
+//! mtimes (the scan seeds the recency order from them), which is exactly
+//! as precise as it needs to be — eviction order is a performance
+//! property, not a correctness one.
+//!
+//! The store deliberately does **not** hold any lock while computing —
+//! callers layer it *under* the in-memory [`crate::cache::LruCache`]:
+//! memory hit → done; memory miss → store `get` (disk read, no state
+//! lock) → on hit, populate memory. Both the single-process server and
+//! the cluster coordinator/worker reuse this same type, which is what
+//! makes "restart the coordinator, resweep from disk" (this PR's CI
+//! smoke) a pure read path.
+//!
+//! [`cache_key`]: crate::protocol::RunSpec::cache_key
+
+use std::collections::HashMap;
+use std::fs;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::time::UNIX_EPOCH;
+
+use crn_core::CollectionOutcome;
+
+use crate::outcome_codec::{outcome_from_json, outcome_to_json};
+use crate::protocol::ENGINE_VERSION;
+
+/// On-disk format version; bump when the header or payload layout
+/// changes. Distinct from `ENGINE_VERSION`, which tracks *result*
+/// identity — either mismatch invalidates a file.
+pub const STORE_FORMAT_VERSION: u32 = 1;
+
+const SUFFIX: &str = ".crnr";
+const TMP_SUFFIX: &str = ".tmp";
+
+/// Configuration for a [`ResultStore`].
+#[derive(Clone, Debug)]
+pub struct StoreConfig {
+    /// Directory holding the result files; created if absent.
+    pub dir: PathBuf,
+    /// Byte budget across all result files; 0 disables the bound.
+    pub max_bytes: u64,
+}
+
+/// Monotonic operation counters, mirrored into `stats` responses.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StoreCounters {
+    /// `get` calls that found a valid entry on disk.
+    pub hits: u64,
+    /// `get` calls that found nothing (or an unreadable entry).
+    pub misses: u64,
+    /// Entries durably committed by `put`.
+    pub writes: u64,
+    /// Entries removed to respect the byte budget.
+    pub evictions: u64,
+    /// Invalid files deleted by the startup scan.
+    pub repaired: u64,
+}
+
+struct Entry {
+    bytes: u64,
+    /// Recency stamp; larger = more recently touched.
+    seq: u64,
+}
+
+/// The store itself. Not internally synchronized: callers wrap it in a
+/// `Mutex` (file I/O under that mutex is fine — it is never the same
+/// lock as the server's scheduling state).
+pub struct ResultStore {
+    dir: PathBuf,
+    max_bytes: u64,
+    entries: HashMap<u64, Entry>,
+    total_bytes: u64,
+    next_seq: u64,
+    counters: StoreCounters,
+}
+
+impl ResultStore {
+    /// Opens (creating if needed) the store directory, scanning and
+    /// repairing existing content.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying [`io::Error`] if the directory cannot be
+    /// created or read.
+    pub fn open(cfg: StoreConfig) -> io::Result<Self> {
+        fs::create_dir_all(&cfg.dir)?;
+        let mut store = ResultStore {
+            dir: cfg.dir,
+            max_bytes: cfg.max_bytes,
+            entries: HashMap::new(),
+            total_bytes: 0,
+            next_seq: 0,
+            counters: StoreCounters::default(),
+        };
+        store.scan()?;
+        Ok(store)
+    }
+
+    /// Startup scan: index valid entries, delete everything else.
+    fn scan(&mut self) -> io::Result<()> {
+        // (mtime, key, bytes) — sorted so older files get older seqs.
+        let mut found: Vec<(u128, u64, u64)> = Vec::new();
+        for dirent in fs::read_dir(&self.dir)? {
+            let dirent = dirent?;
+            let path = dirent.path();
+            if !dirent.file_type()?.is_file() {
+                continue;
+            }
+            let name = dirent.file_name();
+            let Some(name) = name.to_str() else {
+                continue; // not ours; leave foreign files alone
+            };
+            if name.ends_with(TMP_SUFFIX) {
+                // Torn write from a crash mid-commit.
+                let _ = fs::remove_file(&path);
+                self.counters.repaired += 1;
+                continue;
+            }
+            let Some(stem) = name.strip_suffix(SUFFIX) else {
+                continue;
+            };
+            let key = u64::from_str_radix(stem, 16).ok();
+            let valid = key.is_some_and(|k| Self::validate_file(&path, k));
+            let Some(key) = key.filter(|_| valid) else {
+                let _ = fs::remove_file(&path);
+                self.counters.repaired += 1;
+                continue;
+            };
+            let meta = dirent.metadata()?;
+            let mtime = meta
+                .modified()
+                .ok()
+                .and_then(|t| t.duration_since(UNIX_EPOCH).ok())
+                .map_or(0, |d| d.as_nanos());
+            found.push((mtime, key, meta.len()));
+        }
+        found.sort_unstable();
+        for (_, key, bytes) in found {
+            let seq = self.bump();
+            self.entries.insert(key, Entry { bytes, seq });
+            self.total_bytes += bytes;
+        }
+        self.evict_to_budget();
+        Ok(())
+    }
+
+    /// Full validation: header line matches version/engine/key and the
+    /// payload decodes. Used only by the startup scan; steady-state reads
+    /// revalidate too (cheap relative to the simulation they replace).
+    fn validate_file(path: &Path, key: u64) -> bool {
+        read_entry(path, key).is_some()
+    }
+
+    fn bump(&mut self) -> u64 {
+        self.next_seq += 1;
+        self.next_seq
+    }
+
+    fn path_for(&self, key: u64) -> PathBuf {
+        self.dir.join(format!("{key:016x}{SUFFIX}"))
+    }
+
+    /// Fetches a stored outcome, bumping its recency.
+    pub fn get(&mut self, key: u64) -> Option<CollectionOutcome> {
+        if !self.entries.contains_key(&key) {
+            self.counters.misses += 1;
+            return None;
+        }
+        match read_entry(&self.path_for(key), key) {
+            Some(outcome) => {
+                let seq = self.bump();
+                if let Some(e) = self.entries.get_mut(&key) {
+                    e.seq = seq;
+                }
+                self.counters.hits += 1;
+                Some(outcome)
+            }
+            None => {
+                // Indexed but unreadable (external tampering/corruption):
+                // drop it from the index and the disk.
+                if let Some(e) = self.entries.remove(&key) {
+                    self.total_bytes = self.total_bytes.saturating_sub(e.bytes);
+                }
+                let _ = fs::remove_file(self.path_for(key));
+                self.counters.misses += 1;
+                self.counters.repaired += 1;
+                None
+            }
+        }
+    }
+
+    /// Durably commits an outcome under `key` (idempotent; re-putting an
+    /// existing key just refreshes recency).
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying [`io::Error`] on write/rename/fsync
+    /// failure; the store index is left unchanged in that case.
+    pub fn put(&mut self, key: u64, outcome: &CollectionOutcome) -> io::Result<()> {
+        if self.entries.contains_key(&key) {
+            let seq = self.bump();
+            if let Some(e) = self.entries.get_mut(&key) {
+                e.seq = seq;
+            }
+            return Ok(());
+        }
+        let payload = outcome_to_json(outcome)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        let mut body = String::new();
+        body.push_str(&header_line(key));
+        body.push('\n');
+        body.push_str(&payload.to_string());
+        body.push('\n');
+
+        let final_path = self.path_for(key);
+        let tmp_path = self.dir.join(format!("{key:016x}{SUFFIX}{TMP_SUFFIX}"));
+        {
+            let mut f = fs::File::create(&tmp_path)?;
+            f.write_all(body.as_bytes())?;
+            f.sync_all()?;
+        }
+        fs::rename(&tmp_path, &final_path)?;
+        // Make the rename itself durable. Directory fsync is not
+        // supported everywhere; failure here weakens crash durability,
+        // not correctness, so it is advisory.
+        if let Ok(d) = fs::File::open(&self.dir) {
+            let _ = d.sync_all();
+        }
+
+        let bytes = body.len() as u64;
+        let seq = self.bump();
+        self.entries.insert(key, Entry { bytes, seq });
+        self.total_bytes += bytes;
+        self.counters.writes += 1;
+        self.evict_to_budget();
+        Ok(())
+    }
+
+    fn evict_to_budget(&mut self) {
+        if self.max_bytes == 0 {
+            return;
+        }
+        while self.total_bytes > self.max_bytes && self.entries.len() > 1 {
+            let Some((&coldest, _)) = self.entries.iter().min_by_key(|(_, e)| e.seq) else {
+                break;
+            };
+            if let Some(e) = self.entries.remove(&coldest) {
+                self.total_bytes = self.total_bytes.saturating_sub(e.bytes);
+            }
+            let _ = fs::remove_file(self.path_for(coldest));
+            self.counters.evictions += 1;
+        }
+    }
+
+    /// Number of entries currently indexed.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the store holds no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total bytes of all indexed entries.
+    #[must_use]
+    pub fn bytes(&self) -> u64 {
+        self.total_bytes
+    }
+
+    /// Snapshot of the operation counters.
+    #[must_use]
+    pub fn counters(&self) -> StoreCounters {
+        self.counters
+    }
+
+    /// The directory this store lives in.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+}
+
+fn header_line(key: u64) -> String {
+    format!("crn-store v{STORE_FORMAT_VERSION} engine={ENGINE_VERSION} key={key:016x}")
+}
+
+/// Reads and fully validates one entry file; `None` on any mismatch.
+fn read_entry(path: &Path, key: u64) -> Option<CollectionOutcome> {
+    let content = fs::read_to_string(path).ok()?;
+    let mut lines = content.lines();
+    let header = lines.next()?;
+    if header != header_line(key) {
+        return None;
+    }
+    let payload = lines.next()?;
+    if lines.next().is_some() {
+        return None;
+    }
+    outcome_from_json(&payload.parse().ok()?).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crn_core::{CollectionAlgorithm, Scenario, ScenarioParams};
+
+    fn outcome(seed: u64) -> CollectionOutcome {
+        let params = ScenarioParams::builder()
+            .num_sus(30)
+            .num_pus(3)
+            .area_side(32.0)
+            .seed(seed)
+            .build();
+        Scenario::generate(&params)
+            .unwrap()
+            .run(CollectionAlgorithm::Addc)
+            .unwrap()
+    }
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("crn-store-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn round_trip_survives_reopen() {
+        let dir = tmp_dir("reopen");
+        let o1 = outcome(1);
+        let o2 = outcome(2);
+        {
+            let mut s = ResultStore::open(StoreConfig {
+                dir: dir.clone(),
+                max_bytes: 0,
+            })
+            .unwrap();
+            s.put(11, &o1).unwrap();
+            s.put(22, &o2).unwrap();
+            assert_eq!(s.counters().writes, 2);
+            assert_eq!(s.get(11).unwrap().report, o1.report);
+        }
+        let mut s = ResultStore::open(StoreConfig {
+            dir: dir.clone(),
+            max_bytes: 0,
+        })
+        .unwrap();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.get(11).unwrap().report, o1.report);
+        assert_eq!(s.get(22).unwrap().report, o2.report);
+        assert_eq!(s.counters().hits, 2);
+        assert!(s.get(33).is_none());
+        assert_eq!(s.counters().misses, 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn scan_repairs_torn_and_corrupt_files() {
+        let dir = tmp_dir("repair");
+        let o = outcome(3);
+        {
+            let mut s = ResultStore::open(StoreConfig {
+                dir: dir.clone(),
+                max_bytes: 0,
+            })
+            .unwrap();
+            s.put(7, &o).unwrap();
+        }
+        // Torn temp file from a crash mid-commit.
+        fs::write(dir.join(format!("{:016x}.crnr.tmp", 9u64)), "partial").unwrap();
+        // Garbage payload under a well-formed name.
+        fs::write(
+            dir.join(format!("{:016x}.crnr", 5u64)),
+            "not a store file\n",
+        )
+        .unwrap();
+        // Header key disagrees with the file name.
+        fs::write(
+            dir.join(format!("{:016x}.crnr", 6u64)),
+            format!("{}\n{{}}\n", header_line(0xdead)),
+        )
+        .unwrap();
+        // Wrong engine version in the header.
+        fs::write(
+            dir.join(format!("{:016x}.crnr", 8u64)),
+            format!("crn-store v1 engine=0.0.0-stale key={:016x}\n{{}}\n", 8u64),
+        )
+        .unwrap();
+        let mut s = ResultStore::open(StoreConfig {
+            dir: dir.clone(),
+            max_bytes: 0,
+        })
+        .unwrap();
+        assert_eq!(s.len(), 1, "only the valid entry survives");
+        assert_eq!(s.counters().repaired, 4);
+        assert_eq!(s.get(7).unwrap().report, o.report);
+        assert!(s.get(5).is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn byte_budget_evicts_coldest_first() {
+        let dir = tmp_dir("evict");
+        let o = outcome(4);
+        let one_entry_bytes = {
+            let mut s = ResultStore::open(StoreConfig {
+                dir: dir.clone(),
+                max_bytes: 0,
+            })
+            .unwrap();
+            s.put(1, &o).unwrap();
+            s.bytes()
+        };
+        let _ = fs::remove_dir_all(&dir);
+        // Budget for two entries; insert three with key 1 coldest.
+        let mut s = ResultStore::open(StoreConfig {
+            dir: dir.clone(),
+            max_bytes: one_entry_bytes * 2 + one_entry_bytes / 2,
+        })
+        .unwrap();
+        s.put(1, &o).unwrap();
+        s.put(2, &o).unwrap();
+        s.put(3, &o).unwrap();
+        assert_eq!(s.counters().evictions, 1);
+        assert!(s.get(1).is_none(), "coldest entry evicted");
+        assert!(s.get(2).is_some() && s.get(3).is_some());
+        // `get` bumps recency: touch 2, insert 4, expect 3 evicted.
+        assert!(s.get(2).is_some());
+        s.put(4, &o).unwrap();
+        assert!(s.get(3).is_none());
+        assert!(s.get(2).is_some() && s.get(4).is_some());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reput_refreshes_recency_without_rewrite() {
+        let dir = tmp_dir("reput");
+        let o = outcome(5);
+        let mut s = ResultStore::open(StoreConfig {
+            dir: dir.clone(),
+            max_bytes: 0,
+        })
+        .unwrap();
+        s.put(1, &o).unwrap();
+        s.put(1, &o).unwrap();
+        assert_eq!(s.counters().writes, 1);
+        assert_eq!(s.len(), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -3,7 +3,8 @@
 //! the suite stays fast).
 
 use crn_serve::client::Client;
-use crn_serve::server::{ServeConfig, Server};
+use crn_serve::server::{ServeConfig, Server, MAX_REQUEST_LINE_BYTES};
+use crn_serve::store::StoreConfig;
 use crn_workloads::json::Json;
 use std::time::Duration;
 
@@ -19,6 +20,7 @@ fn start(workers: usize, queue_cap: usize, cache_cap: usize) -> Server {
         queue_cap,
         cache_cap,
         topo_cache_cap: 64,
+        store: None,
     })
     .expect("bind ephemeral port")
 }
@@ -464,6 +466,158 @@ fn radio_axis_sweep_reuses_one_cached_topology() {
         Some(1),
         "one deployment shared by all 51 points"
     );
+
+    client.shutdown().unwrap();
+    server.wait();
+}
+
+/// The persistent tier end to end: results computed before a restart are
+/// served from disk (`"cached":true`, `store_hits` counted) by a fresh
+/// server on the same directory, with a byte-identical report.
+#[test]
+fn store_survives_a_server_restart() {
+    let dir = std::env::temp_dir().join(format!("crn-serve-e2e-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = Some(StoreConfig {
+        dir: dir.clone(),
+        max_bytes: 0,
+    });
+    let start_with_store = || {
+        Server::start(ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 2,
+            queue_cap: 8,
+            cache_cap: 64,
+            topo_cache_cap: 64,
+            store: store.clone(),
+        })
+        .expect("bind ephemeral port")
+    };
+
+    let server = start_with_store();
+    let mut client = connect(&server);
+    let first = client.request_line(&small_run(21)).unwrap();
+    assert!(ok(&first), "cold run failed: {first}");
+    assert_eq!(first.get("cached").and_then(Json::as_bool), Some(false));
+    let stats = client.stats().unwrap();
+    let store_stats = stats.get("store").expect("store block");
+    assert_eq!(
+        store_stats.get("configured").and_then(Json::as_bool),
+        Some(true)
+    );
+    assert_eq!(store_stats.get("writes").and_then(Json::as_u64), Some(1));
+    assert!(
+        store_stats
+            .get("store_bytes")
+            .and_then(Json::as_u64)
+            .unwrap()
+            > 0
+    );
+    client.shutdown().unwrap();
+    server.wait();
+
+    // Fresh process state, same directory: the memory cache is empty but
+    // the result is one disk read away.
+    let server = start_with_store();
+    let mut client = connect(&server);
+    let warm = client.request_line(&small_run(21)).unwrap();
+    assert!(ok(&warm), "store-served run failed: {warm}");
+    assert_eq!(
+        warm.get("cached").and_then(Json::as_bool),
+        Some(true),
+        "restart must serve from the persistent store: {warm}"
+    );
+    assert_eq!(
+        warm.get("report"),
+        first.get("report"),
+        "disk round trip must be byte-identical"
+    );
+    let stats = client.stats().unwrap();
+    let counters = stats.get("counters").expect("counters");
+    assert_eq!(counters.get("store_hits").and_then(Json::as_u64), Some(1));
+    assert_eq!(counters.get("computed").and_then(Json::as_u64), Some(0));
+    client.shutdown().unwrap();
+    server.wait();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// An over-length request line gets a typed `400 request_too_large` and
+/// the connection keeps working for the next (sane) request.
+#[test]
+fn oversized_request_line_is_rejected_not_buffered() {
+    let server = start(1, 4, 16);
+    let mut client = connect(&server);
+
+    let huge = format!(
+        r#"{{"v":1,"cmd":"run","pad":"{}"}}"#,
+        "x".repeat(MAX_REQUEST_LINE_BYTES + 1024)
+    );
+    let response = client.request_line(&huge).unwrap();
+    assert_eq!(error_kind(&response), Some("request_too_large"));
+    assert_eq!(
+        response
+            .get("error")
+            .unwrap()
+            .get("code")
+            .and_then(Json::as_u64),
+        Some(400)
+    );
+
+    // The connection survives and the next request is served normally.
+    let response = client.request_line(&small_run(2)).unwrap();
+    assert!(ok(&response), "connection must survive: {response}");
+    client.shutdown().unwrap();
+    server.wait();
+}
+
+/// Streamed sweeps: every point arrives as its own in-order row line,
+/// then a summary; rows carry the same records a buffered sweep returns.
+#[test]
+fn streamed_sweep_rows_match_the_buffered_sweep() {
+    let server = start(2, 8, 64);
+    let mut client = connect(&server);
+
+    let buffered = client
+        .request_line(
+            r#"{"v":1,"cmd":"sweep","params":{"sus":50,"pus":8,"side":42.0},"seed_start":0,"seed_count":4}"#,
+        )
+        .unwrap();
+    assert!(ok(&buffered), "buffered sweep failed: {buffered}");
+    let buffered_records: Vec<String> = buffered
+        .get("results")
+        .and_then(Json::as_arr)
+        .unwrap()
+        .iter()
+        .map(|e| e.get("record").unwrap().to_string())
+        .collect();
+
+    let mut rows = Vec::new();
+    let streamed = client
+        .request_stream(
+            r#"{"v":1,"cmd":"sweep","params":{"sus":50,"pus":8,"side":42.0},"seed_start":0,"seed_count":4,"stream":true}"#,
+            |row| rows.push(row),
+        )
+        .unwrap();
+    assert!(ok(&streamed), "streamed sweep failed: {streamed}");
+    assert_eq!(streamed.get("streamed").and_then(Json::as_bool), Some(true));
+    assert_eq!(streamed.get("points").and_then(Json::as_u64), Some(4));
+    assert!(
+        streamed.get("results").is_none(),
+        "streamed summary must not re-buffer the rows"
+    );
+    assert_eq!(rows.len(), 4);
+    for (i, row) in rows.iter().enumerate() {
+        assert_eq!(
+            row.get("seed").and_then(Json::as_u64),
+            Some(i as u64),
+            "rows must arrive in point order: {row}"
+        );
+        assert_eq!(
+            row.get("record").unwrap().to_string(),
+            buffered_records[i],
+            "streamed and buffered records must be byte-identical"
+        );
+    }
 
     client.shutdown().unwrap();
     server.wait();

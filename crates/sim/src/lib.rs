@@ -103,6 +103,6 @@ pub use probe::{
     NoopProbe, Probe, TimeSeries, TimeSeriesPoint, TraceEvent, TraceEventKind, TraceLog, TxOutcome,
 };
 pub use radio::{Radio, RadioParams};
-pub use report::SimReport;
+pub use report::{NodeStats, SimReport};
 pub use topology::{Topology, TopologyBuilder};
 pub use world::{SimWorld, SimWorldBuilder, WorldError};
